@@ -1,0 +1,58 @@
+// Command upnp-addrgen reproduces the µPnP address-space tool of
+// Section 3.3: given an assigned 32-bit device-type identifier it generates
+// the set of identification resistors a peripheral designer must place on
+// the board (Figure 4), using purchasable E-series preferred values, and
+// verifies that the realised values decode back to the identifier through
+// the control-board electronics.
+//
+// Usage:
+//
+//	upnp-addrgen [-series 12|24|96] 0xad1cbe01 [more ids...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"micropnp/internal/hw"
+)
+
+func main() {
+	series := flag.Int("series", 96, "IEC 60063 E-series to draw resistors from (12, 24 or 96)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: upnp-addrgen [-series 96] 0x<device-id>...")
+		os.Exit(2)
+	}
+	var s hw.ESeries
+	switch *series {
+	case 12:
+		s = hw.E12
+	case 24:
+		s = hw.E24
+	case 96:
+		s = hw.E96
+	default:
+		fmt.Fprintf(os.Stderr, "upnp-addrgen: unsupported series E%d\n", *series)
+		os.Exit(2)
+	}
+
+	for _, arg := range flag.Args() {
+		id, err := strconv.ParseUint(strings.TrimPrefix(arg, "0x"), 16, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "upnp-addrgen: bad identifier %q: %v\n", arg, err)
+			os.Exit(1)
+		}
+		set, err := hw.GenerateResistorSet(hw.DeviceID(id), s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upnp-addrgen:", err)
+			os.Exit(1)
+		}
+		fmt.Print(set.BOM())
+		fmt.Println()
+	}
+}

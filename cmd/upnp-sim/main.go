@@ -1,0 +1,148 @@
+// Command upnp-sim runs a scripted µPnP deployment scenario on the
+// simulated network and prints a trace of what happened: peripherals get
+// plugged into Things, drivers are fetched over the air from the manager,
+// clients discover and read the peripherals.
+//
+// Usage:
+//
+//	upnp-sim [-things N] [-hops H] [-loss P] [-churn K]
+//
+// Flags:
+//
+//	-things  number of Things (default 3)
+//	-hops    depth of the RPL tree the Things hang from (default 1)
+//	-loss    per-hop frame loss probability (default 0)
+//	-churn   extra plug/unplug cycles to simulate (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"micropnp/internal/client"
+	"micropnp/internal/core"
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
+	"micropnp/internal/thing"
+)
+
+func main() {
+	nThings := flag.Int("things", 3, "number of Things")
+	hops := flag.Int("hops", 1, "tree depth of the Things")
+	loss := flag.Float64("loss", 0, "per-hop frame loss probability")
+	churn := flag.Int("churn", 1, "extra plug/unplug cycles")
+	flag.Parse()
+
+	if err := run(*nThings, *hops, *loss, *churn); err != nil {
+		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(nThings, hops int, loss float64, churn int) error {
+	d, err := core.NewDeployment(core.DeploymentConfig{LossRate: loss})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment: manager at %v (anycast %v), loss=%.2f\n",
+		d.Manager.Node().Addr(), core.ManagerAnycast, loss)
+
+	// Build a chain of relays to reach the requested depth, then hang the
+	// Things off the last relay.
+	parent := d.Manager.Node()
+	for h := 1; h < hops; h++ {
+		relay, err := d.AddThingAt(fmt.Sprintf("relay-%d", h), parent)
+		if err != nil {
+			return err
+		}
+		parent = relay.Node()
+	}
+
+	things := make([]*thing.Thing, 0, nThings)
+	kinds := []string{"TMP36", "HIH-4030", "BMP180", "ID-20LA"}
+	for i := 0; i < nThings; i++ {
+		th, err := d.AddThingAt(fmt.Sprintf("thing-%d", i), parent)
+		if err != nil {
+			return err
+		}
+		things = append(things, th)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		return err
+	}
+	cl.OnAdvert(func(a client.Advert) {
+		kind := "unsolicited"
+		if a.Solicited {
+			kind = "solicited"
+		}
+		fmt.Printf("  [client] %s advert: %v serves %v\n", kind, a.Thing, a.Peripheral.ID)
+	})
+
+	// Plug one peripheral per Thing, round robin over the standard set.
+	for i, th := range things {
+		var err error
+		switch i % 4 {
+		case 0:
+			err = d.PlugTMP36(th, 0)
+		case 1:
+			err = d.PlugHIH4030(th, 0)
+		case 2:
+			err = d.PlugBMP180(th, 0)
+		case 3:
+			_, err = d.PlugRFID(th, 0)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[plug] %s into %s (%v)\n", kinds[i%4], th.Addr(), d.Network.Now())
+	}
+	d.Run()
+
+	for _, th := range things {
+		for _, tr := range th.Traces() {
+			fmt.Printf("[trace] %v ch%d: identify=%v energy=%.3gmJ network=%v total=%v\n",
+				tr.DeviceID, tr.Channel, tr.Identification.Round(0),
+				float64(tr.Energy)*1e3, tr.NetworkTotal.Round(0), tr.Total.Round(0))
+		}
+	}
+	fmt.Printf("[manager] served %d driver uploads\n", d.Manager.Uploads())
+
+	// Discovery sweep.
+	fmt.Println("[client] discovering all peripherals...")
+	cl.Discover(hw.DeviceIDAllPeripherals)
+	d.Run()
+
+	// Read every discovered temperature sensor.
+	for _, addr := range cl.Things(driver.IDTMP36) {
+		a := addr
+		cl.Read(a, driver.IDTMP36, func(v []int32) {
+			if len(v) == 1 {
+				fmt.Printf("  [client] %v TMP36 reads %.1f °C\n", a, float64(v[0])/10)
+			}
+		})
+	}
+	d.Run()
+
+	// Churn: unplug and replug channel 0 of the first Thing.
+	for k := 0; k < churn && len(things) > 0; k++ {
+		th := things[0]
+		fmt.Printf("[churn %d] unplug + replug on %v\n", k+1, th.Addr())
+		if err := th.Unplug(0); err != nil {
+			return err
+		}
+		d.Run()
+		if err := d.PlugTMP36(th, 0); err != nil {
+			return err
+		}
+		d.Run()
+	}
+	st := d.Network.Stats()
+	fmt.Printf("network: %d unicast, %d multicast, %d transmissions, %d delivered, %d lost (virtual time %v)\n",
+		st.UnicastSent, st.MulticastSent, st.Transmissions, st.Delivered, st.Lost,
+		d.Network.Now().Round(0))
+	_ = netsim.Port6030
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command upnpc is the µPnP driver compiler: it translates driver source in
+// the µPnP DSL (Section 4.1) into the compact bytecode distributed over the
+// air to µPnP Things.
+//
+// Usage:
+//
+//	upnpc -id 0xad1cbe01 [-o driver.upbc] [-S] [-sloc] driver.updsl
+//
+// Flags:
+//
+//	-id    device-type identifier the driver claims (required)
+//	-o     output file (default: input with .upbc extension)
+//	-S     print the disassembly instead of writing the binary
+//	-sloc  print the source-lines-of-code count (Table 3 metric)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"micropnp/internal/bytecode"
+	"micropnp/internal/dsl"
+)
+
+func main() {
+	idFlag := flag.String("id", "", "device-type identifier, e.g. 0xad1cbe01")
+	out := flag.String("o", "", "output file (default: <input>.upbc)")
+	disasm := flag.Bool("S", false, "print disassembly instead of writing the binary")
+	sloc := flag.Bool("sloc", false, "print the SLoC count of the source")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: upnpc -id 0x<device-id> [-o out.upbc] [-S] driver.updsl")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		fatal(err)
+	}
+	if *sloc {
+		fmt.Printf("%s: %d SLoC\n", input, dsl.SLoC(string(src)))
+	}
+	if *idFlag == "" {
+		fatal(fmt.Errorf("the -id flag is required (the claimed device type)"))
+	}
+	id, err := strconv.ParseUint(strings.TrimPrefix(*idFlag, "0x"), 16, 32)
+	if err != nil {
+		fatal(fmt.Errorf("bad device id %q: %w", *idFlag, err))
+	}
+
+	prog, err := dsl.Compile(string(src), uint32(id))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(bytecode.DisassembleProgram(prog))
+		return
+	}
+	code, err := prog.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	dest := *out
+	if dest == "" {
+		dest = strings.TrimSuffix(input, ".updsl") + ".upbc"
+	}
+	if err := os.WriteFile(dest, code, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes -> %s\n", input, len(code), dest)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "upnpc:", err)
+	os.Exit(1)
+}

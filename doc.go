@@ -1,0 +1,26 @@
+// Package micropnp is a from-scratch Go reproduction of "µPnP: Plug and Play
+// Peripherals for the Internet of Things" (Yang et al., EuroSys 2015): a
+// hardware/software system for plug-and-play integration of third-party
+// peripherals with resource-constrained IoT devices.
+//
+// The implementation lives under internal/:
+//
+//   - hw        — multivibrator-based peripheral identification (Section 3)
+//   - energy    — the one-year energy model behind Figure 12 (Section 6.1)
+//   - bus       — simulated interconnects (ADC/I²C/SPI/UART) + the four
+//     datasheet-faithful evaluation peripherals
+//   - dsl       — the driver language: lexer, parser, checker, compiler
+//     (Section 4.1)
+//   - bytecode  — the compact 8-bit stack ISA drivers compile to
+//   - vm        — the execution environment: interpreter, event router,
+//     native interconnect libraries (Section 4.2)
+//   - netsim    — discrete-event IPv6/RPL/SMRF network simulator
+//   - proto     — the µPnP interaction protocol (Section 5.2)
+//   - driver    — driver repository and the standard driver set
+//   - thing, client, manager — the three network entities (Section 5)
+//   - core      — the Deployment façade gluing everything together
+//   - experiments — regenerates every table and figure of Section 6
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured comparison.
+package micropnp

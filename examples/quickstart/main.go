@@ -1,0 +1,61 @@
+// Quickstart: the smallest possible µPnP session.
+//
+// One Thing, one client, one TMP36 temperature sensor. Plugging the sensor
+// triggers the whole plug-and-play pipeline of the paper: the control board
+// identifies the peripheral from its resistor-encoded pulse train, the Thing
+// fetches the driver over the air from the manager, joins the peripheral's
+// multicast group and advertises it — after which the client reads the
+// temperature remotely.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micropnp/internal/core"
+	"micropnp/internal/driver"
+)
+
+func main() {
+	// A deployment bundles the simulated IPv6 network, a µPnP manager
+	// preloaded with the standard drivers, and a shared physical
+	// environment for the sensors.
+	d, err := core.NewDeployment(core.DeploymentConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Env.Set(22.5, 45, 101_325) // 22.5 °C, 45 %RH, 1013.25 hPa
+
+	th, err := d.AddThing("kitchen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plug the TMP36 into channel 0 and let the network run.
+	if err := d.PlugTMP36(th, 0); err != nil {
+		log.Fatal(err)
+	}
+	d.Run()
+
+	tr := th.Traces()[0]
+	fmt.Printf("peripheral %v identified in %v (%.3g mJ)\n",
+		tr.DeviceID, tr.Identification.Round(0), float64(tr.Energy)*1e3)
+	fmt.Printf("driver installed over the air; plug-and-play total: %v\n", tr.Total.Round(0))
+
+	// The client saw the unsolicited advertisement...
+	for _, a := range cl.Adverts() {
+		fmt.Printf("client: %v advertises peripheral %v\n", a.Thing, a.Peripheral.ID)
+	}
+
+	// ...and can read the sensor remotely.
+	cl.Read(th.Addr(), driver.IDTMP36, func(v []int32) {
+		fmt.Printf("client: kitchen temperature is %.1f °C\n", float64(v[0])/10)
+	})
+	d.Run()
+}

@@ -1,0 +1,78 @@
+// RFID access control: the Listing 1 scenario as an application.
+//
+// An ID-20LA RFID card reader is plugged into a door-side Thing. A client
+// implements a tiny access-control list: it requests reads, cards are
+// presented to the reader, and each returned card identifier is checked
+// against the whitelist. The driver running on the Thing is the paper's
+// Listing 1 driver, compiled from the DSL and interpreted by the stack VM.
+//
+// Run with: go run ./examples/rfid-access-control
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"micropnp/internal/core"
+	"micropnp/internal/driver"
+)
+
+var whitelist = map[string]string{
+	"0415AB96C3": "alice",
+	"04A1B2C3D4": "bob",
+}
+
+func main() {
+	d, err := core.NewDeployment(core.DeploymentConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	door, err := d.AddThing("front-door")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reader, err := d.PlugRFID(door, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Run() // identification + OTA driver install + advertisement
+
+	fmt.Printf("reader %v online at %v\n", driver.IDID20LA, door.Addr())
+
+	// Swipe a few cards. For each: the client issues a read, the card
+	// appears at the reader, and the driver returns the 12-character frame
+	// (10 ID characters + 2 checksum characters).
+	cards := []string{"0415AB96C3", "DEADBEEF00", "04A1B2C3D4"}
+	for _, card := range cards {
+		var got []int32
+		cl.Read(door.Addr(), driver.IDID20LA, func(v []int32) { got = v })
+		// The read request travels client -> manager -> Thing (two hops in
+		// the tree); give it time to arrive and arm the UART.
+		d.RunFor(100 * time.Millisecond)
+
+		if err := reader.PresentCard(card); err != nil {
+			log.Fatal(err)
+		}
+		d.RunFor(200 * time.Millisecond) // bytes arrive, reply travels back
+
+		if len(got) != 12 {
+			fmt.Printf("card %s: no read (%v)\n", card, got)
+			continue
+		}
+		id := make([]byte, 10)
+		for i := range id {
+			id[i] = byte(got[i])
+		}
+		if who, ok := whitelist[string(id)]; ok {
+			fmt.Printf("card %s: ACCESS GRANTED (%s)\n", id, who)
+		} else {
+			fmt.Printf("card %s: access denied\n", id)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Smart lab: actuators, accelerometers and the Section 9 extensions.
+//
+// Two zoned Things — a vibration monitor with an ADXL345 accelerometer
+// (SPI) in the machine room, and a relay panel (I²C) in the electrical
+// cabinet. A client discovers the accelerometer by *device class* (no
+// vendor knowledge needed), polls it, and trips the ventilation relays when
+// vibration exceeds a threshold — exercising the write operation against
+// real (simulated) actuator hardware.
+//
+// Run with: go run ./examples/smart-lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"micropnp/internal/client"
+	"micropnp/internal/core"
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+)
+
+const (
+	zoneMachineRoom = 1
+	zoneCabinet     = 2
+)
+
+func main() {
+	d, err := core.NewDeployment(core.DeploymentConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor, err := d.AddZonedThing("vibration-monitor", zoneMachineRoom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	panel, err := d.AddZonedThing("relay-panel", zoneCabinet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := d.PlugADXL345(monitor, 0); err != nil {
+		log.Fatal(err)
+	}
+	relays, err := d.PlugRelay(panel, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Run()
+
+	// Discover any accelerometer by device class (§9 hierarchical typing):
+	// the client needs no vendor or product knowledge.
+	cl.DiscoverClass(hw.ClassAccelerometer)
+	d.Run()
+	var accelThing *client.Advert
+	for _, a := range cl.Adverts() {
+		if a.Solicited && a.Peripheral.ID.Structured().Class == hw.ClassAccelerometer {
+			accelThing = &a
+			break
+		}
+	}
+	if accelThing == nil {
+		log.Fatal("no accelerometer discovered")
+	}
+	fmt.Printf("found accelerometer %v (%s) on %v\n",
+		accelThing.Peripheral.ID, accelThing.Peripheral.ID.Structured(), accelThing.Thing)
+
+	// Poll vibration over a few machine states and actuate the relays.
+	scenarios := []struct {
+		label   string
+		x, y, z float64
+	}{
+		{"machine off", 0.00, 0.00, 1.00},
+		{"machine running", 0.05, 0.03, 1.02},
+		{"bearing failure!", 0.60, 0.45, 1.30},
+	}
+	const thresholdMilliG = 200.0
+	for _, sc := range scenarios {
+		d.Env.SetAcceleration(sc.x, sc.y, sc.z)
+
+		var axes []int32
+		cl.Read(accelThing.Thing, accelThing.Peripheral.ID, func(v []int32) { axes = v })
+		d.Run()
+		if len(axes) != 3 {
+			log.Fatalf("accelerometer read failed: %v", axes)
+		}
+		// Vibration magnitude relative to 1 g of gravity, in mg.
+		mag := math.Sqrt(float64(axes[0])*float64(axes[0])+
+			float64(axes[1])*float64(axes[1])+
+			float64(axes[2])*float64(axes[2])) - 1000
+		fmt.Printf("%-18s accel = [%5d %5d %5d] mg, vibration %.0f mg\n",
+			sc.label, axes[0], axes[1], axes[2], mag)
+
+		want := int32(0b0000_0000)
+		if mag > thresholdMilliG {
+			want = 0b0000_1111 // all four ventilation relays on
+		}
+		cl.Write(panel.Addr(), driver.IDRelay, []int32{want}, nil)
+		d.Run()
+		fmt.Printf("%-18s relay outputs now %08b\n", "", relays.State())
+	}
+}

@@ -1,0 +1,90 @@
+// Weather station: three heterogeneous sensors on one Thing.
+//
+// A TMP36 (ADC), an HIH-4030 humidity sensor (ADC) and a BMP180 barometer
+// (I²C) share one µPnP control board — exactly the kind of multi-peripheral
+// customisation the paper's introduction motivates. The client discovers
+// all three by type, reads them together, then subscribes to a pressure
+// stream while the weather changes.
+//
+// Run with: go run ./examples/weather-station
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"micropnp/internal/core"
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+)
+
+func main() {
+	d, err := core.NewDeployment(core.DeploymentConfig{StreamPeriod: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	station, err := d.AddThing("rooftop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Morning conditions.
+	d.Env.Set(14.5, 72, 100_400)
+
+	// All three sensors share the board's three channels.
+	if err := d.PlugTMP36(station, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.PlugHIH4030(station, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.PlugBMP180(station, 2); err != nil {
+		log.Fatal(err)
+	}
+	d.Run()
+
+	fmt.Println("discovering every peripheral type on the network...")
+	cl.Discover(hw.DeviceIDAllPeripherals)
+	d.Run()
+	for _, a := range cl.Adverts() {
+		if a.Solicited {
+			fmt.Printf("  found %v on %v\n", a.Peripheral.ID, a.Thing)
+		}
+	}
+
+	read := func(id hw.DeviceID, label string, format func([]int32) string) {
+		cl.Read(station.Addr(), id, func(v []int32) {
+			fmt.Printf("  %-10s %s\n", label+":", format(v))
+		})
+	}
+	fmt.Println("morning readings:")
+	read(driver.IDTMP36, "temp", func(v []int32) string { return fmt.Sprintf("%.1f °C", float64(v[0])/10) })
+	read(driver.IDHIH4030, "humidity", func(v []int32) string { return fmt.Sprintf("%.1f %%RH", float64(v[0])/10) })
+	read(driver.IDBMP180, "pressure", func(v []int32) string {
+		return fmt.Sprintf("%.1f °C / %.2f hPa", float64(v[0])/10, float64(v[1])/100)
+	})
+	d.Run()
+
+	// Subscribe to the pressure stream, then let a front roll in.
+	fmt.Println("streaming pressure while a front approaches:")
+	tick := 0
+	cl.Stream(station.Addr(), driver.IDBMP180, func(v []int32) {
+		tick++
+		fmt.Printf("  t+%02ds  %.2f hPa\n", tick*10, float64(v[1])/100)
+	}, func() {
+		fmt.Println("  stream closed by the station")
+	})
+	for i := 0; i < 3; i++ {
+		d.RunFor(10 * time.Second)
+		_, _, p := d.Env.Snapshot()
+		d.Env.Set(14.0, 75, p-250) // pressure falling
+	}
+	d.RunFor(2 * time.Second) // catch the tick at the loop boundary
+	station.StopStream(driver.IDBMP180)
+	d.Run()
+}

@@ -1,0 +1,152 @@
+package bus
+
+import "sync"
+
+// ADXL345 models the Analog Devices ADXL345 3-axis accelerometer in its
+// 4-wire SPI configuration — an extension peripheral demonstrating the SPI
+// path of the µPnP bus (the paper's intro names accelerometers among the
+// motivating peripherals).
+//
+// The model implements the datasheet's SPI framing: the first byte of a
+// transfer carries the register address in bits 5:0, the read flag in bit 7
+// and the multibyte flag in bit 6; subsequent bytes clock data. Registers:
+//
+//	0x00      DEVID (reads 0xE5)
+//	0x2D      POWER_CTL (bit 3 = measure)
+//	0x31      DATA_FORMAT (range bits; the model fixes ±2 g)
+//	0x32-0x37 DATAX0..DATAZ1, little-endian int16 per axis, 3.9 mg/LSB
+type ADXL345 struct {
+	Env *Environment
+
+	mu      sync.Mutex
+	measure bool
+	regs    map[byte]byte
+}
+
+// ADXL345 register addresses and constants.
+const (
+	ADXLRegDevID      = 0x00
+	ADXLRegPowerCtl   = 0x2D
+	ADXLRegDataFormat = 0x31
+	ADXLRegDataX0     = 0x32
+
+	ADXLDevID      = 0xE5
+	ADXLMeasureBit = 0x08
+
+	adxlReadFlag  = 0x80
+	adxlMultiFlag = 0x40
+
+	// ADXLScaleMilliG is the ±2 g full-resolution scale factor.
+	ADXLScaleMilliG = 3.9
+)
+
+// NewADXL345 builds an accelerometer observing env.
+func NewADXL345(env *Environment) *ADXL345 {
+	return &ADXL345{Env: env, regs: map[byte]byte{}}
+}
+
+// Transfer implements SPIDevice.
+func (d *ADXL345) Transfer(out []byte) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	in := make([]byte, len(out))
+	if len(out) == 0 {
+		return in
+	}
+	cmd := out[0]
+	reg := cmd & 0x3f
+	read := cmd&adxlReadFlag != 0
+	multi := cmd&adxlMultiFlag != 0
+	for i := 1; i < len(out); i++ {
+		if read {
+			in[i] = d.readReg(reg)
+		} else {
+			d.writeReg(reg, out[i])
+		}
+		if multi {
+			reg++
+		}
+	}
+	return in
+}
+
+func (d *ADXL345) writeReg(reg, v byte) {
+	switch reg {
+	case ADXLRegPowerCtl:
+		d.measure = v&ADXLMeasureBit != 0
+		d.regs[reg] = v
+	case ADXLRegDataFormat:
+		d.regs[reg] = v
+	}
+}
+
+func (d *ADXL345) readReg(reg byte) byte {
+	switch {
+	case reg == ADXLRegDevID:
+		return ADXLDevID
+	case reg >= ADXLRegDataX0 && reg <= ADXLRegDataX0+5:
+		if !d.measure {
+			return 0 // standby: data registers read zero
+		}
+		ax, ay, az := d.Env.Acceleration()
+		counts := [3]int16{
+			int16(ax * 1000 / ADXLScaleMilliG),
+			int16(ay * 1000 / ADXLScaleMilliG),
+			int16(az * 1000 / ADXLScaleMilliG),
+		}
+		idx := reg - ADXLRegDataX0
+		v := counts[idx/2]
+		if idx%2 == 0 {
+			return byte(v) // low byte first (little-endian)
+		}
+		return byte(uint16(v) >> 8)
+	default:
+		return d.regs[reg]
+	}
+}
+
+// PCF8574Relay models a relay bank behind a PCF8574 I²C port expander — the
+// classic way to hang actuators off a two-wire bus. Writing a byte sets the
+// eight relay outputs; reading returns the current state. Address 0x20.
+type PCF8574Relay struct {
+	mu    sync.Mutex
+	state byte
+}
+
+// PCF8574Addr is the expander's I²C address (A0..A2 grounded).
+const PCF8574Addr = 0x20
+
+// I2CAddr implements I2CDevice.
+func (r *PCF8574Relay) I2CAddr() byte { return PCF8574Addr }
+
+// WriteReg implements I2CDevice. The PCF8574 has no register file: any
+// write sets the port; the register byte is treated as the data when no
+// payload follows (plain byte write) to match common driver idioms.
+func (r *PCF8574Relay) WriteReg(reg byte, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(data) == 0 {
+		r.state = reg
+		return nil
+	}
+	r.state = data[len(data)-1]
+	return nil
+}
+
+// ReadReg implements I2CDevice: returns the port state.
+func (r *PCF8574Relay) ReadReg(reg byte, n int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = r.state
+	}
+	return out, nil
+}
+
+// State returns the relay outputs (bit i = relay i energised).
+func (r *PCF8574Relay) State() byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}

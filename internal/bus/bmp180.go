@@ -1,0 +1,264 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BMP180 models the Bosch BMP180 digital barometric pressure sensor — the
+// I²C peripheral of the evaluation (Section 6). The model implements the
+// genuine datasheet register interface:
+//
+//   - 7-bit address 0x77,
+//   - calibration EEPROM (11 coefficients AC1..MD) at registers 0xAA..0xBF,
+//   - chip-id register 0xD0 (reads 0x55),
+//   - control register 0xF4: write 0x2E to start a temperature conversion,
+//     0x34 | oss<<6 to start a pressure conversion,
+//   - result registers 0xF6..0xF8 (MSB, LSB, XLSB).
+//
+// Raw conversion values are produced by numerically inverting the datasheet
+// compensation algorithm against the simulated Environment, so a driver
+// running the real BMP180 math recovers the simulated temperature and
+// pressure.
+type BMP180 struct {
+	Env *Environment
+
+	mu      sync.Mutex
+	calib   BMP180Calibration
+	ctrl    byte
+	result  [3]byte
+	pending bool
+}
+
+// BMP180Addr is the fixed I²C slave address.
+const BMP180Addr = 0x77
+
+// BMP180ChipID is the value of register 0xD0.
+const BMP180ChipID = 0x55
+
+// BMP180 register map (datasheet table 5).
+const (
+	BMP180RegCalib  = 0xAA
+	BMP180RegChipID = 0xD0
+	BMP180RegCtrl   = 0xF4
+	BMP180RegOutMSB = 0xF6
+
+	BMP180CmdTemp     = 0x2E
+	BMP180CmdPressure = 0x34
+)
+
+// BMP180Calibration holds the 11 per-device coefficients from the
+// calibration EEPROM.
+type BMP180Calibration struct {
+	AC1, AC2, AC3 int16
+	AC4, AC5, AC6 uint16
+	B1, B2        int16
+	MB, MC, MD    int16
+}
+
+// DatasheetCalibration is the worked example from the BMP180 datasheet
+// (section 3.5), used as the default for simulated devices so that the
+// arithmetic can be verified against the published example.
+var DatasheetCalibration = BMP180Calibration{
+	AC1: 408, AC2: -72, AC3: -14383,
+	AC4: 32741, AC5: 32757, AC6: 23153,
+	B1: 6190, B2: 4,
+	MB: -32768, MC: -8711, MD: 2868,
+}
+
+// NewBMP180 builds a sensor observing env with the datasheet example
+// calibration.
+func NewBMP180(env *Environment) *BMP180 {
+	return &BMP180{Env: env, calib: DatasheetCalibration}
+}
+
+// Calibration returns the device's coefficient set.
+func (d *BMP180) Calibration() BMP180Calibration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calib
+}
+
+// I2CAddr implements I2CDevice.
+func (d *BMP180) I2CAddr() byte { return BMP180Addr }
+
+// WriteReg implements I2CDevice. Only the control register is writable.
+func (d *BMP180) WriteReg(reg byte, data []byte) error {
+	if reg != BMP180RegCtrl || len(data) != 1 {
+		return fmt.Errorf("bus: BMP180 write to unsupported register 0x%02x", reg)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ctrl = data[0]
+	switch {
+	case d.ctrl == BMP180CmdTemp:
+		ut := d.rawTemperature()
+		d.result = [3]byte{byte(ut >> 8), byte(ut), 0}
+		d.pending = true
+	case d.ctrl&0x3f == BMP180CmdPressure:
+		oss := uint((d.ctrl >> 6) & 0x3)
+		up := d.rawPressure(oss)
+		shifted := up << (8 - oss)
+		d.result = [3]byte{byte(shifted >> 16), byte(shifted >> 8), byte(shifted)}
+		d.pending = true
+	default:
+		return fmt.Errorf("bus: BMP180 unknown control command 0x%02x", d.ctrl)
+	}
+	return nil
+}
+
+// ReadReg implements I2CDevice.
+func (d *BMP180) ReadReg(reg byte, n int) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case reg == BMP180RegChipID && n >= 1:
+		return []byte{BMP180ChipID}, nil
+	case reg >= BMP180RegCalib && int(reg)+n <= BMP180RegCalib+22:
+		buf := d.calibBytes()
+		off := int(reg - BMP180RegCalib)
+		return buf[off : off+n], nil
+	case reg >= BMP180RegOutMSB && int(reg)+n <= BMP180RegOutMSB+3:
+		if !d.pending {
+			return nil, fmt.Errorf("bus: BMP180 read with no conversion started")
+		}
+		off := int(reg - BMP180RegOutMSB)
+		return d.result[off : off+n], nil
+	default:
+		return nil, fmt.Errorf("bus: BMP180 read of unsupported register 0x%02x len %d", reg, n)
+	}
+}
+
+func (d *BMP180) calibBytes() []byte {
+	c := d.calib
+	vals := []uint16{
+		uint16(c.AC1), uint16(c.AC2), uint16(c.AC3),
+		c.AC4, c.AC5, c.AC6,
+		uint16(c.B1), uint16(c.B2),
+		uint16(c.MB), uint16(c.MC), uint16(c.MD),
+	}
+	buf := make([]byte, 0, 22)
+	for _, v := range vals {
+		buf = append(buf, byte(v>>8), byte(v))
+	}
+	return buf
+}
+
+// rawTemperature inverts the compensation formula: find UT whose compensated
+// temperature matches the environment. Monotone in UT, so binary search.
+func (d *BMP180) rawTemperature() uint16 {
+	tempC, _, _ := d.Env.Snapshot()
+	target := int32(tempC * 10) // compensated output is in 0.1 °C
+	lo, hi := uint16(0), uint16(0xffff)
+	for lo < hi {
+		mid := uint16((uint32(lo) + uint32(hi)) / 2)
+		t, _ := BMP180Compensate(mid, 0, 0, d.calib)
+		if t < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// rawPressure finds UP whose compensated pressure matches the environment at
+// the current temperature. Monotone in UP, so binary search.
+func (d *BMP180) rawPressure(oss uint) uint32 {
+	tempC, _, pa := d.Env.Snapshot()
+	_ = tempC
+	ut := d.rawTemperature()
+	target := int64(pa)
+	lo, hi := uint32(0), uint32(1)<<(16+oss)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		p := compensatePressureSigned(ut, mid, oss, d.calib)
+		if p < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// compensatePressureSigned mirrors the datasheet pressure math but keeps B7
+// signed, so that UP values below B3 (which would underflow the uint32
+// algorithm) sort as very low pressures. This keeps the function monotone in
+// UP across the whole search range.
+func compensatePressureSigned(ut uint16, up uint32, oss uint, c BMP180Calibration) int64 {
+	x1 := (int32(ut) - int32(c.AC6)) * int32(c.AC5) >> 15
+	x2 := int32(c.MC) << 11 / (x1 + int32(c.MD))
+	b5 := x1 + x2
+	b6 := b5 - 4000
+	x1 = (int32(c.B2) * (b6 * b6 >> 12)) >> 11
+	x2 = int32(c.AC2) * b6 >> 11
+	x3 := x1 + x2
+	b3 := (((int32(c.AC1)*4 + x3) << oss) + 2) / 4
+	x1 = int32(c.AC3) * b6 >> 13
+	x2 = (int32(c.B1) * (b6 * b6 >> 12)) >> 16
+	x3 = ((x1 + x2) + 2) >> 2
+	b4 := uint32(c.AC4) * uint32(x3+32768) >> 15
+	b7 := (int64(up) - int64(b3)) * int64(50000>>oss)
+	var p int64
+	if b7 < 0x80000000 && b7 > -0x80000000 {
+		p = b7 * 2 / int64(b4)
+	} else {
+		p = b7 / int64(b4) * 2
+	}
+	x1 = int32((p >> 8) * (p >> 8))
+	x1 = (x1 * 3038) >> 16
+	x2 = int32((-7357 * p) >> 16)
+	return p + int64((x1+x2+3791)>>4)
+}
+
+// BMP180Compensate runs the exact integer compensation algorithm from the
+// datasheet (figure 4): given raw readings UT and UP it returns the true
+// temperature in 0.1 °C and the true pressure in Pa. This is the math a
+// BMP180 driver must implement.
+func BMP180Compensate(ut uint16, up uint32, oss uint, c BMP180Calibration) (temp01C, pressurePa int32) {
+	x1 := (int32(ut) - int32(c.AC6)) * int32(c.AC5) >> 15
+	x2 := int32(c.MC) << 11 / (x1 + int32(c.MD))
+	b5 := x1 + x2
+	temp01C = (b5 + 8) >> 4
+
+	b6 := b5 - 4000
+	x1 = (int32(c.B2) * (b6 * b6 >> 12)) >> 11
+	x2 = int32(c.AC2) * b6 >> 11
+	x3 := x1 + x2
+	b3 := (((int32(c.AC1)*4 + x3) << oss) + 2) / 4
+	x1 = int32(c.AC3) * b6 >> 13
+	x2 = (int32(c.B1) * (b6 * b6 >> 12)) >> 16
+	x3 = ((x1 + x2) + 2) >> 2
+	b4 := uint32(c.AC4) * uint32(x3+32768) >> 15
+	b7 := (up - uint32(b3)) * (50000 >> oss)
+	var p int32
+	if b7 < 0x80000000 {
+		p = int32(b7 * 2 / b4)
+	} else {
+		p = int32(b7/b4) * 2
+	}
+	x1 = (p >> 8) * (p >> 8)
+	x1 = (x1 * 3038) >> 16
+	x2 = (-7357 * p) >> 16
+	pressurePa = p + (x1+x2+3791)>>4
+	return temp01C, pressurePa
+}
+
+// BMP180ConversionTime returns the datasheet maximum conversion time for a
+// measurement, used by drivers to schedule their split-phase reads.
+func BMP180ConversionTime(cmd byte) (ms int) {
+	if cmd == BMP180CmdTemp {
+		return 5 // 4.5 ms max
+	}
+	switch (cmd >> 6) & 0x3 {
+	case 0:
+		return 5 // ultra low power: 4.5 ms
+	case 1:
+		return 8 // standard: 7.5 ms
+	case 2:
+		return 14 // high resolution: 13.5 ms
+	default:
+		return 26 // ultra high resolution: 25.5 ms
+	}
+}

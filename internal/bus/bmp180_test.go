@@ -1,0 +1,157 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestBMP180DatasheetExample verifies the compensation algorithm against the
+// worked example in the Bosch datasheet (section 3.5): UT=27898, UP=23843,
+// oss=0 with the example calibration must yield T=15.0 °C and p=69964 Pa.
+func TestBMP180DatasheetExample(t *testing.T) {
+	temp, press := BMP180Compensate(27898, 23843, 0, DatasheetCalibration)
+	if temp != 150 {
+		t.Errorf("temperature = %d (0.1 °C), want 150", temp)
+	}
+	if press != 69964 {
+		t.Errorf("pressure = %d Pa, want 69964", press)
+	}
+}
+
+func TestBMP180DeviceRoundTrip(t *testing.T) {
+	env := NewEnvironment()
+	env.Set(21.5, 40, 98_700)
+	dev := NewBMP180(env)
+	b := NewI2C()
+	if err := b.Attach(dev); err != nil {
+		t.Fatal(err)
+	}
+
+	// Temperature conversion, exactly as a driver would do it.
+	if err := b.Write(BMP180Addr, BMP180RegCtrl, []byte{BMP180CmdTemp}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := b.Read(BMP180Addr, BMP180RegOutMSB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut := uint16(raw[0])<<8 | uint16(raw[1])
+
+	// Pressure conversion at oss=0.
+	if err := b.Write(BMP180Addr, BMP180RegCtrl, []byte{BMP180CmdPressure}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = b.Read(BMP180Addr, BMP180RegOutMSB, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := (uint32(raw[0])<<16 | uint32(raw[1])<<8 | uint32(raw[2])) >> 8
+
+	temp, press := BMP180Compensate(ut, up, 0, dev.Calibration())
+	if math.Abs(float64(temp)-215) > 1 {
+		t.Errorf("temperature = %d (0.1 °C), want ~215", temp)
+	}
+	if math.Abs(float64(press)-98_700) > 5 {
+		t.Errorf("pressure = %d Pa, want ~98700", press)
+	}
+}
+
+func TestBMP180AllOversamplingModes(t *testing.T) {
+	env := NewEnvironment()
+	env.Set(25, 40, 101_325)
+	dev := NewBMP180(env)
+	for oss := uint(0); oss <= 3; oss++ {
+		cmd := byte(BMP180CmdPressure | oss<<6)
+		if err := dev.WriteReg(BMP180RegCtrl, []byte{cmd}); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := dev.ReadReg(BMP180RegOutMSB, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up := (uint32(raw[0])<<16 | uint32(raw[1])<<8 | uint32(raw[2])) >> (8 - oss)
+
+		if err := dev.WriteReg(BMP180RegCtrl, []byte{BMP180CmdTemp}); err != nil {
+			t.Fatal(err)
+		}
+		rawT, err := dev.ReadReg(BMP180RegOutMSB, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ut := uint16(rawT[0])<<8 | uint16(rawT[1])
+
+		_, press := BMP180Compensate(ut, up, oss, dev.Calibration())
+		if math.Abs(float64(press)-101_325) > 8 {
+			t.Errorf("oss=%d: pressure = %d Pa, want ~101325", oss, press)
+		}
+		if BMP180ConversionTime(cmd) <= 0 {
+			t.Errorf("oss=%d: conversion time must be positive", oss)
+		}
+	}
+}
+
+func TestBMP180RoundTripProperty(t *testing.T) {
+	env := NewEnvironment()
+	dev := NewBMP180(env)
+	f := func(tRaw, pRaw uint16) bool {
+		tempC := -20 + float64(tRaw%700)/10 // −20 … 49.9 °C
+		pa := 87_000 + float64(pRaw%2_1000) // 87 kPa … 108 kPa
+		env.Set(tempC, 40, pa)
+
+		if err := dev.WriteReg(BMP180RegCtrl, []byte{BMP180CmdTemp}); err != nil {
+			return false
+		}
+		raw, err := dev.ReadReg(BMP180RegOutMSB, 2)
+		if err != nil {
+			return false
+		}
+		ut := uint16(raw[0])<<8 | uint16(raw[1])
+		if err := dev.WriteReg(BMP180RegCtrl, []byte{BMP180CmdPressure}); err != nil {
+			return false
+		}
+		raw, err = dev.ReadReg(BMP180RegOutMSB, 3)
+		if err != nil {
+			return false
+		}
+		up := (uint32(raw[0])<<16 | uint32(raw[1])<<8 | uint32(raw[2])) >> 8
+
+		temp, press := BMP180Compensate(ut, up, 0, dev.Calibration())
+		return math.Abs(float64(temp)-tempC*10) <= 2 && math.Abs(float64(press)-pa) <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBMP180CalibrationReadout(t *testing.T) {
+	dev := NewBMP180(NewEnvironment())
+	raw, err := dev.ReadReg(BMP180RegCalib, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac1 := int16(uint16(raw[0])<<8 | uint16(raw[1]))
+	if ac1 != DatasheetCalibration.AC1 {
+		t.Errorf("AC1 = %d, want %d", ac1, DatasheetCalibration.AC1)
+	}
+	md := int16(uint16(raw[20])<<8 | uint16(raw[21]))
+	if md != DatasheetCalibration.MD {
+		t.Errorf("MD = %d, want %d", md, DatasheetCalibration.MD)
+	}
+}
+
+func TestBMP180ErrorPaths(t *testing.T) {
+	dev := NewBMP180(NewEnvironment())
+	if _, err := dev.ReadReg(BMP180RegOutMSB, 2); err == nil {
+		t.Error("reading results before a conversion must fail")
+	}
+	if err := dev.WriteReg(0x00, []byte{1}); err == nil {
+		t.Error("writing a read-only register must fail")
+	}
+	if err := dev.WriteReg(BMP180RegCtrl, []byte{0x77}); err == nil {
+		t.Error("unknown control command must fail")
+	}
+	if _, err := dev.ReadReg(0x10, 1); err == nil {
+		t.Error("reading an unmapped register must fail")
+	}
+}

@@ -1,0 +1,355 @@
+// Package bus simulates the hardware interconnects the µPnP bus encapsulates
+// (ADC, I²C, SPI, UART) together with behavioural models of the four
+// evaluation peripherals from Section 6: the TMP36 analog temperature sensor,
+// the HIH-4030 analog humidity sensor, the ID-20LA UART RFID card reader and
+// the BMP180 I²C barometric pressure sensor.
+//
+// The device models are written against the manufacturers' datasheets — the
+// same documents the paper's drivers were written against — so that µPnP
+// drivers exercise the genuine register- and byte-level interfaces.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Environment is the simulated physical world the sensors observe. A single
+// Environment can be shared by many sensors.
+type Environment struct {
+	mu sync.Mutex
+	// TemperatureC is ambient temperature in degrees Celsius.
+	TemperatureC float64
+	// HumidityRH is relative humidity in percent (0–100).
+	HumidityRH float64
+	// PressurePa is barometric pressure in pascal.
+	PressurePa float64
+	// AccelX/Y/Z is the acceleration vector in g.
+	AccelX, AccelY, AccelZ float64
+}
+
+// NewEnvironment returns a temperate default: 25 °C, 40 %RH, 101325 Pa,
+// 1 g of gravity on the Z axis.
+func NewEnvironment() *Environment {
+	return &Environment{TemperatureC: 25, HumidityRH: 40, PressurePa: 101_325, AccelZ: 1}
+}
+
+// SetAcceleration updates the acceleration vector (in g).
+func (e *Environment) SetAcceleration(x, y, z float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.AccelX, e.AccelY, e.AccelZ = x, y, z
+}
+
+// Acceleration returns the current acceleration vector (in g).
+func (e *Environment) Acceleration() (x, y, z float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.AccelX, e.AccelY, e.AccelZ
+}
+
+// Set atomically updates the environment.
+func (e *Environment) Set(tempC, humidityRH, pressurePa float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.TemperatureC, e.HumidityRH, e.PressurePa = tempC, humidityRH, pressurePa
+}
+
+// Snapshot returns the current conditions.
+func (e *Environment) Snapshot() (tempC, humidityRH, pressurePa float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.TemperatureC, e.HumidityRH, e.PressurePa
+}
+
+// ---------------------------------------------------------------------------
+// ADC
+
+// AnalogSource is the sensor side of an analog channel: anything that
+// produces an output voltage.
+type AnalogSource interface {
+	// Voltage returns the instantaneous output voltage in volts.
+	Voltage() float64
+}
+
+// ADC models a successive-approximation converter like the one on the
+// ATMega128RFA1: a reference voltage and a resolution in bits.
+type ADC struct {
+	// Ref is the reference voltage (full-scale), default 3.3 V.
+	Ref float64
+	// Bits is the resolution, default 10 (AVR).
+	Bits uint
+
+	mu     sync.Mutex
+	source AnalogSource
+}
+
+// NewADC builds an ADC with the AVR defaults (3.3 V reference, 10 bits).
+func NewADC() *ADC { return &ADC{Ref: 3.3, Bits: 10} }
+
+// Connect attaches an analog source to the channel (nil disconnects).
+func (a *ADC) Connect(src AnalogSource) {
+	a.mu.Lock()
+	a.source = src
+	a.mu.Unlock()
+}
+
+// ErrNoSource reports a sample attempt on a floating input.
+var ErrNoSource = errors.New("bus: ADC input not connected")
+
+// Sample performs one conversion, clamping at the rails.
+func (a *ADC) Sample() (uint16, error) {
+	a.mu.Lock()
+	src := a.source
+	a.mu.Unlock()
+	if src == nil {
+		return 0, ErrNoSource
+	}
+	v := src.Voltage()
+	if v < 0 {
+		v = 0
+	}
+	if v > a.Ref {
+		v = a.Ref
+	}
+	max := float64(uint32(1)<<a.Bits - 1)
+	return uint16(v / a.Ref * max), nil
+}
+
+// ---------------------------------------------------------------------------
+// I²C
+
+// I2CDevice is a slave on the two-wire bus, addressed by a 7-bit address and
+// exposing a register file, the structure virtually all I²C sensors share.
+type I2CDevice interface {
+	I2CAddr() byte
+	WriteReg(reg byte, data []byte) error
+	ReadReg(reg byte, n int) ([]byte, error)
+}
+
+// I2C models the shared two-wire bus: multiple slaves, one master.
+type I2C struct {
+	mu      sync.Mutex
+	devices map[byte]I2CDevice
+}
+
+// NewI2C returns an empty bus.
+func NewI2C() *I2C { return &I2C{devices: make(map[byte]I2CDevice)} }
+
+// Attach adds a slave; it fails on address conflicts.
+func (b *I2C) Attach(dev I2CDevice) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	addr := dev.I2CAddr()
+	if _, dup := b.devices[addr]; dup {
+		return fmt.Errorf("bus: I2C address 0x%02x already in use", addr)
+	}
+	b.devices[addr] = dev
+	return nil
+}
+
+// Detach removes the slave at addr.
+func (b *I2C) Detach(addr byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.devices, addr)
+}
+
+// ErrNack reports an unacknowledged address (no such slave).
+var ErrNack = errors.New("bus: I2C address not acknowledged")
+
+func (b *I2C) device(addr byte) (I2CDevice, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dev, ok := b.devices[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrNack, addr)
+	}
+	return dev, nil
+}
+
+// Write performs a master write transaction: START, addr+W, reg, data, STOP.
+func (b *I2C) Write(addr, reg byte, data []byte) error {
+	dev, err := b.device(addr)
+	if err != nil {
+		return err
+	}
+	return dev.WriteReg(reg, data)
+}
+
+// Read performs a combined transaction: START, addr+W, reg, RESTART, addr+R,
+// n bytes, STOP.
+func (b *I2C) Read(addr, reg byte, n int) ([]byte, error) {
+	dev, err := b.device(addr)
+	if err != nil {
+		return nil, err
+	}
+	return dev.ReadReg(reg, n)
+}
+
+// ---------------------------------------------------------------------------
+// SPI
+
+// SPIDevice is a full-duplex slave: every transfer clocks bytes both ways.
+type SPIDevice interface {
+	// Transfer exchanges len(out) bytes, returning the simultaneous input.
+	Transfer(out []byte) []byte
+}
+
+// SPI models a single-slave SPI bus (chip select is implicit).
+type SPI struct {
+	mu  sync.Mutex
+	dev SPIDevice
+}
+
+// NewSPI returns an empty SPI bus.
+func NewSPI() *SPI { return &SPI{} }
+
+// Connect attaches the slave (nil disconnects).
+func (s *SPI) Connect(dev SPIDevice) {
+	s.mu.Lock()
+	s.dev = dev
+	s.mu.Unlock()
+}
+
+// ErrNoSlave reports a transfer with nothing connected.
+var ErrNoSlave = errors.New("bus: SPI slave not connected")
+
+// Transfer clocks out bytes and returns the slave's reply.
+func (s *SPI) Transfer(out []byte) ([]byte, error) {
+	s.mu.Lock()
+	dev := s.dev
+	s.mu.Unlock()
+	if dev == nil {
+		return nil, ErrNoSlave
+	}
+	return dev.Transfer(out), nil
+}
+
+// ---------------------------------------------------------------------------
+// UART
+
+// UARTConfig is the standard line configuration.
+type UARTConfig struct {
+	Baud     int
+	Parity   Parity
+	StopBits int
+	DataBits int
+}
+
+// Parity of a UART frame.
+type Parity uint8
+
+// Parity settings.
+const (
+	ParityNone Parity = iota
+	ParityEven
+	ParityOdd
+)
+
+// DefaultUARTConfig is 9600 8N1, the ID-20LA's configuration.
+var DefaultUARTConfig = UARTConfig{Baud: 9600, Parity: ParityNone, StopBits: 1, DataBits: 8}
+
+// Validate rejects line configurations the hardware cannot produce.
+func (c UARTConfig) Validate() error {
+	switch {
+	case c.Baud < 300 || c.Baud > 2_000_000:
+		return fmt.Errorf("bus: unsupported baud rate %d", c.Baud)
+	case c.StopBits != 1 && c.StopBits != 2:
+		return fmt.Errorf("bus: unsupported stop bits %d", c.StopBits)
+	case c.DataBits < 5 || c.DataBits > 9:
+		return fmt.Errorf("bus: unsupported data bits %d", c.DataBits)
+	case c.Parity > ParityOdd:
+		return fmt.Errorf("bus: unsupported parity %d", c.Parity)
+	}
+	return nil
+}
+
+// UART models an asynchronous serial port from the host's perspective: the
+// device writes bytes into the host's receive path, the host writes bytes
+// toward the device.
+type UART struct {
+	mu       sync.Mutex
+	cfg      UARTConfig
+	open     bool
+	onRx     func(byte) // host-side receive callback
+	toDevice func(byte) // device-side receive callback
+}
+
+// NewUART returns a closed port.
+func NewUART() *UART { return &UART{} }
+
+// ErrClosed reports use of an unconfigured port.
+var ErrClosed = errors.New("bus: UART not initialised")
+
+// Init configures and opens the port.
+func (u *UART) Init(cfg UARTConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	u.cfg = cfg
+	u.open = true
+	u.mu.Unlock()
+	return nil
+}
+
+// Reset restores platform defaults and closes the port.
+func (u *UART) Reset() {
+	u.mu.Lock()
+	u.open = false
+	u.onRx = nil
+	u.mu.Unlock()
+}
+
+// Config returns the current line configuration and whether the port is open.
+func (u *UART) Config() (UARTConfig, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.cfg, u.open
+}
+
+// OnReceive registers the host's byte-received callback.
+func (u *UART) OnReceive(fn func(byte)) {
+	u.mu.Lock()
+	u.onRx = fn
+	u.mu.Unlock()
+}
+
+// Write sends bytes from host to device.
+func (u *UART) Write(data []byte) error {
+	u.mu.Lock()
+	open, toDev := u.open, u.toDevice
+	u.mu.Unlock()
+	if !open {
+		return ErrClosed
+	}
+	if toDev != nil {
+		for _, b := range data {
+			toDev(b)
+		}
+	}
+	return nil
+}
+
+// DeviceSend injects bytes from the device toward the host. Bytes arriving
+// while the port is closed are dropped (as on real hardware).
+func (u *UART) DeviceSend(data []byte) {
+	u.mu.Lock()
+	open, fn := u.open, u.onRx
+	u.mu.Unlock()
+	if !open || fn == nil {
+		return
+	}
+	for _, b := range data {
+		fn(b)
+	}
+}
+
+// OnDeviceReceive registers the device's callback for host->device bytes.
+func (u *UART) OnDeviceReceive(fn func(byte)) {
+	u.mu.Lock()
+	u.toDevice = fn
+	u.mu.Unlock()
+}

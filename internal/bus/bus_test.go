@@ -1,0 +1,246 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestADCSampleTMP36(t *testing.T) {
+	env := NewEnvironment()
+	adc := NewADC()
+	adc.Connect(&TMP36{Env: env})
+
+	env.Set(25, 40, 101_325)
+	s, err := adc.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 °C -> 0.75 V -> 0.75/3.3*1023 ≈ 232 counts.
+	if s < 230 || s > 235 {
+		t.Fatalf("sample = %d, want ~232", s)
+	}
+	got := TMP36Celsius(s, adc.Ref, adc.Bits)
+	if math.Abs(got-25) > 0.5 {
+		t.Fatalf("recovered %.2f °C, want 25 ±0.5 (one LSB ≈ 0.32 °C)", got)
+	}
+}
+
+func TestTMP36RoundTripProperty(t *testing.T) {
+	env := NewEnvironment()
+	adc := NewADC()
+	adc.Connect(&TMP36{Env: env})
+	f := func(raw int16) bool {
+		tempC := float64(raw % 120) // −119…119 °C, clamped by sensor to −40…125
+		env.Set(tempC, 40, 101_325)
+		s, err := adc.Sample()
+		if err != nil {
+			return false
+		}
+		got := TMP36Celsius(s, adc.Ref, adc.Bits)
+		want := math.Max(-40, math.Min(125, tempC))
+		return math.Abs(got-want) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADCClampsAndErrors(t *testing.T) {
+	adc := NewADC()
+	if _, err := adc.Sample(); err == nil {
+		t.Fatal("floating input must error")
+	}
+	env := NewEnvironment()
+	env.Set(125, 0, 0) // 1.75 V, in range
+	adc.Connect(&TMP36{Env: env})
+	if s, err := adc.Sample(); err != nil || s == 0 {
+		t.Fatalf("sample = %d, %v", s, err)
+	}
+	adc.Connect(nil)
+	if _, err := adc.Sample(); err == nil {
+		t.Fatal("disconnected input must error")
+	}
+}
+
+func TestHIH4030RoundTrip(t *testing.T) {
+	env := NewEnvironment()
+	adc := NewADC()
+	adc.Connect(&HIH4030{Env: env})
+	for _, rh := range []float64{10, 35, 60, 90} {
+		env.Set(25, rh, 101_325)
+		s, err := adc.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := HIH4030Humidity(s, adc.Ref, adc.Bits, 3.3, 25)
+		if math.Abs(got-rh) > 1.5 {
+			t.Errorf("RH %.0f%%: recovered %.2f%%", rh, got)
+		}
+	}
+}
+
+func TestHIH4030TemperatureCompensation(t *testing.T) {
+	env := NewEnvironment()
+	sensor := &HIH4030{Env: env}
+	env.Set(5, 50, 101_325)
+	vCold := sensor.Voltage()
+	env.Set(45, 50, 101_325)
+	vHot := sensor.Voltage()
+	if vCold <= vHot {
+		t.Fatalf("sensor output must depend on temperature: cold %.4f V vs hot %.4f V", vCold, vHot)
+	}
+}
+
+func TestI2CAttachDetach(t *testing.T) {
+	b := NewI2C()
+	env := NewEnvironment()
+	dev := NewBMP180(env)
+	if err := b.Attach(dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(dev); err == nil {
+		t.Fatal("duplicate address must fail")
+	}
+	if _, err := b.Read(0x12, 0, 1); err == nil {
+		t.Fatal("missing slave must NACK")
+	}
+	id, err := b.Read(BMP180Addr, BMP180RegChipID, 1)
+	if err != nil || id[0] != BMP180ChipID {
+		t.Fatalf("chip id read = %v, %v", id, err)
+	}
+	b.Detach(BMP180Addr)
+	if _, err := b.Read(BMP180Addr, BMP180RegChipID, 1); err == nil {
+		t.Fatal("detached slave must NACK")
+	}
+}
+
+func TestSPILoopback(t *testing.T) {
+	s := NewSPI()
+	if _, err := s.Transfer([]byte{1}); err == nil {
+		t.Fatal("no slave must error")
+	}
+	s.Connect(spiEcho{})
+	got, err := s.Transfer([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != ^byte(1) {
+		t.Fatalf("echo = %v", got)
+	}
+}
+
+type spiEcho struct{}
+
+func (spiEcho) Transfer(out []byte) []byte {
+	in := make([]byte, len(out))
+	for i, b := range out {
+		in[i] = ^b
+	}
+	return in
+}
+
+func TestUARTConfigValidation(t *testing.T) {
+	bad := []UARTConfig{
+		{Baud: 100, StopBits: 1, DataBits: 8},
+		{Baud: 9600, StopBits: 3, DataBits: 8},
+		{Baud: 9600, StopBits: 1, DataBits: 4},
+		{Baud: 9600, StopBits: 1, DataBits: 8, Parity: 9},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v must be invalid", cfg)
+		}
+	}
+	if err := DefaultUARTConfig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUARTLifecycle(t *testing.T) {
+	u := NewUART()
+	if err := u.Write([]byte{1}); err == nil {
+		t.Fatal("write on closed port must fail")
+	}
+	if err := u.Init(DefaultUARTConfig); err != nil {
+		t.Fatal(err)
+	}
+	var hostGot, devGot []byte
+	u.OnReceive(func(b byte) { hostGot = append(hostGot, b) })
+	u.OnDeviceReceive(func(b byte) { devGot = append(devGot, b) })
+
+	u.DeviceSend([]byte{0xaa, 0xbb})
+	if err := u.Write([]byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if len(hostGot) != 2 || len(devGot) != 1 {
+		t.Fatalf("host %v dev %v", hostGot, devGot)
+	}
+	u.Reset()
+	if _, open := u.Config(); open {
+		t.Fatal("reset must close the port")
+	}
+	u.DeviceSend([]byte{0xcc}) // dropped, not delivered
+	if len(hostGot) != 2 {
+		t.Fatal("bytes on a closed port must be dropped")
+	}
+}
+
+func TestID20LAFrame(t *testing.T) {
+	u := NewUART()
+	if err := u.Init(DefaultUARTConfig); err != nil {
+		t.Fatal(err)
+	}
+	var rx []byte
+	u.OnReceive(func(b byte) { rx = append(rx, b) })
+	r := NewID20LA(u)
+	if err := r.PresentCard("0415AB96C3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(rx) != 16 {
+		t.Fatalf("frame length = %d, want 16", len(rx))
+	}
+	if rx[0] != STX || rx[15] != ETX || rx[13] != CR || rx[14] != LF {
+		t.Fatalf("bad framing: % x", rx)
+	}
+
+	// Parse the way the Listing 1 driver does: skip CR/LF/STX/ETX, take 12.
+	var payload []byte
+	for _, c := range rx {
+		if c == CR || c == LF || c == STX || c == ETX {
+			continue
+		}
+		payload = append(payload, c)
+	}
+	if len(payload) != 12 {
+		t.Fatalf("payload length = %d, want 12", len(payload))
+	}
+	if string(payload[:10]) != "0415AB96C3" {
+		t.Fatalf("card ID = %q", payload[:10])
+	}
+	if !ChecksumOK(payload) {
+		t.Fatal("checksum must verify")
+	}
+	payload[0] ^= 1
+	if ChecksumOK(payload) {
+		t.Fatal("corrupted payload must fail checksum")
+	}
+}
+
+func TestID20LARejectsBadIDs(t *testing.T) {
+	r := NewID20LA(NewUART())
+	for _, id := range []string{"", "123", "0415AB96C", "0415AB96C3X", "ZZZZZZZZZZ"} {
+		if err := r.PresentCard(id); err == nil {
+			t.Errorf("card %q must be rejected", id)
+		}
+	}
+}
+
+func TestChecksumOKEdgeCases(t *testing.T) {
+	if ChecksumOK(nil) || ChecksumOK([]byte("short")) {
+		t.Fatal("wrong length must fail")
+	}
+	if ChecksumOK([]byte("GGGGGGGGGGGG")) {
+		t.Fatal("non-hex must fail")
+	}
+}

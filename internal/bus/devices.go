@@ -1,0 +1,167 @@
+package bus
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ---------------------------------------------------------------------------
+// TMP36 — Analog Devices low-voltage temperature sensor (ADC peripheral).
+
+// TMP36 models the Analog Devices TMP36: Vout = 0.5 V + 10 mV/°C, valid
+// −40…+125 °C, per the TMP35/36/37 datasheet.
+type TMP36 struct {
+	Env *Environment
+}
+
+// Voltage implements AnalogSource.
+func (s *TMP36) Voltage() float64 {
+	t, _, _ := s.Env.Snapshot()
+	if t < -40 {
+		t = -40
+	}
+	if t > 125 {
+		t = 125
+	}
+	return 0.5 + 0.010*t
+}
+
+// TMP36Celsius inverts the transfer function: given an ADC sample it returns
+// degrees Celsius. This is the arithmetic a TMP36 driver performs.
+func TMP36Celsius(sample uint16, ref float64, bits uint) float64 {
+	max := float64(uint32(1)<<bits - 1)
+	v := float64(sample) / max * ref
+	return (v - 0.5) / 0.010
+}
+
+// ---------------------------------------------------------------------------
+// HIH-4030 — Honeywell analog humidity sensor (ADC peripheral).
+
+// HIH4030 models the Honeywell HIH-4030/31: at 5 V supply,
+// Vout = Vsupply·(0.0062·RH + 0.16) with a first-order temperature
+// compensation term RHtrue = RHsensor/(1.0546 − 0.00216·T), per the
+// datasheet. The Grove module runs it at 3.3 V ratiometrically.
+type HIH4030 struct {
+	Env *Environment
+	// Supply voltage; zero means 3.3 V.
+	Supply float64
+}
+
+func (s *HIH4030) supply() float64 {
+	if s.Supply == 0 {
+		return 3.3
+	}
+	return s.Supply
+}
+
+// Voltage implements AnalogSource.
+func (s *HIH4030) Voltage() float64 {
+	t, rh, _ := s.Env.Snapshot()
+	// The sensor's raw (uncompensated) reading at temperature t.
+	sensorRH := rh * (1.0546 - 0.00216*t)
+	return s.supply() * (0.0062*sensorRH + 0.16)
+}
+
+// HIH4030Humidity inverts the transfer function with temperature
+// compensation — the math an HIH-4030 driver performs.
+func HIH4030Humidity(sample uint16, ref float64, bits uint, supply, tempC float64) float64 {
+	max := float64(uint32(1)<<bits - 1)
+	v := float64(sample) / max * ref
+	sensorRH := (v/supply - 0.16) / 0.0062
+	return sensorRH / (1.0546 - 0.00216*tempC)
+}
+
+// ---------------------------------------------------------------------------
+// ID-20LA — ID Innovations 125 kHz RFID reader (UART peripheral).
+
+// ID20LA models the ID-20LA RFID card reader: when a card enters the field
+// the module emits one ASCII frame over 9600 8N1 UART:
+//
+//	STX(0x02) | 10 ASCII data chars | 2 ASCII checksum chars | CR | LF | ETX(0x03)
+//
+// i.e. 12 printable characters framed by control bytes — exactly what the
+// Listing 1 driver parses (it skips STX/ETX/CR/LF and accumulates 12 chars).
+type ID20LA struct {
+	mu   sync.Mutex
+	uart *UART
+}
+
+// NewID20LA wires a reader to its UART.
+func NewID20LA(u *UART) *ID20LA { return &ID20LA{uart: u} }
+
+// Frame control bytes of the ID-20LA ASCII protocol.
+const (
+	STX = 0x02
+	ETX = 0x03
+	CR  = 0x0d
+	LF  = 0x0a
+)
+
+// PresentCard simulates a card with the given 10-hex-digit identifier
+// entering the field. It computes the XOR checksum the module appends and
+// emits the full 16-byte frame. The identifier is upper-cased; it must be
+// exactly 10 hex digits.
+func (r *ID20LA) PresentCard(cardID string) error {
+	cardID = strings.ToUpper(cardID)
+	if len(cardID) != 10 {
+		return fmt.Errorf("bus: card ID must be 10 hex digits, got %q", cardID)
+	}
+	var sum byte
+	for i := 0; i < 10; i += 2 {
+		hi, ok1 := hexVal(cardID[i])
+		lo, ok2 := hexVal(cardID[i+1])
+		if !ok1 || !ok2 {
+			return fmt.Errorf("bus: card ID must be hex, got %q", cardID)
+		}
+		sum ^= hi<<4 | lo
+	}
+	frame := make([]byte, 0, 16)
+	frame = append(frame, STX)
+	frame = append(frame, cardID...)
+	frame = append(frame, hexDigit(sum>>4), hexDigit(sum&0x0f))
+	frame = append(frame, CR, LF, ETX)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.uart.DeviceSend(frame)
+	return nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+func hexDigit(v byte) byte {
+	if v < 10 {
+		return '0' + v
+	}
+	return 'A' + v - 10
+}
+
+// ChecksumOK verifies a 12-character payload (10 data + 2 checksum chars) as
+// read by a driver.
+func ChecksumOK(payload []byte) bool {
+	if len(payload) != 12 {
+		return false
+	}
+	var sum byte
+	for i := 0; i < 10; i += 2 {
+		hi, ok1 := hexVal(payload[i])
+		lo, ok2 := hexVal(payload[i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		sum ^= hi<<4 | lo
+	}
+	hi, ok1 := hexVal(payload[10])
+	lo, ok2 := hexVal(payload[11])
+	return ok1 && ok2 && sum == hi<<4|lo
+}

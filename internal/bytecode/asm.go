@@ -1,0 +1,143 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Assembler incrementally builds one handler's code. It is used by the DSL
+// compiler's code generator and by tests that need hand-built programs.
+type Assembler struct {
+	code   []byte
+	labels map[string]int // label -> code offset
+	fixups map[int]string // operand offset -> label
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+// Len returns the current code length.
+func (a *Assembler) Len() int { return len(a.code) }
+
+// Emit appends an instruction with raw operand bytes.
+func (a *Assembler) Emit(op Op, operands ...byte) {
+	if w := op.OperandWidth(); w != len(operands) {
+		panic(fmt.Sprintf("bytecode: %v takes %d operand bytes, got %d", op, w, len(operands)))
+	}
+	a.code = append(a.code, byte(op))
+	a.code = append(a.code, operands...)
+}
+
+// Push emits the smallest push instruction for v.
+func (a *Assembler) Push(v int32) {
+	switch {
+	case v >= -128 && v <= 127:
+		a.Emit(OpPushI8, byte(int8(v)))
+	case v >= -32768 && v <= 32767:
+		a.Emit(OpPushI16, byte(uint16(v)>>8), byte(uint16(v)))
+	default:
+		u := uint32(v)
+		a.Emit(OpPushI32, byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+}
+
+// Label binds name to the current offset.
+func (a *Assembler) Label(name string) {
+	a.labels[name] = len(a.code)
+}
+
+// Jump emits a branch to a (possibly not yet bound) label.
+func (a *Assembler) Jump(op Op, label string) {
+	switch op {
+	case OpJmp, OpJz, OpJnz:
+	default:
+		panic(fmt.Sprintf("bytecode: %v is not a branch", op))
+	}
+	a.code = append(a.code, byte(op))
+	a.fixups[len(a.code)] = label
+	a.code = append(a.code, 0, 0)
+}
+
+// Signal emits an OpSignal with constant-pool indices.
+func (a *Assembler) Signal(dest, event, argc byte) {
+	a.Emit(OpSignal, dest, event, argc)
+}
+
+// Assemble resolves labels and returns the final code.
+func (a *Assembler) Assemble() ([]byte, error) {
+	for pos, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("bytecode: undefined label %q", label)
+		}
+		off := target - (pos + 2) // relative to end of the branch instruction
+		if off < -32768 || off > 32767 {
+			return nil, fmt.Errorf("bytecode: branch to %q out of range (%d)", label, off)
+		}
+		a.code[pos] = byte(uint16(int16(off)) >> 8)
+		a.code[pos+1] = byte(uint16(int16(off)))
+	}
+	return a.code, nil
+}
+
+// Disassemble renders handler code as text, one instruction per line.
+func Disassemble(code []byte, consts []string) string {
+	var sb strings.Builder
+	for pc := 0; pc < len(code); {
+		op := Op(code[pc])
+		w := op.OperandWidth()
+		if w < 0 || pc+1+w > len(code) {
+			fmt.Fprintf(&sb, "%4d: !bad 0x%02x\n", pc, code[pc])
+			break
+		}
+		operand := code[pc+1 : pc+1+w]
+		fmt.Fprintf(&sb, "%4d: %-8s", pc, op)
+		switch op {
+		case OpPushI8:
+			fmt.Fprintf(&sb, " %d", int8(operand[0]))
+		case OpPushI16:
+			fmt.Fprintf(&sb, " %d", int16(uint16(operand[0])<<8|uint16(operand[1])))
+		case OpPushI32:
+			v := uint32(operand[0])<<24 | uint32(operand[1])<<16 | uint32(operand[2])<<8 | uint32(operand[3])
+			fmt.Fprintf(&sb, " %d", int32(v))
+		case OpLoadStatic, OpStoreStatic, OpLoadElem, OpStoreElem, OpReturnStatic:
+			fmt.Fprintf(&sb, " s%d", operand[0])
+		case OpLoadLocal, OpStoreLocal:
+			fmt.Fprintf(&sb, " l%d", operand[0])
+		case OpJmp, OpJz, OpJnz:
+			off := int(int16(uint16(operand[0])<<8 | uint16(operand[1])))
+			fmt.Fprintf(&sb, " -> %d", pc+3+off)
+		case OpSignal:
+			d, e := int(operand[0]), int(operand[1])
+			dn, en := fmt.Sprintf("#%d", d), fmt.Sprintf("#%d", e)
+			if d < len(consts) {
+				dn = consts[d]
+			}
+			if e < len(consts) {
+				en = consts[e]
+			}
+			fmt.Fprintf(&sb, " %s.%s/%d", dn, en, operand[2])
+		}
+		sb.WriteByte('\n')
+		pc += 1 + w
+	}
+	return sb.String()
+}
+
+// DisassembleProgram renders a whole program.
+func DisassembleProgram(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "device %#08x\n", p.DeviceID)
+	for i, s := range p.Statics {
+		fmt.Fprintf(&sb, "static s%d [%d]\n", i, s.Size)
+	}
+	for _, im := range p.Imports {
+		fmt.Fprintf(&sb, "import %s\n", im)
+	}
+	for _, h := range p.Handlers {
+		fmt.Fprintf(&sb, "%s %s/%d:\n%s", h.Kind, h.Name, h.NParams, Disassemble(h.Code, p.Consts))
+	}
+	return sb.String()
+}

@@ -1,0 +1,276 @@
+// Package client implements the µPnP Client: software that remotely
+// discovers and uses peripherals hosted by µPnP Things (Section 5). Clients
+// may run on embedded devices or standard computers; this implementation
+// drives the simulated network.
+package client
+
+import (
+	"net/netip"
+	"sync"
+
+	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
+	"micropnp/internal/proto"
+)
+
+// Advert is one peripheral sighting: a Thing's advertisement of a connected
+// peripheral.
+type Advert struct {
+	Thing      netip.Addr
+	Peripheral proto.PeripheralInfo
+	// Solicited distinguishes discovery replies from unsolicited
+	// advertisements.
+	Solicited bool
+}
+
+// Client is one µPnP client instance.
+type Client struct {
+	net    *netsim.Network
+	node   *netsim.Node
+	prefix netsim.NetworkPrefix
+
+	mu       sync.Mutex
+	seq      uint16
+	adverts  []Advert
+	reads    map[uint16]func([]int32)
+	writes   map[uint16]func(ok bool)
+	streams  map[hw.DeviceID]*streamSub
+	onAdvert func(Advert)
+}
+
+type streamSub struct {
+	group  netip.Addr
+	joined bool
+	cb     func([]int32)
+	closed func()
+}
+
+// Config configures a client.
+type Config struct {
+	Network *netsim.Network
+	Addr    netip.Addr
+	Parent  *netsim.Node
+}
+
+// New builds and registers a client. Clients join the all-clients multicast
+// group of their network prefix by default (Figure 11), so unsolicited
+// advertisements reach them.
+func New(cfg Config) (*Client, error) {
+	node, err := cfg.Network.AddNode(cfg.Addr, cfg.Parent)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		net:     cfg.Network,
+		node:    node,
+		prefix:  netsim.PrefixFromAddr(cfg.Addr),
+		reads:   map[uint16]func([]int32){},
+		writes:  map[uint16]func(bool){},
+		streams: map[hw.DeviceID]*streamSub{},
+	}
+	node.JoinGroup(netsim.AllClientsAddr(c.prefix))
+	node.Bind(netsim.Port6030, c.handle)
+	return c, nil
+}
+
+// Addr returns the client's unicast address.
+func (c *Client) Addr() netip.Addr { return c.node.Addr() }
+
+// Node exposes the network node.
+func (c *Client) Node() *netsim.Node { return c.node }
+
+// Adverts returns every advertisement observed so far.
+func (c *Client) Adverts() []Advert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Advert(nil), c.adverts...)
+}
+
+// OnAdvert registers a callback for every incoming advertisement.
+func (c *Client) OnAdvert(fn func(Advert)) {
+	c.mu.Lock()
+	c.onAdvert = fn
+	c.mu.Unlock()
+}
+
+// Things returns the distinct Things that advertised a given peripheral
+// type (hw.DeviceIDAllPeripherals matches any type).
+func (c *Client) Things(id hw.DeviceID) []netip.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[netip.Addr]bool{}
+	var out []netip.Addr
+	for _, a := range c.adverts {
+		if id != hw.DeviceIDAllPeripherals && a.Peripheral.ID != id {
+			continue
+		}
+		if !seen[a.Thing] {
+			seen[a.Thing] = true
+			out = append(out, a.Thing)
+		}
+	}
+	return out
+}
+
+func (c *Client) nextSeq() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+func (c *Client) send(dst netip.Addr, m *proto.Message) {
+	payload, err := m.Encode()
+	if err != nil {
+		return
+	}
+	c.node.Send(dst, netsim.Port6030, payload)
+}
+
+// Discover multicasts a peripheral discovery (message 2) to the group of
+// Things serving the given peripheral type. Solicited advertisements arrive
+// asynchronously; observe them via Adverts/Things/OnAdvert after running
+// the network.
+func (c *Client) Discover(id hw.DeviceID, filter ...proto.TLV) {
+	group := netsim.MulticastAddr(c.prefix, id)
+	c.send(group, &proto.Message{Type: proto.MsgDiscovery, Seq: c.nextSeq(), Filter: filter})
+}
+
+// DiscoverClass discovers any peripheral of a device class, regardless of
+// vendor or product — the Section 9 hierarchical-typing extension. Only
+// Things running with the structured namespace respond.
+func (c *Client) DiscoverClass(class uint8, filter ...proto.TLV) {
+	c.Discover(hw.ClassWildcard(class), filter...)
+}
+
+// DiscoverInZone discovers a peripheral type within a location zone — the
+// Section 9 location-aware multicast extension. Only Things placed in the
+// zone receive the discovery.
+func (c *Client) DiscoverInZone(zone uint16, id hw.DeviceID, filter ...proto.TLV) {
+	group := netsim.MulticastAddrZone(c.prefix, zone, id)
+	c.send(group, &proto.Message{Type: proto.MsgDiscovery, Seq: c.nextSeq(), Filter: filter})
+}
+
+// Read requests a single value from a peripheral (messages 10/11).
+func (c *Client) Read(thing netip.Addr, id hw.DeviceID, cb func([]int32)) {
+	seq := c.nextSeq()
+	if cb != nil {
+		c.mu.Lock()
+		c.reads[seq] = cb
+		c.mu.Unlock()
+	}
+	c.send(thing, &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id})
+}
+
+// Write sends a value to a peripheral, e.g. an actuator (messages 16/17).
+func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, cb func(ok bool)) {
+	seq := c.nextSeq()
+	if cb != nil {
+		c.mu.Lock()
+		c.writes[seq] = cb
+		c.mu.Unlock()
+	}
+	c.send(thing, &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)})
+}
+
+// Stream subscribes to a peripheral's value stream (messages 12-15): the
+// Thing replies with the multicast group to join; data then arrives on the
+// group until the Thing closes the stream.
+func (c *Client) Stream(thing netip.Addr, id hw.DeviceID, data func([]int32), closed func()) {
+	c.mu.Lock()
+	c.streams[id] = &streamSub{cb: data, closed: closed}
+	c.mu.Unlock()
+	c.send(thing, &proto.Message{Type: proto.MsgStream, Seq: c.nextSeq(), DeviceID: id})
+}
+
+// Unsubscribe leaves a stream's group locally (the Thing keeps streaming
+// for other subscribers until it closes the stream).
+func (c *Client) Unsubscribe(id hw.DeviceID) {
+	c.mu.Lock()
+	sub, ok := c.streams[id]
+	delete(c.streams, id)
+	c.mu.Unlock()
+	if ok && sub.joined {
+		c.node.LeaveGroup(sub.group)
+	}
+}
+
+// handle processes incoming protocol messages.
+func (c *Client) handle(msg netsim.Message) {
+	m, err := proto.Decode(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case proto.MsgUnsolicitedAdvert, proto.MsgSolicitedAdvert:
+		c.mu.Lock()
+		var cb func(Advert)
+		for _, p := range m.Peripherals {
+			a := Advert{Thing: msg.Src, Peripheral: p, Solicited: m.Type == proto.MsgSolicitedAdvert}
+			c.adverts = append(c.adverts, a)
+			cb = c.onAdvert
+			if cb != nil {
+				defer cb(a)
+			}
+		}
+		c.mu.Unlock()
+
+	case proto.MsgData:
+		c.mu.Lock()
+		if cb, ok := c.reads[m.Seq]; ok {
+			delete(c.reads, m.Seq)
+			c.mu.Unlock()
+			vals, err := proto.ParseValues32(m.Data)
+			if err == nil && cb != nil {
+				cb(vals)
+			}
+			return
+		}
+		sub := c.streams[m.DeviceID]
+		c.mu.Unlock()
+		if sub != nil && sub.cb != nil {
+			if vals, err := proto.ParseValues32(m.Data); err == nil {
+				sub.cb(vals)
+			}
+		}
+
+	case proto.MsgWriteAck:
+		c.mu.Lock()
+		cb, ok := c.writes[m.Seq]
+		delete(c.writes, m.Seq)
+		c.mu.Unlock()
+		if ok && cb != nil {
+			cb(m.Status == 0)
+		}
+
+	case proto.MsgEstablished:
+		group, okAddr := netip.AddrFromSlice(m.Group[:])
+		if !okAddr {
+			return
+		}
+		c.mu.Lock()
+		sub, ok := c.streams[m.DeviceID]
+		if ok {
+			sub.group = group
+			sub.joined = true
+		}
+		c.mu.Unlock()
+		if ok {
+			c.node.JoinGroup(group)
+		}
+
+	case proto.MsgClosed:
+		c.mu.Lock()
+		sub, ok := c.streams[m.DeviceID]
+		delete(c.streams, m.DeviceID)
+		c.mu.Unlock()
+		if ok {
+			if sub.joined {
+				c.node.LeaveGroup(sub.group)
+			}
+			if sub.closed != nil {
+				sub.closed()
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package client
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
+	"micropnp/internal/proto"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// fakeThing is a scripted peer that answers protocol messages like a Thing.
+type fakeThing struct {
+	node   *netsim.Node
+	net    *netsim.Network
+	served hw.DeviceID
+}
+
+func newFakeThing(t *testing.T, n *netsim.Network, parent *netsim.Node, a netip.Addr, id hw.DeviceID) *fakeThing {
+	t.Helper()
+	node, err := n.AddNode(a, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeThing{node: node, net: n, served: id}
+	prefix := netsim.PrefixFromAddr(a)
+	node.JoinGroup(netsim.MulticastAddr(prefix, id))
+	node.JoinGroup(netsim.AllPeripheralsAddr(prefix))
+	node.Bind(netsim.Port6030, f.handle)
+	return f
+}
+
+func (f *fakeThing) send(dst netip.Addr, m *proto.Message) {
+	payload, _ := m.Encode()
+	f.node.Send(dst, netsim.Port6030, payload)
+}
+
+func (f *fakeThing) handle(msg netsim.Message) {
+	m, err := proto.Decode(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case proto.MsgDiscovery:
+		f.send(msg.Src, &proto.Message{Type: proto.MsgSolicitedAdvert, Seq: m.Seq,
+			Peripherals: []proto.PeripheralInfo{{ID: f.served}}})
+	case proto.MsgRead:
+		f.send(msg.Src, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID,
+			Data: proto.Values32([]int32{123})})
+	case proto.MsgWrite:
+		f.send(msg.Src, &proto.Message{Type: proto.MsgWriteAck, Seq: m.Seq, DeviceID: m.DeviceID, Status: 0})
+	case proto.MsgStream:
+		group := netsim.MulticastAddr(netsim.PrefixFromAddr(f.node.Addr()), m.DeviceID)
+		est := &proto.Message{Type: proto.MsgEstablished, Seq: m.Seq, DeviceID: m.DeviceID}
+		copy(est.Group[:], group.AsSlice())
+		f.send(msg.Src, est)
+		// Two data messages, then close — after the established reply has
+		// reached the subscriber and it has joined the group.
+		f.net.Schedule(200*time.Millisecond, func() {
+			f.send(group, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID, Data: proto.Values32([]int32{1})})
+		})
+		f.net.Schedule(400*time.Millisecond, func() {
+			f.send(group, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID, Data: proto.Values32([]int32{2})})
+		})
+		f.net.Schedule(600*time.Millisecond, func() {
+			f.send(group, &proto.Message{Type: proto.MsgClosed, Seq: m.Seq, DeviceID: m.DeviceID})
+		})
+	}
+}
+
+func setup(t *testing.T) (*netsim.Network, *Client, *fakeThing) {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	root, err := n.AddNode(addr("2001:db8::1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(Config{Network: n, Addr: addr("2001:db8::2"), Parent: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := newFakeThing(t, n, root, addr("2001:db8::3"), 0xad1cbe01)
+	return n, cl, ft
+}
+
+func TestClientDiscoverAndThings(t *testing.T) {
+	n, cl, ft := setup(t)
+	cl.Discover(0xad1cbe01)
+	n.RunUntilIdle(0)
+
+	adverts := cl.Adverts()
+	if len(adverts) != 1 || !adverts[0].Solicited || adverts[0].Thing != ft.node.Addr() {
+		t.Fatalf("adverts = %+v", adverts)
+	}
+	if got := cl.Things(0xad1cbe01); len(got) != 1 || got[0] != ft.node.Addr() {
+		t.Fatalf("things = %v", got)
+	}
+	if got := cl.Things(0x9999); len(got) != 0 {
+		t.Fatalf("things for absent type = %v", got)
+	}
+	if got := cl.Things(hw.DeviceIDAllPeripherals); len(got) != 1 {
+		t.Fatalf("wildcard things = %v", got)
+	}
+}
+
+func TestClientReceivesUnsolicited(t *testing.T) {
+	n, cl, ft := setup(t)
+	var cbGot []Advert
+	cl.OnAdvert(func(a Advert) { cbGot = append(cbGot, a) })
+
+	// Thing broadcasts an unsolicited advertisement to all clients.
+	ft.send(netsim.AllClientsAddr(netsim.PrefixFromAddr(ft.node.Addr())),
+		&proto.Message{Type: proto.MsgUnsolicitedAdvert, Seq: 1,
+			Peripherals: []proto.PeripheralInfo{{ID: 0xad1cbe01}}})
+	n.RunUntilIdle(0)
+
+	if len(cl.Adverts()) != 1 || cl.Adverts()[0].Solicited {
+		t.Fatalf("adverts = %+v", cl.Adverts())
+	}
+	if len(cbGot) != 1 {
+		t.Fatalf("callback fired %d times", len(cbGot))
+	}
+}
+
+func TestClientReadAndWrite(t *testing.T) {
+	n, cl, ft := setup(t)
+	var vals []int32
+	cl.Read(ft.node.Addr(), 0xad1cbe01, func(v []int32) { vals = v })
+	n.RunUntilIdle(0)
+	if len(vals) != 1 || vals[0] != 123 {
+		t.Fatalf("read = %v", vals)
+	}
+
+	var acked bool
+	cl.Write(ft.node.Addr(), 0xad1cbe01, []int32{7}, func(ok bool) { acked = ok })
+	n.RunUntilIdle(0)
+	if !acked {
+		t.Fatal("write must be acked")
+	}
+}
+
+func TestClientStream(t *testing.T) {
+	n, cl, ft := setup(t)
+	var got []int32
+	closed := false
+	cl.Stream(ft.node.Addr(), 0xad1cbe01, func(v []int32) { got = append(got, v...) }, func() { closed = true })
+	n.RunUntilIdle(0)
+
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("stream data = %v", got)
+	}
+	if !closed {
+		t.Fatal("closed callback must fire")
+	}
+	// After close, the client must have left the group.
+	group := netsim.MulticastAddr(netsim.PrefixFromAddr(ft.node.Addr()), 0xad1cbe01)
+	if cl.Node().InGroup(group) {
+		t.Fatal("client must leave the stream group after close")
+	}
+}
+
+func TestClientUnsubscribe(t *testing.T) {
+	n, cl, ft := setup(t)
+	var got int
+	cl.Stream(ft.node.Addr(), 0xad1cbe01, func([]int32) { got++ }, nil)
+	n.RunUntilIdle(0)
+	cl.Unsubscribe(0xad1cbe01)
+	// Further group data must not reach the handler.
+	group := netsim.MulticastAddr(netsim.PrefixFromAddr(ft.node.Addr()), 0xad1cbe01)
+	ft.send(group, &proto.Message{Type: proto.MsgData, Seq: 9, DeviceID: 0xad1cbe01, Data: proto.Values32([]int32{3})})
+	n.RunUntilIdle(0)
+	if got != 2 {
+		t.Fatalf("stream callbacks = %d, want the 2 pre-unsubscribe ones", got)
+	}
+}
+
+func TestClientIgnoresGarbage(t *testing.T) {
+	n, cl, ft := setup(t)
+	ft.node.Send(cl.Addr(), netsim.Port6030, []byte{0x00, 0x01})
+	ft.node.Send(cl.Addr(), netsim.Port6030, nil)
+	n.RunUntilIdle(0)
+	if len(cl.Adverts()) != 0 {
+		t.Fatal("garbage must not produce adverts")
+	}
+}
+
+func TestClientJoinsAllClientsGroup(t *testing.T) {
+	_, cl, _ := setup(t)
+	if !cl.Node().InGroup(netsim.AllClientsAddr(netsim.PrefixFromAddr(cl.Addr()))) {
+		t.Fatal("clients must join the all-clients group by default")
+	}
+}
+
+func TestClientDataWithBadLengthIgnored(t *testing.T) {
+	n, cl, ft := setup(t)
+	var called bool
+	cl.Read(ft.node.Addr(), 0x42, func([]int32) { called = true })
+	// Deliver a data reply whose payload is not a multiple of 4.
+	ft.send(cl.Addr(), &proto.Message{Type: proto.MsgData, Seq: 1, DeviceID: 0x42, Data: []byte{1, 2, 3}})
+	n.RunUntilIdle(0)
+	if called {
+		t.Fatal("mis-sized data must not invoke the callback")
+	}
+}

@@ -1,0 +1,336 @@
+// Package core is the public façade of the µPnP reproduction: it assembles
+// the full system — simulated IPv6 network, µPnP manager with the standard
+// driver repository, Things with control boards, clients, and the four
+// evaluation peripherals — into a Deployment that can be scripted from
+// examples, experiments and tests.
+//
+// A typical session:
+//
+//	d, _ := core.NewDeployment(core.DeploymentConfig{})
+//	th, _ := d.AddThing("kitchen")
+//	cl, _ := d.AddClient()
+//	d.PlugTMP36(th, 0)
+//	d.Run()                      // plug-in sequence: identify, fetch driver, advertise
+//	cl.Read(th.Addr(), driver.IDTMP36, func(v []int32) { ... })
+//	d.Run()
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"micropnp/internal/bus"
+	"micropnp/internal/client"
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+	"micropnp/internal/manager"
+	"micropnp/internal/netsim"
+	"micropnp/internal/thing"
+)
+
+// DeploymentConfig tunes a simulated deployment.
+type DeploymentConfig struct {
+	// LossRate is the per-hop frame loss probability.
+	LossRate float64
+	// ProcJitter adds relative per-delivery latency noise (0 = none).
+	ProcJitter float64
+	// Seed selects the random stream for loss/jitter (0 = fixed default).
+	Seed int64
+	// StreamPeriod overrides the Things' stream production period.
+	StreamPeriod time.Duration
+	// Repository overrides the manager's driver repository (default: the
+	// standard four-driver repository).
+	Repository *driver.Repository
+}
+
+// Deployment is a complete simulated µPnP network.
+type Deployment struct {
+	Network *netsim.Network
+	Manager *manager.Manager
+	// Env is the shared physical environment observed by all sensors.
+	Env *bus.Environment
+
+	cfg      DeploymentConfig
+	prefix   netsim.NetworkPrefix
+	hostSeq  int
+	managerA netip.Addr
+}
+
+// ManagerAnycast is the well-known manager anycast address of simulated
+// deployments.
+var ManagerAnycast = netip.MustParseAddr("2001:db8::aaaa")
+
+// NewDeployment builds a network with one manager (serving the standard
+// drivers) at the border-router position.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	repo := cfg.Repository
+	if repo == nil {
+		var err error
+		repo, err = driver.FullRepository()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rng *rand.Rand
+	if cfg.Seed != 0 {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	net := netsim.New(netsim.Config{LossRate: cfg.LossRate, ProcJitter: cfg.ProcJitter, Rng: rng})
+	mgrAddr := netip.MustParseAddr("2001:db8::1")
+	mgr, err := manager.New(manager.Config{
+		Network:    net,
+		Addr:       mgrAddr,
+		Anycast:    ManagerAnycast,
+		Repository: repo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		Network:  net,
+		Manager:  mgr,
+		Env:      bus.NewEnvironment(),
+		cfg:      cfg,
+		prefix:   netsim.PrefixFromAddr(mgrAddr),
+		managerA: ManagerAnycast,
+	}, nil
+}
+
+func (d *Deployment) nextAddr() netip.Addr {
+	d.hostSeq++
+	return netip.MustParseAddr(fmt.Sprintf("2001:db8::%x", 0x100+d.hostSeq))
+}
+
+// AddThing creates a Thing one hop from the manager.
+func (d *Deployment) AddThing(name string) (*thing.Thing, error) {
+	return d.AddThingAt(name, d.Manager.Node())
+}
+
+// AddThingAt creates a Thing attached under the given tree parent, enabling
+// multi-hop topologies.
+func (d *Deployment) AddThingAt(name string, parent *netsim.Node) (*thing.Thing, error) {
+	return thing.New(thing.Config{
+		Network:      d.Network,
+		Addr:         d.nextAddr(),
+		Parent:       parent,
+		Manager:      d.managerA,
+		Name:         name,
+		StreamPeriod: d.cfg.StreamPeriod,
+	})
+}
+
+// AddZonedThing creates a Thing placed in a location zone with the
+// structured namespace enabled (the Section 9 extensions): it joins
+// zone-scoped and class-wildcard multicast groups for its peripherals.
+func (d *Deployment) AddZonedThing(name string, zone uint16) (*thing.Thing, error) {
+	return thing.New(thing.Config{
+		Network:             d.Network,
+		Addr:                d.nextAddr(),
+		Parent:              d.Manager.Node(),
+		Manager:             d.managerA,
+		Name:                name,
+		StreamPeriod:        d.cfg.StreamPeriod,
+		Zone:                zone,
+		StructuredNamespace: true,
+	})
+}
+
+// PlugCustom plugs a peripheral with an arbitrary identifier and device
+// model (the deployment's repository must hold a driver for it).
+func (d *Deployment) PlugCustom(t *thing.Thing, ch int, id hw.DeviceID, b hw.BusKind, dev thing.Device) error {
+	return d.plug(t, ch, id, b, dev)
+}
+
+// AddClient creates a client one hop from the manager.
+func (d *Deployment) AddClient() (*client.Client, error) {
+	return d.AddClientAt(d.Manager.Node())
+}
+
+// AddClientAt creates a client under the given tree parent.
+func (d *Deployment) AddClientAt(parent *netsim.Node) (*client.Client, error) {
+	return client.New(client.Config{
+		Network: d.Network,
+		Addr:    d.nextAddr(),
+		Parent:  parent,
+	})
+}
+
+// Run drives the network until idle.
+func (d *Deployment) Run() { d.Network.RunUntilIdle(0) }
+
+// RunFor drives the network for a span of virtual time (use for streams,
+// which reschedule themselves and never go idle).
+func (d *Deployment) RunFor(span time.Duration) {
+	d.Network.RunUntil(d.Network.Now() + span)
+}
+
+// Prefix returns the deployment's 48-bit network prefix.
+func (d *Deployment) Prefix() netsim.NetworkPrefix { return d.prefix }
+
+// Group returns the multicast group address for a peripheral type.
+func (d *Deployment) Group(id hw.DeviceID) netip.Addr {
+	return netsim.MulticastAddr(d.prefix, id)
+}
+
+// ---------------------------------------------------------------------------
+// Standard peripheral device wrappers
+
+// TMP36Device wires the simulated TMP36 to a channel's ADC.
+type TMP36Device struct{ Env *bus.Environment }
+
+// Attach implements thing.Device.
+func (d *TMP36Device) Attach(ic *thing.Interconnects) error {
+	ic.ADC.Connect(&bus.TMP36{Env: d.Env})
+	return nil
+}
+
+// Detach implements thing.Device.
+func (d *TMP36Device) Detach(ic *thing.Interconnects) { ic.ADC.Connect(nil) }
+
+// HIH4030Device wires the simulated HIH-4030 to a channel's ADC.
+type HIH4030Device struct{ Env *bus.Environment }
+
+// Attach implements thing.Device.
+func (d *HIH4030Device) Attach(ic *thing.Interconnects) error {
+	ic.ADC.Connect(&bus.HIH4030{Env: d.Env})
+	return nil
+}
+
+// Detach implements thing.Device.
+func (d *HIH4030Device) Detach(ic *thing.Interconnects) { ic.ADC.Connect(nil) }
+
+// BMP180Device wires the simulated BMP180 to a channel's I²C bus.
+type BMP180Device struct {
+	Env *bus.Environment
+	dev *bus.BMP180
+}
+
+// Attach implements thing.Device.
+func (d *BMP180Device) Attach(ic *thing.Interconnects) error {
+	d.dev = bus.NewBMP180(d.Env)
+	return ic.I2C.Attach(d.dev)
+}
+
+// Detach implements thing.Device.
+func (d *BMP180Device) Detach(ic *thing.Interconnects) {
+	if d.dev != nil {
+		ic.I2C.Detach(d.dev.I2CAddr())
+		d.dev = nil
+	}
+}
+
+// RFIDDevice wires the simulated ID-20LA reader to a channel's UART. Present
+// cards with PresentCard; remember to Pump the Thing afterwards so the
+// driver consumes the bytes.
+type RFIDDevice struct {
+	reader *bus.ID20LA
+}
+
+// Attach implements thing.Device.
+func (d *RFIDDevice) Attach(ic *thing.Interconnects) error {
+	d.reader = bus.NewID20LA(ic.UART)
+	return nil
+}
+
+// Detach implements thing.Device.
+func (d *RFIDDevice) Detach(ic *thing.Interconnects) { d.reader = nil }
+
+// PresentCard simulates a card entering the reader's field.
+func (d *RFIDDevice) PresentCard(cardID string) error {
+	if d.reader == nil {
+		return fmt.Errorf("core: RFID reader not attached")
+	}
+	return d.reader.PresentCard(cardID)
+}
+
+// ---------------------------------------------------------------------------
+// Plug helpers for the four evaluation peripherals
+
+func (d *Deployment) plug(t *thing.Thing, ch int, id hw.DeviceID, b hw.BusKind, dev thing.Device) error {
+	p, err := hw.NewPeripheral(hw.PeripheralSpec{ID: id, Bus: b})
+	if err != nil {
+		return err
+	}
+	return t.Plug(ch, p, dev)
+}
+
+// PlugTMP36 plugs a TMP36 temperature sensor into a channel.
+func (d *Deployment) PlugTMP36(t *thing.Thing, ch int) error {
+	return d.plug(t, ch, driver.IDTMP36, hw.BusADC, &TMP36Device{Env: d.Env})
+}
+
+// PlugHIH4030 plugs an HIH-4030 humidity sensor into a channel.
+func (d *Deployment) PlugHIH4030(t *thing.Thing, ch int) error {
+	return d.plug(t, ch, driver.IDHIH4030, hw.BusADC, &HIH4030Device{Env: d.Env})
+}
+
+// PlugBMP180 plugs a BMP180 pressure sensor into a channel.
+func (d *Deployment) PlugBMP180(t *thing.Thing, ch int) error {
+	return d.plug(t, ch, driver.IDBMP180, hw.BusI2C, &BMP180Device{Env: d.Env})
+}
+
+// PlugRFID plugs an ID-20LA RFID reader into a channel and returns the
+// device handle for presenting cards.
+func (d *Deployment) PlugRFID(t *thing.Thing, ch int) (*RFIDDevice, error) {
+	dev := &RFIDDevice{}
+	if err := d.plug(t, ch, driver.IDID20LA, hw.BusUART, dev); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+// ADXLDevice wires the simulated ADXL345 to a channel's SPI bus.
+type ADXLDevice struct{ Env *bus.Environment }
+
+// Attach implements thing.Device.
+func (d *ADXLDevice) Attach(ic *thing.Interconnects) error {
+	ic.SPI.Connect(bus.NewADXL345(d.Env))
+	return nil
+}
+
+// Detach implements thing.Device.
+func (d *ADXLDevice) Detach(ic *thing.Interconnects) { ic.SPI.Connect(nil) }
+
+// PlugADXL345 plugs the extension accelerometer into a channel.
+func (d *Deployment) PlugADXL345(t *thing.Thing, ch int) error {
+	return d.plug(t, ch, driver.IDADXL345, hw.BusSPI, &ADXLDevice{Env: d.Env})
+}
+
+// RelayDevice wires the simulated PCF8574 relay bank to a channel's I²C bus.
+type RelayDevice struct {
+	relay *bus.PCF8574Relay
+}
+
+// Attach implements thing.Device.
+func (d *RelayDevice) Attach(ic *thing.Interconnects) error {
+	d.relay = &bus.PCF8574Relay{}
+	return ic.I2C.Attach(d.relay)
+}
+
+// Detach implements thing.Device.
+func (d *RelayDevice) Detach(ic *thing.Interconnects) {
+	if d.relay != nil {
+		ic.I2C.Detach(d.relay.I2CAddr())
+		d.relay = nil
+	}
+}
+
+// State exposes the relay outputs (bit i = relay i energised).
+func (d *RelayDevice) State() byte {
+	if d.relay == nil {
+		return 0
+	}
+	return d.relay.State()
+}
+
+// PlugRelay plugs the extension relay bank into a channel and returns the
+// device handle for observing the outputs.
+func (d *Deployment) PlugRelay(t *thing.Thing, ch int) (*RelayDevice, error) {
+	dev := &RelayDevice{}
+	if err := d.plug(t, ch, driver.IDRelay, hw.BusI2C, dev); err != nil {
+		return nil, err
+	}
+	return dev, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+	"micropnp/internal/thing"
+)
+
+// TestTwentyThingDeployment exercises the system at deployment scale: 20
+// Things across a 3-level tree, all plugging peripherals, one client
+// discovering and reading everything.
+func TestTwentyThingDeployment(t *testing.T) {
+	d := newDeployment(t)
+	cl, _ := d.AddClient()
+
+	things := make([]*thingRef, 0, 20)
+	parent := d.Manager.Node()
+	for i := 0; i < 20; i++ {
+		th, err := d.AddThingAt(fmt.Sprintf("n%d", i), parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 6 {
+			parent = th.Node() // deepen the tree every 7 things
+		}
+		var plugErr error
+		switch i % 3 {
+		case 0:
+			plugErr = d.PlugTMP36(th, 0)
+		case 1:
+			plugErr = d.PlugHIH4030(th, 0)
+		case 2:
+			plugErr = d.PlugBMP180(th, 0)
+		}
+		if plugErr != nil {
+			t.Fatal(plugErr)
+		}
+		things = append(things, &thingRef{th: th, kind: i % 3})
+	}
+	d.Run()
+
+	// Every plug-in completed.
+	for i, ref := range things {
+		trs := ref.th.Traces()
+		if len(trs) != 1 || !trs[0].Done {
+			t.Fatalf("thing %d: trace = %+v", i, trs)
+		}
+	}
+	// The manager uploaded each driver exactly once per thing that needed it.
+	if ups := d.Manager.Uploads(); ups != 20 {
+		t.Fatalf("uploads = %d, want 20", ups)
+	}
+	// Discovery by type finds the right subset.
+	cl.Discover(driver.IDTMP36)
+	d.Run()
+	if got := len(cl.Things(driver.IDTMP36)); got != 7 {
+		t.Fatalf("TMP36 things = %d, want 7", got)
+	}
+
+	// Read every BMP180 in the deployment.
+	reads := 0
+	for _, ref := range things {
+		if ref.kind != 2 {
+			continue
+		}
+		cl.Read(ref.th.Addr(), driver.IDBMP180, func(v []int32) {
+			if len(v) == 2 {
+				reads++
+			}
+		})
+	}
+	d.Run()
+	if reads != 6 {
+		t.Fatalf("BMP180 reads = %d, want 6", reads)
+	}
+}
+
+type thingRef struct {
+	th   *thing.Thing
+	kind int
+}
+
+// TestStreamMultipleSubscribers: two clients subscribe to the same
+// peripheral stream; both receive the data via the shared multicast group,
+// and the closed notification reaches both.
+func TestStreamMultipleSubscribers(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{StreamPeriod: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, _ := d.AddThing("src")
+	c1, _ := d.AddClient()
+	c2, _ := d.AddClient()
+	if err := d.PlugTMP36(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	var got1, got2, closed1, closed2 int
+	c1.Stream(th.Addr(), driver.IDTMP36, func([]int32) { got1++ }, func() { closed1++ })
+	c2.Stream(th.Addr(), driver.IDTMP36, func([]int32) { got2++ }, func() { closed2++ })
+	d.RunFor(16 * time.Second)
+
+	if got1 < 2 || got2 < 2 {
+		t.Fatalf("stream data: c1=%d c2=%d, want >= 2 each", got1, got2)
+	}
+	th.StopStream(driver.IDTMP36)
+	d.Run()
+	if closed1 != 1 || closed2 != 1 {
+		t.Fatalf("closed: c1=%d c2=%d", closed1, closed2)
+	}
+}
+
+// TestThreePeripheralsOneBoard fills all three channels of one board and
+// reads each concurrently-registered driver.
+func TestThreePeripheralsOneBoard(t *testing.T) {
+	d := newDeployment(t)
+	th, _ := d.AddThing("full")
+	cl, _ := d.AddClient()
+	d.Env.Set(19.5, 61, 99_000)
+	if err := d.PlugTMP36(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlugHIH4030(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlugBMP180(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	if got := len(th.InstalledDrivers()); got != 3 {
+		t.Fatalf("installed = %d drivers", got)
+	}
+	results := map[hw.DeviceID][]int32{}
+	for _, id := range []hw.DeviceID{driver.IDTMP36, driver.IDHIH4030, driver.IDBMP180} {
+		id := id
+		cl.Read(th.Addr(), id, func(v []int32) { results[id] = v })
+	}
+	d.Run()
+	if len(results) != 3 {
+		t.Fatalf("results = %v", results)
+	}
+	if temp := results[driver.IDTMP36]; len(temp) != 1 || temp[0] < 185 || temp[0] > 205 {
+		t.Errorf("TMP36 = %v", temp)
+	}
+	if rh := results[driver.IDHIH4030]; len(rh) != 1 || rh[0] < 570 || rh[0] > 650 {
+		t.Errorf("HIH4030 = %v", rh)
+	}
+	if p := results[driver.IDBMP180]; len(p) != 2 || p[1] < 98_950 || p[1] > 99_050 {
+		t.Errorf("BMP180 = %v", p)
+	}
+}

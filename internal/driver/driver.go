@@ -1,0 +1,242 @@
+// Package driver implements the µPnP driver artefact life cycle: the driver
+// repository hosted by µPnP managers, the validation step that promotes a
+// provisional address-space entry to a permanent one (Section 3.3), and the
+// standard driver set for the four evaluation peripherals of Section 6.
+package driver
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"sync"
+
+	"micropnp/internal/bytecode"
+	"micropnp/internal/dsl"
+	"micropnp/internal/hw"
+)
+
+//go:embed drivers/*.updsl
+var driverFS embed.FS
+
+// Status of an address-space entry (Section 3.3): an address stays
+// provisional until a validated driver is uploaded, then becomes permanent
+// (immutable allocation; drivers may still be updated).
+type Status uint8
+
+// Entry statuses.
+const (
+	StatusProvisional Status = iota
+	StatusPermanent
+)
+
+func (s Status) String() string {
+	if s == StatusPermanent {
+		return "permanent"
+	}
+	return "provisional"
+}
+
+// Entry is one peripheral type in the repository: address-space metadata
+// plus the current driver artefact.
+type Entry struct {
+	ID     hw.DeviceID
+	Name   string
+	Bus    hw.BusKind
+	Status Status
+	// Source is the DSL source, when known.
+	Source string
+	// Bytecode is the compiled, verified driver.
+	Bytecode []byte
+}
+
+// Repository is the driver store a µPnP manager serves uploads from.
+type Repository struct {
+	mu      sync.Mutex
+	entries map[hw.DeviceID]*Entry
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{entries: map[hw.DeviceID]*Entry{}}
+}
+
+// Reserve allocates a provisional address (no driver yet).
+func (r *Repository) Reserve(id hw.DeviceID, name string, bus hw.BusKind) error {
+	if id.Reserved() {
+		return fmt.Errorf("driver: %v is a reserved identifier", id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[id]; dup {
+		return fmt.Errorf("driver: identifier %v already allocated", id)
+	}
+	r.entries[id] = &Entry{ID: id, Name: name, Bus: bus, Status: StatusProvisional}
+	return nil
+}
+
+// Upload validates a driver artefact against its claimed identifier and
+// stores it; a successful upload promotes the entry to permanent. The
+// artefact must decode, verify, and carry the entry's identifier.
+func (r *Repository) Upload(id hw.DeviceID, code []byte, source string) error {
+	prog, err := bytecode.Decode(code)
+	if err != nil {
+		return fmt.Errorf("driver: upload for %v rejected: %w", id, err)
+	}
+	if err := prog.Verify(); err != nil {
+		return fmt.Errorf("driver: upload for %v rejected: %w", id, err)
+	}
+	if hw.DeviceID(prog.DeviceID) != id {
+		return fmt.Errorf("driver: artefact claims %v but was uploaded for %v",
+			hw.DeviceID(prog.DeviceID), id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return fmt.Errorf("driver: identifier %v was never reserved", id)
+	}
+	e.Bytecode = append([]byte(nil), code...)
+	e.Source = source
+	e.Status = StatusPermanent
+	return nil
+}
+
+// Lookup returns the driver artefact for a peripheral type.
+func (r *Repository) Lookup(id hw.DeviceID) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok || e.Bytecode == nil {
+		return nil, false
+	}
+	cp := *e
+	cp.Bytecode = append([]byte(nil), e.Bytecode...)
+	return &cp, true
+}
+
+// List returns all entries ordered by identifier.
+func (r *Repository) List() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Remove garbage-collects an address (future work in the paper; here a
+// plain delete that only succeeds for provisional entries, since permanent
+// allocations are immutable).
+func (r *Repository) Remove(id hw.DeviceID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return fmt.Errorf("driver: identifier %v not allocated", id)
+	}
+	if e.Status == StatusPermanent {
+		return fmt.Errorf("driver: %v is permanent and cannot be removed", id)
+	}
+	delete(r.entries, id)
+	return nil
+}
+
+// Standard peripheral identifiers for the four evaluation devices. The
+// values 0xad1cbe01, 0x0a0bbf03 and 0xed3f0ac1 follow the worked examples
+// in Figures 8 and 10 of the paper.
+const (
+	IDTMP36   hw.DeviceID = 0xad1cbe01
+	IDHIH4030 hw.DeviceID = 0xad1cbe02
+	IDBMP180  hw.DeviceID = 0x0a0bbf03
+	IDID20LA  hw.DeviceID = 0xed3f0ac1
+)
+
+// StandardDriver describes one shipped driver.
+type StandardDriver struct {
+	ID   hw.DeviceID
+	Name string
+	Bus  hw.BusKind
+	File string
+}
+
+// StandardDrivers is the shipped driver set (Table 3's four peripherals).
+var StandardDrivers = []StandardDriver{
+	{ID: IDTMP36, Name: "TMP36", Bus: hw.BusADC, File: "drivers/tmp36.updsl"},
+	{ID: IDHIH4030, Name: "HIH-4030", Bus: hw.BusADC, File: "drivers/hih4030.updsl"},
+	{ID: IDID20LA, Name: "ID-20LA RFID", Bus: hw.BusUART, File: "drivers/id20la.updsl"},
+	{ID: IDBMP180, Name: "BMP180 Pressure", Bus: hw.BusI2C, File: "drivers/bmp180.updsl"},
+}
+
+// Extension peripheral identifiers, allocated under the structured
+// namespace of Section 9 (vendor | class | product).
+var (
+	// IDADXL345: vendor 0x00AD, accelerometer class, product 1.
+	IDADXL345 = hw.DeviceID(0x00AD<<16) | hw.DeviceID(hw.ClassAccelerometer)<<8 | 0x01
+	// IDRelay: vendor 0x00A1, relay class, product 1.
+	IDRelay = hw.DeviceID(0x00A1<<16) | hw.DeviceID(hw.ClassActuatorRelay)<<8 | 0x01
+)
+
+// ExtendedDrivers are the extension peripherals beyond the paper's four:
+// an SPI accelerometer and an I²C relay actuator.
+var ExtendedDrivers = []StandardDriver{
+	{ID: IDADXL345, Name: "ADXL345 Accelerometer", Bus: hw.BusSPI, File: "drivers/adxl345.updsl"},
+	{ID: IDRelay, Name: "PCF8574 Relay Bank", Bus: hw.BusI2C, File: "drivers/relay.updsl"},
+}
+
+// Source returns the embedded DSL source of a standard driver.
+func Source(sd StandardDriver) (string, error) {
+	b, err := driverFS.ReadFile(sd.File)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// StandardRepository compiles the shipped drivers and returns a repository
+// with all four registered and permanent.
+func StandardRepository() (*Repository, error) {
+	repo := NewRepository()
+	if err := addDrivers(repo, StandardDrivers); err != nil {
+		return nil, err
+	}
+	return repo, nil
+}
+
+// FullRepository returns the standard four drivers plus the extension
+// peripherals (ADXL345 accelerometer, PCF8574 relay bank).
+func FullRepository() (*Repository, error) {
+	repo, err := StandardRepository()
+	if err != nil {
+		return nil, err
+	}
+	if err := addDrivers(repo, ExtendedDrivers); err != nil {
+		return nil, err
+	}
+	return repo, nil
+}
+
+func addDrivers(repo *Repository, drivers []StandardDriver) error {
+	for _, sd := range drivers {
+		src, err := Source(sd)
+		if err != nil {
+			return err
+		}
+		prog, err := dsl.Compile(src, uint32(sd.ID))
+		if err != nil {
+			return fmt.Errorf("driver: compiling %s: %w", sd.Name, err)
+		}
+		code, err := prog.Encode()
+		if err != nil {
+			return err
+		}
+		if err := repo.Reserve(sd.ID, sd.Name, sd.Bus); err != nil {
+			return err
+		}
+		if err := repo.Upload(sd.ID, code, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}

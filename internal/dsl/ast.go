@@ -1,0 +1,172 @@
+package dsl
+
+// Type is a DSL value type. All numeric types occupy one 32-bit VM cell; the
+// width information drives diagnostics.
+type Type struct {
+	Name string
+	Bits int
+	// Signed is informational (the VM computes in int32).
+	Signed bool
+	// Bool marks the bool type.
+	Bool bool
+}
+
+// Builtin types of the DSL.
+var builtinTypes = map[string]Type{
+	"uint8_t":  {Name: "uint8_t", Bits: 8},
+	"int8_t":   {Name: "int8_t", Bits: 8, Signed: true},
+	"uint16_t": {Name: "uint16_t", Bits: 16},
+	"int16_t":  {Name: "int16_t", Bits: 16, Signed: true},
+	"uint32_t": {Name: "uint32_t", Bits: 32},
+	"int32_t":  {Name: "int32_t", Bits: 32, Signed: true},
+	"char":     {Name: "char", Bits: 8},
+	"bool":     {Name: "bool", Bits: 1, Bool: true},
+}
+
+// Program is the AST root.
+type Program struct {
+	Imports  []string
+	Statics  []*VarDecl
+	Handlers []*HandlerDecl
+}
+
+// VarDecl declares one static or local variable.
+type VarDecl struct {
+	Type     Type
+	Name     string
+	ArrayLen int  // 0 for scalars
+	Init     Expr // optional (locals only)
+	Line     int
+}
+
+// HandlerDecl is one event or error handler.
+type HandlerDecl struct {
+	IsError bool
+	Name    string
+	Params  []*VarDecl
+	Body    []Stmt
+	Line    int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt is `lvalue = expr;`, `lvalue += expr;` or `lvalue -= expr;`.
+type AssignStmt struct {
+	Target *LValue
+	Op     TokenKind // TokAssign, TokPlusEq, TokMinusEq
+	Value  Expr
+	Line   int
+}
+
+// LValue is an assignable location: a variable or an array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Line  int
+}
+
+// SignalStmt is `signal dest.event(args...);`.
+type SignalStmt struct {
+	Dest  string // "this" or an imported library
+	Event string
+	Args  []Expr
+	Line  int
+}
+
+// ReturnStmt is `return;` or `return expr;`. Returning a bare array static
+// transfers the whole array to the pending remote operation.
+type ReturnStmt struct {
+	Value Expr // nil for bare return
+	Line  int
+}
+
+// IfStmt is an if/elif/else chain (elif is desugared into nested IfStmt).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is a bounded loop. Handlers run to completion, so loops must
+// terminate; the VM enforces a fuel limit at runtime.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// LocalDecl declares a handler-local variable.
+type LocalDecl struct {
+	Decl *VarDecl
+	Line int
+}
+
+// PassStmt is the empty statement.
+type PassStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for its side effect (e.g. `idx++;`).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*SignalStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*LocalDecl) stmtNode()  {}
+func (*PassStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer, character or boolean literal.
+type IntLit struct {
+	Val  int32
+	Line int
+}
+
+// Ident references a variable or builtin constant.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is `name[expr]`.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// UnaryExpr is `-x`, `~x`, `!x` / `not x`.
+type UnaryExpr struct {
+	Op   TokenKind
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   TokenKind
+	L, R Expr
+	Line int
+}
+
+// PostfixExpr is `x++` or `x--`; it evaluates to the value before the update.
+type PostfixExpr struct {
+	Name string
+	Op   TokenKind // TokPlusPlus or TokMinusMinus
+	Line int
+}
+
+func (*IntLit) exprNode()      {}
+func (*Ident) exprNode()       {}
+func (*IndexExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()   {}
+func (*BinaryExpr) exprNode()  {}
+func (*PostfixExpr) exprNode() {}

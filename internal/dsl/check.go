@@ -1,0 +1,290 @@
+package dsl
+
+import (
+	"fmt"
+
+	"micropnp/internal/bytecode"
+)
+
+// symbol describes one resolved variable.
+type symbol struct {
+	isStatic bool
+	slot     int // static slot or local index
+	arrayLen int // 0 for scalars
+	typ      Type
+}
+
+// checker performs semantic analysis: symbol resolution, arity checking for
+// signals, array/scalar usage discipline and the structural rules of the
+// language (init/destroy presence, handler uniqueness, local limits).
+type checker struct {
+	prog     *Program
+	statics  map[string]*symbol
+	order    []string // static declaration order
+	imports  map[string]*NativeLib
+	handlers map[string]*HandlerDecl
+
+	// per-handler state
+	locals     map[string]*symbol
+	localCount int
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func check(prog *Program) (*checker, error) {
+	c := &checker{
+		prog:     prog,
+		statics:  map[string]*symbol{},
+		imports:  map[string]*NativeLib{},
+		handlers: map[string]*HandlerDecl{},
+	}
+	for _, im := range prog.Imports {
+		lib, ok := NativeLibs[im]
+		if !ok {
+			return nil, fmt.Errorf("import %q: no such native library", im)
+		}
+		if _, dup := c.imports[im]; dup {
+			return nil, fmt.Errorf("import %q: duplicate import", im)
+		}
+		c.imports[im] = lib
+	}
+	for _, d := range prog.Statics {
+		if _, dup := c.statics[d.Name]; dup {
+			return nil, errAt(d.Line, "static %q redeclared", d.Name)
+		}
+		if _, isConst := BuiltinConsts[d.Name]; isConst {
+			return nil, errAt(d.Line, "%q shadows a builtin constant", d.Name)
+		}
+		c.statics[d.Name] = &symbol{isStatic: true, slot: len(c.order), arrayLen: d.ArrayLen, typ: d.Type}
+		c.order = append(c.order, d.Name)
+	}
+	if len(c.order) > bytecode.MaxStatics {
+		return nil, fmt.Errorf("too many statics (%d, max %d)", len(c.order), bytecode.MaxStatics)
+	}
+	for _, h := range prog.Handlers {
+		if _, dup := c.handlers[h.Name]; dup {
+			return nil, errAt(h.Line, "handler %q redeclared", h.Name)
+		}
+		c.handlers[h.Name] = h
+	}
+	for _, required := range []string{"init", "destroy"} {
+		h, ok := c.handlers[required]
+		if !ok {
+			return nil, fmt.Errorf("drivers must implement the %s handler", required)
+		}
+		if h.IsError {
+			return nil, errAt(h.Line, "%s must be an event handler, not an error handler", required)
+		}
+		if len(h.Params) != 0 {
+			return nil, errAt(h.Line, "%s must take no parameters", required)
+		}
+	}
+	for _, h := range prog.Handlers {
+		if err := c.checkHandler(h); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *checker) checkHandler(h *HandlerDecl) error {
+	c.locals = map[string]*symbol{}
+	c.localCount = 0
+	for _, p := range h.Params {
+		if _, dup := c.locals[p.Name]; dup {
+			return errAt(p.Line, "parameter %q redeclared", p.Name)
+		}
+		if _, isConst := BuiltinConsts[p.Name]; isConst {
+			return errAt(p.Line, "parameter %q shadows a builtin constant", p.Name)
+		}
+		c.locals[p.Name] = &symbol{slot: c.localCount, typ: p.Type}
+		c.localCount++
+	}
+	if c.localCount > bytecode.MaxLocals {
+		return errAt(h.Line, "handler %q: too many parameters", h.Name)
+	}
+	return c.checkStmts(h.Body)
+}
+
+func (c *checker) checkStmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch n := s.(type) {
+	case *PassStmt:
+		return nil
+	case *LocalDecl:
+		d := n.Decl
+		if d.ArrayLen != 0 {
+			return errAt(n.Line, "local arrays are not supported; declare %q as a static", d.Name)
+		}
+		if _, dup := c.locals[d.Name]; dup {
+			return errAt(n.Line, "local %q redeclared", d.Name)
+		}
+		if _, shadows := c.statics[d.Name]; shadows {
+			return errAt(n.Line, "local %q shadows a static", d.Name)
+		}
+		if _, isConst := BuiltinConsts[d.Name]; isConst {
+			return errAt(n.Line, "local %q shadows a builtin constant", d.Name)
+		}
+		if d.Init != nil {
+			if err := c.checkExpr(d.Init); err != nil {
+				return err
+			}
+		}
+		if c.localCount >= bytecode.MaxLocals {
+			return errAt(n.Line, "too many locals (max %d)", bytecode.MaxLocals)
+		}
+		c.locals[d.Name] = &symbol{slot: c.localCount, typ: d.Type}
+		c.localCount++
+		return nil
+	case *AssignStmt:
+		sym, err := c.resolve(n.Target.Name, n.Line)
+		if err != nil {
+			return err
+		}
+		if n.Target.Index != nil {
+			if sym.arrayLen == 0 {
+				return errAt(n.Line, "%q is not an array", n.Target.Name)
+			}
+			if !sym.isStatic {
+				return errAt(n.Line, "internal: local arrays unsupported")
+			}
+			if err := c.checkExpr(n.Target.Index); err != nil {
+				return err
+			}
+		} else if sym.arrayLen != 0 {
+			return errAt(n.Line, "cannot assign to array %q without an index", n.Target.Name)
+		}
+		return c.checkExpr(n.Value)
+	case *SignalStmt:
+		return c.checkSignal(n)
+	case *ReturnStmt:
+		if n.Value == nil {
+			return nil
+		}
+		// Bare array return is allowed; everything else is a scalar expr.
+		if id, ok := n.Value.(*Ident); ok {
+			if sym, err := c.resolve(id.Name, n.Line); err == nil && sym.arrayLen != 0 {
+				return nil
+			}
+		}
+		return c.checkExpr(n.Value)
+	case *IfStmt:
+		if err := c.checkExpr(n.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmts(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			return c.checkStmts(n.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(n.Cond); err != nil {
+			return err
+		}
+		return c.checkStmts(n.Body)
+	case *ExprStmt:
+		return c.checkExpr(n.X)
+	default:
+		return fmt.Errorf("internal: unknown statement %T", s)
+	}
+}
+
+func (c *checker) checkSignal(n *SignalStmt) error {
+	for _, a := range n.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+	}
+	if n.Dest == "this" {
+		h, ok := c.handlers[n.Event]
+		if !ok {
+			return errAt(n.Line, "signal this.%s: no such handler", n.Event)
+		}
+		if len(h.Params) != len(n.Args) {
+			return errAt(n.Line, "signal this.%s: handler takes %d arguments, got %d",
+				n.Event, len(h.Params), len(n.Args))
+		}
+		return nil
+	}
+	lib, ok := c.imports[n.Dest]
+	if !ok {
+		return errAt(n.Line, "signal %s.%s: library %q not imported", n.Dest, n.Event, n.Dest)
+	}
+	arity, ok := lib.Ops[n.Event]
+	if !ok {
+		return errAt(n.Line, "signal %s.%s: library %q has no operation %q", n.Dest, n.Event, n.Dest, n.Event)
+	}
+	if arity != len(n.Args) {
+		return errAt(n.Line, "signal %s.%s: operation takes %d arguments, got %d",
+			n.Dest, n.Event, arity, len(n.Args))
+	}
+	return nil
+}
+
+func (c *checker) resolve(name string, line int) (*symbol, error) {
+	if sym, ok := c.locals[name]; ok {
+		return sym, nil
+	}
+	if sym, ok := c.statics[name]; ok {
+		return sym, nil
+	}
+	return nil, errAt(line, "undeclared identifier %q", name)
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit:
+		return nil
+	case *Ident:
+		if _, isConst := BuiltinConsts[n.Name]; isConst {
+			return nil
+		}
+		sym, err := c.resolve(n.Name, n.Line)
+		if err != nil {
+			return err
+		}
+		if sym.arrayLen != 0 {
+			return errAt(n.Line, "array %q used as a scalar (index it or return it)", n.Name)
+		}
+		return nil
+	case *IndexExpr:
+		sym, err := c.resolve(n.Name, n.Line)
+		if err != nil {
+			return err
+		}
+		if sym.arrayLen == 0 {
+			return errAt(n.Line, "%q is not an array", n.Name)
+		}
+		return c.checkExpr(n.Index)
+	case *UnaryExpr:
+		return c.checkExpr(n.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(n.L); err != nil {
+			return err
+		}
+		return c.checkExpr(n.R)
+	case *PostfixExpr:
+		sym, err := c.resolve(n.Name, n.Line)
+		if err != nil {
+			return err
+		}
+		if sym.arrayLen != 0 {
+			return errAt(n.Line, "cannot apply ++/-- to array %q", n.Name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("internal: unknown expression %T", e)
+	}
+}

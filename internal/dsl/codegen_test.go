@@ -1,0 +1,276 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"micropnp/internal/bytecode"
+	"micropnp/internal/vm"
+)
+
+// run compiles src and executes the named handler, returning the machine.
+func run(t *testing.T, src, handler string, args ...int32) *vm.Machine {
+	t.Helper()
+	prog, err := Compile(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("init", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(handler, args); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompoundAssignments(t *testing.T) {
+	src := `int32_t a;
+uint8_t buf[4];
+
+event init():
+    a = 10;
+    buf[1] = 5;
+
+event destroy():
+    pass;
+
+event work():
+    a += 7;
+    a -= 2;
+    buf[1] += 3;
+    buf[1] -= 1;
+`
+	m := run(t, src, "work")
+	if got := m.Static(0)[0]; got != 15 {
+		t.Errorf("a = %d, want 15", got)
+	}
+	if got := m.Static(1)[1]; got != 7 {
+		t.Errorf("buf[1] = %d, want 7", got)
+	}
+}
+
+func TestPostfixDecrement(t *testing.T) {
+	src := `int32_t a, old;
+
+event init():
+    a = 5;
+
+event destroy():
+    pass;
+
+event work():
+    old = a--;
+    a--;
+`
+	m := run(t, src, "work")
+	if got := m.Static(0)[0]; got != 3 {
+		t.Errorf("a = %d, want 3", got)
+	}
+	if got := m.Static(1)[0]; got != 5 {
+		t.Errorf("old = %d, want 5 (postfix returns the previous value)", got)
+	}
+}
+
+func TestLogicalOperatorsTruthTable(t *testing.T) {
+	src := `int32_t r;
+
+event init():
+    pass;
+
+event destroy():
+    pass;
+
+event andOp(int32_t a, int32_t b):
+    r = 0;
+    if a and b:
+        r = 1;
+
+event orOp(int32_t a, int32_t b):
+    r = 0;
+    if a or b:
+        r = 1;
+
+event notOp(int32_t a):
+    r = 0;
+    if not a:
+        r = 1;
+`
+	prog, err := Compile(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		h    string
+		a, b int32
+		want int32
+	}{
+		{"andOp", 0, 0, 0}, {"andOp", 1, 0, 0}, {"andOp", 0, 9, 0}, {"andOp", 5, 9, 1},
+		{"orOp", 0, 0, 0}, {"orOp", 2, 0, 1}, {"orOp", 0, 3, 1}, {"orOp", 4, 4, 1},
+		{"notOp", 0, 0, 1}, {"notOp", 7, 0, 0},
+	}
+	for _, c := range cases {
+		args := []int32{c.a, c.b}
+		if c.h == "notOp" {
+			args = args[:1]
+		}
+		if _, err := m.Run(c.h, args); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Static(0)[0]; got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.h, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestElifChainSelectsCorrectBranch(t *testing.T) {
+	src := `int32_t r;
+
+event init():
+    pass;
+
+event destroy():
+    pass;
+
+event pick(int32_t x):
+    if x == 1:
+        r = 100;
+    elif x == 2:
+        r = 200;
+    elif x == 3:
+        r = 300;
+    else:
+        r = -1;
+`
+	prog, err := Compile(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range map[int32]int32{1: 100, 2: 200, 3: 300, 9: -1} {
+		if _, err := m.Run("pick", []int32{x}); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Static(0)[0]; got != want {
+			t.Errorf("pick(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestWhileLoopComputes(t *testing.T) {
+	src := `int32_t sum;
+
+event init():
+    pass;
+
+event destroy():
+    pass;
+
+event gauss(int32_t n):
+    sum = 0;
+    int32_t i = 1;
+    while i <= n:
+        sum += i;
+        i++;
+`
+	prog, err := Compile(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("gauss", []int32{100}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Static(0)[0]; got != 5050 {
+		t.Fatalf("gauss(100) = %d, want 5050", got)
+	}
+}
+
+func TestTildeAndNegation(t *testing.T) {
+	src := `int32_t a, b;
+
+event init():
+    pass;
+
+event destroy():
+    pass;
+
+event work(int32_t x):
+    a = ~x;
+    b = -x;
+`
+	prog, _ := Compile(src, 1)
+	m, _ := vm.NewMachine(prog)
+	if _, err := m.Run("work", []int32{5}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Static(0)[0] != ^int32(5) || m.Static(1)[0] != -5 {
+		t.Fatalf("~5 = %d, -5 = %d", m.Static(0)[0], m.Static(1)[0])
+	}
+}
+
+func TestArithmeticShiftRight(t *testing.T) {
+	src := `int32_t r;
+
+event init():
+    pass;
+
+event destroy():
+    pass;
+
+event work(int32_t x):
+    r = x >> 4;
+`
+	prog, _ := Compile(src, 1)
+	m, _ := vm.NewMachine(prog)
+	if _, err := m.Run("work", []int32{-7357 * 1000}); err != nil {
+		t.Fatal(err)
+	}
+	// Arithmetic shift: Go semantics, required by the BMP180 math.
+	if got, want := m.Static(0)[0], int32(-7357*1000)>>4; got != want {
+		t.Fatalf(">> = %d, want %d", got, want)
+	}
+}
+
+func TestDisassemblyOfCompiledDriver(t *testing.T) {
+	prog, err := Compile(listing1Joined, 0xed3f0ac1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := bytecode.DisassembleProgram(prog)
+	for _, want := range []string{"uart.init/4", "uart.read/0", "this.readDone/0", "ret.s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestTokenDiagnostics(t *testing.T) {
+	toks, err := Lex("x = 1;\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos() != "1:1" {
+		t.Errorf("pos = %s", toks[0].Pos())
+	}
+	if toks[0].String() != "identifier(x)" {
+		t.Errorf("ident renders as %q", toks[0].String())
+	}
+	if TokShl.String() != "<<" || TokenKind(999).String() == "" {
+		t.Error("token kinds must render")
+	}
+}

@@ -1,0 +1,217 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lex tokenises DSL source, producing Python-style INDENT/DEDENT tokens for
+// block structure. Comments run from '#' to end of line. Blank lines and
+// comment-only lines produce no tokens.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, indents: []int{0}}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.tokens, nil
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line      int // 0-based
+	lineStart int
+	tokens    []Token
+	indents   []int
+}
+
+func (l *lexer) errf(col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", l.line+1, col+1, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) emit(kind TokenKind, text string, val int64, col int) {
+	l.tokens = append(l.tokens, Token{Kind: kind, Text: text, Val: val, Line: l.line + 1, Col: col + 1})
+}
+
+func (l *lexer) run() error {
+	lines := strings.Split(l.src, "\n")
+	for i, raw := range lines {
+		l.line = i
+		if err := l.lexLine(raw); err != nil {
+			return err
+		}
+	}
+	// Close any open blocks.
+	for len(l.indents) > 1 {
+		l.indents = l.indents[:len(l.indents)-1]
+		l.emit(TokDedent, "", 0, 0)
+	}
+	l.emit(TokEOF, "", 0, 0)
+	return nil
+}
+
+func (l *lexer) lexLine(raw string) error {
+	// Measure indentation: tabs count as 8 columns (consistent use assumed).
+	indent := 0
+	body := raw
+	for len(body) > 0 {
+		switch body[0] {
+		case ' ':
+			indent++
+		case '\t':
+			indent += 8 - indent%8
+		default:
+			goto measured
+		}
+		body = body[1:]
+	}
+measured:
+	trimmed := strings.TrimRight(body, " \t\r")
+	if trimmed == "" || trimmed[0] == '#' {
+		return nil // blank or comment-only line
+	}
+
+	cur := l.indents[len(l.indents)-1]
+	switch {
+	case indent > cur:
+		l.indents = append(l.indents, indent)
+		l.emit(TokIndent, "", 0, 0)
+	case indent < cur:
+		for len(l.indents) > 1 && l.indents[len(l.indents)-1] > indent {
+			l.indents = l.indents[:len(l.indents)-1]
+			l.emit(TokDedent, "", 0, 0)
+		}
+		if l.indents[len(l.indents)-1] != indent {
+			return l.errf(0, "inconsistent indentation")
+		}
+	}
+
+	if err := l.lexTokens(trimmed, len(raw)-len(body)); err != nil {
+		return err
+	}
+	l.emit(TokNewline, "", 0, len(raw))
+	return nil
+}
+
+func (l *lexer) lexTokens(s string, baseCol int) error {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		col := baseCol + i
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return nil // comment to end of line
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			word := s[i:j]
+			if kw, ok := keywords[word]; ok {
+				l.emit(kw, word, 0, col)
+			} else {
+				l.emit(TokIdent, word, 0, col)
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < len(s) && (isIdentPart(s[j])) {
+				j++
+			}
+			text := s[i:j]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return l.errf(col, "bad integer literal %q", text)
+			}
+			if v > 0x7fffffff || v < -0x80000000 {
+				return l.errf(col, "integer literal %q out of 32-bit range", text)
+			}
+			l.emit(TokInt, text, v, col)
+			i = j
+		case c == '\'':
+			// Character literal: 'x' or escaped '\n' '\r' '\t' '\0' '\\' '\''.
+			if i+2 < len(s) && s[i+1] == '\\' && i+3 < len(s) && s[i+3] == '\'' {
+				var v byte
+				switch s[i+2] {
+				case 'n':
+					v = '\n'
+				case 'r':
+					v = '\r'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\':
+					v = '\\'
+				case '\'':
+					v = '\''
+				default:
+					return l.errf(col, "bad escape '\\%c'", s[i+2])
+				}
+				l.emit(TokChar, s[i:i+4], int64(v), col)
+				i += 4
+			} else if i+2 < len(s) && s[i+2] == '\'' {
+				l.emit(TokChar, s[i:i+3], int64(s[i+1]), col)
+				i += 3
+			} else {
+				return l.errf(col, "unterminated character literal")
+			}
+		default:
+			kind, width, err := l.operator(s[i:], col)
+			if err != nil {
+				return err
+			}
+			l.emit(kind, s[i:i+width], 0, col)
+			i += width
+		}
+	}
+	return nil
+}
+
+func (l *lexer) operator(s string, col int) (TokenKind, int, error) {
+	two := map[string]TokenKind{
+		"==": TokEq, "!=": TokNe, "<=": TokLe, ">=": TokGe,
+		"<<": TokShl, ">>": TokShr, "++": TokPlusPlus, "--": TokMinusMinus,
+		"+=": TokPlusEq, "-=": TokMinusEq,
+	}
+	if len(s) >= 2 {
+		if k, ok := two[s[:2]]; ok {
+			return k, 2, nil
+		}
+	}
+	one := map[byte]TokenKind{
+		'(': TokLParen, ')': TokRParen, '[': TokLBracket, ']': TokRBracket,
+		',': TokComma, ';': TokSemicolon, ':': TokColon, '.': TokDot,
+		'=': TokAssign, '+': TokPlus, '-': TokMinus, '*': TokStar,
+		'/': TokSlash, '%': TokPercent, '&': TokAmp, '|': TokPipe,
+		'^': TokCaret, '~': TokTilde, '<': TokLt, '>': TokGt, '!': TokBang,
+	}
+	if k, ok := one[s[0]]; ok {
+		return k, 1, nil
+	}
+	return TokEOF, 0, l.errf(col, "unexpected character %q", s[0])
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// SLoC counts source lines of code: non-blank, non-comment-only lines. This
+// is the development-effort metric of Table 3.
+func SLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "#") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package dsl
+
+// NativeLib describes the event API a native interconnect library exposes to
+// drivers (Section 4.2): operations the driver may signal, events the
+// library delivers back to the driver, and the error events it can raise.
+type NativeLib struct {
+	Name string
+	// Ops maps signalable operation names to their arity.
+	Ops map[string]int
+	// Delivers lists the driver-side event names the library invokes, with
+	// their parameter counts (informational; drivers need not handle all).
+	Delivers map[string]int
+	// Errors lists the error events the library can raise.
+	Errors []string
+}
+
+// NativeLibs is the registry of interconnect libraries available to drivers.
+// It mirrors the native interconnect libraries of the µPnP execution
+// environment (Figure 8) plus the split-phase timer needed by conversion
+// based sensors such as the BMP180.
+var NativeLibs = map[string]*NativeLib{
+	"uart": {
+		Name: "uart",
+		Ops: map[string]int{
+			"init":  4, // baud, parity, stop bits, data bits
+			"reset": 0,
+			"read":  0, // start delivering newdata events
+			"write": 1, // transmit one byte
+		},
+		Delivers: map[string]int{"newdata": 1, "writeDone": 0},
+		Errors:   []string{"invalidConfiguration", "uartInUse", "timeOut"},
+	},
+	"adc": {
+		Name: "adc",
+		Ops: map[string]int{
+			"read": 0, // start one conversion
+		},
+		Delivers: map[string]int{"sample": 1},
+		Errors:   []string{"adcFault"},
+	},
+	"i2c": {
+		Name: "i2c",
+		Ops: map[string]int{
+			"read":  3, // addr, reg, n (n <= 4; result packed big-endian)
+			"write": 4, // addr, reg, value, n
+		},
+		Delivers: map[string]int{"i2cdata": 2, "i2cack": 0},
+		Errors:   []string{"i2cNack"},
+	},
+	"spi": {
+		Name: "spi",
+		Ops: map[string]int{
+			"transfer": 2, // value (big-endian packed), n (n <= 4)
+		},
+		Delivers: map[string]int{"spidata": 2},
+		Errors:   []string{"spiFault"},
+	},
+	"timer": {
+		Name: "timer",
+		Ops: map[string]int{
+			"start": 1, // milliseconds
+		},
+		Delivers: map[string]int{"timerFired": 0},
+	},
+}
+
+// BuiltinConsts are the named constants available in driver source, mirroring
+// the identifiers used in Listing 1 of the paper.
+var BuiltinConsts = map[string]int32{
+	"USART_PARITY_NONE": 0,
+	"USART_PARITY_EVEN": 1,
+	"USART_PARITY_ODD":  2,
+	"USART_STOP_BITS_1": 1,
+	"USART_STOP_BITS_2": 2,
+	"USART_DATA_BITS_5": 5,
+	"USART_DATA_BITS_6": 6,
+	"USART_DATA_BITS_7": 7,
+	"USART_DATA_BITS_8": 8,
+	"USART_DATA_BITS_9": 9,
+
+	// BMP180 register interface, for I²C driver readability.
+	"BMP180_ADDR":      0x77,
+	"BMP180_REG_CTRL":  0xF4,
+	"BMP180_REG_OUT":   0xF6,
+	"BMP180_REG_CALIB": 0xAA,
+	"BMP180_CMD_TEMP":  0x2E,
+	"BMP180_CMD_PRESS": 0x34,
+
+	// PCF8574 port expander (relay driver).
+	"PCF8574_ADDR": 0x20,
+
+	// ADXL345 accelerometer (SPI driver).
+	"ADXL_REG_POWER_CTL": 0x2D,
+	"ADXL_MEASURE":       0x08,
+	"ADXL_READ_X":        0xF2, // read|multi|0x32
+	"ADXL_READ_Y":        0xF4, // read|multi|0x34
+	"ADXL_READ_Z":        0xF6, // read|multi|0x36
+}

@@ -1,0 +1,128 @@
+// Package dsl implements the µPnP driver Domain-Specific Language of
+// Section 4.1: a typed, event-based language with Python-inspired syntax.
+// Drivers define event and error handlers that run to completion; all I/O is
+// split-phase through the signal statement; the compiler translates drivers
+// into the compact bytecode of internal/bytecode for over-the-air
+// distribution and interpretation by internal/vm.
+package dsl
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokIdent
+	TokInt
+	TokChar // character literal, e.g. 'a'
+
+	// Keywords.
+	TokImport
+	TokEvent
+	TokError
+	TokSignal
+	TokReturn
+	TokIf
+	TokElif
+	TokElse
+	TokWhile
+	TokPass
+	TokTrue
+	TokFalse
+	TokAnd
+	TokOr
+	TokNot
+	TokThis
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemicolon
+	TokColon
+	TokDot
+	TokAssign   // =
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokPlusPlus // ++
+	TokMinusMinus
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokBang
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokNewline: "newline", TokIndent: "indent", TokDedent: "dedent",
+	TokIdent: "identifier", TokInt: "integer", TokChar: "char literal",
+	TokImport: "import", TokEvent: "event", TokError: "error", TokSignal: "signal",
+	TokReturn: "return", TokIf: "if", TokElif: "elif", TokElse: "else",
+	TokWhile: "while", TokPass: "pass", TokTrue: "true", TokFalse: "false",
+	TokAnd: "and", TokOr: "or", TokNot: "not", TokThis: "this",
+	TokLParen: "(", TokRParen: ")", TokLBracket: "[", TokRBracket: "]",
+	TokComma: ",", TokSemicolon: ";", TokColon: ":", TokDot: ".",
+	TokAssign: "=", TokPlusEq: "+=", TokMinusEq: "-=",
+	TokPlusPlus: "++", TokMinusMinus: "--",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~",
+	TokShl: "<<", TokShr: ">>",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokBang: "!",
+}
+
+func (k TokenKind) String() string {
+	if n, ok := tokenNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"import": TokImport, "event": TokEvent, "error": TokError,
+	"signal": TokSignal, "return": TokReturn,
+	"if": TokIf, "elif": TokElif, "else": TokElse, "while": TokWhile,
+	"pass": TokPass, "true": TokTrue, "false": TokFalse,
+	"and": TokAnd, "or": TokOr, "not": TokNot, "this": TokThis,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Val  int64 // value for TokInt and TokChar
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokInt, TokChar:
+		return fmt.Sprintf("%v(%s)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Pos renders the token position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

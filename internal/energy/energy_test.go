@@ -1,0 +1,156 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"micropnp/internal/hw"
+)
+
+func TestIdentEnergyWindow(t *testing.T) {
+	res := Simulate(DeploymentConfig{ChangePeriod: time.Hour, Profile: ProfileADC})
+	// Per-identification energy must land in the paper's measured window
+	// (2.48e-3 J .. 6.756e-3 J).
+	if res.IdentMin < 2.3e-3 || res.IdentMin > 7e-3 {
+		t.Errorf("ident min %.4g J outside window", float64(res.IdentMin))
+	}
+	if res.IdentMax < res.IdentMin || res.IdentMax > 7e-3 {
+		t.Errorf("ident max %.4g J outside window", float64(res.IdentMax))
+	}
+	if res.IdentMean < res.IdentMin || res.IdentMean > res.IdentMax {
+		t.Errorf("mean %.4g J outside [min,max]", float64(res.IdentMean))
+	}
+}
+
+func TestHourlyChangeFourOrdersOfMagnitude(t *testing.T) {
+	// Headline claim: at an hourly change rate µPnP consumes over four
+	// orders of magnitude less energy than the USB host shield.
+	for _, p := range Figure12Profiles {
+		res := Simulate(DeploymentConfig{ChangePeriod: time.Hour, Profile: p})
+		ratio := float64(res.USB) / float64(res.UPnPMean)
+		if ratio < 1e4 {
+			t.Errorf("%s: USB/µPnP ratio = %.3g, want > 1e4", p.Name, ratio)
+		}
+	}
+}
+
+func TestUSBWinsNever(t *testing.T) {
+	// µPnP must beat USB at every plotted change rate.
+	for _, pt := range Sweep(Figure12Rates(), Figure12Profiles) {
+		if pt.UPnPMax >= pt.USB {
+			t.Errorf("%v: µPnP worst case %.4g J must stay below USB %.4g J",
+				pt.Profile, float64(pt.UPnPMax), float64(pt.USB))
+		}
+	}
+}
+
+func TestEnergyScalesLinearlyWithChangeRate(t *testing.T) {
+	// Doubling the change frequency should (asymptotically) double µPnP
+	// identification energy. Use a fast change rate where identification
+	// dominates the interconnect cost.
+	a := Simulate(DeploymentConfig{ChangePeriod: time.Minute, Profile: ProfileADC})
+	b := Simulate(DeploymentConfig{ChangePeriod: 2 * time.Minute, Profile: ProfileADC})
+	identA := float64(a.UPnPMean) - float64(a.Comms)*float64(ProfileADC.PerOp)
+	identB := float64(b.UPnPMean) - float64(b.Comms)*float64(ProfileADC.PerOp)
+	ratio := identA / identB
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("identification energy ratio = %.3f, want ~2 (linear scaling)", ratio)
+	}
+}
+
+func TestInterconnectDivergenceAtLowRates(t *testing.T) {
+	// Figure 12: the interconnect lines diverge at LOW change rates (where
+	// interconnect energy dominates) and converge at HIGH change rates
+	// (where identification dominates).
+	slow := time.Duration(1_000_000) * time.Minute
+	fast := time.Minute
+
+	uartSlow := Simulate(DeploymentConfig{ChangePeriod: slow, Profile: ProfileUART})
+	adcSlow := Simulate(DeploymentConfig{ChangePeriod: slow, Profile: ProfileADC})
+	uartFast := Simulate(DeploymentConfig{ChangePeriod: fast, Profile: ProfileUART})
+	adcFast := Simulate(DeploymentConfig{ChangePeriod: fast, Profile: ProfileADC})
+
+	slowRatio := float64(uartSlow.UPnPMean) / float64(adcSlow.UPnPMean)
+	fastRatio := float64(uartFast.UPnPMean) / float64(adcFast.UPnPMean)
+	if slowRatio < 2 {
+		t.Errorf("at slow change rates UART should cost well over 2x ADC, got %.2fx", slowRatio)
+	}
+	if fastRatio > 1.1 {
+		t.Errorf("at fast change rates the interconnects should converge, got %.2fx", fastRatio)
+	}
+}
+
+func TestUSBFlatAcrossRates(t *testing.T) {
+	pts := Sweep(Figure12Rates(), []InterconnectProfile{ProfileADC})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].USB != pts[0].USB {
+			t.Fatal("USB baseline must not depend on change rate")
+		}
+	}
+}
+
+func TestFigure12RatesSpanSixDecades(t *testing.T) {
+	rates := Figure12Rates()
+	if len(rates) != 7 {
+		t.Fatalf("want 7 decade points, got %d", len(rates))
+	}
+	if rates[0] != time.Minute || rates[6] != 1_000_000*time.Minute {
+		t.Fatalf("rates = %v", rates)
+	}
+}
+
+func TestErrorBarsNonDegenerate(t *testing.T) {
+	// The error bars in Figure 12 come from resistor-value-dependent
+	// identification energy; at fast change rates they must be visible.
+	res := Simulate(DeploymentConfig{ChangePeriod: time.Minute, Profile: ProfileADC})
+	if res.UPnPMin >= res.UPnPMax {
+		t.Fatalf("error bar degenerate: min %.4g max %.4g", float64(res.UPnPMin), float64(res.UPnPMax))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	res := Simulate(DeploymentConfig{ChangePeriod: time.Hour, Profile: ProfileI2C})
+	if res.Config.Duration != Year {
+		t.Error("default duration must be one year")
+	}
+	if res.Config.CommPeriod != 10*time.Second {
+		t.Error("default communication period must be 10 s")
+	}
+	if res.Comms != int(Year/(10*time.Second)) {
+		t.Errorf("comms = %d", res.Comms)
+	}
+	if res.Changes != int(Year/time.Hour) {
+		t.Errorf("changes = %d", res.Changes)
+	}
+}
+
+func TestOrdersOfMagnitudeAndString(t *testing.T) {
+	pt := SweepPoint{Profile: "µPnP+ADC", ChangePeriod: time.Hour, UPnPMean: 40, USB: 9.5e5}
+	if oom := pt.OrdersOfMagnitude(); oom < 4 || oom > 5 {
+		t.Errorf("OrdersOfMagnitude = %.2f, want in (4,5)", oom)
+	}
+	if pt.String() == "" {
+		t.Error("String must render")
+	}
+	zero := SweepPoint{}
+	if zero.OrdersOfMagnitude() != 0 {
+		t.Error("degenerate point must report 0")
+	}
+}
+
+func TestUSBHostEnergy(t *testing.T) {
+	e := DefaultUSBHost.Energy(Year)
+	// 30 mW for a year ≈ 9.46e5 J — the flat line near 1e6 J in Figure 12.
+	want := 30e-3 * Year.Seconds()
+	if math.Abs(float64(e)-want) > 1 {
+		t.Errorf("USB year energy = %.4g, want %.4g", float64(e), want)
+	}
+}
+
+func TestProfilesMatchBusKinds(t *testing.T) {
+	if ProfileADC.Bus != hw.BusADC || ProfileI2C.Bus != hw.BusI2C ||
+		ProfileUART.Bus != hw.BusUART || ProfileSPI.Bus != hw.BusSPI {
+		t.Fatal("profile bus kinds mismatch")
+	}
+}

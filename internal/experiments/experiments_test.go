@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWaveformsRender(t *testing.T) {
+	out := Waveforms()
+	for _, want := range []string{"Figure 2", "Figure 3", "Figure 5", "channelA EN", "channelC EN", "output"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waveforms missing %q", want)
+		}
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rows := Figure12()
+	if len(rows) != 3*7 {
+		t.Fatalf("rows = %d, want 21 (3 profiles x 7 decades)", len(rows))
+	}
+	for _, r := range rows {
+		if r.UPnPMean >= r.USB {
+			t.Errorf("%s at %v: µPnP %.3g J must beat USB %.3g J",
+				r.Profile, r.ChangePeriod, float64(r.UPnPMean), float64(r.USB))
+		}
+	}
+	if !strings.Contains(Figure12Table(), "orders of magnitude") {
+		t.Error("table must state the headline comparison")
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[6].Component != "Total" || rows[6].PaperFlash != 14231 || rows[6].PaperRAM != 1518 {
+		t.Fatalf("total row = %+v", rows[6])
+	}
+	if rows[6].Measured <= 0 {
+		t.Error("measured total must be positive")
+	}
+	if Table2Text() == "" {
+		t.Error("must render")
+	}
+}
+
+func TestTable3ReproducesShape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var dslSLoC, natSLoC, dslBytes, natBytes int
+	for _, r := range rows {
+		// Per-driver claims: the DSL variant must need fewer lines than
+		// the native variant and stay OTA-friendly.
+		if r.DSLSLoC >= r.NativeSLoC {
+			t.Errorf("%s: DSL %d SLoC must beat native %d", r.Driver, r.DSLSLoC, r.NativeSLoC)
+		}
+		if r.DSLBytes > 1024 {
+			t.Errorf("%s: DSL driver is %d B; must stay OTA-friendly", r.Driver, r.DSLBytes)
+		}
+		dslSLoC += r.DSLSLoC
+		natSLoC += r.NativeSLoC
+		dslBytes += r.DSLBytes
+		natBytes += r.NativePaperBytes
+	}
+	// Aggregate shape: paper reports 52% SLoC and 94% footprint reduction.
+	slocRed := 1 - float64(dslSLoC)/float64(natSLoC)
+	byteRed := 1 - float64(dslBytes)/float64(natBytes)
+	if slocRed < 0.30 || slocRed > 0.75 {
+		t.Errorf("SLoC reduction = %.0f%%, want in the paper's ballpark (52%%)", slocRed*100)
+	}
+	if byteRed < 0.70 {
+		t.Errorf("footprint reduction = %.0f%%, want large (paper: 94%%)", byteRed*100)
+	}
+	if !strings.Contains(Table3Text(), "Average") {
+		t.Error("table must include the average row")
+	}
+}
+
+func TestTable4Statistics(t *testing.T) {
+	res, err := Table4(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var sum time.Duration
+	for _, r := range res.Rows {
+		if r.Mean <= 0 {
+			t.Errorf("%s mean = %v", r.Operation, r.Mean)
+		}
+		sum += r.Mean
+	}
+	// Phase means must sum to the network total.
+	if diff := res.Total.Mean - sum; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("total %v != phase sum %v", res.Total.Mean, sum)
+	}
+	// One-hop total lands in the paper's regime (188.53 ms there).
+	if res.Total.Mean < 120*time.Millisecond || res.Total.Mean > 260*time.Millisecond {
+		t.Errorf("network total = %v, want roughly 190 ms", res.Total.Mean)
+	}
+	// End-to-end includes hardware identification (paper: 488.53 ms).
+	if res.EndToEnd.Mean < 350*time.Millisecond || res.EndToEnd.Mean > 600*time.Millisecond {
+		t.Errorf("end-to-end = %v, want roughly 490 ms", res.EndToEnd.Mean)
+	}
+	if Table4Text(3) == "" {
+		t.Error("must render")
+	}
+}
+
+func TestAblationPulse(t *testing.T) {
+	out := AblationPulse()
+	if !strings.Contains(out, "4 x 8-bit pulses") || !strings.Contains(out, "292 years") {
+		t.Fatalf("ablation output:\n%s", out)
+	}
+}
+
+func TestAblationMulticastBeatsUnicast(t *testing.T) {
+	for _, n := range []int{7, 31} {
+		r, err := AblationMulticast(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MulticastTransmissions >= r.UnicastTransmissions {
+			t.Errorf("n=%d: multicast %d must beat unicast %d",
+				n, r.MulticastTransmissions, r.UnicastTransmissions)
+		}
+		// SMRF covers a tree of n nodes with at most n edge transmissions.
+		if r.MulticastTransmissions > n {
+			t.Errorf("n=%d: multicast %d transmissions exceeds node count", n, r.MulticastTransmissions)
+		}
+	}
+	if AblationMulticastText() == "" {
+		t.Error("must render")
+	}
+}
+
+func TestCSLoCCounter(t *testing.T) {
+	src := "/* block\n comment */\nint x;\n// line comment\n\nint y;\n/* one-liner */ int z;\n"
+	if n := cSLoC(src); n != 3 {
+		t.Fatalf("cSLoC = %d, want 3", n)
+	}
+}

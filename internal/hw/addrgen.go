@@ -1,0 +1,69 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ResistorChoice is one identification resistor realised from purchasable
+// E-series parts: either a single part (B == 0) or two parts in series.
+type ResistorChoice struct {
+	Target Ohm // exact resistance demanded by the identifier byte
+	A, B   Ohm // chosen preferred values (series-connected when B > 0)
+	RelErr float64
+}
+
+// Achieved returns the realised nominal resistance A+B.
+func (rc ResistorChoice) Achieved() Ohm { return rc.A + rc.B }
+
+// ResistorSet is the bill of materials the µPnP address-space tool hands to
+// a peripheral designer: the four resistors encoding an assigned identifier.
+type ResistorSet struct {
+	ID      DeviceID
+	Series  ESeries
+	Choices [4]ResistorChoice
+	// DecodesOK reports that the realised values (at nominal) decode back to
+	// ID through the default board electronics.
+	DecodesOK bool
+}
+
+// GenerateResistorSet reproduces the paper's online tool (Section 3.3): given
+// an assigned device identifier it computes the four resistor values
+// (Figure 4) and approximates each with purchasable series parts, verifying
+// that the realised set still decodes to the same identifier.
+func GenerateResistorSet(id DeviceID, series ESeries) (*ResistorSet, error) {
+	if id.Reserved() {
+		return nil, fmt.Errorf("hw: identifier %v is reserved", id)
+	}
+	coder := DefaultPulseCoder
+	vib := DefaultMultivibrator
+
+	set := &ResistorSet{ID: id, Series: series}
+	var pulses [4]Ohm = coder.Resistors(id, vib)
+	var realised [4]time.Duration
+	for i, target := range pulses {
+		a, b, relErr := series.SeriesPair(target)
+		set.Choices[i] = ResistorChoice{Target: target, A: a, B: b, RelErr: relErr}
+		realised[i] = vib.Pulse(set.Choices[i].Achieved(), nil)
+	}
+	got, err := coder.DecodeID(realised)
+	set.DecodesOK = err == nil && got == id
+	return set, nil
+}
+
+// BOM renders the resistor set as a human-readable bill of materials.
+func (s *ResistorSet) BOM() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "device ID %v  (series E%d, decode check: %v)\n", s.ID, int(s.Series), s.DecodesOK)
+	for i, c := range s.Choices {
+		fmt.Fprintf(&sb, "  R%d: target %-10s -> ", i+1, FormatOhm(c.Target))
+		if c.B > 0 {
+			fmt.Fprintf(&sb, "%s + %s in series", FormatOhm(c.A), FormatOhm(c.B))
+		} else {
+			fmt.Fprintf(&sb, "%s", FormatOhm(c.A))
+		}
+		fmt.Fprintf(&sb, " (err %.3f%%)\n", c.RelErr*100)
+	}
+	return sb.String()
+}

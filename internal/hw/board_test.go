@@ -1,0 +1,218 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustPeripheral(t testing.TB, id DeviceID, bus BusKind, rng *rand.Rand) *Peripheral {
+	t.Helper()
+	p, err := NewPeripheral(PeripheralSpec{ID: id, Bus: bus, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestIdentifySingle(t *testing.T) {
+	b := NewControlBoard(BoardConfig{})
+	p := mustPeripheral(t, 0xad1cbe01, BusI2C, nil)
+	if err := b.Plug(1, p); err != nil {
+		t.Fatal(err)
+	}
+	res := b.Identify()
+	if len(res.Readings) != 3 {
+		t.Fatalf("want 3 channel readings, got %d", len(res.Readings))
+	}
+	rd := res.Readings[1]
+	if !rd.Connected {
+		t.Fatal("channel 1 must be connected")
+	}
+	if rd.Err != nil {
+		t.Fatalf("decode error: %v", rd.Err)
+	}
+	if rd.ID != 0xad1cbe01 {
+		t.Fatalf("decoded %v, want 0xad1cbe01", rd.ID)
+	}
+	if res.Readings[0].Connected || res.Readings[2].Connected {
+		t.Fatal("channels 0 and 2 must be empty")
+	}
+	if res.Duration < 220*time.Millisecond || res.Duration > 300*time.Millisecond {
+		t.Errorf("identification time %v outside the paper's 220-300 ms window", res.Duration)
+	}
+	if res.Energy < 2.3e-3 || res.Energy > 7.0e-3 {
+		t.Errorf("identification energy %.4g J outside the paper's 2.48-6.756 mJ window", float64(res.Energy))
+	}
+}
+
+func TestIdentifyWithManufacturingTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewControlBoard(BoardConfig{Rng: rng, MeasurementJitter: 0.0005})
+	ids := []DeviceID{0x00000001, 0xad1cbe01, 0xed3f0ac1}
+	for ch, id := range ids {
+		if err := b.Plug(ch, mustPeripheral(t, id, BusADC, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := b.Identify()
+	for ch, rd := range res.Readings {
+		if rd.Err != nil {
+			t.Fatalf("channel %d decode error: %v", ch, rd.Err)
+		}
+		if rd.ID != ids[ch] {
+			t.Fatalf("channel %d decoded %v, want %v", ch, rd.ID, ids[ch])
+		}
+	}
+}
+
+func TestIdentifyPropertyUnderTolerance(t *testing.T) {
+	// Any identifier must survive encode→manufacture→measure→decode as long
+	// as the component tolerances stay within the coder guard band.
+	rng := rand.New(rand.NewSource(7))
+	f := func(v uint32) bool {
+		id := DeviceID(v)
+		if id.Reserved() {
+			return true
+		}
+		b := NewControlBoard(BoardConfig{Channels: 1, Rng: rng})
+		p, err := NewPeripheral(PeripheralSpec{ID: id, Bus: BusADC, Rng: rng})
+		if err != nil {
+			return false
+		}
+		if err := b.Plug(0, p); err != nil {
+			return false
+		}
+		res := b.Identify()
+		rd := res.Readings[0]
+		return rd.Err == nil && rd.ID == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentifyFailsWithExcessiveTolerance(t *testing.T) {
+	// Components far outside the guard band must (at least sometimes)
+	// produce decode errors or wrong identifiers. This documents the scheme's
+	// sensitivity to component precision.
+	rng := rand.New(rand.NewSource(3))
+	wrong := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		b := NewControlBoard(BoardConfig{Channels: 1, Rng: rng})
+		p, err := NewPeripheral(PeripheralSpec{ID: 0x55aa1234, Bus: BusADC, Tolerance: 0.05, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Plug(0, p); err != nil {
+			t.Fatal(err)
+		}
+		rd := b.Identify().Readings[0]
+		if rd.Err != nil || rd.ID != 0x55aa1234 {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("±5% resistors should break identification at least sometimes")
+	}
+}
+
+func TestInterrupts(t *testing.T) {
+	b := NewControlBoard(BoardConfig{})
+	var got []Interrupt
+	b.OnInterrupt(func(i Interrupt) { got = append(got, i) })
+
+	p := mustPeripheral(t, 0x01020304, BusUART, nil)
+	if err := b.Plug(2, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unplug(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 interrupts, got %d", len(got))
+	}
+	if !got[0].Attached || got[0].Channel != 2 {
+		t.Fatalf("first interrupt = %+v, want attach on channel 2", got[0])
+	}
+	if got[1].Attached || got[1].Channel != 2 {
+		t.Fatalf("second interrupt = %+v, want detach on channel 2", got[1])
+	}
+}
+
+func TestPlugErrors(t *testing.T) {
+	b := NewControlBoard(BoardConfig{})
+	p := mustPeripheral(t, 0x01020304, BusUART, nil)
+	if err := b.Plug(5, p); err == nil {
+		t.Error("plugging out-of-range channel must fail")
+	}
+	if err := b.Plug(-1, p); err == nil {
+		t.Error("plugging negative channel must fail")
+	}
+	if err := b.Plug(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Plug(0, p); err == nil {
+		t.Error("plugging occupied channel must fail")
+	}
+	if _, err := b.Unplug(1); err == nil {
+		t.Error("unplugging empty channel must fail")
+	}
+	if _, err := b.Unplug(9); err == nil {
+		t.Error("unplugging out-of-range channel must fail")
+	}
+}
+
+func TestReservedPeripheralRejected(t *testing.T) {
+	if _, err := NewPeripheral(PeripheralSpec{ID: DeviceIDAllClients, Bus: BusADC}); err == nil {
+		t.Fatal("reserved ID must be rejected")
+	}
+	if _, err := NewPeripheral(PeripheralSpec{ID: DeviceIDAllPeripherals, Bus: BusADC}); err == nil {
+		t.Fatal("reserved ID must be rejected")
+	}
+}
+
+func TestBoardStats(t *testing.T) {
+	b := NewControlBoard(BoardConfig{})
+	p := mustPeripheral(t, 0x01020304, BusSPI, nil)
+	if err := b.Plug(0, p); err != nil {
+		t.Fatal(err)
+	}
+	b.Identify()
+	b.Identify()
+	st := b.Stats()
+	if st.Scans != 2 {
+		t.Errorf("scans = %d, want 2", st.Scans)
+	}
+	if st.Interrupts != 1 {
+		t.Errorf("interrupts = %d, want 1", st.Interrupts)
+	}
+	if st.EnergyTotal <= 0 || st.ActiveTime <= 0 {
+		t.Error("energy and active time must accumulate")
+	}
+}
+
+func TestWorstCaseScanTime(t *testing.T) {
+	got := WorstCaseScanTime(BoardConfig{}, 1)
+	if got < 295*time.Millisecond || got > 305*time.Millisecond {
+		t.Fatalf("worst case with 1 connected = %v, want ~300 ms", got)
+	}
+}
+
+func TestEnergyScalesWithID(t *testing.T) {
+	cheap := NewControlBoard(BoardConfig{Channels: 1})
+	dear := NewControlBoard(BoardConfig{Channels: 1})
+	if err := cheap.Plug(0, mustPeripheral(t, 0x00000000+1, BusADC, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dear.Plug(0, mustPeripheral(t, 0xfffffffe, BusADC, nil)); err != nil {
+		t.Fatal(err)
+	}
+	e1 := cheap.Identify().Energy
+	e2 := dear.Identify().Energy
+	if e1 >= e2 {
+		t.Fatalf("large identifiers must cost more energy: %v vs %v", e1, e2)
+	}
+}

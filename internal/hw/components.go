@@ -1,0 +1,105 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Ohm and Farad express component values in SI units.
+type (
+	// Ohm is an electrical resistance in ohms.
+	Ohm float64
+	// Farad is an electrical capacitance in farads.
+	Farad float64
+)
+
+// Resistor models a physical resistor: a nominal value plus the worst-case
+// relative manufacturing tolerance (e.g. 0.005 for a ±0.5% part).
+type Resistor struct {
+	Nominal   Ohm
+	Tolerance float64
+}
+
+// Capacitor models a physical capacitor with nominal value and tolerance.
+type Capacitor struct {
+	Nominal   Farad
+	Tolerance float64
+}
+
+// Actual returns the as-manufactured resistance. When rng is non-nil the
+// deviation is drawn uniformly from [-Tolerance, +Tolerance]; a nil rng
+// returns the nominal value, which keeps unit tests deterministic.
+func (r Resistor) Actual(rng *rand.Rand) Ohm {
+	return Ohm(applyTolerance(float64(r.Nominal), r.Tolerance, rng))
+}
+
+// Actual returns the as-manufactured capacitance, sampled like
+// Resistor.Actual.
+func (c Capacitor) Actual(rng *rand.Rand) Farad {
+	return Farad(applyTolerance(float64(c.Nominal), c.Tolerance, rng))
+}
+
+func applyTolerance(nominal, tol float64, rng *rand.Rand) float64 {
+	if rng == nil || tol == 0 {
+		return nominal
+	}
+	dev := (rng.Float64()*2 - 1) * tol
+	return nominal * (1 + dev)
+}
+
+func (r Resistor) String() string {
+	return fmt.Sprintf("%s ±%.2g%%", FormatOhm(r.Nominal), r.Tolerance*100)
+}
+
+// FormatOhm renders a resistance using engineering notation (e.g. "47kΩ").
+func FormatOhm(v Ohm) string {
+	f := float64(v)
+	switch {
+	case f >= 1e6:
+		return trimZero(f/1e6) + "MΩ"
+	case f >= 1e3:
+		return trimZero(f/1e3) + "kΩ"
+	default:
+		return trimZero(f) + "Ω"
+	}
+}
+
+func trimZero(f float64) string {
+	s := fmt.Sprintf("%.3f", f)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Multivibrator models a monostable multivibrator (one of the four timers on
+// the µPnP control board). When triggered it emits a single pulse whose
+// length is T = k·R·C where R is supplied by the connected peripheral and C
+// is the board's fixed capacitor (Equation 1).
+type Multivibrator struct {
+	// K is the circuit constant k of Equation 1. For the canonical 555-style
+	// monostable circuit k ≈ 1.1.
+	K float64
+	// C is the board-side timing capacitor.
+	C Capacitor
+}
+
+// Pulse returns the pulse duration produced for resistance r. Component
+// tolerance for the board capacitor is sampled from rng (nil ⇒ nominal).
+func (m Multivibrator) Pulse(r Ohm, rng *rand.Rand) time.Duration {
+	c := m.C.Actual(rng)
+	secs := m.K * float64(r) * float64(c)
+	return time.Duration(math.Round(secs * float64(time.Second)))
+}
+
+// ResistorFor inverts Equation 1: it returns the nominal resistance that
+// produces a pulse of duration t through this multivibrator.
+func (m Multivibrator) ResistorFor(t time.Duration) Ohm {
+	secs := t.Seconds()
+	return Ohm(secs / (m.K * float64(m.C.Nominal)))
+}

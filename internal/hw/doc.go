@@ -1,0 +1,21 @@
+// Package hw simulates the µPnP hardware identification substrate described
+// in Section 3 of the paper: monostable multivibrators that convert passive
+// electrical components (four resistors on each peripheral, fixed capacitors
+// on the control board) into a train of four timed pulses, which the
+// peripheral controller decodes into a 32-bit device-type identifier.
+//
+// The package models the physics the scheme depends on:
+//
+//   - pulse length T = k·R·C (Equation 1 of the paper),
+//   - component manufacturing tolerance (resistors and capacitors are sold in
+//     IEC 60063 "E-series" preferred values with a relative tolerance),
+//   - logarithmically spaced decode bins, required because component error is
+//     relative — a fixed-width bin scheme would need exponentially growing
+//     component values, which is exactly the observation that motivates the
+//     paper's 4-short-pulses design over a single long pulse,
+//   - the control board's channel time-multiplexing (Figure 5), interrupt
+//     driven activation, and per-identification energy cost (Section 6.1).
+//
+// Everything is deterministic unless a *rand.Rand is supplied for tolerance
+// sampling, which keeps tests reproducible.
+package hw

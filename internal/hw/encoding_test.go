@@ -1,0 +1,198 @@
+package hw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeviceIDBytesRoundTrip(t *testing.T) {
+	ids := []DeviceID{0, 1, 0xad1cbe01, 0xed3f0ac1, 0xffffffff, 0x00ff00ff}
+	for _, id := range ids {
+		if got := DeviceIDFromBytes(id.Bytes()); got != id {
+			t.Errorf("round trip %v: got %v", id, got)
+		}
+	}
+}
+
+func TestDeviceIDBytesRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		id := DeviceID(v)
+		return DeviceIDFromBytes(id.Bytes()) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedIDs(t *testing.T) {
+	if !DeviceIDAllPeripherals.Reserved() || !DeviceIDAllClients.Reserved() {
+		t.Fatal("reserved IDs must report Reserved()")
+	}
+	if DeviceID(0xad1cbe01).Reserved() {
+		t.Fatal("ordinary ID must not be reserved")
+	}
+}
+
+func TestPulseCoderNominalRoundTrip(t *testing.T) {
+	pc := DefaultPulseCoder
+	for b := 0; b < 256; b++ {
+		d := pc.Duration(byte(b))
+		got, err := pc.Byte(d)
+		if err != nil {
+			t.Fatalf("byte %d: %v", b, err)
+		}
+		if got != byte(b) {
+			t.Fatalf("byte %d decoded as %d (duration %v)", b, got, d)
+		}
+	}
+}
+
+func TestPulseCoderMonotone(t *testing.T) {
+	pc := DefaultPulseCoder
+	prev := time.Duration(0)
+	for b := 0; b < 256; b++ {
+		d := pc.Duration(byte(b))
+		if d <= prev {
+			t.Fatalf("durations must be strictly increasing: byte %d gives %v after %v", b, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestPulseCoderGuardBand(t *testing.T) {
+	pc := DefaultPulseCoder
+	guard := pc.GuardBand()
+	if guard <= 0 {
+		t.Fatal("guard band must be positive")
+	}
+	// A pulse perturbed by strictly less than half the guard band must still
+	// decode to the same byte.
+	for _, b := range []byte{0, 1, 7, 100, 200, 255} {
+		d := pc.Duration(b)
+		for _, dev := range []float64{-guard * 0.45, guard * 0.45} {
+			perturbed := time.Duration(float64(d) * (1 + dev))
+			got, err := pc.Byte(perturbed)
+			if err != nil {
+				t.Fatalf("byte %d dev %.4f: %v", b, dev, err)
+			}
+			if got != b {
+				t.Errorf("byte %d at deviation %.4f decoded as %d", b, dev, got)
+			}
+		}
+	}
+}
+
+func TestPulseCoderRejectsOutOfRange(t *testing.T) {
+	pc := DefaultPulseCoder
+	if _, err := pc.Byte(0); err == nil {
+		t.Error("zero-length pulse must be rejected")
+	}
+	if _, err := pc.Byte(-time.Millisecond); err == nil {
+		t.Error("negative pulse must be rejected")
+	}
+	if _, err := pc.Byte(pc.TMax() * 3); err == nil {
+		t.Error("pulse far beyond TMax must be rejected")
+	}
+	if _, err := pc.Byte(pc.TMin / 3); err == nil {
+		t.Error("pulse far below TMin must be rejected")
+	}
+}
+
+func TestEncodeDecodeIDProperty(t *testing.T) {
+	pc := DefaultPulseCoder
+	f := func(v uint32) bool {
+		id := DeviceID(v)
+		got, err := pc.DecodeID(pc.EncodeID(id))
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainDurationWindow(t *testing.T) {
+	pc := DefaultPulseCoder
+	min := pc.TrainDuration(0x00000000)
+	max := pc.TrainDuration(0xffffffff)
+	if min >= max {
+		t.Fatalf("min train %v must be below max train %v", min, max)
+	}
+	// Calibration: with the default 3-channel board and one peripheral the
+	// total process time must land in the paper's 220–300 ms window.
+	base := TriggerOverhead + 3*ChannelSettle + 2*NoPulseTimeout
+	lo, hi := base+min, base+max
+	if lo < 215*time.Millisecond || lo > 225*time.Millisecond {
+		t.Errorf("best-case process time %v outside ~220 ms", lo)
+	}
+	if hi < 295*time.Millisecond || hi > 305*time.Millisecond {
+		t.Errorf("worst-case process time %v outside ~300 ms", hi)
+	}
+}
+
+func TestResistorsInvertPulses(t *testing.T) {
+	pc := DefaultPulseCoder
+	m := DefaultMultivibrator
+	id := DeviceID(0xad1cbe01)
+	rs := pc.Resistors(id, m)
+	var pulses [4]time.Duration
+	for i, r := range rs {
+		pulses[i] = m.Pulse(r, nil)
+	}
+	got, err := pc.DecodeID(pulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("resistor round trip: got %v want %v", got, id)
+	}
+}
+
+func TestSinglePulseCoderExponentialBlowup(t *testing.T) {
+	// The ablation behind the paper's 4-short-pulses design choice: a single
+	// 32-bit pulse with the same guard band has an astronomically long worst
+	// case, while the 4x8-bit train stays under 100 ms.
+	four := DefaultPulseCoder.TrainDuration(0xffffffff)
+	single := SinglePulseCoder{TMin: DefaultPulseCoder.TMin, Ratio: DefaultPulseCoder.Ratio, Bits: 32}
+	if single.WorstCase() < 1000*time.Hour {
+		t.Fatalf("single 32-bit pulse worst case %v should be astronomically long", single.WorstCase())
+	}
+	if four > 100*time.Millisecond {
+		t.Fatalf("4-pulse train worst case %v should stay under 100 ms", four)
+	}
+	// Even 16-bit single-pulse encoding is already impractical.
+	s16 := SinglePulseCoder{TMin: DefaultPulseCoder.TMin, Ratio: DefaultPulseCoder.Ratio, Bits: 16}
+	if s16.WorstCase() < time.Hour {
+		t.Fatalf("16-bit single pulse worst case %v should exceed an hour", s16.WorstCase())
+	}
+}
+
+func TestMultivibratorEquation(t *testing.T) {
+	m := Multivibrator{K: 1.1, C: Capacitor{Nominal: 100e-9}}
+	// T = 1.1 * 10k * 100n = 1.1 ms
+	got := m.Pulse(10_000, nil)
+	want := 1100 * time.Microsecond
+	if d := math.Abs(float64(got - want)); d > float64(time.Microsecond) {
+		t.Fatalf("pulse = %v, want %v", got, want)
+	}
+	r := m.ResistorFor(want)
+	if math.Abs(float64(r)-10_000) > 1 {
+		t.Fatalf("ResistorFor inverse = %v, want 10k", r)
+	}
+}
+
+func TestToleranceSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Resistor{Nominal: 10_000, Tolerance: 0.01}
+	for i := 0; i < 100; i++ {
+		a := float64(r.Actual(rng))
+		if a < 9_900-1e-9 || a > 10_100+1e-9 {
+			t.Fatalf("sample %v outside ±1%% of 10k", a)
+		}
+	}
+	if r.Actual(nil) != 10_000 {
+		t.Fatal("nil rng must return nominal")
+	}
+}

@@ -1,0 +1,126 @@
+package hw
+
+import (
+	"math"
+	"sort"
+)
+
+// ESeries identifies an IEC 60063 preferred-value series for passive
+// components. The series determines both the set of purchasable nominal
+// values and the customary tolerance of parts sold in that series.
+type ESeries int
+
+// Supported IEC 60063 series.
+const (
+	E12 ESeries = 12 // ±10% parts
+	E24 ESeries = 24 // ±5% parts
+	E96 ESeries = 96 // ±1% parts (0.5% variants are common)
+)
+
+// Tolerance returns the customary relative tolerance of components sold in
+// the series.
+func (s ESeries) Tolerance() float64 {
+	switch s {
+	case E12:
+		return 0.10
+	case E24:
+		return 0.05
+	default:
+		return 0.01
+	}
+}
+
+// e12 and e24 are the standardised mantissas; E96 values are generated from
+// the round(10^(i/96), 2 digits) rule with the historical exceptions baked in
+// by IEC 60063.
+var (
+	e12Mantissas = []float64{1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2}
+	e24Mantissas = []float64{
+		1.0, 1.1, 1.2, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7, 3.0,
+		3.3, 3.6, 3.9, 4.3, 4.7, 5.1, 5.6, 6.2, 6.8, 7.5, 8.2, 9.1,
+	}
+	// e96Mantissas is the standardised IEC 60063 E96 table (the published
+	// values deviate from the pure geometric progression in a handful of
+	// places, so the table is spelled out rather than generated).
+	e96Table = []float64{
+		1.00, 1.02, 1.05, 1.07, 1.10, 1.13, 1.15, 1.18, 1.21, 1.24, 1.27, 1.30,
+		1.33, 1.37, 1.40, 1.43, 1.47, 1.50, 1.54, 1.58, 1.62, 1.65, 1.69, 1.74,
+		1.78, 1.82, 1.87, 1.91, 1.96, 2.00, 2.05, 2.10, 2.15, 2.21, 2.26, 2.32,
+		2.37, 2.43, 2.49, 2.55, 2.61, 2.67, 2.74, 2.80, 2.87, 2.94, 3.01, 3.09,
+		3.16, 3.24, 3.32, 3.40, 3.48, 3.57, 3.65, 3.74, 3.83, 3.92, 4.02, 4.12,
+		4.22, 4.32, 4.42, 4.53, 4.64, 4.75, 4.87, 4.99, 5.11, 5.23, 5.36, 5.49,
+		5.62, 5.76, 5.90, 6.04, 6.19, 6.34, 6.49, 6.65, 6.81, 6.98, 7.15, 7.32,
+		7.50, 7.68, 7.87, 8.06, 8.25, 8.45, 8.66, 8.87, 9.09, 9.31, 9.53, 9.76,
+	}
+)
+
+func e96Mantissas() []float64 {
+	return append([]float64(nil), e96Table...)
+}
+
+// Mantissas returns the per-decade preferred mantissa values of the series
+// in increasing order.
+func (s ESeries) Mantissas() []float64 {
+	switch s {
+	case E12:
+		return append([]float64(nil), e12Mantissas...)
+	case E24:
+		return append([]float64(nil), e24Mantissas...)
+	default:
+		return e96Mantissas()
+	}
+}
+
+// Nearest returns the purchasable value from the series closest (in relative
+// error) to target. Decades from 1Ω through 10MΩ are considered.
+func (s ESeries) Nearest(target Ohm) Ohm {
+	if target <= 0 {
+		return 0
+	}
+	mant := s.Mantissas()
+	best, bestErr := Ohm(0), math.Inf(1)
+	for decade := 1.0; decade <= 1e7; decade *= 10 {
+		for _, m := range mant {
+			v := m * decade
+			relErr := math.Abs(v-float64(target)) / float64(target)
+			if relErr < bestErr {
+				bestErr = relErr
+				best = Ohm(v)
+			}
+		}
+	}
+	return best
+}
+
+// SeriesPair approximates target with two series-connected resistors drawn
+// from the E-series. It returns the pair (second may be zero if a single part
+// is close enough) and the achieved relative error. This is what the paper's
+// online resistor-generation tool must do when an assigned device identifier
+// demands a resistance that is not a preferred value.
+func (s ESeries) SeriesPair(target Ohm) (a, b Ohm, relErr float64) {
+	single := s.Nearest(target)
+	bestA, bestB := single, Ohm(0)
+	bestErr := math.Abs(float64(single-target)) / float64(target)
+
+	mant := s.Mantissas()
+	var candidates []Ohm
+	for decade := 1.0; decade <= 1e7; decade *= 10 {
+		for _, m := range mant {
+			candidates = append(candidates, Ohm(m*decade))
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	for _, ca := range candidates {
+		if ca >= target {
+			break
+		}
+		rem := target - ca
+		cb := s.Nearest(rem)
+		err := math.Abs(float64(ca+cb-target)) / float64(target)
+		if err < bestErr {
+			bestErr, bestA, bestB = err, ca, cb
+		}
+	}
+	return bestA, bestB, bestErr
+}

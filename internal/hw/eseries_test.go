@@ -1,0 +1,171 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestESeriesMantissaCounts(t *testing.T) {
+	if n := len(E12.Mantissas()); n != 12 {
+		t.Errorf("E12 has %d mantissas", n)
+	}
+	if n := len(E24.Mantissas()); n != 24 {
+		t.Errorf("E24 has %d mantissas", n)
+	}
+	if n := len(E96.Mantissas()); n != 96 {
+		t.Errorf("E96 has %d mantissas", n)
+	}
+}
+
+func TestE96KnownValues(t *testing.T) {
+	m := E96.Mantissas()
+	// Spot-check canonical E96 values including IEC exceptions.
+	want := map[int]float64{0: 1.00, 10: 1.27, 24: 1.78, 48: 3.16, 95: 9.76}
+	for i, v := range want {
+		if math.Abs(m[i]-v) > 1e-9 {
+			t.Errorf("E96[%d] = %v, want %v", i, m[i], v)
+		}
+	}
+}
+
+func TestMantissasIncreasing(t *testing.T) {
+	for _, s := range []ESeries{E12, E24, E96} {
+		m := s.Mantissas()
+		for i := 1; i < len(m); i++ {
+			if m[i] <= m[i-1] {
+				t.Errorf("E%d mantissas not increasing at %d: %v then %v", int(s), i, m[i-1], m[i])
+			}
+		}
+		if m[0] != 1.0 {
+			t.Errorf("E%d must start at 1.0", int(s))
+		}
+		if m[len(m)-1] >= 10 {
+			t.Errorf("E%d mantissas must stay below 10", int(s))
+		}
+	}
+}
+
+func TestNearestWithinHalfStep(t *testing.T) {
+	// Nearest E96 value is always within half the widest series gap
+	// (2.15 -> 2.21 is 2.79%) of any target in range.
+	f := func(raw uint32) bool {
+		target := Ohm(100 + float64(raw%10_000_000))
+		got := E96.Nearest(target)
+		relErr := math.Abs(float64(got-target)) / float64(target)
+		return relErr < 0.015
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesPairBeatsSingle(t *testing.T) {
+	// An awkward target: series pair should get closer than a single part.
+	target := Ohm(123_456)
+	single := E96.Nearest(target)
+	singleErr := math.Abs(float64(single-target)) / float64(target)
+	_, _, pairErr := E96.SeriesPair(target)
+	if pairErr > singleErr {
+		t.Fatalf("pair err %.5f worse than single err %.5f", pairErr, singleErr)
+	}
+	if pairErr > 0.005 {
+		t.Fatalf("pair err %.5f too large for E96", pairErr)
+	}
+}
+
+func TestGenerateResistorSet(t *testing.T) {
+	set, err := GenerateResistorSet(0xed3f0ac1, E96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.DecodesOK {
+		t.Fatalf("realised resistor set must decode back to the identifier:\n%s", set.BOM())
+	}
+	for i, c := range set.Choices {
+		if c.RelErr > DefaultPulseCoder.GuardBand() {
+			t.Errorf("R%d realised error %.4f%% exceeds guard band", i+1, c.RelErr*100)
+		}
+	}
+	if set.BOM() == "" {
+		t.Error("BOM must render")
+	}
+}
+
+func TestGenerateResistorSetRejectsReserved(t *testing.T) {
+	if _, err := GenerateResistorSet(DeviceIDAllClients, E96); err == nil {
+		t.Fatal("reserved ID must be rejected")
+	}
+}
+
+func TestGenerateResistorSetPropertyDecodes(t *testing.T) {
+	f := func(v uint32) bool {
+		id := DeviceID(v)
+		if id.Reserved() {
+			return true
+		}
+		set, err := GenerateResistorSet(id, E96)
+		return err == nil && set.DecodesOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatOhm(t *testing.T) {
+	cases := map[Ohm]string{
+		470:       "470Ω",
+		4_700:     "4.7kΩ",
+		47_000:    "47kΩ",
+		4_700_000: "4.7MΩ",
+	}
+	for in, want := range cases {
+		if got := FormatOhm(in); got != want {
+			t.Errorf("FormatOhm(%v) = %q, want %q", float64(in), got, want)
+		}
+	}
+}
+
+func TestPinouts(t *testing.T) {
+	if p := BusSPI.Pinout(); p.Pin12 != "SCK" {
+		t.Errorf("SPI pin12 = %q, want SCK", p.Pin12)
+	}
+	if p := BusADC.Pinout(); p.Pin11 != "N/C" || p.Pin12 != "N/C" {
+		t.Errorf("ADC pins 11/12 must be N/C, got %+v", p)
+	}
+	if p := BusUART.Pinout(); p.Pin10 != "TX" || p.Pin11 != "RX" {
+		t.Errorf("UART pinout wrong: %+v", p)
+	}
+	if p := BusI2C.Pinout(); p.Pin10 != "SDA" || p.Pin11 != "SCL" {
+		t.Errorf("I2C pinout wrong: %+v", p)
+	}
+	if BusUART.String() != "UART" || BusKind(9).String() == "" {
+		t.Error("BusKind.String must cover all values")
+	}
+}
+
+func TestWaveforms(t *testing.T) {
+	w := SinglePulse(DefaultMultivibrator, 100_000)
+	if len(w.Edges) == 0 || w.End() == 0 {
+		t.Fatal("single pulse waveform must have edges")
+	}
+	w = IDTrain(DefaultPulseCoder, 0xad1cbe01)
+	// 4 intervals -> 5 output edges.
+	if len(w.Edges) != 5 {
+		t.Fatalf("ID train edges = %d, want 5", len(w.Edges))
+	}
+
+	b := NewControlBoard(BoardConfig{})
+	p, _ := NewPeripheral(PeripheralSpec{ID: 0xad1cbe01, Bus: BusADC})
+	if err := b.Plug(0, p); err != nil {
+		t.Fatal(err)
+	}
+	w = ChannelScan(b)
+	if len(w.Signals()) < 4 { // start + 3 channel enables (+output)
+		t.Fatalf("channel scan signals = %v", w.Signals())
+	}
+	art := w.ASCII(64)
+	if art == "" {
+		t.Fatal("ASCII rendering must produce output")
+	}
+}

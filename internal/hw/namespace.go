@@ -1,0 +1,104 @@
+package hw
+
+import "fmt"
+
+// Structured identifiers — the Section 9 name-space redesign.
+//
+// The paper's future work proposes restructuring the flat 32-bit address
+// space along the lines of PCI/USB identification: a vendor identifier plus
+// a device identifier, extended with hierarchical device typing. This
+// implementation splits the 32-bit identifier as
+//
+//	| vendor : 16 | class : 8 | product : 8 |
+//
+// Vendor 0 is reserved: identifiers with vendor 0 and product 0 act as
+// class wildcards, giving every device class its own multicast group so
+// clients can discover "any temperature sensor" without knowing vendors.
+// Identifiers allocated before the redesign (such as the paper's worked
+// examples) remain valid flat identifiers — structure is opt-in at
+// allocation time.
+
+// StructuredID is the decomposed form of a structured device identifier.
+type StructuredID struct {
+	Vendor  uint16
+	Class   uint8
+	Product uint8
+}
+
+// Device classes of the hierarchical typing extension.
+const (
+	ClassUnspecified     uint8 = 0x00
+	ClassTemperature     uint8 = 0x01
+	ClassHumidity        uint8 = 0x02
+	ClassPressure        uint8 = 0x03
+	ClassIdentification  uint8 = 0x04 // RFID and similar readers
+	ClassLight           uint8 = 0x05
+	ClassAccelerometer   uint8 = 0x06
+	ClassActuatorRelay   uint8 = 0x10
+	ClassActuatorDisplay uint8 = 0x11
+	ClassActuatorAudio   uint8 = 0x12
+	ClassRadio           uint8 = 0x20
+)
+
+var classNames = map[uint8]string{
+	ClassUnspecified: "unspecified", ClassTemperature: "temperature",
+	ClassHumidity: "humidity", ClassPressure: "pressure",
+	ClassIdentification: "identification", ClassLight: "light",
+	ClassAccelerometer: "accelerometer", ClassActuatorRelay: "relay",
+	ClassActuatorDisplay: "display", ClassActuatorAudio: "audio",
+	ClassRadio: "radio",
+}
+
+// ClassName returns a human-readable class label.
+func ClassName(class uint8) string {
+	if n, ok := classNames[class]; ok {
+		return n
+	}
+	return fmt.Sprintf("class(0x%02x)", class)
+}
+
+// Structured decomposes a device identifier.
+func (id DeviceID) Structured() StructuredID {
+	return StructuredID{
+		Vendor:  uint16(id >> 16),
+		Class:   uint8(id >> 8),
+		Product: uint8(id),
+	}
+}
+
+// DeviceID reassembles the flat identifier.
+func (s StructuredID) DeviceID() DeviceID {
+	return DeviceID(s.Vendor)<<16 | DeviceID(s.Class)<<8 | DeviceID(s.Product)
+}
+
+// IsClassWildcard reports whether the identifier addresses a whole device
+// class (vendor 0, product 0, class non-zero).
+func (s StructuredID) IsClassWildcard() bool {
+	return s.Vendor == 0 && s.Product == 0 && s.Class != 0
+}
+
+func (s StructuredID) String() string {
+	return fmt.Sprintf("vendor=0x%04x class=%s product=0x%02x", s.Vendor, ClassName(s.Class), s.Product)
+}
+
+// MakeStructuredID allocates a structured identifier. Vendor 0 is reserved
+// for class wildcards, product 0 is reserved within each (vendor, class).
+func MakeStructuredID(vendor uint16, class, product uint8) (DeviceID, error) {
+	if vendor == 0 {
+		return 0, fmt.Errorf("hw: vendor 0 is reserved for class wildcards")
+	}
+	if product == 0 {
+		return 0, fmt.Errorf("hw: product 0 is reserved")
+	}
+	id := StructuredID{Vendor: vendor, Class: class, Product: product}.DeviceID()
+	if id.Reserved() {
+		return 0, fmt.Errorf("hw: identifier %v is reserved", id)
+	}
+	return id, nil
+}
+
+// ClassWildcard returns the wildcard identifier for a device class, used as
+// the class-scoped multicast group address suffix.
+func ClassWildcard(class uint8) DeviceID {
+	return StructuredID{Class: class}.DeviceID()
+}

@@ -1,0 +1,65 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStructuredIDRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		id := DeviceID(v)
+		return id.Structured().DeviceID() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeStructuredID(t *testing.T) {
+	id, err := MakeStructuredID(0x0042, ClassTemperature, 0x01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := id.Structured()
+	if s.Vendor != 0x42 || s.Class != ClassTemperature || s.Product != 1 {
+		t.Fatalf("structured = %+v", s)
+	}
+	if s.IsClassWildcard() {
+		t.Fatal("allocated ID must not be a wildcard")
+	}
+	if s.String() == "" {
+		t.Fatal("must render")
+	}
+}
+
+func TestMakeStructuredIDReservations(t *testing.T) {
+	if _, err := MakeStructuredID(0, ClassTemperature, 1); err == nil {
+		t.Fatal("vendor 0 is reserved")
+	}
+	if _, err := MakeStructuredID(0x42, ClassTemperature, 0); err == nil {
+		t.Fatal("product 0 is reserved")
+	}
+	if _, err := MakeStructuredID(0xffff, 0xff, 0xff); err == nil {
+		t.Fatal("the all-clients identifier must stay reserved")
+	}
+}
+
+func TestClassWildcard(t *testing.T) {
+	w := ClassWildcard(ClassPressure)
+	s := w.Structured()
+	if !s.IsClassWildcard() || s.Class != ClassPressure {
+		t.Fatalf("wildcard = %+v", s)
+	}
+	if ClassWildcard(0).Structured().IsClassWildcard() {
+		t.Fatal("class 0 has no wildcard")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	if ClassName(ClassTemperature) != "temperature" {
+		t.Fatal("known class must have a name")
+	}
+	if ClassName(0xEE) == "" {
+		t.Fatal("unknown classes must render")
+	}
+}

@@ -1,0 +1,88 @@
+package hw
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Peripheral is a pluggable µPnP peripheral board: four identification
+// resistors encoding its device-type identifier, plus the interconnect it
+// speaks once identified. The resistors are the ONLY active ingredient of
+// the identification scheme on the peripheral side (Figure 4) — this is what
+// keeps the per-peripheral cost below one US cent.
+type Peripheral struct {
+	// ID is the intended (assigned) identifier from the global address space.
+	ID DeviceID
+	// Bus is the interconnect the peripheral communicates over.
+	Bus BusKind
+	// Resistors are the as-designed nominal identification resistors R1..R4.
+	Resistors [4]Resistor
+	// actual holds the as-manufactured resistances, fixed at build time.
+	actual [4]Ohm
+}
+
+// PeripheralSpec configures peripheral manufacturing.
+type PeripheralSpec struct {
+	ID  DeviceID
+	Bus BusKind
+	// Tolerance is the relative tolerance of the identification resistors;
+	// 0 uses the DefaultResistorTolerance.
+	Tolerance float64
+	// Coder and Vibrator describe the board-side electronics the resistors
+	// are designed against; zero values use the package defaults.
+	Coder    PulseCoder
+	Vibrator Multivibrator
+	// Rng, when non-nil, samples manufacturing deviation for each resistor.
+	Rng *rand.Rand
+}
+
+// DefaultResistorTolerance is the tolerance of the precision resistors used
+// on µPnP peripheral boards. It must stay below the coder guard band
+// (DefaultPulseCoder.GuardBand() ≈ 0.52%) for identification to be reliable.
+const DefaultResistorTolerance = 0.0025
+
+// DefaultMultivibrator is the board-side timing circuit of the prototype:
+// a 555-style monostable (k = 1.1) with a 100 nF C0G/NP0 timing capacitor.
+// The effective capacitor tolerance is ±0.1%: the board trims k·C per unit
+// during manufacture (one reference measurement suffices), so only drift and
+// temperature coefficient remain. This keeps the total timing-error budget
+// (resistor ±0.25% + capacitor ±0.1% + jitter + quantisation) inside the
+// coder guard band of ≈0.52%.
+var DefaultMultivibrator = Multivibrator{K: 1.1, C: Capacitor{Nominal: 100e-9, Tolerance: 0.001}}
+
+// NewPeripheral manufactures a peripheral from its spec: it computes the
+// four nominal resistor values that encode the identifier and fixes their
+// as-manufactured actual values.
+func NewPeripheral(spec PeripheralSpec) (*Peripheral, error) {
+	if spec.ID.Reserved() {
+		return nil, fmt.Errorf("hw: device ID %v is reserved and cannot be assigned", spec.ID)
+	}
+	coder := spec.Coder
+	if coder.TMin == 0 {
+		coder = DefaultPulseCoder
+	}
+	vib := spec.Vibrator
+	if vib.K == 0 {
+		vib = DefaultMultivibrator
+	}
+	tol := spec.Tolerance
+	if tol == 0 {
+		tol = DefaultResistorTolerance
+	}
+
+	p := &Peripheral{ID: spec.ID, Bus: spec.Bus}
+	for i, r := range coder.Resistors(spec.ID, vib) {
+		p.Resistors[i] = Resistor{Nominal: r, Tolerance: tol}
+		p.actual[i] = p.Resistors[i].Actual(spec.Rng)
+	}
+	return p, nil
+}
+
+// ActualResistances exposes the as-manufactured resistances (for tests and
+// for the waveform renderer).
+func (p *Peripheral) ActualResistances() [4]Ohm { return p.actual }
+
+// Connector returns the peripheral's connector wiring.
+func (p *Peripheral) Connector() Connector {
+	return Connector{IdentPins: p.Resistors, Bus: p.Bus}
+}

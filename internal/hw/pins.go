@@ -1,0 +1,65 @@
+package hw
+
+import "fmt"
+
+// BusKind names the hardware interconnect a peripheral communicates over
+// once it has been identified. Following Table 1, the µPnP connector's
+// communication pins (pin 10–12) are multiplexed to one of these buses based
+// on the detected device identifier.
+type BusKind uint8
+
+// Interconnects encapsulated by the µPnP bus.
+const (
+	BusADC BusKind = iota
+	BusI2C
+	BusSPI
+	BusUART
+)
+
+func (b BusKind) String() string {
+	switch b {
+	case BusADC:
+		return "ADC"
+	case BusI2C:
+		return "I2C"
+	case BusSPI:
+		return "SPI"
+	case BusUART:
+		return "UART"
+	default:
+		return fmt.Sprintf("BusKind(%d)", uint8(b))
+	}
+}
+
+// PinAssignment describes what a connector communication pin carries for a
+// given bus (Table 1). "N/C" means not connected.
+type PinAssignment struct {
+	Pin10, Pin11, Pin12 string
+}
+
+// Pinout returns the Table 1 pin assignment for the bus.
+func (b BusKind) Pinout() PinAssignment {
+	switch b {
+	case BusADC:
+		return PinAssignment{"Analog Signal", "N/C", "N/C"}
+	case BusI2C:
+		return PinAssignment{"SDA", "SCL", "N/C"}
+	case BusSPI:
+		return PinAssignment{"MOSI", "MISO", "SCK"}
+	case BusUART:
+		return PinAssignment{"TX", "RX", "N/C"}
+	default:
+		return PinAssignment{"N/C", "N/C", "N/C"}
+	}
+}
+
+// Connector models the 19-pin mini-HDMI connector of the prototype: pins 1–8
+// carry the identification circuit (four resistor pairs, Figure 4), pin INT
+// signals attach/detach, pins 10–12 are the multiplexed communication pins.
+type Connector struct {
+	// IdentPins reports the resistor wired across each identification pin
+	// pair: IdentPins[0] is R1 (pins 1–2) … IdentPins[3] is R4 (pins 7–8).
+	IdentPins [4]Resistor
+	// Bus selects the multiplexing of the communication pins.
+	Bus BusKind
+}

@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Edge is a logic-level transition on a named signal at a point in time.
+type Edge struct {
+	Signal string
+	At     time.Duration
+	Level  bool // level after the transition
+}
+
+// Waveform is a set of logic transitions, the simulated equivalent of the
+// oscilloscope traces in Figures 2, 3 and 5 of the paper.
+type Waveform struct {
+	Edges []Edge
+}
+
+func (w *Waveform) add(signal string, at time.Duration, level bool) {
+	w.Edges = append(w.Edges, Edge{Signal: signal, At: at, Level: level})
+}
+
+// Signals returns the distinct signal names in first-appearance order.
+func (w *Waveform) Signals() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, e := range w.Edges {
+		if !seen[e.Signal] {
+			seen[e.Signal] = true
+			out = append(out, e.Signal)
+		}
+	}
+	return out
+}
+
+// End returns the time of the final edge.
+func (w *Waveform) End() time.Duration {
+	var end time.Duration
+	for _, e := range w.Edges {
+		if e.At > end {
+			end = e.At
+		}
+	}
+	return end
+}
+
+// SinglePulse renders Figure 2: a trigger falling edge followed by one
+// output pulse of length T = k·R·C.
+func SinglePulse(m Multivibrator, r Ohm) *Waveform {
+	w := &Waveform{}
+	t := m.Pulse(r, nil)
+	w.add("trigger", 0, true)
+	w.add("trigger", 1*time.Millisecond, false) // falling edge starts the pulse
+	w.add("trigger", 2*time.Millisecond, true)
+	w.add("output", 1*time.Millisecond, true)
+	w.add("output", 1*time.Millisecond+t, false)
+	return w
+}
+
+// IDTrain renders Figure 3: the 4-interval waveform (T1..T4) encoding one
+// device identifier, produced by the serially chained multivibrators.
+func IDTrain(coder PulseCoder, id DeviceID) *Waveform {
+	w := &Waveform{}
+	at := time.Duration(0)
+	level := true
+	w.add("output", at, level)
+	for _, t := range coder.EncodeID(id) {
+		at += t
+		level = !level
+		w.add("output", at, level)
+	}
+	return w
+}
+
+// ChannelScan renders Figure 5: each channel enabled for its discrete time
+// slot, with the shared output line carrying the pulse train of whichever
+// peripheral occupies the active channel. The board is inspected for its
+// current occupancy.
+func ChannelScan(b *ControlBoard) *Waveform {
+	w := &Waveform{}
+	w.add("start", 0, true)
+	w.add("start", TriggerOverhead, false)
+
+	at := TriggerOverhead
+	res := b.Identify()
+	for _, rd := range res.Readings {
+		name := fmt.Sprintf("channel%c EN", 'A'+rd.Channel)
+		w.add(name, at, true)
+		slotStart := at
+		at += ChannelSettle
+		if rd.Connected {
+			level := true
+			w.add("output", at, level)
+			for _, t := range rd.Pulses {
+				at += t
+				level = !level
+				w.add("output", at, level)
+			}
+		} else {
+			at += NoPulseTimeout
+		}
+		w.add(name, at, false)
+		_ = slotStart
+	}
+	return w
+}
+
+// ASCII renders the waveform as a fixed-width character diagram with one row
+// per signal, suitable for terminal output. Width is the number of columns
+// used for the time axis.
+func (w *Waveform) ASCII(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	end := w.End()
+	if end == 0 {
+		return ""
+	}
+	col := func(at time.Duration) int {
+		c := int(int64(at) * int64(width-1) / int64(end))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var sb strings.Builder
+	for _, sig := range w.Signals() {
+		var edges []Edge
+		for _, e := range w.Edges {
+			if e.Signal == sig {
+				edges = append(edges, e)
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].At < edges[j].At })
+
+		row := make([]byte, width)
+		level := false
+		idx := 0
+		for c := 0; c < width; c++ {
+			for idx < len(edges) && col(edges[idx].At) <= c {
+				level = edges[idx].Level
+				idx++
+			}
+			if level {
+				row[c] = '#'
+			} else {
+				row[c] = '_'
+			}
+		}
+		fmt.Fprintf(&sb, "%-14s |%s|\n", sig, row)
+	}
+	fmt.Fprintf(&sb, "%-14s  0%*s\n", "", width-1, end.Round(time.Millisecond))
+	return sb.String()
+}

@@ -1,0 +1,180 @@
+// Package manager implements the µPnP Manager: the server-class entity that
+// hosts the driver repository and manages over-the-air deployment and remote
+// configuration of drivers on µPnP Things (Section 5). Managers are reached
+// through an anycast address, allowing network-level redundancy — requests
+// land on the nearest manager instance.
+package manager
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
+	"micropnp/internal/proto"
+)
+
+// CostLookup is the repository lookup cost charged per driver install
+// request (server-side processing before the upload starts).
+const CostLookup = 26 * time.Millisecond
+
+// Manager is one µPnP manager instance.
+type Manager struct {
+	net  *netsim.Network
+	node *netsim.Node
+	repo *driver.Repository
+
+	mu      sync.Mutex
+	seq     uint16
+	uploads int
+	// advertisements from driver discovery, keyed by Thing address.
+	discovered map[netip.Addr][]hw.DeviceID
+	removalAck map[uint16]func(ok bool)
+	discoverCb map[uint16]func([]hw.DeviceID)
+}
+
+// Config configures a manager instance.
+type Config struct {
+	Network *netsim.Network
+	// Addr is this instance's unicast address.
+	Addr netip.Addr
+	// Anycast is the shared µPnP-manager anycast address.
+	Anycast netip.Addr
+	// Parent attaches the instance to the topology (usually the border
+	// router / DODAG root side).
+	Parent *netsim.Node
+	// Repository of drivers (nil starts empty).
+	Repository *driver.Repository
+}
+
+// New builds and registers a manager.
+func New(cfg Config) (*Manager, error) {
+	node, err := cfg.Network.AddNode(cfg.Addr, cfg.Parent)
+	if err != nil {
+		return nil, err
+	}
+	repo := cfg.Repository
+	if repo == nil {
+		repo = driver.NewRepository()
+	}
+	m := &Manager{
+		net:        cfg.Network,
+		node:       node,
+		repo:       repo,
+		discovered: map[netip.Addr][]hw.DeviceID{},
+		removalAck: map[uint16]func(bool){},
+		discoverCb: map[uint16]func([]hw.DeviceID){},
+	}
+	node.Bind(netsim.Port6030, m.handle)
+	if cfg.Anycast.IsValid() {
+		cfg.Network.JoinAnycast(cfg.Anycast, node)
+	}
+	return m, nil
+}
+
+// Node exposes the manager's network node.
+func (m *Manager) Node() *netsim.Node { return m.node }
+
+// Repository exposes the driver store.
+func (m *Manager) Repository() *driver.Repository { return m.repo }
+
+// Uploads returns the number of driver uploads served.
+func (m *Manager) Uploads() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.uploads
+}
+
+// Discovered returns the last driver advertisement received from a Thing.
+func (m *Manager) Discovered(thing netip.Addr) []hw.DeviceID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]hw.DeviceID(nil), m.discovered[thing]...)
+}
+
+func (m *Manager) nextSeq() uint16 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	return m.seq
+}
+
+func (m *Manager) send(dst netip.Addr, msg *proto.Message) {
+	payload, err := msg.Encode()
+	if err != nil {
+		return
+	}
+	m.node.Send(dst, netsim.Port6030, payload)
+}
+
+// DiscoverDrivers queries a Thing for its installed drivers (messages 6/7).
+// The callback fires when the advertisement arrives.
+func (m *Manager) DiscoverDrivers(thing netip.Addr, cb func([]hw.DeviceID)) {
+	seq := m.nextSeq()
+	if cb != nil {
+		m.mu.Lock()
+		m.discoverCb[seq] = cb
+		m.mu.Unlock()
+	}
+	m.send(thing, &proto.Message{Type: proto.MsgDriverDiscovery, Seq: seq})
+}
+
+// RemoveDriver removes a driver from a Thing (messages 8/9). The callback
+// fires with the acknowledgement status.
+func (m *Manager) RemoveDriver(thing netip.Addr, id hw.DeviceID, cb func(ok bool)) {
+	seq := m.nextSeq()
+	if cb != nil {
+		m.mu.Lock()
+		m.removalAck[seq] = cb
+		m.mu.Unlock()
+	}
+	m.send(thing, &proto.Message{Type: proto.MsgDriverRemovalReq, Seq: seq, DeviceID: id})
+}
+
+// handle processes protocol messages addressed to the manager.
+func (m *Manager) handle(msg netsim.Message) {
+	pm, err := proto.Decode(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch pm.Type {
+	case proto.MsgDriverInstallReq:
+		// Charge the repository lookup, then upload if we hold the driver.
+		m.net.Schedule(CostLookup, func() {
+			entry, ok := m.repo.Lookup(pm.DeviceID)
+			if !ok {
+				return
+			}
+			m.mu.Lock()
+			m.uploads++
+			m.mu.Unlock()
+			m.send(msg.Src, &proto.Message{
+				Type:     proto.MsgDriverUpload,
+				Seq:      pm.Seq,
+				DeviceID: pm.DeviceID,
+				Driver:   entry.Bytecode,
+			})
+		})
+
+	case proto.MsgDriverAdvert:
+		m.mu.Lock()
+		m.discovered[msg.Src] = append([]hw.DeviceID(nil), pm.Drivers...)
+		cb := m.discoverCb[pm.Seq]
+		delete(m.discoverCb, pm.Seq)
+		m.mu.Unlock()
+		if cb != nil {
+			cb(pm.Drivers)
+		}
+
+	case proto.MsgDriverRemovalAck:
+		m.mu.Lock()
+		cb := m.removalAck[pm.Seq]
+		delete(m.removalAck, pm.Seq)
+		m.mu.Unlock()
+		if cb != nil {
+			cb(pm.Status == 0)
+		}
+	}
+}

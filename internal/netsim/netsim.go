@@ -1,0 +1,420 @@
+// Package netsim is a discrete-event simulator of the network substrate the
+// µPnP prototype runs on (Section 6): IPv6 over 6LoWPAN/802.15.4, an
+// RPL-style tree (DODAG) for routing, SMRF-style multicast forwarding down
+// the tree, and anycast to the nearest group member. Nodes exchange UDP
+// datagrams; per-packet latency models the 250 kbit/s 802.15.4 wire rate,
+// 6LoWPAN fragmentation and the embedded stack's per-packet processing cost.
+//
+// The simulator runs under a virtual clock: Send schedules deliveries,
+// Run/RunUntilIdle advance time. Handlers execute inline at delivery time
+// and may send further messages. All timing results (Table 4) are virtual.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Port6030 is the UDP port all µPnP protocol messages use (Section 5.2).
+const Port6030 = 6030
+
+// Link and stack timing model, calibrated against the Contiki 2.7 /
+// ATMega128RFA1 measurements of Table 4.
+const (
+	// WireBitsPerSecond is the 802.15.4 PHY rate.
+	WireBitsPerSecond = 250_000
+	// FrameCapacity is the usable 6LoWPAN payload per 802.15.4 frame;
+	// larger datagrams fragment.
+	FrameCapacity = 80
+	// FrameOverheadBytes covers PHY/MAC/6LoWPAN headers per frame.
+	FrameOverheadBytes = 23
+	// ProcPerPacket is the embedded stack's per-datagram processing cost
+	// (CSMA, 6LoWPAN compression, RPL, UDP) on a 16 MHz AVR.
+	ProcPerPacket = 26 * time.Millisecond
+	// MulticastExtra is the additional SMRF processing and duplicate-MAC
+	// cost for multicast datagrams.
+	MulticastExtra = 19 * time.Millisecond
+)
+
+// PacketDelay returns the one-hop latency of a datagram of the given payload
+// size.
+func PacketDelay(payloadBytes int, multicast bool) time.Duration {
+	frames := (payloadBytes + FrameCapacity - 1) / FrameCapacity
+	if frames == 0 {
+		frames = 1
+	}
+	wireBytes := payloadBytes + frames*FrameOverheadBytes
+	wire := time.Duration(float64(wireBytes*8) / WireBitsPerSecond * float64(time.Second))
+	d := ProcPerPacket + wire
+	if multicast {
+		d += MulticastExtra
+	}
+	return d
+}
+
+// Message is a UDP datagram in flight or delivered.
+type Message struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	Port    uint16
+	Payload []byte
+	// Hops the datagram traversed (filled at delivery).
+	Hops int
+}
+
+// Handler consumes a delivered datagram.
+type Handler func(Message)
+
+// Config tunes the simulated network.
+type Config struct {
+	// LossRate is the per-hop probability of losing a frame (0..1).
+	LossRate float64
+	// ProcJitter adds relative per-delivery latency noise (e.g. 0.05 for
+	// ±5%), modelling CSMA backoff and stack scheduling variance. Zero
+	// keeps deliveries deterministic.
+	ProcJitter float64
+	// Rng drives loss and jitter sampling; nil uses a fixed seed.
+	Rng *rand.Rand
+}
+
+// Stats counts network activity.
+type Stats struct {
+	UnicastSent   int
+	MulticastSent int
+	Transmissions int // per-hop frame transmissions, the energy-relevant count
+	Delivered     int
+	Lost          int
+}
+
+// Network is the simulated internetwork.
+type Network struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	now     time.Duration
+	queue   []scheduled
+	seq     int // tiebreaker for stable ordering
+	nodes   map[netip.Addr]*Node
+	anycast map[netip.Addr][]*Node
+	stats   Stats
+}
+
+type scheduled struct {
+	at  time.Duration
+	seq int
+	fn  func()
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x6030))
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     rng,
+		nodes:   map[netip.Addr]*Node{},
+		anycast: map[netip.Addr][]*Node{},
+	}
+}
+
+// Now returns the virtual time.
+func (n *Network) Now() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Node is one IPv6 host: a µPnP Thing, client or manager.
+type Node struct {
+	net      *Network
+	addr     netip.Addr
+	parent   *Node
+	depth    int
+	handlers map[uint16]Handler
+	groups   map[netip.Addr]bool
+}
+
+// AddNode registers a host. parent nil makes it a DODAG root (or a node on
+// the backbone); otherwise the node hangs off parent in the tree.
+func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[addr]; dup {
+		return nil, fmt.Errorf("netsim: address %v already in use", addr)
+	}
+	node := &Node{net: n, addr: addr, parent: parent, handlers: map[uint16]Handler{}, groups: map[netip.Addr]bool{}}
+	if parent != nil {
+		node.depth = parent.depth + 1
+	}
+	n.nodes[addr] = node
+	return node, nil
+}
+
+// Addr returns the node's unicast address.
+func (nd *Node) Addr() netip.Addr { return nd.addr }
+
+// Depth returns the node's depth in the DODAG (root = 0).
+func (nd *Node) Depth() int { return nd.depth }
+
+// Bind registers the datagram handler for a UDP port.
+func (nd *Node) Bind(port uint16, h Handler) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	nd.handlers[port] = h
+}
+
+// JoinGroup subscribes the node to a multicast group.
+func (nd *Node) JoinGroup(g netip.Addr) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	nd.groups[g] = true
+}
+
+// LeaveGroup unsubscribes the node.
+func (nd *Node) LeaveGroup(g netip.Addr) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	delete(nd.groups, g)
+}
+
+// InGroup reports group membership.
+func (nd *Node) InGroup(g netip.Addr) bool {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return nd.groups[g]
+}
+
+// JoinAnycast registers the node as a member of an anycast address
+// (Section 5: the µPnP manager uses anycast for redundancy).
+func (n *Network) JoinAnycast(a netip.Addr, nd *Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.anycast[a] = append(n.anycast[a], nd)
+}
+
+// treeDistance returns the hop count between two nodes through the DODAG.
+func treeDistance(a, b *Node) int {
+	seen := map[*Node]int{}
+	for d, x := 0, a; x != nil; d, x = d+1, x.parent {
+		seen[x] = d
+	}
+	for d, x := 0, b; x != nil; d, x = d+1, x.parent {
+		if up, ok := seen[x]; ok {
+			return up + d
+		}
+	}
+	// Disjoint trees: treat as one hop over the backbone plus both depths.
+	return a.depth + b.depth + 1
+}
+
+// Send transmits a UDP datagram. Unicast goes through the tree; multicast
+// (ff00::/8) is SMRF-disseminated to all group members; anycast addresses
+// reach the nearest registered member.
+func (nd *Node) Send(dst netip.Addr, port uint16, payload []byte) {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	msg := Message{Src: nd.addr, Dst: dst, Port: port, Payload: append([]byte(nil), payload...)}
+	switch {
+	case dst.IsMulticast():
+		n.stats.MulticastSent++
+		n.sendMulticastLocked(nd, msg)
+	default:
+		n.stats.UnicastSent++
+		if members := n.anycast[dst]; len(members) > 0 {
+			best := members[0]
+			bestD := treeDistance(nd, best)
+			for _, m := range members[1:] {
+				if d := treeDistance(nd, m); d < bestD {
+					best, bestD = m, d
+				}
+			}
+			n.deliverLocked(nd, best, msg, bestD, false)
+			return
+		}
+		target, ok := n.nodes[dst]
+		if !ok {
+			n.stats.Lost++
+			return
+		}
+		n.deliverLocked(nd, target, msg, treeDistance(nd, target), false)
+	}
+}
+
+// sendMulticastLocked implements SMRF-style dissemination: the datagram
+// travels the tree from the source; every edge on the union of paths to the
+// members is one transmission.
+func (n *Network) sendMulticastLocked(src *Node, msg Message) {
+	edges := map[[2]*Node]bool{}
+	for _, member := range n.nodes {
+		if !member.groups[msg.Dst] || member == src {
+			continue
+		}
+		hops := n.pathEdgesLocked(src, member, edges)
+		n.deliverLocked(src, member, msg, hops, true)
+	}
+	// Count unique tree edges as transmissions (duplicate suppression, the
+	// key SMRF property versus naive flooding).
+	n.stats.Transmissions += len(edges)
+}
+
+// pathEdgesLocked walks the tree path src->dst, adding its edges to the set,
+// and returns the hop count.
+func (n *Network) pathEdgesLocked(src, dst *Node, edges map[[2]*Node]bool) int {
+	// Ascend from both ends to the common ancestor.
+	anc := map[*Node]bool{}
+	for x := src; x != nil; x = x.parent {
+		anc[x] = true
+	}
+	var meet *Node
+	for x := dst; x != nil; x = x.parent {
+		if anc[x] {
+			meet = x
+			break
+		}
+	}
+	hops := 0
+	if meet == nil {
+		// Disjoint trees: synthetic backbone edge between the roots.
+		rootA, rootB := src, dst
+		for rootA.parent != nil {
+			rootA = rootA.parent
+		}
+		for rootB.parent != nil {
+			rootB = rootB.parent
+		}
+		hops = n.pathEdgesLocked(src, rootA, edges) + 1 + n.pathEdgesLocked(rootB, dst, edges)
+		edges[[2]*Node{rootA, rootB}] = true
+		return hops
+	}
+	for x := src; x != meet; x = x.parent {
+		edges[[2]*Node{x, x.parent}] = true
+		hops++
+	}
+	for x := dst; x != meet; x = x.parent {
+		edges[[2]*Node{x.parent, x}] = true
+		hops++
+	}
+	return hops
+}
+
+// deliverLocked schedules a delivery after the per-hop latency, applying
+// per-hop loss.
+func (n *Network) deliverLocked(src, dst *Node, msg Message, hops int, multicast bool) {
+	if hops == 0 {
+		hops = 1 // loopback or same-node corner: still one stack traversal
+	}
+	if !multicast {
+		n.stats.Transmissions += hops
+	}
+	for h := 0; h < hops; h++ {
+		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+			n.stats.Lost++
+			return
+		}
+	}
+	msg.Hops = hops
+	delay := time.Duration(hops) * PacketDelay(len(msg.Payload), multicast)
+	if n.cfg.ProcJitter > 0 {
+		dev := (n.rng.Float64()*2 - 1) * n.cfg.ProcJitter
+		delay = time.Duration(float64(delay) * (1 + dev))
+	}
+	n.scheduleLocked(delay, func() {
+		n.mu.Lock()
+		h := dst.handlers[msg.Port]
+		n.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+	})
+}
+
+// Schedule runs fn at Now()+delay (virtual).
+func (n *Network) Schedule(delay time.Duration, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.scheduleLocked(delay, fn)
+}
+
+func (n *Network) scheduleLocked(delay time.Duration, fn func()) {
+	n.seq++
+	n.queue = append(n.queue, scheduled{at: n.now + delay, seq: n.seq, fn: fn})
+	sort.SliceStable(n.queue, func(i, j int) bool {
+		if n.queue[i].at != n.queue[j].at {
+			return n.queue[i].at < n.queue[j].at
+		}
+		return n.queue[i].seq < n.queue[j].seq
+	})
+}
+
+// Step executes the next scheduled event, advancing the clock. It reports
+// whether an event ran.
+func (n *Network) Step() bool {
+	n.mu.Lock()
+	if len(n.queue) == 0 {
+		n.mu.Unlock()
+		return false
+	}
+	ev := n.queue[0]
+	n.queue = n.queue[1:]
+	if ev.at > n.now {
+		n.now = ev.at
+	}
+	n.mu.Unlock()
+	ev.fn()
+	return true
+}
+
+// RunUntilIdle steps until no events remain (bounded by maxSteps; 0 means
+// the 1e6 default). It returns the number of steps.
+func (n *Network) RunUntilIdle(maxSteps int) int {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	steps := 0
+	for steps < maxSteps && n.Step() {
+		steps++
+	}
+	return steps
+}
+
+// RunUntil processes events up to (and including) the given virtual
+// deadline, then advances the clock to the deadline. Use this to drive
+// self-rescheduling activities such as streams, which never go idle.
+func (n *Network) RunUntil(deadline time.Duration) int {
+	steps := 0
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 || n.queue[0].at > deadline {
+			if n.now < deadline {
+				n.now = deadline
+			}
+			n.mu.Unlock()
+			return steps
+		}
+		ev := n.queue[0]
+		n.queue = n.queue[1:]
+		if ev.at > n.now {
+			n.now = ev.at
+		}
+		n.mu.Unlock()
+		ev.fn()
+		steps++
+	}
+}

@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"micropnp/internal/hw"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func buildLine(t *testing.T, n *Network, count int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, count)
+	var parent *Node
+	for i := 0; i < count; i++ {
+		nd, err := n.AddNode(addr("2001:db8::"+string(rune('1'+i))), parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+		parent = nd
+	}
+	return nodes
+}
+
+func TestUnicastOneHop(t *testing.T) {
+	n := New(Config{})
+	nodes := buildLine(t, n, 2)
+	var got []Message
+	nodes[1].Bind(Port6030, func(m Message) { got = append(got, m) })
+
+	nodes[0].Send(nodes[1].Addr(), Port6030, []byte("hello"))
+	n.RunUntilIdle(0)
+
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	if got[0].Hops != 1 || string(got[0].Payload) != "hello" {
+		t.Fatalf("message = %+v", got[0])
+	}
+	want := PacketDelay(5, false)
+	if n.Now() != want {
+		t.Fatalf("delivery time = %v, want %v", n.Now(), want)
+	}
+}
+
+func TestUnicastMultiHop(t *testing.T) {
+	n := New(Config{})
+	nodes := buildLine(t, n, 4) // chain of 4: 3 hops end to end
+	var hops int
+	nodes[3].Bind(Port6030, func(m Message) { hops = m.Hops })
+	nodes[0].Send(nodes[3].Addr(), Port6030, []byte("x"))
+	n.RunUntilIdle(0)
+	if hops != 3 {
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+	if st := n.Stats(); st.Transmissions != 3 {
+		t.Fatalf("transmissions = %d, want 3", st.Transmissions)
+	}
+}
+
+func TestUnicastToSibling(t *testing.T) {
+	n := New(Config{})
+	root, _ := n.AddNode(addr("2001:db8::1"), nil)
+	a, _ := n.AddNode(addr("2001:db8::2"), root)
+	b, _ := n.AddNode(addr("2001:db8::3"), root)
+	var hops int
+	b.Bind(Port6030, func(m Message) { hops = m.Hops })
+	a.Send(b.Addr(), Port6030, []byte("x"))
+	n.RunUntilIdle(0)
+	if hops != 2 {
+		t.Fatalf("sibling routing via parent: hops = %d, want 2", hops)
+	}
+}
+
+func TestUnknownDestinationLost(t *testing.T) {
+	n := New(Config{})
+	nodes := buildLine(t, n, 1)
+	nodes[0].Send(addr("2001:db8::ff"), Port6030, []byte("x"))
+	n.RunUntilIdle(0)
+	if st := n.Stats(); st.Lost != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMulticastSMRF(t *testing.T) {
+	// Tree:      root
+	//           /    \
+	//          a      b
+	//         / \      \
+	//        c   d      e
+	n := New(Config{})
+	root, _ := n.AddNode(addr("2001:db8::1"), nil)
+	a, _ := n.AddNode(addr("2001:db8::2"), root)
+	b, _ := n.AddNode(addr("2001:db8::3"), root)
+	c, _ := n.AddNode(addr("2001:db8::4"), a)
+	d, _ := n.AddNode(addr("2001:db8::5"), a)
+	e, _ := n.AddNode(addr("2001:db8::6"), b)
+
+	group := MulticastAddr(PrefixFromAddr(root.Addr()), 0xad1cbe01)
+	got := map[netip.Addr]int{}
+	for _, nd := range []*Node{c, d, e} {
+		nd.JoinGroup(group)
+		me := nd.Addr()
+		nd.Bind(Port6030, func(m Message) { got[me] = m.Hops })
+	}
+	// b is NOT in the group and must not receive.
+	b.Bind(Port6030, func(m Message) { t.Error("non-member b received multicast") })
+
+	c.Send(group, Port6030, []byte("adv"))
+	n.RunUntilIdle(0)
+
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %v, want d and e", got)
+	}
+	if got[d.Addr()] != 2 { // c -> a -> d
+		t.Errorf("d hops = %d, want 2", got[d.Addr()])
+	}
+	if got[e.Addr()] != 4 { // c -> a -> root -> b -> e
+		t.Errorf("e hops = %d, want 4", got[e.Addr()])
+	}
+	// SMRF duplicate suppression: union of path edges is
+	// {c-a, a-d, a-root, root-b, b-e} = 5 transmissions, not 2+4=6.
+	if st := n.Stats(); st.Transmissions != 5 {
+		t.Errorf("transmissions = %d, want 5 (shared edges counted once)", st.Transmissions)
+	}
+}
+
+func TestAnycastNearest(t *testing.T) {
+	n := New(Config{})
+	root, _ := n.AddNode(addr("2001:db8::1"), nil)
+	near, _ := n.AddNode(addr("2001:db8::2"), root)
+	farMid, _ := n.AddNode(addr("2001:db8::3"), root)
+	far, _ := n.AddNode(addr("2001:db8::4"), farMid)
+	src, _ := n.AddNode(addr("2001:db8::5"), near)
+
+	any := addr("2001:db8::aaaa")
+	n.JoinAnycast(any, far)
+	n.JoinAnycast(any, near)
+
+	var gotNear, gotFar bool
+	near.Bind(Port6030, func(Message) { gotNear = true })
+	far.Bind(Port6030, func(Message) { gotFar = true })
+
+	src.Send(any, Port6030, []byte("req"))
+	n.RunUntilIdle(0)
+	if !gotNear || gotFar {
+		t.Fatalf("anycast must reach the nearest member: near=%v far=%v", gotNear, gotFar)
+	}
+}
+
+func TestLossyLink(t *testing.T) {
+	n := New(Config{LossRate: 1.0})
+	nodes := buildLine(t, n, 2)
+	delivered := false
+	nodes[1].Bind(Port6030, func(Message) { delivered = true })
+	nodes[0].Send(nodes[1].Addr(), Port6030, []byte("x"))
+	n.RunUntilIdle(0)
+	if delivered {
+		t.Fatal("100% loss must drop everything")
+	}
+	if st := n.Stats(); st.Lost != 1 {
+		t.Fatalf("lost = %d", st.Lost)
+	}
+}
+
+func TestPacketDelayModel(t *testing.T) {
+	small := PacketDelay(10, false)
+	big := PacketDelay(300, false) // fragments into 4 frames
+	if small >= big {
+		t.Fatal("bigger datagrams must take longer")
+	}
+	if m := PacketDelay(10, true); m <= small {
+		t.Fatal("multicast must cost more than unicast")
+	}
+	// One-hop small packets land in the tens of milliseconds, the regime
+	// the Table 4 measurements live in.
+	if small < 20*time.Millisecond || small > 40*time.Millisecond {
+		t.Errorf("small packet delay = %v", small)
+	}
+}
+
+func TestMulticastAddrSchema(t *testing.T) {
+	prefix := PrefixFromAddr(addr("2001:db8::1"))
+	g := MulticastAddr(prefix, 0xed3f0ac1)
+	if g.String() != "ff3e:30:2001:db8::ed3f:ac1" {
+		t.Fatalf("group = %v", g)
+	}
+	if !g.IsMulticast() {
+		t.Fatal("schema address must be multicast")
+	}
+	p2, id, err := ParseMulticast(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != prefix || id != 0xed3f0ac1 {
+		t.Fatalf("parsed %v %v", p2, id)
+	}
+	if !IsUPnPMulticast(g) || IsUPnPMulticast(addr("ff02::1")) {
+		t.Fatal("IsUPnPMulticast misclassifies")
+	}
+}
+
+func TestMulticastAddrRoundTripProperty(t *testing.T) {
+	prefix := PrefixFromAddr(addr("2001:db8::1"))
+	f := func(v uint32) bool {
+		id := hw.DeviceID(v)
+		p, got, err := ParseMulticast(MulticastAddr(prefix, id))
+		return err == nil && got == id && p == prefix
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedGroups(t *testing.T) {
+	prefix := PrefixFromAddr(addr("2001:db8::1"))
+	clients := AllClientsAddr(prefix)
+	if clients.String() != "ff3e:30:2001:db8::ffff:ffff" {
+		t.Fatalf("all-clients = %v", clients)
+	}
+	all := AllPeripheralsAddr(prefix)
+	_, id, err := ParseMulticast(all)
+	if err != nil || id != hw.DeviceIDAllPeripherals {
+		t.Fatalf("all-peripherals = %v (%v)", all, err)
+	}
+}
+
+func TestDuplicateAddressRejected(t *testing.T) {
+	n := New(Config{})
+	if _, err := n.AddNode(addr("2001:db8::1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddNode(addr("2001:db8::1"), nil); err == nil {
+		t.Fatal("duplicate address must be rejected")
+	}
+}
+
+func TestHandlersMaySendMore(t *testing.T) {
+	n := New(Config{})
+	nodes := buildLine(t, n, 2)
+	var pongs int
+	nodes[0].Bind(Port6030, func(m Message) { pongs++ })
+	nodes[1].Bind(Port6030, func(m Message) {
+		nodes[1].Send(m.Src, Port6030, []byte("pong"))
+	})
+	nodes[0].Send(nodes[1].Addr(), Port6030, []byte("ping"))
+	n.RunUntilIdle(0)
+	if pongs != 1 {
+		t.Fatalf("pongs = %d", pongs)
+	}
+	// Round trip took two one-hop packet delays.
+	want := PacketDelay(4, false) * 2
+	if n.Now() != want {
+		t.Fatalf("round trip time = %v, want %v", n.Now(), want)
+	}
+}

@@ -1,0 +1,348 @@
+// Package proto implements the µPnP interaction protocol of Section 5.2:
+// compact binary messages carried in UDP datagrams on port 6030, covering
+// peripheral advertisement and discovery (messages 1–3), driver management
+// (4–9) and peripheral data operations read/stream/write (10–17).
+//
+// Every message starts with a one-byte type and a 16-bit sequence number
+// used to associate requests with replies. Peripheral metadata travels as
+// type-length-value tuples.
+package proto
+
+import (
+	"errors"
+	"fmt"
+
+	"micropnp/internal/hw"
+)
+
+// MsgType identifies a protocol message. The numbering follows the
+// paper's Figures 10 and 11.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgUnsolicitedAdvert MsgType = 1  // Thing -> all-clients group
+	MsgDiscovery         MsgType = 2  // client -> peripheral group
+	MsgSolicitedAdvert   MsgType = 3  // Thing -> requesting client (unicast)
+	MsgDriverInstallReq  MsgType = 4  // Thing -> manager (anycast)
+	MsgDriverUpload      MsgType = 5  // manager -> Thing
+	MsgDriverDiscovery   MsgType = 6  // manager -> Thing
+	MsgDriverAdvert      MsgType = 7  // Thing -> manager
+	MsgDriverRemovalReq  MsgType = 8  // manager -> Thing
+	MsgDriverRemovalAck  MsgType = 9  // Thing -> manager
+	MsgRead              MsgType = 10 // client -> Thing
+	MsgData              MsgType = 11 // Thing -> client (also stream data, 14)
+	MsgStream            MsgType = 12 // client -> Thing
+	MsgEstablished       MsgType = 13 // Thing -> client
+	MsgClosed            MsgType = 15 // Thing -> stream group
+	MsgWrite             MsgType = 16 // client -> Thing
+	MsgWriteAck          MsgType = 17 // Thing -> client
+)
+
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgUnsolicitedAdvert: "unsolicited-advertisement",
+		MsgDiscovery:         "discovery",
+		MsgSolicitedAdvert:   "solicited-advertisement",
+		MsgDriverInstallReq:  "driver-install-request",
+		MsgDriverUpload:      "driver-upload",
+		MsgDriverDiscovery:   "driver-discovery",
+		MsgDriverAdvert:      "driver-advertisement",
+		MsgDriverRemovalReq:  "driver-removal-request",
+		MsgDriverRemovalAck:  "driver-removal-ack",
+		MsgRead:              "read",
+		MsgData:              "data",
+		MsgStream:            "stream",
+		MsgEstablished:       "established",
+		MsgClosed:            "closed",
+		MsgWrite:             "write",
+		MsgWriteAck:          "write-ack",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// TLV tuple types used in advertisements and discovery filters.
+const (
+	TLVName    uint8 = 1 // human-readable peripheral name
+	TLVBusKind uint8 = 2 // one byte, hw.BusKind
+	TLVChannel uint8 = 3 // one byte, control-board channel
+	TLVUnits   uint8 = 4 // unit string for produced values
+)
+
+// TLV is one type-length-value tuple.
+type TLV struct {
+	Type  uint8
+	Value []byte
+}
+
+// PeripheralInfo describes one locally connected peripheral inside an
+// advertisement: the 4-byte type identifier plus TLV metadata.
+type PeripheralInfo struct {
+	ID   hw.DeviceID
+	TLVs []TLV
+}
+
+// TLVString extracts a string-valued tuple, if present.
+func (p PeripheralInfo) TLVString(typ uint8) (string, bool) {
+	for _, t := range p.TLVs {
+		if t.Type == typ {
+			return string(t.Value), true
+		}
+	}
+	return "", false
+}
+
+// TLVByte extracts a one-byte tuple, if present.
+func (p PeripheralInfo) TLVByte(typ uint8) (byte, bool) {
+	for _, t := range p.TLVs {
+		if t.Type == typ && len(t.Value) == 1 {
+			return t.Value[0], true
+		}
+	}
+	return 0, false
+}
+
+// Message is a decoded µPnP protocol message. Field usage depends on Type.
+type Message struct {
+	Type MsgType
+	Seq  uint16
+
+	// Peripherals: advertisements (1, 3).
+	Peripherals []PeripheralInfo
+	// Filter: discovery (2).
+	Filter []TLV
+	// DeviceID: driver management and data operations (4, 5, 8, 9, 10-17).
+	DeviceID hw.DeviceID
+	// Driver: bytecode payload (5); driver ID list (7) uses Drivers.
+	Driver  []byte
+	Drivers []hw.DeviceID
+	// Status: acks (9, 17): 0 = ok.
+	Status uint8
+	// Data: values (11, 16).
+	Data []byte
+	// Group: the stream group address (13), 16 bytes.
+	Group [16]byte
+}
+
+// ErrTruncated reports a short or malformed message.
+var ErrTruncated = errors.New("proto: truncated message")
+
+// Encode serialises the message.
+func (m *Message) Encode() ([]byte, error) {
+	buf := []byte{byte(m.Type), byte(m.Seq >> 8), byte(m.Seq)}
+	switch m.Type {
+	case MsgUnsolicitedAdvert, MsgSolicitedAdvert:
+		if len(m.Peripherals) > 255 {
+			return nil, errors.New("proto: too many peripherals")
+		}
+		buf = append(buf, byte(len(m.Peripherals)))
+		for _, p := range m.Peripherals {
+			buf = appendU32(buf, uint32(p.ID))
+			var err error
+			buf, err = appendTLVs(buf, p.TLVs)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case MsgDiscovery:
+		var err error
+		buf, err = appendTLVs(buf, m.Filter)
+		if err != nil {
+			return nil, err
+		}
+	case MsgDriverInstallReq, MsgDriverRemovalReq, MsgRead, MsgStream, MsgClosed:
+		buf = appendU32(buf, uint32(m.DeviceID))
+	case MsgDriverUpload:
+		buf = appendU32(buf, uint32(m.DeviceID))
+		if len(m.Driver) > 0xffff {
+			return nil, errors.New("proto: driver too large")
+		}
+		buf = append(buf, byte(len(m.Driver)>>8), byte(len(m.Driver)))
+		buf = append(buf, m.Driver...)
+	case MsgDriverDiscovery:
+		// type + seq only
+	case MsgDriverAdvert:
+		if len(m.Drivers) > 255 {
+			return nil, errors.New("proto: too many drivers")
+		}
+		buf = append(buf, byte(len(m.Drivers)))
+		for _, id := range m.Drivers {
+			buf = appendU32(buf, uint32(id))
+		}
+	case MsgDriverRemovalAck, MsgWriteAck:
+		buf = appendU32(buf, uint32(m.DeviceID))
+		buf = append(buf, m.Status)
+	case MsgData, MsgWrite:
+		buf = appendU32(buf, uint32(m.DeviceID))
+		if len(m.Data) > 255 {
+			return nil, errors.New("proto: data too large")
+		}
+		buf = append(buf, byte(len(m.Data)))
+		buf = append(buf, m.Data...)
+	case MsgEstablished:
+		buf = appendU32(buf, uint32(m.DeviceID))
+		buf = append(buf, m.Group[:]...)
+	default:
+		return nil, fmt.Errorf("proto: cannot encode type %v", m.Type)
+	}
+	return buf, nil
+}
+
+// Decode parses a datagram payload.
+func Decode(data []byte) (*Message, error) {
+	r := &reader{data: data}
+	m := &Message{}
+	m.Type = MsgType(r.u8())
+	m.Seq = r.u16()
+	switch m.Type {
+	case MsgUnsolicitedAdvert, MsgSolicitedAdvert:
+		n := int(r.u8())
+		for i := 0; i < n && r.err == nil; i++ {
+			var p PeripheralInfo
+			p.ID = hw.DeviceID(r.u32())
+			p.TLVs = r.tlvs()
+			m.Peripherals = append(m.Peripherals, p)
+		}
+	case MsgDiscovery:
+		m.Filter = r.tlvs()
+	case MsgDriverInstallReq, MsgDriverRemovalReq, MsgRead, MsgStream, MsgClosed:
+		m.DeviceID = hw.DeviceID(r.u32())
+	case MsgDriverUpload:
+		m.DeviceID = hw.DeviceID(r.u32())
+		n := int(r.u16())
+		m.Driver = append([]byte(nil), r.bytes(n)...)
+	case MsgDriverDiscovery:
+	case MsgDriverAdvert:
+		n := int(r.u8())
+		for i := 0; i < n && r.err == nil; i++ {
+			m.Drivers = append(m.Drivers, hw.DeviceID(r.u32()))
+		}
+	case MsgDriverRemovalAck, MsgWriteAck:
+		m.DeviceID = hw.DeviceID(r.u32())
+		m.Status = r.u8()
+	case MsgData, MsgWrite:
+		m.DeviceID = hw.DeviceID(r.u32())
+		n := int(r.u8())
+		m.Data = append([]byte(nil), r.bytes(n)...)
+	case MsgEstablished:
+		m.DeviceID = hw.DeviceID(r.u32())
+		copy(m.Group[:], r.bytes(16))
+	default:
+		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("proto: %d trailing bytes in %v", len(r.data)-r.pos, m.Type)
+	}
+	return m, nil
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendTLVs(buf []byte, tlvs []TLV) ([]byte, error) {
+	if len(tlvs) > 255 {
+		return nil, errors.New("proto: too many TLVs")
+	}
+	buf = append(buf, byte(len(tlvs)))
+	for _, t := range tlvs {
+		if len(t.Value) > 255 {
+			return nil, errors.New("proto: TLV value too long")
+		}
+		buf = append(buf, t.Type, byte(len(t.Value)))
+		buf = append(buf, t.Value...)
+	}
+	return buf, nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.data) {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.bytes(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if r.err != nil {
+		return 0
+	}
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func (r *reader) tlvs() []TLV {
+	n := int(r.u8())
+	var out []TLV
+	for i := 0; i < n && r.err == nil; i++ {
+		typ := r.u8()
+		ln := int(r.u8())
+		val := append([]byte(nil), r.bytes(ln)...)
+		if r.err == nil {
+			out = append(out, TLV{Type: typ, Value: val})
+		}
+	}
+	return out
+}
+
+// Values32 packs int32 values into a Data payload (big-endian), the format
+// drivers' return values travel in.
+func Values32(vals []int32) []byte {
+	out := make([]byte, 0, len(vals)*4)
+	for _, v := range vals {
+		out = appendU32(out, uint32(v))
+	}
+	return out
+}
+
+// ParseValues32 unpacks a Data payload into int32 values.
+func ParseValues32(data []byte) ([]int32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("proto: data length %d is not a multiple of 4", len(data))
+	}
+	out := make([]int32, len(data)/4)
+	for i := range out {
+		out[i] = int32(uint32(data[4*i])<<24 | uint32(data[4*i+1])<<16 | uint32(data[4*i+2])<<8 | uint32(data[4*i+3]))
+	}
+	return out, nil
+}
+
+// ValuesBytes packs int32 values as single bytes (for byte-oriented
+// peripherals like the RFID reader's ASCII payload).
+func ValuesBytes(vals []int32) []byte {
+	out := make([]byte, len(vals))
+	for i, v := range vals {
+		out[i] = byte(v)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"micropnp/internal/hw"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("encode %v: %v", m.Type, err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode %v: %v", m.Type, err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	var group [16]byte
+	copy(group[:], []byte{0xff, 0x3e, 0, 0x30, 0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0xed, 0x3f, 0x0a, 0xc1})
+	msgs := []*Message{
+		{Type: MsgUnsolicitedAdvert, Seq: 1, Peripherals: []PeripheralInfo{
+			{ID: 0xad1cbe01, TLVs: []TLV{{Type: TLVName, Value: []byte("TMP36")}, {Type: TLVBusKind, Value: []byte{0}}}},
+			{ID: 0xed3f0ac1},
+		}},
+		{Type: MsgDiscovery, Seq: 2, Filter: []TLV{{Type: TLVBusKind, Value: []byte{1}}}},
+		{Type: MsgDiscovery, Seq: 3},
+		{Type: MsgSolicitedAdvert, Seq: 4, Peripherals: []PeripheralInfo{{ID: 1}}},
+		{Type: MsgDriverInstallReq, Seq: 5, DeviceID: 0xad1cbe01},
+		{Type: MsgDriverUpload, Seq: 6, DeviceID: 0xad1cbe01, Driver: bytes.Repeat([]byte{0xB5}, 80)},
+		{Type: MsgDriverDiscovery, Seq: 7},
+		{Type: MsgDriverAdvert, Seq: 8, Drivers: []hw.DeviceID{1, 2, 0xffff0000}},
+		{Type: MsgDriverRemovalReq, Seq: 9, DeviceID: 3},
+		{Type: MsgDriverRemovalAck, Seq: 10, DeviceID: 3, Status: 0},
+		{Type: MsgRead, Seq: 11, DeviceID: 4},
+		{Type: MsgData, Seq: 11, DeviceID: 4, Data: []byte{1, 2, 3, 4}},
+		{Type: MsgStream, Seq: 12, DeviceID: 4},
+		{Type: MsgEstablished, Seq: 12, DeviceID: 4, Group: group},
+		{Type: MsgClosed, Seq: 13, DeviceID: 4},
+		{Type: MsgWrite, Seq: 14, DeviceID: 5, Data: []byte{0x01}},
+		{Type: MsgWriteAck, Seq: 14, DeviceID: 5, Status: 1},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v round trip mismatch:\n in: %+v\nout: %+v", m.Type, m, got)
+		}
+		if m.Type.String() == "" || len(m.Type.String()) < 3 {
+			t.Errorf("%d needs a name", m.Type)
+		}
+	}
+}
+
+func TestSeqPreserved(t *testing.T) {
+	f := func(seq uint16) bool {
+		m := &Message{Type: MsgRead, Seq: seq, DeviceID: 9}
+		return roundTrip(t, m).Seq == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99, 0, 0},                           // unknown type
+		{byte(MsgRead), 0},                   // truncated seq
+		{byte(MsgRead), 0, 1},                // missing device id
+		{byte(MsgData), 0, 1, 0, 0, 0, 1, 5}, // data length 5 but no bytes
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailing(t *testing.T) {
+	m := &Message{Type: MsgRead, Seq: 1, DeviceID: 2}
+	data, _ := m.Encode()
+	if _, err := Decode(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+func TestDecodeTruncationsNeverPanic(t *testing.T) {
+	m := &Message{Type: MsgUnsolicitedAdvert, Seq: 1, Peripherals: []PeripheralInfo{
+		{ID: 0xad1cbe01, TLVs: []TLV{{Type: TLVName, Value: []byte("BMP180")}}},
+	}}
+	data, _ := m.Encode()
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("prefix %d must fail", n)
+		}
+	}
+}
+
+func TestDecodeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seed := [][]byte{}
+	for _, m := range []*Message{
+		{Type: MsgUnsolicitedAdvert, Peripherals: []PeripheralInfo{{ID: 7, TLVs: []TLV{{Type: 1, Value: []byte("x")}}}}},
+		{Type: MsgDriverUpload, DeviceID: 7, Driver: bytes.Repeat([]byte{1}, 40)},
+		{Type: MsgEstablished, DeviceID: 7},
+	} {
+		d, _ := m.Encode()
+		seed = append(seed, d)
+	}
+	for i := 0; i < 3000; i++ {
+		d := append([]byte(nil), seed[i%len(seed)]...)
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			d[rng.Intn(len(d))] ^= byte(1 << rng.Intn(8))
+		}
+		if dec, err := Decode(d); err == nil {
+			if _, err := dec.Encode(); err != nil {
+				t.Fatalf("mutant decoded but re-encode failed: %v", err)
+			}
+		}
+	}
+}
+
+func TestTLVAccessors(t *testing.T) {
+	p := PeripheralInfo{ID: 1, TLVs: []TLV{
+		{Type: TLVName, Value: []byte("HIH-4030")},
+		{Type: TLVBusKind, Value: []byte{byte(hw.BusADC)}},
+	}}
+	if name, ok := p.TLVString(TLVName); !ok || name != "HIH-4030" {
+		t.Fatalf("name = %q, %v", name, ok)
+	}
+	if kind, ok := p.TLVByte(TLVBusKind); !ok || hw.BusKind(kind) != hw.BusADC {
+		t.Fatalf("kind = %d, %v", kind, ok)
+	}
+	if _, ok := p.TLVString(TLVUnits); ok {
+		t.Fatal("missing TLV must report !ok")
+	}
+}
+
+func TestValues32RoundTrip(t *testing.T) {
+	f := func(a, b, c int32) bool {
+		vals := []int32{a, b, c}
+		got, err := ParseValues32(Values32(vals))
+		return err == nil && reflect.DeepEqual(got, vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseValues32([]byte{1, 2, 3}); err == nil {
+		t.Fatal("non-multiple-of-4 must fail")
+	}
+	if got := ValuesBytes([]int32{65, 66}); string(got) != "AB" {
+		t.Fatalf("ValuesBytes = %q", got)
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	big := &Message{Type: MsgDriverUpload, Driver: make([]byte, 70000)}
+	if _, err := big.Encode(); err == nil {
+		t.Fatal("oversized driver must fail")
+	}
+	longData := &Message{Type: MsgData, Data: make([]byte, 300)}
+	if _, err := longData.Encode(); err == nil {
+		t.Fatal("oversized data must fail")
+	}
+	if _, err := (&Message{Type: MsgType(99)}).Encode(); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+}

@@ -1,0 +1,808 @@
+// Package thing implements the µPnP Thing: the software running on an
+// embedded IoT device with locally connected µPnP hardware (Figure 8). It
+// glues together the peripheral controller (hw.ControlBoard), the driver
+// manager, the per-driver virtual machines and the network stack, and speaks
+// the Section 5 protocol: advertisement, discovery, driver management and
+// read/stream/write.
+package thing
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micropnp/internal/bus"
+	"micropnp/internal/bytecode"
+	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
+	"micropnp/internal/proto"
+	"micropnp/internal/vm"
+)
+
+// CPU cost constants for the embedded protocol operations, calibrated
+// against the Table 4 measurements on the ATMega128RFA1.
+const (
+	// CostGenerateAddr is the cost of deriving the peripheral's multicast
+	// address from the network prefix and hardware identifier.
+	CostGenerateAddr = 2590 * time.Microsecond
+	// CostJoinGroup covers the local group registration and the RPL/SMRF
+	// bookkeeping.
+	CostJoinGroup = 5440 * time.Microsecond
+	// CostInstallDriver covers bytecode verification and driver activation.
+	CostInstallDriver = 26 * time.Millisecond
+
+	// DriverRequestTimeout is how long a Thing waits for a driver upload
+	// before retransmitting its install request. Request/upload datagrams
+	// can be lost on the 802.15.4 mesh; the paper defers unreliable-network
+	// analysis to future work, so retransmission is this reproduction's
+	// extension.
+	DriverRequestTimeout = 500 * time.Millisecond
+	// MaxDriverRequests bounds the retransmissions per plug-in event.
+	MaxDriverRequests = 4
+)
+
+// Interconnects is the set of simulated buses behind one peripheral channel:
+// the control board multiplexes the connector's communication pins onto the
+// bus selected by the detected device type (Table 1).
+type Interconnects struct {
+	UART *bus.UART
+	ADC  *bus.ADC
+	I2C  *bus.I2C
+	SPI  *bus.SPI
+}
+
+// NewInterconnects builds a full bus set for one channel.
+func NewInterconnects() *Interconnects {
+	return &Interconnects{
+		UART: bus.NewUART(),
+		ADC:  bus.NewADC(),
+		I2C:  bus.NewI2C(),
+		SPI:  bus.NewSPI(),
+	}
+}
+
+// Device is the sensor-model side of a simulated peripheral: it wires a
+// behavioural device model (bus.TMP36, bus.BMP180, ...) onto a channel's
+// interconnects when the peripheral is plugged.
+type Device interface {
+	Attach(ic *Interconnects) error
+	Detach(ic *Interconnects)
+}
+
+// PluginTrace records the phases of one peripheral plug-in event — the rows
+// of Table 4 plus the hardware identification time of Section 6.1.
+type PluginTrace struct {
+	DeviceID hw.DeviceID
+	Channel  int
+	// Identification is the hardware scan time (220–300 ms window).
+	Identification time.Duration
+	// Energy consumed by the identification scan.
+	Energy hw.Joule
+	// GenerateAddr, JoinGroup: local CPU phases.
+	GenerateAddr time.Duration
+	JoinGroup    time.Duration
+	// RequestDriver: install request transit + manager lookup (zero when
+	// the driver was already installed locally).
+	RequestDriver time.Duration
+	// InstallDriver: driver upload transit + verification + activation
+	// (verification only, when the driver was local).
+	InstallDriver time.Duration
+	// Advertise: unsolicited advertisement transit to the all-clients group.
+	Advertise time.Duration
+	// NetworkTotal = GenerateAddr+JoinGroup+RequestDriver+InstallDriver+Advertise.
+	NetworkTotal time.Duration
+	// Total = Identification + NetworkTotal (the §8 "488.53 ms" figure).
+	Total time.Duration
+	// Done is set when the plug-in sequence completed.
+	Done bool
+
+	requestSentAt time.Duration
+}
+
+func (tr *PluginTrace) finish() {
+	tr.NetworkTotal = tr.GenerateAddr + tr.JoinGroup + tr.RequestDriver + tr.InstallDriver + tr.Advertise
+	tr.Total = tr.Identification + tr.NetworkTotal
+	tr.Done = true
+}
+
+// Config configures a Thing.
+type Config struct {
+	Network *netsim.Network
+	// Addr is the Thing's unicast IPv6 address.
+	Addr netip.Addr
+	// Parent attaches the Thing to the RPL tree (nil = root/border router).
+	Parent *netsim.Node
+	// Manager is the anycast address of the µPnP manager.
+	Manager netip.Addr
+	// Board is the µPnP control board (nil creates a default 3-channel one).
+	Board *hw.ControlBoard
+	// Name labels the Thing in advertisements.
+	Name string
+	// StreamPeriod is the data production period for streams (default 10 s,
+	// the communication rate of Section 6.1).
+	StreamPeriod time.Duration
+	// Zone places the Thing in a location zone (Section 9 extension): the
+	// Thing additionally joins zone-scoped multicast groups, so clients can
+	// discover peripherals by physical location. Zone 0 disables scoping.
+	Zone uint16
+	// StructuredNamespace enables the Section 9 hierarchical-typing
+	// extension: peripherals whose identifiers decompose into a structured
+	// (vendor, class, product) form also join their class-wildcard group,
+	// making class-based discovery ("any temperature sensor") work.
+	StructuredNamespace bool
+}
+
+// netScheduler adapts the network simulator's clock to vm.Scheduler.
+type netScheduler struct{ n *netsim.Network }
+
+func (s netScheduler) Now() time.Duration                  { return s.n.Now() }
+func (s netScheduler) Schedule(d time.Duration, fn func()) { s.n.Schedule(d, fn) }
+
+type slotState struct {
+	ic     *Interconnects
+	dev    Device
+	periph *hw.Peripheral
+	id     hw.DeviceID
+	rt     *vm.Runtime
+}
+
+type pendingRead struct {
+	seq    uint16
+	client netip.Addr
+}
+
+type streamState struct {
+	group  netip.Addr
+	seq    uint16
+	active bool
+}
+
+// Thing is one simulated µPnP Thing.
+//
+// Locking: mu guards slots/installed/awaiting/traces; opsMu guards the
+// pending-read and stream tables. Driver runtimes may call back into
+// driverReturned while mu is held, so driverReturned takes only opsMu
+// (lock order is always mu before opsMu, never the reverse).
+type Thing struct {
+	cfg    Config
+	node   *netsim.Node
+	board  *hw.ControlBoard
+	prefix netsim.NetworkPrefix
+	seq    atomic.Uint32
+
+	mu        sync.Mutex
+	slots     []*slotState
+	installed map[hw.DeviceID][]byte
+	awaiting  map[hw.DeviceID]*PluginTrace
+	traces    []*PluginTrace
+
+	opsMu   sync.Mutex
+	pending map[hw.DeviceID][]pendingRead
+	streams map[hw.DeviceID]*streamState
+}
+
+// New builds and registers a Thing on the network.
+func New(cfg Config) (*Thing, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("thing: network required")
+	}
+	node, err := cfg.Network.AddNode(cfg.Addr, cfg.Parent)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Board == nil {
+		cfg.Board = hw.NewControlBoard(hw.BoardConfig{})
+	}
+	if cfg.StreamPeriod == 0 {
+		cfg.StreamPeriod = 10 * time.Second
+	}
+	t := &Thing{
+		cfg:       cfg,
+		node:      node,
+		board:     cfg.Board,
+		prefix:    netsim.PrefixFromAddr(cfg.Addr),
+		installed: map[hw.DeviceID][]byte{},
+		awaiting:  map[hw.DeviceID]*PluginTrace{},
+		pending:   map[hw.DeviceID][]pendingRead{},
+		streams:   map[hw.DeviceID]*streamState{},
+	}
+	t.slots = make([]*slotState, cfg.Board.Channels())
+	for i := range t.slots {
+		t.slots[i] = &slotState{ic: NewInterconnects()}
+	}
+	// Things subscribe to the all-peripherals group by default (Figure 11),
+	// and to its zone-scoped variant when placed in a zone.
+	node.JoinGroup(netsim.AllPeripheralsAddr(t.prefix))
+	if cfg.Zone != 0 {
+		node.JoinGroup(netsim.MulticastAddrZone(t.prefix, cfg.Zone, hw.DeviceIDAllPeripherals))
+	}
+	node.Bind(netsim.Port6030, t.handle)
+	cfg.Board.OnInterrupt(t.interrupt)
+	return t, nil
+}
+
+// Addr returns the Thing's unicast address.
+func (t *Thing) Addr() netip.Addr { return t.node.Addr() }
+
+// Node exposes the network node (for building trees).
+func (t *Thing) Node() *netsim.Node { return t.node }
+
+// Board exposes the control board.
+func (t *Thing) Board() *hw.ControlBoard { return t.board }
+
+// Traces returns the plug-in traces recorded so far.
+func (t *Thing) Traces() []*PluginTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*PluginTrace(nil), t.traces...)
+}
+
+// InstalledDrivers lists the locally installed driver identifiers.
+func (t *Thing) InstalledDrivers() []hw.DeviceID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]hw.DeviceID, 0, len(t.installed))
+	for id := range t.installed {
+		out = append(out, id)
+	}
+	return out
+}
+
+// InstallDriver pre-installs a driver artefact locally (factory image).
+func (t *Thing) InstallDriver(id hw.DeviceID, code []byte) error {
+	prog, err := bytecode.Decode(code)
+	if err != nil {
+		return err
+	}
+	if err := prog.Verify(); err != nil {
+		return err
+	}
+	if hw.DeviceID(prog.DeviceID) != id {
+		return fmt.Errorf("thing: driver claims %v, expected %v", hw.DeviceID(prog.DeviceID), id)
+	}
+	t.mu.Lock()
+	t.installed[id] = append([]byte(nil), code...)
+	t.mu.Unlock()
+	return nil
+}
+
+// Runtime exposes the driver runtime serving a device type, or nil. Tests
+// and simulations use it to inspect driver state.
+func (t *Thing) Runtime(id hw.DeviceID) *vm.Runtime {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if slot := t.slotForLocked(id); slot != nil {
+		return slot.rt
+	}
+	return nil
+}
+
+// Plug connects a simulated peripheral (hardware identity + device model)
+// to a channel. The control-board interrupt fires, identification runs, and
+// the plug-in protocol sequence of Figures 10/11 plays out on the network's
+// virtual clock (drive it with Network.RunUntilIdle).
+func (t *Thing) Plug(channel int, p *hw.Peripheral, dev Device) error {
+	t.mu.Lock()
+	if channel < 0 || channel >= len(t.slots) {
+		t.mu.Unlock()
+		return fmt.Errorf("thing: channel %d out of range", channel)
+	}
+	slot := t.slots[channel]
+	if dev != nil {
+		if err := dev.Attach(slot.ic); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+	}
+	slot.dev = dev
+	slot.periph = p
+	t.mu.Unlock()
+	return t.board.Plug(channel, p)
+}
+
+// Unplug disconnects the peripheral on a channel.
+func (t *Thing) Unplug(channel int) error {
+	_, err := t.board.Unplug(channel)
+	return err
+}
+
+// interrupt is the control-board ISR: it powers the board, runs the
+// identification routine and kicks off (or tears down) the peripheral.
+func (t *Thing) interrupt(irq hw.Interrupt) {
+	res := t.board.Identify()
+	if !irq.Attached {
+		t.teardown(irq.Channel)
+		return
+	}
+	rd := res.Readings[irq.Channel]
+	if rd.Err != nil || !rd.Connected {
+		return
+	}
+	trace := &PluginTrace{
+		DeviceID:       rd.ID,
+		Channel:        irq.Channel,
+		Identification: res.Duration,
+		Energy:         res.Energy,
+	}
+	t.mu.Lock()
+	slot := t.slots[irq.Channel]
+	slot.id = rd.ID
+	t.traces = append(t.traces, trace)
+	t.mu.Unlock()
+	t.setup(irq.Channel, trace)
+}
+
+// setup runs the network side of the plug-in sequence under the simulated
+// clock: generate address, join group, fetch driver if needed, activate,
+// advertise.
+func (t *Thing) setup(channel int, trace *PluginTrace) {
+	net := t.cfg.Network
+	trace.GenerateAddr = CostGenerateAddr
+	trace.JoinGroup = CostJoinGroup
+	net.Schedule(CostGenerateAddr+CostJoinGroup, func() {
+		t.mu.Lock()
+		slot := t.slots[channel]
+		id := slot.id
+		if id == 0 {
+			t.mu.Unlock()
+			return
+		}
+		t.joinPeripheralGroupsLocked(id)
+		code, have := t.installed[id]
+		if !have {
+			trace.requestSentAt = net.Now()
+			t.awaiting[id] = trace
+			t.mu.Unlock()
+			t.requestDriver(id, 1)
+			return
+		}
+		t.mu.Unlock()
+		t.activate(channel, code, trace)
+	})
+}
+
+// joinPeripheralGroupsLocked joins every group a connected peripheral makes
+// the Thing a member of: the exact type group, its zone-scoped variant, and
+// (with the structured namespace) the class-wildcard group.
+func (t *Thing) joinPeripheralGroupsLocked(id hw.DeviceID) {
+	t.node.JoinGroup(netsim.MulticastAddr(t.prefix, id))
+	if t.cfg.Zone != 0 {
+		t.node.JoinGroup(netsim.MulticastAddrZone(t.prefix, t.cfg.Zone, id))
+	}
+	if t.cfg.StructuredNamespace {
+		if s := id.Structured(); s.Class != 0 && s.Vendor != 0 {
+			t.node.JoinGroup(netsim.ClassGroup(t.prefix, s.Class))
+			if t.cfg.Zone != 0 {
+				t.node.JoinGroup(netsim.MulticastAddrZone(t.prefix, t.cfg.Zone, hw.ClassWildcard(s.Class)))
+			}
+		}
+	}
+}
+
+// leavePeripheralGroups undoes joinPeripheralGroupsLocked.
+func (t *Thing) leavePeripheralGroups(id hw.DeviceID) {
+	t.node.LeaveGroup(netsim.MulticastAddr(t.prefix, id))
+	if t.cfg.Zone != 0 {
+		t.node.LeaveGroup(netsim.MulticastAddrZone(t.prefix, t.cfg.Zone, id))
+	}
+	if t.cfg.StructuredNamespace {
+		if s := id.Structured(); s.Class != 0 && s.Vendor != 0 {
+			t.node.LeaveGroup(netsim.ClassGroup(t.prefix, s.Class))
+			if t.cfg.Zone != 0 {
+				t.node.LeaveGroup(netsim.MulticastAddrZone(t.prefix, t.cfg.Zone, hw.ClassWildcard(s.Class)))
+			}
+		}
+	}
+}
+
+// requestDriver sends a driver install request to the manager and arms a
+// retransmission timer: either the request or the upload may be lost on a
+// lossy mesh, so the Thing retries up to MaxDriverRequests times.
+func (t *Thing) requestDriver(id hw.DeviceID, attempt int) {
+	req := &proto.Message{Type: proto.MsgDriverInstallReq, Seq: t.nextSeq(), DeviceID: id}
+	t.send(t.cfg.Manager, req)
+	if attempt >= MaxDriverRequests {
+		return
+	}
+	t.cfg.Network.Schedule(DriverRequestTimeout, func() {
+		t.mu.Lock()
+		_, stillWaiting := t.awaiting[id]
+		t.mu.Unlock()
+		if stillWaiting {
+			t.requestDriver(id, attempt+1)
+		}
+	})
+}
+
+// activate verifies, installs and starts the driver after the install CPU
+// cost, then advertises.
+func (t *Thing) activate(channel int, code []byte, trace *PluginTrace) {
+	net := t.cfg.Network
+	prog, err := bytecode.Decode(code)
+	if err != nil || prog.Verify() != nil {
+		return
+	}
+	installStart := net.Now()
+	net.Schedule(CostInstallDriver, func() {
+		t.mu.Lock()
+		slot := t.slots[channel]
+		if slot.id == 0 || slot.rt != nil {
+			t.mu.Unlock()
+			return
+		}
+		libs := vm.LibrariesFor(slot.ic.UART, slot.ic.ADC, slot.ic.I2C, slot.ic.SPI)
+		rt, err := vm.NewRuntime(prog, libs...)
+		if err != nil {
+			t.mu.Unlock()
+			return
+		}
+		// Drivers run on the network's virtual clock so that timeouts,
+		// sensor conversions and protocol traffic advance coherently.
+		rt.SetScheduler(netScheduler{net})
+		id := slot.id
+		rt.OnReturn(func(vals []int32) { t.driverReturned(id, vals) })
+		slot.rt = rt
+		t.mu.Unlock()
+
+		rt.Start()
+
+		if trace != nil {
+			trace.InstallDriver += net.Now() - installStart
+		}
+		adv, payload := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq())
+		if adv != nil {
+			t.node.Send(netsim.AllClientsAddr(t.prefix), netsim.Port6030, payload)
+			if trace != nil {
+				trace.Advertise = netsim.PacketDelay(len(payload), true)
+				trace.finish()
+			}
+		}
+	})
+}
+
+// advertisement builds an advertisement listing active peripherals and its
+// encoding. It returns (nil, nil) on encoding failure.
+func (t *Thing) advertisement(typ proto.MsgType, seq uint16) (*proto.Message, []byte) {
+	t.mu.Lock()
+	m := &proto.Message{Type: typ, Seq: seq}
+	for ch, slot := range t.slots {
+		if slot.rt == nil {
+			continue
+		}
+		info := proto.PeripheralInfo{ID: slot.id}
+		if t.cfg.Name != "" {
+			info.TLVs = append(info.TLVs, proto.TLV{Type: proto.TLVName, Value: []byte(t.cfg.Name)})
+		}
+		if slot.periph != nil {
+			info.TLVs = append(info.TLVs, proto.TLV{Type: proto.TLVBusKind, Value: []byte{byte(slot.periph.Bus)}})
+		}
+		info.TLVs = append(info.TLVs, proto.TLV{Type: proto.TLVChannel, Value: []byte{byte(ch)}})
+		m.Peripherals = append(m.Peripherals, info)
+	}
+	t.mu.Unlock()
+	payload, err := m.Encode()
+	if err != nil {
+		return nil, nil
+	}
+	return m, payload
+}
+
+// teardown handles peripheral removal: stop the driver, leave the group,
+// advertise the change.
+func (t *Thing) teardown(channel int) {
+	t.mu.Lock()
+	slot := t.slots[channel]
+	rt := slot.rt
+	dev := slot.dev
+	ic := slot.ic
+	id := slot.id
+	slot.rt = nil
+	slot.dev = nil
+	slot.periph = nil
+	slot.id = 0
+	t.mu.Unlock()
+
+	if rt != nil {
+		rt.Stop()
+	}
+	if dev != nil {
+		dev.Detach(ic)
+	}
+	if id != 0 {
+		t.opsMu.Lock()
+		st, ok := t.streams[id]
+		if ok && st.active {
+			st.active = false
+			t.opsMu.Unlock()
+			t.send(st.group, &proto.Message{Type: proto.MsgClosed, Seq: st.seq, DeviceID: id})
+		} else {
+			t.opsMu.Unlock()
+		}
+		t.leavePeripheralGroups(id)
+	}
+	if _, payload := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq()); payload != nil {
+		t.node.Send(netsim.AllClientsAddr(t.prefix), netsim.Port6030, payload)
+	}
+}
+
+func (t *Thing) nextSeq() uint16 {
+	return uint16(t.seq.Add(1))
+}
+
+func (t *Thing) send(dst netip.Addr, m *proto.Message) {
+	payload, err := m.Encode()
+	if err != nil {
+		return
+	}
+	t.node.Send(dst, netsim.Port6030, payload)
+}
+
+// slotForLocked returns the slot serving a device type (t.mu held).
+func (t *Thing) slotForLocked(id hw.DeviceID) *slotState {
+	for _, s := range t.slots {
+		if s.id == id && s.rt != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// driverReturned routes a driver return value: to the oldest pending read
+// if one exists, otherwise to the active stream group. It must take only
+// opsMu — it can run while t.mu is held by a caller pumping the runtime.
+func (t *Thing) driverReturned(id hw.DeviceID, vals []int32) {
+	data := proto.Values32(vals)
+	t.opsMu.Lock()
+	if q := t.pending[id]; len(q) > 0 {
+		pr := q[0]
+		t.pending[id] = q[1:]
+		t.opsMu.Unlock()
+		t.send(pr.client, &proto.Message{Type: proto.MsgData, Seq: pr.seq, DeviceID: id, Data: data})
+		return
+	}
+	st, ok := t.streams[id]
+	active := ok && st.active
+	var group netip.Addr
+	var seq uint16
+	if active {
+		group, seq = st.group, st.seq
+	}
+	t.opsMu.Unlock()
+	if active {
+		t.send(group, &proto.Message{Type: proto.MsgData, Seq: seq, DeviceID: id, Data: data})
+	}
+}
+
+// Pump drains all driver runtimes (delivers pending virtual-time events
+// such as UART bytes or conversion timers). Simulations call this after
+// stimulating device models directly.
+func (t *Thing) Pump() {
+	t.mu.Lock()
+	rts := make([]*vm.Runtime, 0, len(t.slots))
+	for _, s := range t.slots {
+		if s.rt != nil {
+			rts = append(rts, s.rt)
+		}
+	}
+	t.mu.Unlock()
+	for _, rt := range rts {
+		rt.RunUntilIdle(0)
+	}
+}
+
+// StopStream terminates an active stream, notifying subscribers with the
+// closed message (15).
+func (t *Thing) StopStream(id hw.DeviceID) {
+	t.opsMu.Lock()
+	st, ok := t.streams[id]
+	if !ok || !st.active {
+		t.opsMu.Unlock()
+		return
+	}
+	st.active = false
+	group, seq := st.group, st.seq
+	t.opsMu.Unlock()
+	t.send(group, &proto.Message{Type: proto.MsgClosed, Seq: seq, DeviceID: id})
+}
+
+// handle processes incoming protocol messages.
+func (t *Thing) handle(msg netsim.Message) {
+	m, err := proto.Decode(msg.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Type {
+	case proto.MsgDiscovery:
+		t.handleDiscovery(msg, m)
+	case proto.MsgDriverUpload:
+		t.handleDriverUpload(msg, m)
+	case proto.MsgDriverDiscovery:
+		t.mu.Lock()
+		reply := &proto.Message{Type: proto.MsgDriverAdvert, Seq: m.Seq}
+		for id := range t.installed {
+			reply.Drivers = append(reply.Drivers, id)
+		}
+		t.mu.Unlock()
+		t.send(msg.Src, reply)
+	case proto.MsgDriverRemovalReq:
+		t.handleDriverRemoval(msg, m)
+	case proto.MsgRead:
+		t.handleRead(msg, m)
+	case proto.MsgStream:
+		t.handleStream(msg, m)
+	case proto.MsgWrite:
+		t.handleWrite(msg, m)
+	}
+}
+
+func (t *Thing) handleDiscovery(msg netsim.Message, m *proto.Message) {
+	// Reply only when a served peripheral matches the group the discovery
+	// was multicast to (the schema's efficient filtering, Section 5.1).
+	// Zone-scoped groups are handled by membership: a Thing only receives
+	// discoveries for zones it joined. Class wildcards match any slot whose
+	// structured identifier carries the class.
+	if _, _, id, err := netsim.ParseMulticastZone(msg.Dst); err == nil && id != hw.DeviceIDAllPeripherals {
+		t.mu.Lock()
+		match := t.slotForLocked(id) != nil
+		if !match && t.cfg.StructuredNamespace {
+			if s := id.Structured(); s.IsClassWildcard() {
+				for _, slot := range t.slots {
+					if slot.rt != nil && slot.id.Structured().Class == s.Class {
+						match = true
+						break
+					}
+				}
+			}
+		}
+		t.mu.Unlock()
+		if !match {
+			return
+		}
+	}
+	adv, payload := t.advertisement(proto.MsgSolicitedAdvert, m.Seq)
+	if adv != nil && len(adv.Peripherals) > 0 {
+		t.node.Send(msg.Src, netsim.Port6030, payload)
+	}
+}
+
+func (t *Thing) handleDriverUpload(msg netsim.Message, m *proto.Message) {
+	t.mu.Lock()
+	trace := t.awaiting[m.DeviceID]
+	delete(t.awaiting, m.DeviceID)
+	uploadTransit := netsim.PacketDelay(len(msg.Payload), false)
+	if trace != nil {
+		// Request phase = send-to-upload-arrival minus the upload's own
+		// transit (i.e. request transit + manager lookup).
+		trace.RequestDriver = t.cfg.Network.Now() - trace.requestSentAt - uploadTransit
+		// The upload transit belongs to the install phase.
+		trace.InstallDriver = uploadTransit
+	}
+	t.installed[m.DeviceID] = append([]byte(nil), m.Driver...)
+	var channel = -1
+	for ch, slot := range t.slots {
+		if slot.id == m.DeviceID && slot.rt == nil {
+			channel = ch
+			break
+		}
+	}
+	code := t.installed[m.DeviceID]
+	t.mu.Unlock()
+	if channel >= 0 {
+		t.activate(channel, code, trace)
+	}
+}
+
+func (t *Thing) handleDriverRemoval(msg netsim.Message, m *proto.Message) {
+	t.mu.Lock()
+	status := uint8(1)
+	var stopped []*vm.Runtime
+	if _, ok := t.installed[m.DeviceID]; ok {
+		delete(t.installed, m.DeviceID)
+		for _, slot := range t.slots {
+			if slot.id == m.DeviceID && slot.rt != nil {
+				stopped = append(stopped, slot.rt)
+				slot.rt = nil
+			}
+		}
+		status = 0
+	}
+	t.mu.Unlock()
+	for _, rt := range stopped {
+		rt.Stop()
+	}
+	t.send(msg.Src, &proto.Message{Type: proto.MsgDriverRemovalAck, Seq: m.Seq, DeviceID: m.DeviceID, Status: status})
+}
+
+func (t *Thing) handleRead(msg netsim.Message, m *proto.Message) {
+	t.mu.Lock()
+	slot := t.slotForLocked(m.DeviceID)
+	var rt *vm.Runtime
+	if slot != nil {
+		rt = slot.rt
+	}
+	t.mu.Unlock()
+	if rt == nil {
+		// No such peripheral: empty data reply signals the absence.
+		t.send(msg.Src, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID})
+		return
+	}
+	t.opsMu.Lock()
+	t.pending[m.DeviceID] = append(t.pending[m.DeviceID], pendingRead{seq: m.Seq, client: msg.Src})
+	t.opsMu.Unlock()
+	rt.Post("read")
+	rt.RunUntilIdle(0)
+}
+
+func (t *Thing) handleStream(msg netsim.Message, m *proto.Message) {
+	t.mu.Lock()
+	ok := t.slotForLocked(m.DeviceID) != nil
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	group := netsim.MulticastAddr(t.prefix, m.DeviceID)
+	t.opsMu.Lock()
+	st, exists := t.streams[m.DeviceID]
+	if !exists {
+		st = &streamState{group: group}
+		t.streams[m.DeviceID] = st
+	}
+	st.seq = m.Seq
+	wasActive := st.active
+	st.active = true
+	t.opsMu.Unlock()
+
+	reply := &proto.Message{Type: proto.MsgEstablished, Seq: m.Seq, DeviceID: m.DeviceID}
+	copy(reply.Group[:], group.AsSlice())
+	t.send(msg.Src, reply)
+	if !wasActive {
+		t.scheduleStreamTick(m.DeviceID)
+	}
+}
+
+// scheduleStreamTick produces stream data periodically while active.
+func (t *Thing) scheduleStreamTick(id hw.DeviceID) {
+	t.cfg.Network.Schedule(t.cfg.StreamPeriod, func() {
+		t.opsMu.Lock()
+		st, ok := t.streams[id]
+		active := ok && st.active
+		t.opsMu.Unlock()
+		if !active {
+			return
+		}
+		t.mu.Lock()
+		slot := t.slotForLocked(id)
+		var rt *vm.Runtime
+		if slot != nil {
+			rt = slot.rt
+		}
+		t.mu.Unlock()
+		if rt == nil {
+			return
+		}
+		rt.Post("read")
+		rt.RunUntilIdle(0)
+		t.scheduleStreamTick(id)
+	})
+}
+
+func (t *Thing) handleWrite(msg netsim.Message, m *proto.Message) {
+	t.mu.Lock()
+	slot := t.slotForLocked(m.DeviceID)
+	var rt *vm.Runtime
+	if slot != nil {
+		rt = slot.rt
+	}
+	t.mu.Unlock()
+	status := uint8(1)
+	if rt != nil {
+		if vals, err := proto.ParseValues32(m.Data); err == nil {
+			rt.Post("write", vals...)
+			rt.RunUntilIdle(0)
+			status = 0
+		}
+	}
+	t.send(msg.Src, &proto.Message{Type: proto.MsgWriteAck, Seq: m.Seq, DeviceID: m.DeviceID, Status: status})
+}

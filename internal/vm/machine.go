@@ -1,0 +1,343 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"micropnp/internal/bytecode"
+)
+
+// Trap identifies a runtime fault raised by the interpreter. Traps become
+// error events (the µPnP DSL models I/O and runtime errors uniformly).
+type Trap string
+
+// Trap kinds.
+const (
+	TrapDivByZero     Trap = "divByZero"
+	TrapStackOverflow Trap = "stackOverflow"
+	TrapIndexRange    Trap = "indexOutOfBounds"
+	TrapFuelExhausted Trap = "fuelExhausted"
+	TrapBadBytecode   Trap = "badBytecode"
+)
+
+// TrapError wraps a trap with its context.
+type TrapError struct {
+	Trap    Trap
+	Handler string
+	PC      int
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("vm: trap %s in handler %q at pc %d", e.Trap, e.Handler, e.PC)
+}
+
+// Signal is an event emission recorded during a handler run. Signals are
+// queued and processed after the handler completes, preserving
+// run-to-completion atomicity.
+type Signal struct {
+	Dest  string
+	Event string
+	Args  []int32
+}
+
+// RunResult reports one handler execution.
+type RunResult struct {
+	// HasReturn is set when the handler executed a return with a value;
+	// Returned holds the value(s) — one element for scalars, the whole
+	// slot for array returns.
+	HasReturn bool
+	Returned  []int32
+	// Signals emitted, in program order.
+	Signals []Signal
+	// Instructions executed.
+	Instructions int
+	// EmulatedTime is the cost of the run under the AVR time model.
+	EmulatedTime time.Duration
+}
+
+// Machine executes the handlers of one installed driver. It owns the
+// driver's static state. A Machine is not safe for concurrent use; the
+// event router serialises handler executions (handlers are atomic).
+type Machine struct {
+	prog    *bytecode.Program
+	statics [][]int32
+
+	// MaxStack bounds the operand stack (default 64 cells).
+	MaxStack int
+	// Fuel bounds instructions per handler run (default 100000); handlers
+	// run to completion, so unbounded loops are a driver bug surfaced as a
+	// trap rather than a wedged runtime.
+	Fuel int
+	// Time is the emulated cost model (default DefaultAVRTimeModel).
+	Time AVRTimeModel
+}
+
+// NewMachine verifies and loads a driver program.
+func NewMachine(prog *bytecode.Program) (*Machine, error) {
+	if err := prog.Verify(); err != nil {
+		return nil, err
+	}
+	m := &Machine{prog: prog, MaxStack: 64, Fuel: 100_000, Time: DefaultAVRTimeModel}
+	m.statics = make([][]int32, len(prog.Statics))
+	for i, s := range prog.Statics {
+		m.statics[i] = make([]int32, s.Size)
+	}
+	return m, nil
+}
+
+// Program returns the loaded driver.
+func (m *Machine) Program() *bytecode.Program { return m.prog }
+
+// Static returns a copy of a static slot (for tests and diagnostics).
+func (m *Machine) Static(i int) []int32 {
+	if i < 0 || i >= len(m.statics) {
+		return nil
+	}
+	return append([]int32(nil), m.statics[i]...)
+}
+
+// HasHandler reports whether the driver defines the named handler.
+func (m *Machine) HasHandler(name string) bool { return m.prog.Handler(name) != nil }
+
+// Run executes the named handler to completion with the given arguments.
+// A missing handler is not an error: the event is silently dropped (drivers
+// handle only the events they care about) and an empty result returned.
+func (m *Machine) Run(name string, args []int32) (RunResult, error) {
+	h := m.prog.Handler(name)
+	if h == nil {
+		return RunResult{}, nil
+	}
+	var locals [bytecode.MaxLocals]int32
+	for i, a := range args {
+		if i >= int(h.NParams) || i >= len(locals) {
+			break
+		}
+		locals[i] = a
+	}
+
+	var res RunResult
+	stack := make([]int32, 0, m.MaxStack)
+	code := h.Code
+	trap := func(t Trap, pc int) (RunResult, error) {
+		return res, &TrapError{Trap: t, Handler: name, PC: pc}
+	}
+
+	pop := func() int32 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	for pc := 0; pc < len(code); {
+		if res.Instructions >= m.Fuel {
+			return trap(TrapFuelExhausted, pc)
+		}
+		res.Instructions++
+		op := bytecode.Op(code[pc])
+		w := op.OperandWidth()
+		if w < 0 || pc+1+w > len(code) {
+			return trap(TrapBadBytecode, pc)
+		}
+		operand := code[pc+1 : pc+1+w]
+		next := pc + 1 + w
+		pushes, pops := stackEffect(op, operand)
+		if len(stack)-pops < 0 {
+			return trap(TrapStackOverflow, pc)
+		}
+		if len(stack)-pops+pushes > m.MaxStack {
+			return trap(TrapStackOverflow, pc)
+		}
+		res.EmulatedTime += m.Time.InstructionCost(pushes, pops)
+
+		switch op {
+		case bytecode.OpNop:
+
+		case bytecode.OpPushI8:
+			stack = append(stack, int32(int8(operand[0])))
+		case bytecode.OpPushI16:
+			stack = append(stack, int32(int16(uint16(operand[0])<<8|uint16(operand[1]))))
+		case bytecode.OpPushI32:
+			v := uint32(operand[0])<<24 | uint32(operand[1])<<16 | uint32(operand[2])<<8 | uint32(operand[3])
+			stack = append(stack, int32(v))
+		case bytecode.OpDup:
+			stack = append(stack, stack[len(stack)-1])
+		case bytecode.OpDrop:
+			pop()
+
+		case bytecode.OpLoadStatic:
+			stack = append(stack, m.statics[operand[0]][0])
+		case bytecode.OpStoreStatic:
+			m.statics[operand[0]][0] = pop()
+		case bytecode.OpLoadLocal:
+			stack = append(stack, locals[operand[0]])
+		case bytecode.OpStoreLocal:
+			locals[operand[0]] = pop()
+		case bytecode.OpLoadElem:
+			idx := pop()
+			slot := m.statics[operand[0]]
+			if idx < 0 || int(idx) >= len(slot) {
+				return trap(TrapIndexRange, pc)
+			}
+			stack = append(stack, slot[idx])
+		case bytecode.OpStoreElem:
+			val := pop()
+			idx := pop()
+			slot := m.statics[operand[0]]
+			if idx < 0 || int(idx) >= len(slot) {
+				return trap(TrapIndexRange, pc)
+			}
+			slot[idx] = val
+
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod,
+			bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor, bytecode.OpShl, bytecode.OpShr,
+			bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
+			r := pop()
+			l := pop()
+			v, t := binaryOp(op, l, r)
+			if t != "" {
+				return trap(t, pc)
+			}
+			stack = append(stack, v)
+
+		case bytecode.OpNeg:
+			stack[len(stack)-1] = -stack[len(stack)-1]
+		case bytecode.OpNot:
+			if stack[len(stack)-1] == 0 {
+				stack[len(stack)-1] = 1
+			} else {
+				stack[len(stack)-1] = 0
+			}
+
+		case bytecode.OpJmp:
+			pc = next + int(int16(uint16(operand[0])<<8|uint16(operand[1])))
+			continue
+		case bytecode.OpJz:
+			if pop() == 0 {
+				pc = next + int(int16(uint16(operand[0])<<8|uint16(operand[1])))
+				continue
+			}
+		case bytecode.OpJnz:
+			if pop() != 0 {
+				pc = next + int(int16(uint16(operand[0])<<8|uint16(operand[1])))
+				continue
+			}
+
+		case bytecode.OpSignal:
+			argc := int(operand[2])
+			if len(stack) < argc {
+				return trap(TrapStackOverflow, pc)
+			}
+			args := make([]int32, argc)
+			for i := argc - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			res.Signals = append(res.Signals, Signal{
+				Dest:  m.prog.Consts[operand[0]],
+				Event: m.prog.Consts[operand[1]],
+				Args:  args,
+			})
+
+		case bytecode.OpReturnVoid:
+			return res, nil
+		case bytecode.OpReturnTop:
+			res.HasReturn = true
+			res.Returned = []int32{pop()}
+			return res, nil
+		case bytecode.OpReturnStatic:
+			res.HasReturn = true
+			res.Returned = append([]int32(nil), m.statics[operand[0]]...)
+			return res, nil
+		case bytecode.OpHalt:
+			return res, nil
+
+		default:
+			return trap(TrapBadBytecode, pc)
+		}
+		pc = next
+	}
+	return res, nil
+}
+
+// binaryOp evaluates a two-operand instruction; a non-empty trap reports a
+// fault (division by zero).
+func binaryOp(op bytecode.Op, l, r int32) (int32, Trap) {
+	switch op {
+	case bytecode.OpAdd:
+		return l + r, ""
+	case bytecode.OpSub:
+		return l - r, ""
+	case bytecode.OpMul:
+		return l * r, ""
+	case bytecode.OpDiv:
+		if r == 0 {
+			return 0, TrapDivByZero
+		}
+		return l / r, ""
+	case bytecode.OpMod:
+		if r == 0 {
+			return 0, TrapDivByZero
+		}
+		return l % r, ""
+	case bytecode.OpBitAnd:
+		return l & r, ""
+	case bytecode.OpBitOr:
+		return l | r, ""
+	case bytecode.OpBitXor:
+		return l ^ r, ""
+	case bytecode.OpShl:
+		return l << (uint32(r) & 31), ""
+	case bytecode.OpShr:
+		// Arithmetic shift, matching C/Go signed semantics — drivers use
+		// >> in signed fixed-point math (e.g. the BMP180 compensation).
+		return l >> (uint32(r) & 31), ""
+	case bytecode.OpEq:
+		return b2i(l == r), ""
+	case bytecode.OpNe:
+		return b2i(l != r), ""
+	case bytecode.OpLt:
+		return b2i(l < r), ""
+	case bytecode.OpLe:
+		return b2i(l <= r), ""
+	case bytecode.OpGt:
+		return b2i(l > r), ""
+	case bytecode.OpGe:
+		return b2i(l >= r), ""
+	}
+	return 0, TrapBadBytecode
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// stackEffect returns (pushes, pops) for the time model and bounds checks.
+func stackEffect(op bytecode.Op, operand []byte) (int, int) {
+	switch op {
+	case bytecode.OpPushI8, bytecode.OpPushI16, bytecode.OpPushI32,
+		bytecode.OpLoadStatic, bytecode.OpLoadLocal, bytecode.OpDup:
+		return 1, 0
+	case bytecode.OpDrop, bytecode.OpStoreStatic, bytecode.OpStoreLocal,
+		bytecode.OpJz, bytecode.OpJnz, bytecode.OpReturnTop:
+		return 0, 1
+	case bytecode.OpLoadElem:
+		return 1, 1
+	case bytecode.OpStoreElem:
+		return 0, 2
+	case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod,
+		bytecode.OpBitAnd, bytecode.OpBitOr, bytecode.OpBitXor, bytecode.OpShl, bytecode.OpShr,
+		bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
+		return 1, 2
+	case bytecode.OpNeg, bytecode.OpNot:
+		return 1, 1
+	case bytecode.OpSignal:
+		if len(operand) == 3 {
+			return 0, int(operand[2])
+		}
+		return 0, 0
+	default:
+		return 0, 0
+	}
+}

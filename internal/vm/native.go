@@ -1,0 +1,324 @@
+package vm
+
+import (
+	"time"
+
+	"micropnp/internal/bus"
+)
+
+// Native interconnect libraries (Figure 8): thin, platform-specific adapters
+// between driver bytecode and the simulated hardware interconnects. Each
+// library delivers results asynchronously by posting events, preserving the
+// split-phase I/O model of the DSL.
+
+// ---------------------------------------------------------------------------
+// uart
+
+// UARTLib exposes a bus.UART to drivers:
+//
+//	signal uart.init(baud, parity, stop, bits) — errors: invalidConfiguration, uartInUse
+//	signal uart.reset()
+//	signal uart.read()   — subsequent bytes arrive as newdata(char) events;
+//	                       a read with no data within ReadTimeout raises timeOut
+//	signal uart.write(b) — writeDone() on completion
+type UARTLib struct {
+	Port *bus.UART
+	// ReadTimeout is the virtual-time window for the timeOut error
+	// (default 500 ms).
+	ReadTimeout time.Duration
+
+	rt      *Runtime
+	armed   bool
+	dataSeq int           // increments on every delivered byte
+	lastRx  time.Duration // virtual time the previous byte finished arriving
+}
+
+// Name implements Library.
+func (l *UARTLib) Name() string { return "uart" }
+
+// Attach implements Library.
+func (l *UARTLib) Attach(rt *Runtime) {
+	l.rt = rt
+	if l.ReadTimeout == 0 {
+		l.ReadTimeout = 500 * time.Millisecond
+	}
+	l.Port.OnReceive(func(b byte) {
+		// Bytes arrive paced by the line rate: at 9600 8N1 a frame takes
+		// ~1.04 ms on the wire. Delivering bytes at their real arrival
+		// times matters for driver semantics — handlers drain the event
+		// queue between bytes, exactly as on the physical UART.
+		cfg, _ := l.Port.Config()
+		frameBits := 1 + cfg.DataBits + cfg.StopBits
+		if cfg.Parity != bus.ParityNone {
+			frameBits++
+		}
+		byteTime := time.Duration(float64(frameBits) / float64(cfg.Baud) * float64(time.Second))
+		at := l.rt.Now() + byteTime
+		if at < l.lastRx+byteTime {
+			at = l.lastRx + byteTime
+		}
+		l.lastRx = at
+		l.rt.Schedule(at-l.rt.Now(), func() {
+			l.dataSeq++
+			if l.armed {
+				l.rt.Post("newdata", int32(b))
+			}
+		})
+	})
+}
+
+// Detach implements Library.
+func (l *UARTLib) Detach() {
+	l.armed = false
+	l.Port.Reset()
+}
+
+// Invoke implements Library.
+func (l *UARTLib) Invoke(op string, args []int32) {
+	switch op {
+	case "init":
+		if len(args) != 4 {
+			l.rt.PostError("invalidConfiguration")
+			return
+		}
+		if _, open := l.Port.Config(); open {
+			l.rt.PostError("uartInUse")
+			return
+		}
+		cfg := bus.UARTConfig{
+			Baud:     int(args[0]),
+			Parity:   bus.Parity(args[1]),
+			StopBits: int(args[2]),
+			DataBits: int(args[3]),
+		}
+		if err := l.Port.Init(cfg); err != nil {
+			l.rt.PostError("invalidConfiguration")
+		}
+	case "reset":
+		l.armed = false
+		l.Port.Reset()
+	case "read":
+		l.armed = true
+		seq := l.dataSeq
+		l.rt.Schedule(l.ReadTimeout, func() {
+			if l.armed && l.dataSeq == seq {
+				l.armed = false
+				l.rt.PostError("timeOut")
+			}
+		})
+	case "write":
+		if len(args) != 1 {
+			l.rt.PostError("invalidConfiguration")
+			return
+		}
+		if err := l.Port.Write([]byte{byte(args[0])}); err != nil {
+			l.rt.PostError("invalidConfiguration")
+			return
+		}
+		l.rt.Post("writeDone")
+	default:
+		l.rt.PostError("badBytecode")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// adc
+
+// ADCLib exposes a bus.ADC channel:
+//
+//	signal adc.read() — result arrives as sample(value); faults as adcFault.
+type ADCLib struct {
+	ADC *bus.ADC
+	rt  *Runtime
+}
+
+// Name implements Library.
+func (l *ADCLib) Name() string { return "adc" }
+
+// Attach implements Library.
+func (l *ADCLib) Attach(rt *Runtime) { l.rt = rt }
+
+// Detach implements Library.
+func (l *ADCLib) Detach() {}
+
+// Invoke implements Library.
+func (l *ADCLib) Invoke(op string, args []int32) {
+	switch op {
+	case "read":
+		v, err := l.ADC.Sample()
+		if err != nil {
+			l.rt.PostError("adcFault")
+			return
+		}
+		l.rt.Post("sample", int32(v))
+	default:
+		l.rt.PostError("badBytecode")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// i2c
+
+// I2CLib exposes a bus.I2C master:
+//
+//	signal i2c.read(addr, reg, n)         — n ≤ 4; result i2cdata(value, n),
+//	                                        value big-endian packed
+//	signal i2c.write(addr, reg, value, n) — ack as i2cack()
+//
+// Address NACKs and malformed requests raise i2cNack.
+type I2CLib struct {
+	Bus *bus.I2C
+	rt  *Runtime
+}
+
+// Name implements Library.
+func (l *I2CLib) Name() string { return "i2c" }
+
+// Attach implements Library.
+func (l *I2CLib) Attach(rt *Runtime) { l.rt = rt }
+
+// Detach implements Library.
+func (l *I2CLib) Detach() {}
+
+// Invoke implements Library.
+func (l *I2CLib) Invoke(op string, args []int32) {
+	switch op {
+	case "read":
+		if len(args) != 3 || args[2] < 1 || args[2] > 4 {
+			l.rt.PostError("i2cNack")
+			return
+		}
+		data, err := l.Bus.Read(byte(args[0]), byte(args[1]), int(args[2]))
+		if err != nil {
+			l.rt.PostError("i2cNack")
+			return
+		}
+		var v int32
+		for _, b := range data {
+			v = v<<8 | int32(b)
+		}
+		l.rt.Post("i2cdata", v, args[2])
+	case "write":
+		if len(args) != 4 || args[3] < 1 || args[3] > 4 {
+			l.rt.PostError("i2cNack")
+			return
+		}
+		n := int(args[3])
+		data := make([]byte, n)
+		for i := n - 1; i >= 0; i-- {
+			data[i] = byte(args[2] >> (8 * (n - 1 - i)))
+		}
+		if err := l.Bus.Write(byte(args[0]), byte(args[1]), data); err != nil {
+			l.rt.PostError("i2cNack")
+			return
+		}
+		l.rt.Post("i2cack")
+	default:
+		l.rt.PostError("badBytecode")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// spi
+
+// SPILib exposes a bus.SPI master:
+//
+//	signal spi.transfer(value, n) — n ≤ 4 bytes exchanged; reply spidata(value, n).
+type SPILib struct {
+	Bus *bus.SPI
+	rt  *Runtime
+}
+
+// Name implements Library.
+func (l *SPILib) Name() string { return "spi" }
+
+// Attach implements Library.
+func (l *SPILib) Attach(rt *Runtime) { l.rt = rt }
+
+// Detach implements Library.
+func (l *SPILib) Detach() {}
+
+// Invoke implements Library.
+func (l *SPILib) Invoke(op string, args []int32) {
+	switch op {
+	case "transfer":
+		if len(args) != 2 || args[1] < 1 || args[1] > 4 {
+			l.rt.PostError("spiFault")
+			return
+		}
+		n := int(args[1])
+		out := make([]byte, n)
+		for i := n - 1; i >= 0; i-- {
+			out[i] = byte(args[0] >> (8 * (n - 1 - i)))
+		}
+		in, err := l.Bus.Transfer(out)
+		if err != nil {
+			l.rt.PostError("spiFault")
+			return
+		}
+		var v int32
+		for _, b := range in {
+			v = v<<8 | int32(b)
+		}
+		l.rt.Post("spidata", v, args[1])
+	default:
+		l.rt.PostError("badBytecode")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// timer
+
+// TimerLib provides split-phase delays under the runtime's virtual clock:
+//
+//	signal timer.start(ms) — timerFired() after ms milliseconds.
+type TimerLib struct {
+	rt *Runtime
+}
+
+// Name implements Library.
+func (l *TimerLib) Name() string { return "timer" }
+
+// Attach implements Library.
+func (l *TimerLib) Attach(rt *Runtime) { l.rt = rt }
+
+// Detach implements Library.
+func (l *TimerLib) Detach() {}
+
+// Invoke implements Library.
+func (l *TimerLib) Invoke(op string, args []int32) {
+	switch op {
+	case "start":
+		if len(args) != 1 || args[0] < 0 {
+			l.rt.PostError("badBytecode")
+			return
+		}
+		rt := l.rt
+		rt.Schedule(time.Duration(args[0])*time.Millisecond, func() {
+			rt.Post("timerFired")
+		})
+	default:
+		l.rt.PostError("badBytecode")
+	}
+}
+
+// LibrariesFor builds the standard library set for a peripheral slot wired
+// to the given interconnects. Nil interconnects are skipped — supply only
+// what the channel provides.
+func LibrariesFor(u *bus.UART, a *bus.ADC, i *bus.I2C, s *bus.SPI) []Library {
+	var libs []Library
+	if u != nil {
+		libs = append(libs, &UARTLib{Port: u})
+	}
+	if a != nil {
+		libs = append(libs, &ADCLib{ADC: a})
+	}
+	if i != nil {
+		libs = append(libs, &I2CLib{Bus: i})
+	}
+	if s != nil {
+		libs = append(libs, &SPILib{Bus: s})
+	}
+	libs = append(libs, &TimerLib{})
+	return libs
+}

@@ -1,0 +1,114 @@
+// Package vm implements the µPnP execution environment of Section 4.2: a
+// stack-based virtual machine interpreting driver bytecode, an event router
+// with a FIFO queue for regular events and a priority queue for errors, and
+// the native interconnect libraries (adc, uart, i2c, spi, timer) that expose
+// platform I/O to platform-independent drivers.
+package vm
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is a message exchanged between drivers, native libraries and the
+// network stack. All I/O in µPnP is modelled as events.
+type Event struct {
+	// Name selects the driver handler (or library operation) to run.
+	Name string
+	// Args are the event payload values.
+	Args []int32
+	// IsError routes the event through the priority queue and dispatches it
+	// to an error handler.
+	IsError bool
+	// Source identifies the originator (diagnostic).
+	Source string
+}
+
+// Router implements the two event queues of the execution environment:
+// regular events are handled first-come first-served, error events are
+// prioritised. Posting never blocks; control returns immediately to the
+// originator (Section 4.2).
+type Router struct {
+	mu     sync.Mutex
+	fifo   []Event
+	errors []Event
+
+	// stats
+	posted     int
+	dispatched int
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router { return &Router{} }
+
+// Post enqueues an event on the appropriate queue.
+func (r *Router) Post(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.posted++
+	if e.IsError {
+		r.errors = append(r.errors, e)
+	} else {
+		r.fifo = append(r.fifo, e)
+	}
+}
+
+// Next dequeues the next event to dispatch: all pending errors drain before
+// any regular event.
+func (r *Router) Next() (Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.errors) > 0 {
+		e := r.errors[0]
+		r.errors = r.errors[1:]
+		r.dispatched++
+		return e, true
+	}
+	if len(r.fifo) > 0 {
+		e := r.fifo[0]
+		r.fifo = r.fifo[1:]
+		r.dispatched++
+		return e, true
+	}
+	return Event{}, false
+}
+
+// Len returns the number of queued events.
+func (r *Router) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.fifo) + len(r.errors)
+}
+
+// Stats returns lifetime posted/dispatched counters.
+func (r *Router) Stats() (posted, dispatched int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.posted, r.dispatched
+}
+
+// AVRTimeModel emulates the measured execution costs of the prototype on the
+// 16 MHz ATMega128RFA1 (Section 6.2): a push() costs 11.1 µs, a pop()
+// 8.9 µs, the remainder of instruction decode/dispatch is the base cost, and
+// routing one event through the queues costs 77.79 µs. With this model the
+// average bytecode instruction lands at ≈39.7 µs, matching the paper.
+type AVRTimeModel struct {
+	Base     time.Duration
+	PushCost time.Duration
+	PopCost  time.Duration
+	Dispatch time.Duration
+}
+
+// DefaultAVRTimeModel reproduces the Section 6.2 measurements.
+var DefaultAVRTimeModel = AVRTimeModel{
+	Base:     12 * time.Microsecond,
+	PushCost: 11100 * time.Nanosecond,
+	PopCost:  8900 * time.Nanosecond,
+	Dispatch: 77790 * time.Nanosecond,
+}
+
+// InstructionCost returns the emulated cost of one instruction given how
+// many stack pushes and pops it performs.
+func (m AVRTimeModel) InstructionCost(pushes, pops int) time.Duration {
+	return m.Base + time.Duration(pushes)*m.PushCost + time.Duration(pops)*m.PopCost
+}
