@@ -6,11 +6,13 @@
 package micropnp_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
+	"micropnp"
+
 	"micropnp/internal/bytecode"
-	"micropnp/internal/core"
 	"micropnp/internal/driver"
 	"micropnp/internal/dsl"
 	"micropnp/internal/energy"
@@ -187,7 +189,7 @@ func BenchmarkEventRouter(b *testing.B) {
 func BenchmarkTable4Plugin(b *testing.B) {
 	var total, endToEnd time.Duration
 	for i := 0; i < b.N; i++ {
-		d, err := core.NewDeployment(core.DeploymentConfig{})
+		d, err := micropnp.NewDeployment()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +197,7 @@ func BenchmarkTable4Plugin(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := d.PlugTMP36(th, 0); err != nil {
+		if err := th.PlugTMP36(0); err != nil {
 			b.Fatal(err)
 		}
 		d.Run()
@@ -248,15 +250,13 @@ func BenchmarkDriverInterpretation(b *testing.B) {
 		b.Fatal(err)
 	}
 	entry, _ := repo.Lookup(driver.IDBMP180)
-	prog, err := bytecode.Decode(entry.Bytecode)
+	if _, err := bytecode.Decode(entry.Bytecode); err != nil {
+		b.Fatal(err)
+	}
+	d, err := micropnp.NewDeployment()
 	if err != nil {
 		b.Fatal(err)
 	}
-	d, err := core.NewDeployment(core.DeploymentConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	_ = prog
 	th, err := d.AddThing("bench")
 	if err != nil {
 		b.Fatal(err)
@@ -265,18 +265,15 @@ func BenchmarkDriverInterpretation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := d.PlugBMP180(th, 0); err != nil {
+	if err := th.PlugBMP180(0); err != nil {
 		b.Fatal(err)
 	}
 	d.Run()
+	ctx := context.Background()
 	b.ResetTimer()
-	got := 0
 	for i := 0; i < b.N; i++ {
-		cl.Read(th.Addr(), driver.IDBMP180, func(v []int32) { got++ })
-		d.Run()
-	}
-	b.StopTimer()
-	if got != b.N {
-		b.Fatalf("reads completed: %d of %d", got, b.N)
+		if _, err := cl.Read(ctx, th.Addr(), micropnp.BMP180); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,259 @@
+package micropnp
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"micropnp/internal/client"
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+)
+
+// Client is a µPnP client: software that discovers and uses peripherals
+// hosted by Things. Its calls are synchronous — each one drives the
+// discrete-event simulator until the reply arrives, the virtual deadline
+// passes, or the context is cancelled.
+type Client struct {
+	d  *Deployment
+	cl *client.Client
+}
+
+// Addr returns the client's unicast IPv6 address.
+func (c *Client) Addr() netip.Addr { return c.cl.Addr() }
+
+// Adverts returns every advertisement the client observed so far,
+// unsolicited ones included.
+func (c *Client) Adverts() []Advert { return advertsFrom(c.cl.Adverts()) }
+
+// Things returns the distinct Things that advertised a peripheral type
+// (AllPeripherals matches any).
+func (c *Client) Things(id DeviceID) []netip.Addr { return c.cl.Things(hw.DeviceID(id)) }
+
+// OnAdvert registers a callback invoked for every incoming advertisement.
+func (c *Client) OnAdvert(fn func(Advert)) {
+	if fn == nil {
+		c.cl.OnAdvert(nil)
+		return
+	}
+	c.cl.OnAdvert(func(a client.Advert) { fn(advertFrom(a)) })
+}
+
+// units resolves the unit string for a peripheral type: what the Thing
+// advertised, falling back to the shipped-driver registry.
+func (c *Client) units(id DeviceID) string {
+	if u := c.cl.Units(hw.DeviceID(id)); u != "" {
+		return u
+	}
+	return driver.UnitsFor(hw.DeviceID(id))
+}
+
+// Read requests one value set from a peripheral on a Thing and blocks
+// (driving the simulator) until the reply arrives or the deadline passes.
+// It returns ErrTimeout when the Thing is unreachable or the reply is lost,
+// ErrNoPeripheral when the Thing serves no such device, and the context's
+// error on cancellation.
+func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Reading, error) {
+	var (
+		r    Reading
+		rerr error
+	)
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
+		c.cl.Read(thing, hw.DeviceID(id), timeout, func(vals []int32, err error) {
+			complete()
+			if err != nil {
+				rerr = err
+				return
+			}
+			r = Reading{
+				Thing:  thing,
+				Device: id,
+				Values: vals,
+				Units:  c.units(id),
+				At:     c.d.Now(),
+			}
+		})
+	})
+	if err != nil {
+		return Reading{}, err
+	}
+	return r, rerr
+}
+
+// Write sends values to a peripheral (e.g. an actuator) and blocks until
+// the acknowledgement. It returns ErrWriteRejected when the Thing serves no
+// such peripheral or rejects the payload, ErrTimeout on loss.
+func (c *Client) Write(ctx context.Context, thing netip.Addr, id DeviceID, vals []int32) error {
+	var werr error
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
+		c.cl.Write(thing, hw.DeviceID(id), vals, timeout, func(err error) {
+			complete()
+			werr = err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return werr
+}
+
+// Discover multicasts a discovery for a peripheral type (AllPeripherals for
+// everything) and collects the solicited advertisements that arrive within
+// the discovery window — the context deadline when one is set, the default
+// request timeout otherwise. An empty result is not an error; the network
+// may genuinely serve no such peripheral.
+func (c *Client) Discover(ctx context.Context, id DeviceID) ([]Advert, error) {
+	return c.runDiscovery(ctx, discoverByType, id, 0, 0)
+}
+
+// discoverKind selects the discovery flavour.
+const (
+	discoverByType = iota
+	discoverByClass
+	discoverByZone
+)
+
+func (c *Client) runDiscovery(ctx context.Context, kind int, id DeviceID, class uint8, zone uint16) ([]Advert, error) {
+	var got []Advert
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
+		collect := func(adverts []client.Advert) {
+			complete()
+			got = advertsFrom(adverts)
+		}
+		switch kind {
+		case discoverByClass:
+			c.cl.DiscoverClass(class, timeout, collect)
+		case discoverByZone:
+			c.cl.DiscoverInZone(zone, hw.DeviceID(id), timeout, collect)
+		default:
+			c.cl.Discover(hw.DeviceID(id), timeout, collect)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// DiscoverClass discovers any peripheral of a device class, regardless of
+// vendor or product (Section 9 hierarchical typing). Only Things running
+// the structured namespace respond.
+func (c *Client) DiscoverClass(ctx context.Context, class uint8) ([]Advert, error) {
+	return c.runDiscovery(ctx, discoverByClass, 0, class, 0)
+}
+
+// DiscoverInZone discovers a peripheral type within a location zone
+// (Section 9 location-aware multicast).
+func (c *Client) DiscoverInZone(ctx context.Context, zone uint16, id DeviceID) ([]Advert, error) {
+	return c.runDiscovery(ctx, discoverByZone, id, 0, zone)
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions
+
+// Subscription is a handle on a peripheral's value stream. Data arrives
+// while the deployment runs (Deployment.RunFor); each reading is delivered
+// to the OnReading callback and retained in the handle's history.
+type Subscription struct {
+	c      *Client
+	stream *client.Stream
+	thing  netip.Addr
+	id     DeviceID
+
+	mu       sync.Mutex
+	readings []Reading
+	closed   bool
+	onRead   func(Reading)
+}
+
+// Device returns the peripheral type the subscription serves.
+func (s *Subscription) Device() DeviceID { return s.id }
+
+// Thing returns the streaming Thing's address.
+func (s *Subscription) Thing() netip.Addr { return s.thing }
+
+// Readings returns the readings received so far.
+func (s *Subscription) Readings() []Reading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Reading(nil), s.readings...)
+}
+
+// Closed reports whether the stream ended — by the Thing closing it or by
+// Close.
+func (s *Subscription) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close unsubscribes locally. The Thing keeps streaming for any other
+// subscribers until it closes the stream itself.
+func (s *Subscription) Close() {
+	s.mu.Lock()
+	s.closed = true
+	stream := s.stream
+	s.mu.Unlock()
+	// stream is nil when the subscribe request was never sent (context
+	// already expired before registration).
+	if stream != nil {
+		stream.Close()
+	}
+}
+
+// Subscribe requests a peripheral's value stream from a Thing and blocks
+// until the stream is established (the Thing answers with the multicast
+// group to join) or the deadline passes. onReading may be nil; readings are
+// always retained in the returned handle. Remember to Close the
+// subscription when done:
+//
+//	sub, err := cl.Subscribe(ctx, th.Addr(), micropnp.BMP180, nil)
+//	if err != nil { ... }
+//	defer sub.Close()
+//	d.RunFor(30 * time.Second) // three 10 s stream ticks
+//	for _, r := range sub.Readings() { ... }
+func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, onReading func(Reading)) (*Subscription, error) {
+	sub := &Subscription{c: c, thing: thing, id: id, onRead: onReading}
+	var serr error
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
+		sub.stream = c.cl.Subscribe(thing, hw.DeviceID(id), client.SubscribeOptions{
+			Timeout: timeout,
+			OnData: func(vals []int32) {
+				r := Reading{
+					Thing:  thing,
+					Device: id,
+					Values: vals,
+					Units:  c.units(id),
+					At:     c.d.Now(),
+				}
+				sub.mu.Lock()
+				sub.readings = append(sub.readings, r)
+				cb := sub.onRead
+				sub.mu.Unlock()
+				if cb != nil {
+					cb(r)
+				}
+			},
+			OnClosed: func() {
+				sub.mu.Lock()
+				sub.closed = true
+				sub.mu.Unlock()
+			},
+			OnEstablished: func(err error) {
+				complete()
+				serr = err
+			},
+		})
+	})
+	if err != nil {
+		// Cancelled mid-establishment: retract the subscription so a later
+		// establishment reply cannot join the group for an orphaned handle.
+		sub.Close()
+		return nil, err
+	}
+	if serr != nil {
+		return nil, serr
+	}
+	return sub, nil
+}

@@ -1,11 +1,12 @@
 // Command upnp-sim runs a scripted µPnP deployment scenario on the
 // simulated network and prints a trace of what happened: peripherals get
 // plugged into Things, drivers are fetched over the air from the manager,
-// clients discover and read the peripherals.
+// clients discover and read the peripherals. It is written entirely against
+// the public SDK (package micropnp).
 //
 // Usage:
 //
-//	upnp-sim [-things N] [-hops H] [-loss P] [-churn K]
+//	upnp-sim [-things N] [-hops H] [-loss P] [-churn K] [-seed S]
 //
 // Flags:
 //
@@ -13,19 +14,16 @@
 //	-hops    depth of the RPL tree the Things hang from (default 1)
 //	-loss    per-hop frame loss probability (default 0)
 //	-churn   extra plug/unplug cycles to simulate (default 1)
+//	-seed    random seed for loss/jitter sampling (default 1)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"micropnp/internal/client"
-	"micropnp/internal/core"
-	"micropnp/internal/driver"
-	"micropnp/internal/hw"
-	"micropnp/internal/netsim"
-	"micropnp/internal/thing"
+	"micropnp"
 )
 
 func main() {
@@ -33,37 +31,38 @@ func main() {
 	hops := flag.Int("hops", 1, "tree depth of the Things")
 	loss := flag.Float64("loss", 0, "per-hop frame loss probability")
 	churn := flag.Int("churn", 1, "extra plug/unplug cycles")
+	seed := flag.Int64("seed", 1, "random seed for loss/jitter sampling")
 	flag.Parse()
 
-	if err := run(*nThings, *hops, *loss, *churn); err != nil {
+	if err := run(*nThings, *hops, *loss, *churn, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nThings, hops int, loss float64, churn int) error {
-	d, err := core.NewDeployment(core.DeploymentConfig{LossRate: loss})
+func run(nThings, hops int, loss float64, churn int, seed int64) error {
+	d, err := micropnp.NewDeployment(micropnp.WithLossRate(loss), micropnp.WithSeed(seed))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("deployment: manager at %v (anycast %v), loss=%.2f\n",
-		d.Manager.Node().Addr(), core.ManagerAnycast, loss)
+	fmt.Printf("deployment: loss=%.2f seed=%d\n", loss, seed)
+	ctx := context.Background()
 
 	// Build a chain of relays to reach the requested depth, then hang the
 	// Things off the last relay.
-	parent := d.Manager.Node()
+	var parent *micropnp.Thing
 	for h := 1; h < hops; h++ {
-		relay, err := d.AddThingAt(fmt.Sprintf("relay-%d", h), parent)
+		relay, err := addThing(d, fmt.Sprintf("relay-%d", h), parent)
 		if err != nil {
 			return err
 		}
-		parent = relay.Node()
+		parent = relay
 	}
 
-	things := make([]*thing.Thing, 0, nThings)
+	things := make([]*micropnp.Thing, 0, nThings)
 	kinds := []string{"TMP36", "HIH-4030", "BMP180", "ID-20LA"}
 	for i := 0; i < nThings; i++ {
-		th, err := d.AddThingAt(fmt.Sprintf("thing-%d", i), parent)
+		th, err := addThing(d, fmt.Sprintf("thing-%d", i), parent)
 		if err != nil {
 			return err
 		}
@@ -73,12 +72,12 @@ func run(nThings, hops int, loss float64, churn int) error {
 	if err != nil {
 		return err
 	}
-	cl.OnAdvert(func(a client.Advert) {
+	cl.OnAdvert(func(a micropnp.Advert) {
 		kind := "unsolicited"
 		if a.Solicited {
 			kind = "solicited"
 		}
-		fmt.Printf("  [client] %s advert: %v serves %v\n", kind, a.Thing, a.Peripheral.ID)
+		fmt.Printf("  [client] %s advert: %v serves %v\n", kind, a.Thing, a.Device)
 	})
 
 	// Plug one peripheral per Thing, round robin over the standard set.
@@ -86,18 +85,18 @@ func run(nThings, hops int, loss float64, churn int) error {
 		var err error
 		switch i % 4 {
 		case 0:
-			err = d.PlugTMP36(th, 0)
+			err = th.PlugTMP36(0)
 		case 1:
-			err = d.PlugHIH4030(th, 0)
+			err = th.PlugHIH4030(0)
 		case 2:
-			err = d.PlugBMP180(th, 0)
+			err = th.PlugBMP180(0)
 		case 3:
-			_, err = d.PlugRFID(th, 0)
+			_, err = th.PlugRFID(0)
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("[plug] %s into %s (%v)\n", kinds[i%4], th.Addr(), d.Network.Now())
+		fmt.Printf("[plug] %s into %s (%v)\n", kinds[i%4], th.Addr(), d.Now())
 	}
 	d.Run()
 
@@ -108,23 +107,24 @@ func run(nThings, hops int, loss float64, churn int) error {
 				float64(tr.Energy)*1e3, tr.NetworkTotal.Round(0), tr.Total.Round(0))
 		}
 	}
-	fmt.Printf("[manager] served %d driver uploads\n", d.Manager.Uploads())
+	fmt.Printf("[manager] served %d driver uploads\n", d.ManagerUploads())
 
 	// Discovery sweep.
 	fmt.Println("[client] discovering all peripherals...")
-	cl.Discover(hw.DeviceIDAllPeripherals)
-	d.Run()
-
-	// Read every discovered temperature sensor.
-	for _, addr := range cl.Things(driver.IDTMP36) {
-		a := addr
-		cl.Read(a, driver.IDTMP36, func(v []int32) {
-			if len(v) == 1 {
-				fmt.Printf("  [client] %v TMP36 reads %.1f °C\n", a, float64(v[0])/10)
-			}
-		})
+	if _, err := cl.Discover(ctx, micropnp.AllPeripherals); err != nil {
+		return err
 	}
-	d.Run()
+
+	// Read every discovered temperature sensor; on a lossy network a read
+	// may time out — the error surfaces instead of a callback hanging.
+	for _, addr := range cl.Things(micropnp.TMP36) {
+		r, err := cl.Read(ctx, addr, micropnp.TMP36)
+		if err != nil {
+			fmt.Printf("  [client] %v TMP36 read failed: %v\n", addr, err)
+			continue
+		}
+		fmt.Printf("  [client] %v TMP36 reads %.1f °C\n", addr, float64(r.Values[0])/10)
+	}
 
 	// Churn: unplug and replug channel 0 of the first Thing.
 	for k := 0; k < churn && len(things) > 0; k++ {
@@ -134,15 +134,21 @@ func run(nThings, hops int, loss float64, churn int) error {
 			return err
 		}
 		d.Run()
-		if err := d.PlugTMP36(th, 0); err != nil {
+		if err := th.PlugTMP36(0); err != nil {
 			return err
 		}
 		d.Run()
 	}
-	st := d.Network.Stats()
+	st := d.NetworkStats()
 	fmt.Printf("network: %d unicast, %d multicast, %d transmissions, %d delivered, %d lost (virtual time %v)\n",
-		st.UnicastSent, st.MulticastSent, st.Transmissions, st.Delivered, st.Lost,
-		d.Network.Now().Round(0))
-	_ = netsim.Port6030
+		st.UnicastSent, st.MulticastSent, st.Transmissions, st.Delivered, st.Lost, d.Now().Round(0))
 	return nil
+}
+
+// addThing attaches a Thing at the root or under a parent.
+func addThing(d *micropnp.Deployment, name string, parent *micropnp.Thing) (*micropnp.Thing, error) {
+	if parent == nil {
+		return d.AddThing(name)
+	}
+	return d.AddThingUnder(name, parent)
 }

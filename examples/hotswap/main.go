@@ -11,17 +11,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"micropnp/internal/core"
-	"micropnp/internal/driver"
-	"micropnp/internal/energy"
+	"micropnp"
 )
 
 func main() {
-	d, err := core.NewDeployment(core.DeploymentConfig{})
+	d, err := micropnp.NewDeployment()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,29 +32,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d.Env.Set(21, 50, 101_000)
+	d.SetEnvironment(21, 50, 101_000)
+
+	ctx := context.Background()
 
 	// Churn: alternate a TMP36 and an HIH-4030 through channel 0, with an
 	// hour of idle (virtual) time between changes.
 	const cycles = 4
 	for i := 0; i < cycles; i++ {
 		var err error
-		var id = driver.IDTMP36
+		var id = micropnp.TMP36
 		if i%2 == 1 {
-			id = driver.IDHIH4030
-			err = d.PlugHIH4030(th, 0)
+			id = micropnp.HIH4030
+			err = th.PlugHIH4030(0)
 		} else {
-			err = d.PlugTMP36(th, 0)
+			err = th.PlugTMP36(0)
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		d.Run()
 
-		cl.Read(th.Addr(), id, func(v []int32) {
-			fmt.Printf("cycle %d: %v reads %.1f\n", i+1, id, float64(v[0])/10)
-		})
-		d.Run()
+		r, err := cl.Read(ctx, th.Addr(), id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %d: %v reads %d %s\n", i+1, id, r.Values[0], r.Units)
 
 		if err := th.Unplug(0); err != nil {
 			log.Fatal(err)
@@ -64,14 +66,14 @@ func main() {
 		d.RunFor(time.Hour) // idle: the µPnP board is powered down
 	}
 
-	stats := th.Board().Stats()
-	span := d.Network.Now()
-	usb := energy.DefaultUSBHost.Energy(span)
+	stats := th.BoardStats()
+	span := d.Now()
+	usb := micropnp.USBHostEnergy(span)
 	fmt.Printf("\nover %v of virtual time:\n", span.Round(time.Minute))
 	fmt.Printf("  %d interrupts, %d identification scans\n", stats.Interrupts, stats.Scans)
 	fmt.Printf("  µPnP board energy: %.4g J (active for %v total)\n",
 		float64(stats.EnergyTotal), stats.ActiveTime.Round(time.Millisecond))
-	fmt.Printf("  USB host baseline: %.4g J (always on)\n", float64(usb))
-	fmt.Printf("  ratio: %.0fx in favour of µPnP\n", float64(usb)/float64(stats.EnergyTotal))
-	fmt.Printf("  manager uploads: %d (drivers are cached after first install)\n", d.Manager.Uploads())
+	fmt.Printf("  USB host baseline: %.4g J (always on)\n", usb)
+	fmt.Printf("  ratio: %.0fx in favour of µPnP\n", usb/float64(stats.EnergyTotal))
+	fmt.Printf("  manager uploads: %d (drivers are cached after first install)\n", d.ManagerUploads())
 }

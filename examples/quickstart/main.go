@@ -1,32 +1,32 @@
-// Quickstart: the smallest possible µPnP session.
+// Quickstart: the smallest possible µPnP session, on the public SDK.
 //
 // One Thing, one client, one TMP36 temperature sensor. Plugging the sensor
 // triggers the whole plug-and-play pipeline of the paper: the control board
 // identifies the peripheral from its resistor-encoded pulse train, the Thing
 // fetches the driver over the air from the manager, joins the peripheral's
 // multicast group and advertises it — after which the client reads the
-// temperature remotely.
+// temperature remotely with one synchronous, error-returning call.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"micropnp/internal/core"
-	"micropnp/internal/driver"
+	"micropnp"
 )
 
 func main() {
 	// A deployment bundles the simulated IPv6 network, a µPnP manager
 	// preloaded with the standard drivers, and a shared physical
 	// environment for the sensors.
-	d, err := core.NewDeployment(core.DeploymentConfig{})
+	d, err := micropnp.NewDeployment()
 	if err != nil {
 		log.Fatal(err)
 	}
-	d.Env.Set(22.5, 45, 101_325) // 22.5 °C, 45 %RH, 1013.25 hPa
+	d.SetEnvironment(22.5, 45, 101_325) // 22.5 °C, 45 %RH, 1013.25 hPa
 
 	th, err := d.AddThing("kitchen")
 	if err != nil {
@@ -37,8 +37,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Plug the TMP36 into channel 0 and let the network run.
-	if err := d.PlugTMP36(th, 0); err != nil {
+	// Plug the TMP36 into channel 0 and let the plug-in sequence run.
+	if err := th.PlugTMP36(0); err != nil {
 		log.Fatal(err)
 	}
 	d.Run()
@@ -50,12 +50,15 @@ func main() {
 
 	// The client saw the unsolicited advertisement...
 	for _, a := range cl.Adverts() {
-		fmt.Printf("client: %v advertises peripheral %v\n", a.Thing, a.Peripheral.ID)
+		fmt.Printf("client: %v advertises peripheral %v (%s)\n", a.Thing, a.Device, a.Units)
 	}
 
-	// ...and can read the sensor remotely.
-	cl.Read(th.Addr(), driver.IDTMP36, func(v []int32) {
-		fmt.Printf("client: kitchen temperature is %.1f °C\n", float64(v[0])/10)
-	})
-	d.Run()
+	// ...and can read the sensor remotely. Loss, absence and timeouts all
+	// surface as errors instead of callbacks that never fire.
+	r, err := cl.Read(context.Background(), th.Addr(), micropnp.TMP36)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: kitchen temperature is %.1f °C (units %s, at %v)\n",
+		float64(r.Values[0])/10, r.Units, r.At.Round(0))
 }

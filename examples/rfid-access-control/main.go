@@ -5,17 +5,20 @@
 // presented to the reader, and each returned card identifier is checked
 // against the whitelist. The driver running on the Thing is the paper's
 // Listing 1 driver, compiled from the DSL and interpreted by the stack VM.
+// A read with no card in the field times out with a real error instead of
+// hanging forever.
 //
 // Run with: go run ./examples/rfid-access-control
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"micropnp/internal/core"
-	"micropnp/internal/driver"
+	"micropnp"
 )
 
 var whitelist = map[string]string{
@@ -24,7 +27,7 @@ var whitelist = map[string]string{
 }
 
 func main() {
-	d, err := core.NewDeployment(core.DeploymentConfig{})
+	d, err := micropnp.NewDeployment()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,42 +40,51 @@ func main() {
 		log.Fatal(err)
 	}
 
-	reader, err := d.PlugRFID(door, 0)
+	reader, err := door.PlugRFID(0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	d.Run() // identification + OTA driver install + advertisement
 
-	fmt.Printf("reader %v online at %v\n", driver.IDID20LA, door.Addr())
+	fmt.Printf("reader %v online at %v\n", micropnp.ID20LA, door.Addr())
+
+	ctx := context.Background()
 
 	// Swipe a few cards. For each: the client issues a read, the card
-	// appears at the reader, and the driver returns the 12-character frame
-	// (10 ID characters + 2 checksum characters).
+	// appears at the reader shortly after (scheduled on the virtual
+	// clock), and the driver returns the 12-character frame (10 ID
+	// characters + 2 checksum characters).
 	cards := []string{"0415AB96C3", "DEADBEEF00", "04A1B2C3D4"}
 	for _, card := range cards {
-		var got []int32
-		cl.Read(door.Addr(), driver.IDID20LA, func(v []int32) { got = v })
-		// The read request travels client -> manager -> Thing (two hops in
-		// the tree); give it time to arrive and arm the UART.
-		d.RunFor(100 * time.Millisecond)
+		// The read request travels client -> Thing and arms the UART;
+		// schedule the card presentation 100 virtual milliseconds from
+		// now, so it happens while the synchronous Read drives the
+		// simulator.
+		card := card
+		d.ScheduleAfter(100*time.Millisecond, func() {
+			if err := reader.PresentCard(card); err != nil {
+				log.Fatal(err)
+			}
+		})
 
-		if err := reader.PresentCard(card); err != nil {
-			log.Fatal(err)
-		}
-		d.RunFor(200 * time.Millisecond) // bytes arrive, reply travels back
-
-		if len(got) != 12 {
-			fmt.Printf("card %s: no read (%v)\n", card, got)
+		r, err := cl.Read(ctx, door.Addr(), micropnp.ID20LA)
+		if err != nil {
+			fmt.Printf("card %s: no read (%v)\n", card, err)
 			continue
 		}
 		id := make([]byte, 10)
 		for i := range id {
-			id[i] = byte(got[i])
+			id[i] = byte(r.Values[i])
 		}
 		if who, ok := whitelist[string(id)]; ok {
 			fmt.Printf("card %s: ACCESS GRANTED (%s)\n", id, who)
 		} else {
 			fmt.Printf("card %s: access denied\n", id)
 		}
+	}
+
+	// No card at all: the read surfaces a timeout error.
+	if _, err := cl.Read(ctx, door.Addr(), micropnp.ID20LA); errors.Is(err, micropnp.ErrTimeout) {
+		fmt.Println("no card presented: read timed out as expected")
 	}
 }

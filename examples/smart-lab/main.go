@@ -11,14 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"micropnp/internal/client"
-	"micropnp/internal/core"
-	"micropnp/internal/driver"
-	"micropnp/internal/hw"
+	"micropnp"
 )
 
 const (
@@ -27,7 +25,7 @@ const (
 )
 
 func main() {
-	d, err := core.NewDeployment(core.DeploymentConfig{})
+	d, err := micropnp.NewDeployment()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,31 +42,34 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if err := d.PlugADXL345(monitor, 0); err != nil {
+	if err := monitor.PlugADXL345(0); err != nil {
 		log.Fatal(err)
 	}
-	relays, err := d.PlugRelay(panel, 0)
+	relays, err := panel.PlugRelay(0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	d.Run()
 
+	ctx := context.Background()
+
 	// Discover any accelerometer by device class (§9 hierarchical typing):
 	// the client needs no vendor or product knowledge.
-	cl.DiscoverClass(hw.ClassAccelerometer)
-	d.Run()
-	var accelThing *client.Advert
-	for _, a := range cl.Adverts() {
-		if a.Solicited && a.Peripheral.ID.Structured().Class == hw.ClassAccelerometer {
-			accelThing = &a
+	found, err := cl.DiscoverClass(ctx, micropnp.ClassAccelerometer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var accel *micropnp.Advert
+	for i, a := range found {
+		if a.Device.Class() == micropnp.ClassAccelerometer {
+			accel = &found[i]
 			break
 		}
 	}
-	if accelThing == nil {
+	if accel == nil {
 		log.Fatal("no accelerometer discovered")
 	}
-	fmt.Printf("found accelerometer %v (%s) on %v\n",
-		accelThing.Peripheral.ID, accelThing.Peripheral.ID.Structured(), accelThing.Thing)
+	fmt.Printf("found accelerometer %v (%s) on %v\n", accel.Device, accel.Name, accel.Thing)
 
 	// Poll vibration over a few machine states and actuate the relays.
 	scenarios := []struct {
@@ -81,27 +82,30 @@ func main() {
 	}
 	const thresholdMilliG = 200.0
 	for _, sc := range scenarios {
-		d.Env.SetAcceleration(sc.x, sc.y, sc.z)
+		d.SetAcceleration(sc.x, sc.y, sc.z)
 
-		var axes []int32
-		cl.Read(accelThing.Thing, accelThing.Peripheral.ID, func(v []int32) { axes = v })
-		d.Run()
+		r, err := cl.Read(ctx, accel.Thing, accel.Device)
+		if err != nil {
+			log.Fatalf("accelerometer read failed: %v", err)
+		}
+		axes := r.Values
 		if len(axes) != 3 {
-			log.Fatalf("accelerometer read failed: %v", axes)
+			log.Fatalf("accelerometer read returned %v", axes)
 		}
 		// Vibration magnitude relative to 1 g of gravity, in mg.
 		mag := math.Sqrt(float64(axes[0])*float64(axes[0])+
 			float64(axes[1])*float64(axes[1])+
 			float64(axes[2])*float64(axes[2])) - 1000
-		fmt.Printf("%-18s accel = [%5d %5d %5d] mg, vibration %.0f mg\n",
-			sc.label, axes[0], axes[1], axes[2], mag)
+		fmt.Printf("%-18s accel = [%5d %5d %5d] %s, vibration %.0f mg\n",
+			sc.label, axes[0], axes[1], axes[2], r.Units, mag)
 
 		want := int32(0b0000_0000)
 		if mag > thresholdMilliG {
 			want = 0b0000_1111 // all four ventilation relays on
 		}
-		cl.Write(panel.Addr(), driver.IDRelay, []int32{want}, nil)
-		d.Run()
+		if err := cl.Write(ctx, panel.Addr(), micropnp.Relay, []int32{want}); err != nil {
+			log.Fatalf("relay write failed: %v", err)
+		}
 		fmt.Printf("%-18s relay outputs now %08b\n", "", relays.State())
 	}
 }

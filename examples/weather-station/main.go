@@ -10,17 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"micropnp/internal/core"
-	"micropnp/internal/driver"
-	"micropnp/internal/hw"
+	"micropnp"
 )
 
 func main() {
-	d, err := core.NewDeployment(core.DeploymentConfig{StreamPeriod: 10 * time.Second})
+	d, err := micropnp.NewDeployment(micropnp.WithStreamPeriod(10 * time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,57 +33,65 @@ func main() {
 	}
 
 	// Morning conditions.
-	d.Env.Set(14.5, 72, 100_400)
+	d.SetEnvironment(14.5, 72, 100_400)
 
 	// All three sensors share the board's three channels.
-	if err := d.PlugTMP36(station, 0); err != nil {
+	if err := station.PlugTMP36(0); err != nil {
 		log.Fatal(err)
 	}
-	if err := d.PlugHIH4030(station, 1); err != nil {
+	if err := station.PlugHIH4030(1); err != nil {
 		log.Fatal(err)
 	}
-	if err := d.PlugBMP180(station, 2); err != nil {
+	if err := station.PlugBMP180(2); err != nil {
 		log.Fatal(err)
 	}
 	d.Run()
+
+	ctx := context.Background()
 
 	fmt.Println("discovering every peripheral type on the network...")
-	cl.Discover(hw.DeviceIDAllPeripherals)
-	d.Run()
-	for _, a := range cl.Adverts() {
-		if a.Solicited {
-			fmt.Printf("  found %v on %v\n", a.Peripheral.ID, a.Thing)
-		}
+	found, err := cl.Discover(ctx, micropnp.AllPeripherals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range found {
+		fmt.Printf("  found %v (%s) on %v\n", a.Device, a.Units, a.Thing)
 	}
 
-	read := func(id hw.DeviceID, label string, format func([]int32) string) {
-		cl.Read(station.Addr(), id, func(v []int32) {
-			fmt.Printf("  %-10s %s\n", label+":", format(v))
-		})
+	read := func(id micropnp.DeviceID, label string, format func([]int32) string) {
+		r, err := cl.Read(ctx, station.Addr(), id)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("  %-10s %s\n", label+":", format(r.Values))
 	}
 	fmt.Println("morning readings:")
-	read(driver.IDTMP36, "temp", func(v []int32) string { return fmt.Sprintf("%.1f °C", float64(v[0])/10) })
-	read(driver.IDHIH4030, "humidity", func(v []int32) string { return fmt.Sprintf("%.1f %%RH", float64(v[0])/10) })
-	read(driver.IDBMP180, "pressure", func(v []int32) string {
+	read(micropnp.TMP36, "temp", func(v []int32) string { return fmt.Sprintf("%.1f °C", float64(v[0])/10) })
+	read(micropnp.HIH4030, "humidity", func(v []int32) string { return fmt.Sprintf("%.1f %%RH", float64(v[0])/10) })
+	read(micropnp.BMP180, "pressure", func(v []int32) string {
 		return fmt.Sprintf("%.1f °C / %.2f hPa", float64(v[0])/10, float64(v[1])/100)
 	})
-	d.Run()
 
 	// Subscribe to the pressure stream, then let a front roll in.
 	fmt.Println("streaming pressure while a front approaches:")
 	tick := 0
-	cl.Stream(station.Addr(), driver.IDBMP180, func(v []int32) {
+	sub, err := cl.Subscribe(ctx, station.Addr(), micropnp.BMP180, func(r micropnp.Reading) {
 		tick++
-		fmt.Printf("  t+%02ds  %.2f hPa\n", tick*10, float64(v[1])/100)
-	}, func() {
-		fmt.Println("  stream closed by the station")
+		fmt.Printf("  t+%02ds  %.2f hPa\n", tick*10, float64(r.Values[1])/100)
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
 	for i := 0; i < 3; i++ {
 		d.RunFor(10 * time.Second)
-		_, _, p := d.Env.Snapshot()
-		d.Env.Set(14.0, 75, p-250) // pressure falling
+		_, _, p := d.Environment()
+		d.SetEnvironment(14.0, 75, p-250) // pressure falling
 	}
 	d.RunFor(2 * time.Second) // catch the tick at the loop boundary
-	station.StopStream(driver.IDBMP180)
+	station.StopStream(micropnp.BMP180)
 	d.Run()
+	if sub.Closed() {
+		fmt.Println("  stream closed by the station")
+	}
 }

@@ -1,0 +1,3 @@
+module micropnp
+
+go 1.24

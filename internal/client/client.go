@@ -2,15 +2,36 @@
 // discovers and uses peripherals hosted by µPnP Things (Section 5). Clients
 // may run on embedded devices or standard computers; this implementation
 // drives the simulated network.
+//
+// Every request is tracked in a pending-request table with a virtual-time
+// deadline: replies complete the request, lost replies expire it with
+// ErrTimeout, and nothing leaks. The public SDK in the repository root
+// wraps this layer in synchronous, context-aware calls.
 package client
 
 import (
+	"fmt"
 	"net/netip"
 	"sync"
+	"time"
 
 	"micropnp/internal/hw"
 	"micropnp/internal/netsim"
 	"micropnp/internal/proto"
+	"micropnp/internal/reqerr"
+)
+
+// DefaultTimeout bounds a request when the caller passes no explicit
+// timeout (see reqerr.DefaultTimeout).
+const DefaultTimeout = reqerr.DefaultTimeout
+
+// Request errors, shared with the manager via internal/reqerr. ErrTimeout
+// matches errors.Is(err, context.DeadlineExceeded).
+var (
+	ErrTimeout         = reqerr.ErrTimeout
+	ErrNoPeripheral    = reqerr.ErrNoPeripheral
+	ErrWriteRejected   = reqerr.ErrWriteRejected
+	ErrRemovalRejected = reqerr.ErrRemovalRejected
 )
 
 // Advert is one peripheral sighting: a Thing's advertisement of a connected
@@ -21,28 +42,52 @@ type Advert struct {
 	// Solicited distinguishes discovery replies from unsolicited
 	// advertisements.
 	Solicited bool
+	// At is the virtual time the advertisement arrived.
+	At time.Duration
+}
+
+type pendingKind uint8
+
+const (
+	pendingRead pendingKind = iota
+	pendingWrite
+	pendingDiscover
+)
+
+// pending is one in-flight request. Exactly one of the completion paths
+// fires: the matching reply, or the deadline expiry scheduled at send time.
+type pending struct {
+	kind pendingKind
+	// thing and id identify the peer and peripheral a read was addressed
+	// to: a data message only completes the read when both match (stream
+	// data multicast on a shared group may carry a colliding sequence
+	// number chosen by another client).
+	thing      netip.Addr
+	id         hw.DeviceID
+	onRead     func([]int32, error)
+	onWrite    func(error)
+	onDiscover func([]Advert)
+	adverts    []Advert
+	// cancel retracts the expiry event once a reply completed the request,
+	// so finished requests leave no dead deadline in the event queue.
+	cancel func()
 }
 
 // Client is one µPnP client instance.
 type Client struct {
-	net    *netsim.Network
-	node   *netsim.Node
-	prefix netsim.NetworkPrefix
+	net     *netsim.Network
+	node    *netsim.Node
+	prefix  netsim.NetworkPrefix
+	timeout time.Duration
 
-	mu       sync.Mutex
-	seq      uint16
-	adverts  []Advert
-	reads    map[uint16]func([]int32)
-	writes   map[uint16]func(ok bool)
-	streams  map[hw.DeviceID]*streamSub
-	onAdvert func(Advert)
-}
-
-type streamSub struct {
-	group  netip.Addr
-	joined bool
-	cb     func([]int32)
-	closed func()
+	mu             sync.Mutex
+	seq            uint16
+	adverts        []Advert
+	pending        map[uint16]*pending
+	streams        map[hw.DeviceID][]*Stream
+	pendingStreams map[uint16]*Stream
+	units          map[hw.DeviceID]string
+	onAdvert       func(Advert)
 }
 
 // Config configures a client.
@@ -50,6 +95,9 @@ type Config struct {
 	Network *netsim.Network
 	Addr    netip.Addr
 	Parent  *netsim.Node
+	// DefaultTimeout bounds requests made without an explicit timeout
+	// (zero = DefaultTimeout).
+	DefaultTimeout time.Duration
 }
 
 // New builds and registers a client. Clients join the all-clients multicast
@@ -60,13 +108,19 @@ func New(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	timeout := cfg.DefaultTimeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
 	c := &Client{
-		net:     cfg.Network,
-		node:    node,
-		prefix:  netsim.PrefixFromAddr(cfg.Addr),
-		reads:   map[uint16]func([]int32){},
-		writes:  map[uint16]func(bool){},
-		streams: map[hw.DeviceID]*streamSub{},
+		net:            cfg.Network,
+		node:           node,
+		prefix:         netsim.PrefixFromAddr(cfg.Addr),
+		timeout:        timeout,
+		pending:        map[uint16]*pending{},
+		streams:        map[hw.DeviceID][]*Stream{},
+		pendingStreams: map[uint16]*Stream{},
+		units:          map[hw.DeviceID]string{},
 	}
 	node.JoinGroup(netsim.AllClientsAddr(c.prefix))
 	node.Bind(netsim.Port6030, c.handle)
@@ -93,6 +147,13 @@ func (c *Client) OnAdvert(fn func(Advert)) {
 	c.mu.Unlock()
 }
 
+// Units returns the unit string a peripheral type advertised, or "".
+func (c *Client) Units(id hw.DeviceID) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.units[id]
+}
+
 // Things returns the distinct Things that advertised a given peripheral
 // type (hw.DeviceIDAllPeripherals matches any type).
 func (c *Client) Things(id hw.DeviceID) []netip.Addr {
@@ -112,11 +173,92 @@ func (c *Client) Things(id hw.DeviceID) []netip.Addr {
 	return out
 }
 
-func (c *Client) nextSeq() uint16 {
+// nextSeqLocked allocates the next sequence number, skipping values still
+// bound to an in-flight request or a live stream (Things tag stream data
+// with the subscribe seq), so a 2^16 wrap cannot alias two requests.
+func (c *Client) nextSeqLocked() uint16 {
+	for {
+		c.seq++
+		if c.seq == 0 {
+			continue
+		}
+		if _, busy := c.pending[c.seq]; busy {
+			continue
+		}
+		if _, busy := c.pendingStreams[c.seq]; busy {
+			continue
+		}
+		if c.streamSeqBusyLocked(c.seq) {
+			continue
+		}
+		return c.seq
+	}
+}
+
+// streamSeqBusyLocked reports whether an established, still-open stream
+// holds the sequence number (c.mu held).
+func (c *Client) streamSeqBusyLocked(seq uint16) bool {
+	for _, list := range c.streams {
+		for _, s := range list {
+			s.mu.Lock()
+			busy := s.seq == seq && !s.closed
+			s.mu.Unlock()
+			if busy {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *Client) timeoutOr(t time.Duration) time.Duration {
+	if t <= 0 {
+		return c.timeout
+	}
+	return t
+}
+
+// register inserts a pending request and arms its expiry timer. The expiry
+// compares the table entry by identity, so a sequence number recycled after
+// completion can never cancel a newer request.
+func (c *Client) register(p *pending, timeout time.Duration) uint16 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
-	return c.seq
+	seq := c.nextSeqLocked()
+	c.pending[seq] = p
+	c.mu.Unlock()
+	cancel := c.net.ScheduleCancelable(c.timeoutOr(timeout), func() { c.expire(seq, p) })
+	c.mu.Lock()
+	p.cancel = cancel
+	c.mu.Unlock()
+	return seq
+}
+
+func (c *Client) expire(seq uint16, p *pending) {
+	c.mu.Lock()
+	cur, ok := c.pending[seq]
+	if !ok || cur != p {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, seq)
+	adverts := p.adverts
+	c.mu.Unlock()
+	switch p.kind {
+	case pendingRead:
+		if p.onRead != nil {
+			p.onRead(nil, ErrTimeout)
+		}
+	case pendingWrite:
+		if p.onWrite != nil {
+			p.onWrite(ErrTimeout)
+		}
+	case pendingDiscover:
+		// A discovery window closing is completion, not failure: deliver
+		// whatever arrived.
+		if p.onDiscover != nil {
+			p.onDiscover(adverts)
+		}
+	}
 }
 
 func (c *Client) send(dst netip.Addr, m *proto.Message) {
@@ -128,71 +270,228 @@ func (c *Client) send(dst netip.Addr, m *proto.Message) {
 }
 
 // Discover multicasts a peripheral discovery (message 2) to the group of
-// Things serving the given peripheral type. Solicited advertisements arrive
-// asynchronously; observe them via Adverts/Things/OnAdvert after running
-// the network.
-func (c *Client) Discover(id hw.DeviceID, filter ...proto.TLV) {
-	group := netsim.MulticastAddr(c.prefix, id)
-	c.send(group, &proto.Message{Type: proto.MsgDiscovery, Seq: c.nextSeq(), Filter: filter})
+// Things serving the given peripheral type. When done is non-nil it fires
+// once the discovery window (timeout, 0 = the default) closes, with every
+// solicited advertisement the request gathered; a nil done is
+// fire-and-forget — observe results via Adverts/Things/OnAdvert.
+func (c *Client) Discover(id hw.DeviceID, timeout time.Duration, done func([]Advert), filter ...proto.TLV) {
+	c.discoverGroup(netsim.MulticastAddr(c.prefix, id), timeout, done, filter)
 }
 
 // DiscoverClass discovers any peripheral of a device class, regardless of
 // vendor or product — the Section 9 hierarchical-typing extension. Only
 // Things running with the structured namespace respond.
-func (c *Client) DiscoverClass(class uint8, filter ...proto.TLV) {
-	c.Discover(hw.ClassWildcard(class), filter...)
+func (c *Client) DiscoverClass(class uint8, timeout time.Duration, done func([]Advert), filter ...proto.TLV) {
+	c.Discover(hw.ClassWildcard(class), timeout, done, filter...)
 }
 
 // DiscoverInZone discovers a peripheral type within a location zone — the
 // Section 9 location-aware multicast extension. Only Things placed in the
 // zone receive the discovery.
-func (c *Client) DiscoverInZone(zone uint16, id hw.DeviceID, filter ...proto.TLV) {
-	group := netsim.MulticastAddrZone(c.prefix, zone, id)
-	c.send(group, &proto.Message{Type: proto.MsgDiscovery, Seq: c.nextSeq(), Filter: filter})
+func (c *Client) DiscoverInZone(zone uint16, id hw.DeviceID, timeout time.Duration, done func([]Advert), filter ...proto.TLV) {
+	c.discoverGroup(netsim.MulticastAddrZone(c.prefix, zone, id), timeout, done, filter)
 }
 
-// Read requests a single value from a peripheral (messages 10/11).
-func (c *Client) Read(thing netip.Addr, id hw.DeviceID, cb func([]int32)) {
-	seq := c.nextSeq()
-	if cb != nil {
+func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done func([]Advert), filter []proto.TLV) {
+	var seq uint16
+	if done != nil {
+		seq = c.register(&pending{kind: pendingDiscover, onDiscover: done}, timeout)
+	} else {
 		c.mu.Lock()
-		c.reads[seq] = cb
+		seq = c.nextSeqLocked()
+		c.mu.Unlock()
+	}
+	c.send(group, &proto.Message{Type: proto.MsgDiscovery, Seq: seq, Filter: filter})
+}
+
+// Read requests a single value from a peripheral (messages 10/11). The
+// callback fires exactly once: with the decoded values, or with an error —
+// ErrTimeout when no reply arrives within the timeout (0 = the default),
+// ErrNoPeripheral when the Thing serves no such device, or a decode error
+// for a malformed reply.
+func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func([]int32, error)) {
+	var seq uint16
+	if cb != nil {
+		seq = c.register(&pending{kind: pendingRead, thing: thing, id: id, onRead: cb}, timeout)
+	} else {
+		c.mu.Lock()
+		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
 	c.send(thing, &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id})
 }
 
 // Write sends a value to a peripheral, e.g. an actuator (messages 16/17).
-func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, cb func(ok bool)) {
-	seq := c.nextSeq()
+// The callback fires exactly once with nil on acknowledgement, ErrTimeout
+// on expiry, or ErrWriteRejected on a negative acknowledgement.
+func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout time.Duration, cb func(error)) {
+	var seq uint16
 	if cb != nil {
+		seq = c.register(&pending{kind: pendingWrite, onWrite: cb}, timeout)
+	} else {
 		c.mu.Lock()
-		c.writes[seq] = cb
+		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
 	c.send(thing, &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)})
 }
 
-// Stream subscribes to a peripheral's value stream (messages 12-15): the
-// Thing replies with the multicast group to join; data then arrives on the
-// group until the Thing closes the stream.
-func (c *Client) Stream(thing netip.Addr, id hw.DeviceID, data func([]int32), closed func()) {
-	c.mu.Lock()
-	c.streams[id] = &streamSub{cb: data, closed: closed}
-	c.mu.Unlock()
-	c.send(thing, &proto.Message{Type: proto.MsgStream, Seq: c.nextSeq(), DeviceID: id})
+// ---------------------------------------------------------------------------
+// Streams
+
+// Stream is one subscription handle to a peripheral's value stream
+// (messages 12–15). Handles replace the former per-DeviceID callback map:
+// several subscriptions to the same peripheral type coexist, and each is
+// closed independently.
+type Stream struct {
+	c     *Client
+	thing netip.Addr
+	id    hw.DeviceID
+	// seq is the subscribe sequence number; the Thing tags the stream's
+	// data messages with it, so it stays reserved while the stream lives.
+	seq uint16
+
+	mu          sync.Mutex
+	group       netip.Addr
+	established bool
+	closed      bool
+	onData      func([]int32)
+	onClosed    func()
+	// onEstablishedHook fires once on establishment; cleared afterwards.
+	onEstablishedHook func(error)
+	// cancelExpiry retracts the establishment deadline once established.
+	cancelExpiry func()
 }
 
-// Unsubscribe leaves a stream's group locally (the Thing keeps streaming
-// for other subscribers until it closes the stream).
-func (c *Client) Unsubscribe(id hw.DeviceID) {
+// SubscribeOptions configures a stream subscription.
+type SubscribeOptions struct {
+	// Timeout bounds stream establishment (0 = the client default).
+	Timeout time.Duration
+	// OnData receives each decoded data message.
+	OnData func([]int32)
+	// OnClosed fires when the Thing closes the stream.
+	OnClosed func()
+	// OnEstablished fires once: with nil when the Thing answered with the
+	// stream's multicast group, or with ErrTimeout on expiry.
+	OnEstablished func(error)
+}
+
+// DeviceID returns the peripheral type the stream serves.
+func (s *Stream) DeviceID() hw.DeviceID { return s.id }
+
+// Established reports whether the Thing acknowledged the subscription.
+func (s *Stream) Established() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.established
+}
+
+// Closed reports whether the stream ended (Thing-side close or local Close).
+func (s *Stream) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close unsubscribes locally: the handle stops receiving data and the node
+// leaves the stream's multicast group once no other handle needs it. The
+// Thing keeps streaming for other subscribers until it closes the stream.
+func (s *Stream) Close() {
+	s.c.closeStream(s, false)
+}
+
+// Subscribe requests a peripheral's value stream from a Thing. The Thing
+// replies with the multicast group to join; data then arrives on the group
+// until the Thing closes the stream or the handle is Closed.
+func (c *Client) Subscribe(thing netip.Addr, id hw.DeviceID, opts SubscribeOptions) *Stream {
+	s := &Stream{c: c, thing: thing, id: id, onData: opts.OnData, onClosed: opts.OnClosed,
+		onEstablishedHook: opts.OnEstablished}
 	c.mu.Lock()
-	sub, ok := c.streams[id]
-	delete(c.streams, id)
+	seq := c.nextSeqLocked()
+	s.seq = seq
+	c.pendingStreams[seq] = s
 	c.mu.Unlock()
-	if ok && sub.joined {
-		c.node.LeaveGroup(sub.group)
+	onEst := opts.OnEstablished
+	cancel := c.net.ScheduleCancelable(c.timeoutOr(opts.Timeout), func() {
+		c.mu.Lock()
+		cur, ok := c.pendingStreams[seq]
+		if !ok || cur != s {
+			c.mu.Unlock()
+			return
+		}
+		delete(c.pendingStreams, seq)
+		c.mu.Unlock()
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		if onEst != nil {
+			onEst(ErrTimeout)
+		}
+	})
+	s.mu.Lock()
+	s.cancelExpiry = cancel
+	s.mu.Unlock()
+	c.send(thing, &proto.Message{Type: proto.MsgStream, Seq: seq, DeviceID: id})
+	return s
+}
+
+// closeStream detaches a handle; thingClosed distinguishes the Thing's close
+// message (which fires OnClosed) from a local Close.
+func (c *Client) closeStream(s *Stream, thingClosed bool) {
+	c.mu.Lock()
+	list := c.streams[s.id]
+	idx := -1
+	for i, x := range list {
+		if x == s {
+			idx = i
+			break
+		}
 	}
+	if idx >= 0 {
+		c.streams[s.id] = append(list[:idx:idx], list[idx+1:]...)
+	}
+	// Also drop a not-yet-established handle from the pending table.
+	for seq, x := range c.pendingStreams {
+		if x == s {
+			delete(c.pendingStreams, seq)
+		}
+	}
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	group := s.group
+	joined := s.established
+	onClosed := s.onClosed
+	cancel := s.cancelExpiry
+	s.cancelExpiry = nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	leave := joined && group.IsValid() && !c.groupStillNeededLocked(group)
+	c.mu.Unlock()
+	if leave {
+		c.node.LeaveGroup(group)
+	}
+	if thingClosed && !alreadyClosed && onClosed != nil {
+		onClosed()
+	}
+}
+
+// groupStillNeededLocked reports whether any live established stream still
+// listens on the group (c.mu held).
+func (c *Client) groupStillNeededLocked(group netip.Addr) bool {
+	for _, list := range c.streams {
+		for _, s := range list {
+			s.mu.Lock()
+			need := s.established && !s.closed && s.group == group
+			s.mu.Unlock()
+			if need {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // handle processes incoming protocol messages.
@@ -203,44 +502,51 @@ func (c *Client) handle(msg netsim.Message) {
 	}
 	switch m.Type {
 	case proto.MsgUnsolicitedAdvert, proto.MsgSolicitedAdvert:
-		c.mu.Lock()
-		var cb func(Advert)
-		for _, p := range m.Peripherals {
-			a := Advert{Thing: msg.Src, Peripheral: p, Solicited: m.Type == proto.MsgSolicitedAdvert}
-			c.adverts = append(c.adverts, a)
-			cb = c.onAdvert
-			if cb != nil {
-				defer cb(a)
-			}
-		}
-		c.mu.Unlock()
+		c.handleAdvert(msg, m)
 
 	case proto.MsgData:
+		// Read replies are unicast from the addressed Thing for the
+		// requested peripheral; anything else with a matching sequence
+		// number (stream data on a shared multicast group, where another
+		// client chose the number) must not complete a pending read.
 		c.mu.Lock()
-		if cb, ok := c.reads[m.Seq]; ok {
-			delete(c.reads, m.Seq)
+		if p, ok := c.pending[m.Seq]; ok && p.kind == pendingRead &&
+			!msg.Dst.IsMulticast() && msg.Src == p.thing && m.DeviceID == p.id {
+			delete(c.pending, m.Seq)
+			cancel := p.cancel
 			c.mu.Unlock()
-			vals, err := proto.ParseValues32(m.Data)
-			if err == nil && cb != nil {
-				cb(vals)
+			if cancel != nil {
+				cancel()
 			}
+			c.completeRead(p, m)
 			return
 		}
-		sub := c.streams[m.DeviceID]
 		c.mu.Unlock()
-		if sub != nil && sub.cb != nil {
-			if vals, err := proto.ParseValues32(m.Data); err == nil {
-				sub.cb(vals)
-			}
+		// Stream data arrives on the multicast group; a unicast data
+		// message that matched no pending read (e.g. a reply landing after
+		// its expiry) must not masquerade as stream data.
+		if msg.Dst.IsMulticast() {
+			c.routeStreamData(msg.Src, m)
 		}
 
 	case proto.MsgWriteAck:
 		c.mu.Lock()
-		cb, ok := c.writes[m.Seq]
-		delete(c.writes, m.Seq)
+		p, ok := c.pending[m.Seq]
+		if ok && p.kind == pendingWrite {
+			delete(c.pending, m.Seq)
+		}
 		c.mu.Unlock()
-		if ok && cb != nil {
-			cb(m.Status == 0)
+		if ok && p.kind == pendingWrite {
+			if p.cancel != nil {
+				p.cancel()
+			}
+			if p.onWrite != nil {
+				if m.Status == 0 {
+					p.onWrite(nil)
+				} else {
+					p.onWrite(ErrWriteRejected)
+				}
+			}
 		}
 
 	case proto.MsgEstablished:
@@ -249,28 +555,122 @@ func (c *Client) handle(msg netsim.Message) {
 			return
 		}
 		c.mu.Lock()
-		sub, ok := c.streams[m.DeviceID]
+		s, ok := c.pendingStreams[m.Seq]
 		if ok {
-			sub.group = group
-			sub.joined = true
+			delete(c.pendingStreams, m.Seq)
+			c.streams[s.id] = append(c.streams[s.id], s)
 		}
 		c.mu.Unlock()
-		if ok {
-			c.node.JoinGroup(group)
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		s.group = group
+		s.established = true
+		onEst := s.onEstablishedHook
+		s.onEstablishedHook = nil
+		cancel := s.cancelExpiry
+		s.cancelExpiry = nil
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		c.node.JoinGroup(group)
+		if onEst != nil {
+			onEst(nil)
 		}
 
 	case proto.MsgClosed:
+		// Close only the subscriptions served by the closing Thing: several
+		// Things may stream the same peripheral type over the shared group,
+		// and one closing must not tear down the others' handles.
 		c.mu.Lock()
-		sub, ok := c.streams[m.DeviceID]
-		delete(c.streams, m.DeviceID)
+		var subs []*Stream
+		for _, s := range c.streams[m.DeviceID] {
+			if s.thing == msg.Src {
+				subs = append(subs, s)
+			}
+		}
 		c.mu.Unlock()
-		if ok {
-			if sub.joined {
-				c.node.LeaveGroup(sub.group)
+		for _, s := range subs {
+			c.closeStream(s, true)
+		}
+	}
+}
+
+// routeStreamData delivers group data to the live subscriptions of the
+// peripheral type served by the sending Thing. The group is shared per
+// device type, so data from other Things streaming the same type arrives
+// here too and must not be misattributed to this handle's Thing.
+func (c *Client) routeStreamData(src netip.Addr, m *proto.Message) {
+	c.mu.Lock()
+	var subs []*Stream
+	for _, s := range c.streams[m.DeviceID] {
+		if s.thing == src {
+			subs = append(subs, s)
+		}
+	}
+	c.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	vals, err := proto.ParseValues32(m.Data)
+	if err != nil {
+		return
+	}
+	for _, s := range subs {
+		s.mu.Lock()
+		cb := s.onData
+		dead := s.closed
+		s.mu.Unlock()
+		if !dead && cb != nil {
+			cb(vals)
+		}
+	}
+}
+
+// completeRead decodes a data reply and fires the read callback.
+func (c *Client) completeRead(p *pending, m *proto.Message) {
+	if p.onRead == nil {
+		return
+	}
+	if len(m.Data) == 0 {
+		// The Thing's empty reply signals the peripheral's absence.
+		p.onRead(nil, ErrNoPeripheral)
+		return
+	}
+	vals, err := proto.ParseValues32(m.Data)
+	if err != nil {
+		p.onRead(nil, fmt.Errorf("micropnp: malformed data reply: %w", err))
+		return
+	}
+	p.onRead(vals, nil)
+}
+
+// handleAdvert records advertisements, captures advertised units, routes
+// solicited replies to their discovery collector, and fires OnAdvert.
+func (c *Client) handleAdvert(msg netsim.Message, m *proto.Message) {
+	solicited := m.Type == proto.MsgSolicitedAdvert
+	c.mu.Lock()
+	cb := c.onAdvert
+	var fired []Advert
+	for _, p := range m.Peripherals {
+		a := Advert{Thing: msg.Src, Peripheral: p, Solicited: solicited, At: c.net.Now()}
+		c.adverts = append(c.adverts, a)
+		if u, ok := p.TLVString(proto.TLVUnits); ok {
+			c.units[p.ID] = u
+		}
+		if solicited {
+			if pd, ok := c.pending[m.Seq]; ok && pd.kind == pendingDiscover {
+				pd.adverts = append(pd.adverts, a)
 			}
-			if sub.closed != nil {
-				sub.closed()
-			}
+		}
+		fired = append(fired, a)
+	}
+	c.mu.Unlock()
+	if cb != nil {
+		for _, a := range fired {
+			cb(a)
 		}
 	}
 }

@@ -11,8 +11,12 @@
 //	cl, _ := d.AddClient()
 //	d.PlugTMP36(th, 0)
 //	d.Run()                      // plug-in sequence: identify, fetch driver, advertise
-//	cl.Read(th.Addr(), driver.IDTMP36, func(v []int32) { ... })
+//	cl.Read(th.Addr(), driver.IDTMP36, 0, func(v []int32, err error) { ... })
 //	d.Run()
+//
+// External consumers should use the public SDK (package micropnp at the
+// repository root), which wraps this façade in synchronous, context-aware
+// calls.
 package core
 
 import (
@@ -43,6 +47,9 @@ type DeploymentConfig struct {
 	// Repository overrides the manager's driver repository (default: the
 	// standard four-driver repository).
 	Repository *driver.Repository
+	// RequestTimeout bounds client requests made without an explicit
+	// timeout (zero = the client default).
+	RequestTimeout time.Duration
 }
 
 // Deployment is a complete simulated µPnP network.
@@ -112,12 +119,14 @@ func (d *Deployment) AddThing(name string) (*thing.Thing, error) {
 // multi-hop topologies.
 func (d *Deployment) AddThingAt(name string, parent *netsim.Node) (*thing.Thing, error) {
 	return thing.New(thing.Config{
-		Network:      d.Network,
-		Addr:         d.nextAddr(),
-		Parent:       parent,
-		Manager:      d.managerA,
-		Name:         name,
-		StreamPeriod: d.cfg.StreamPeriod,
+		Network:            d.Network,
+		Addr:               d.nextAddr(),
+		Parent:             parent,
+		Manager:            d.managerA,
+		Name:               name,
+		StreamPeriod:       d.cfg.StreamPeriod,
+		Units:              driver.UnitsTable(),
+		PendingReadTimeout: d.cfg.RequestTimeout,
 	})
 }
 
@@ -134,6 +143,8 @@ func (d *Deployment) AddZonedThing(name string, zone uint16) (*thing.Thing, erro
 		StreamPeriod:        d.cfg.StreamPeriod,
 		Zone:                zone,
 		StructuredNamespace: true,
+		Units:               driver.UnitsTable(),
+		PendingReadTimeout:  d.cfg.RequestTimeout,
 	})
 }
 
@@ -151,9 +162,10 @@ func (d *Deployment) AddClient() (*client.Client, error) {
 // AddClientAt creates a client under the given tree parent.
 func (d *Deployment) AddClientAt(parent *netsim.Node) (*client.Client, error) {
 	return client.New(client.Config{
-		Network: d.Network,
-		Addr:    d.nextAddr(),
-		Parent:  parent,
+		Network:        d.Network,
+		Addr:           d.nextAddr(),
+		Parent:         parent,
+		DefaultTimeout: d.cfg.RequestTimeout,
 	})
 }
 

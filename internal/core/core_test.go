@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
+	"micropnp/internal/client"
 	"micropnp/internal/driver"
 	"micropnp/internal/hw"
+	"micropnp/internal/thing"
 )
 
 func newDeployment(t *testing.T) *Deployment {
@@ -52,9 +55,18 @@ func TestPlugAndPlayEndToEnd(t *testing.T) {
 		t.Errorf("advert name TLV = %q, %v", name, ok)
 	}
 
+	// The advertisement also carries the units TLV for typed readings.
+	if units, ok := adv.Peripheral.TLVString(4); !ok || units != "0.1°C" {
+		t.Errorf("advert units TLV = %q, %v", units, ok)
+	}
+
 	// Remote read.
 	var got []int32
-	cl.Read(th.Addr(), driver.IDTMP36, func(v []int32) { got = v })
+	cl.Read(th.Addr(), driver.IDTMP36, 0, func(v []int32, err error) {
+		if err == nil {
+			got = v
+		}
+	})
 	d.Run()
 	if len(got) != 1 {
 		t.Fatalf("read returned %v", got)
@@ -113,7 +125,7 @@ func TestDiscoveryFiltersByType(t *testing.T) {
 	d.Run()
 
 	before := len(cl.Adverts()) // unsolicited adverts from both plugs
-	cl.Discover(driver.IDBMP180)
+	cl.Discover(driver.IDBMP180, 0, nil)
 	d.Run()
 
 	got := 0
@@ -146,7 +158,7 @@ func TestDiscoverAllPeripherals(t *testing.T) {
 	}
 	d.Run()
 
-	cl.Discover(hw.DeviceIDAllPeripherals)
+	cl.Discover(hw.DeviceIDAllPeripherals, 0, nil)
 	d.Run()
 	if n := len(cl.Things(hw.DeviceIDAllPeripherals)); n != 2 {
 		t.Fatalf("discovered %d things, want 2", n)
@@ -164,7 +176,11 @@ func TestRFIDReadAcrossNetwork(t *testing.T) {
 	d.Run()
 
 	var got []int32
-	cl.Read(th.Addr(), driver.IDID20LA, func(v []int32) { got = v })
+	cl.Read(th.Addr(), driver.IDID20LA, 0, func(v []int32, err error) {
+		if err == nil {
+			got = v
+		}
+	})
 	// Let the read reach the driver (it arms the UART); no card yet, so no
 	// reply — and the driver's 500 ms timeout has not elapsed either.
 	d.RunFor(100 * time.Millisecond)
@@ -191,6 +207,45 @@ func TestRFIDReadAcrossNetwork(t *testing.T) {
 	}
 }
 
+// TestRFIDReadTimeoutThenRetry: a read the driver never answers (no card)
+// expires on both sides — the client surfaces ErrTimeout AND the Thing
+// drops its stale pending entry, so a retry read gets the fresh card
+// instead of having its reply sent under the stale sequence number.
+func TestRFIDReadTimeoutThenRetry(t *testing.T) {
+	d := newDeployment(t)
+	th, _ := d.AddThing("door")
+	cl, _ := d.AddClient()
+	rfid, err := d.PlugRFID(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	// First read: no card, the client's deadline passes.
+	var firstErr error
+	cl.Read(th.Addr(), driver.IDID20LA, 2*time.Second, func(_ []int32, err error) { firstErr = err })
+	d.RunFor(thing.PendingReadTimeout + time.Second) // expire both sides
+	if !errors.Is(firstErr, client.ErrTimeout) {
+		t.Fatalf("no-card read = %v, want ErrTimeout", firstErr)
+	}
+
+	// Retry with a card present: must return this read's values.
+	var got []int32
+	var retryErr error
+	cl.Read(th.Addr(), driver.IDID20LA, 0, func(v []int32, err error) { got, retryErr = v, err })
+	d.RunFor(100 * time.Millisecond) // request arrives, UART armed
+	if err := rfid.PresentCard("0415AB96C3"); err != nil {
+		t.Fatal(err)
+	}
+	d.RunFor(300 * time.Millisecond)
+	if retryErr != nil {
+		t.Fatalf("retry read failed: %v", retryErr)
+	}
+	if len(got) != 12 {
+		t.Fatalf("retry read = %v, want the 12-character card frame", got)
+	}
+}
+
 func TestStreamLifecycle(t *testing.T) {
 	d, err := NewDeployment(DeploymentConfig{StreamPeriod: 10 * time.Second})
 	if err != nil {
@@ -206,7 +261,10 @@ func TestStreamLifecycle(t *testing.T) {
 
 	var samples [][]int32
 	closed := false
-	cl.Stream(th.Addr(), driver.IDTMP36, func(v []int32) { samples = append(samples, v) }, func() { closed = true })
+	cl.Subscribe(th.Addr(), driver.IDTMP36, client.SubscribeOptions{
+		OnData:   func(v []int32) { samples = append(samples, v) },
+		OnClosed: func() { closed = true },
+	})
 	d.RunFor(35 * time.Second) // 3 stream ticks
 
 	if len(samples) != 3 {
@@ -237,17 +295,17 @@ func TestWriteToActuator(t *testing.T) {
 	d.Run()
 
 	acked := false
-	cl.Write(th.Addr(), driver.IDTMP36, []int32{1}, func(ok bool) { acked = ok })
+	cl.Write(th.Addr(), driver.IDTMP36, []int32{1}, 0, func(err error) { acked = err == nil })
 	d.Run()
 	if !acked {
 		t.Fatal("write must be acknowledged")
 	}
-	// Write to an absent peripheral: nack.
-	nack := true
-	cl.Write(th.Addr(), 0x999, []int32{1}, func(ok bool) { nack = ok })
+	// Write to an absent peripheral: rejected.
+	var nackErr error
+	cl.Write(th.Addr(), 0x999, []int32{1}, 0, func(err error) { nackErr = err })
 	d.Run()
-	if nack {
-		t.Fatal("write to absent peripheral must nack")
+	if !errors.Is(nackErr, client.ErrWriteRejected) {
+		t.Fatalf("write to absent peripheral = %v, want ErrWriteRejected", nackErr)
 	}
 }
 
@@ -276,13 +334,12 @@ func TestUnplugTearsDown(t *testing.T) {
 		// the empty advert carries no peripherals, so no new Advert entries
 		t.Fatalf("unexpected advert entries: %d -> %d", before, len(cl.Adverts()))
 	}
-	// Reads now yield the absent-peripheral empty reply.
-	replied := false
-	var vals []int32
-	cl.Read(th.Addr(), driver.IDTMP36, func(v []int32) { replied = true; vals = v })
+	// Reads now surface the absent-peripheral error.
+	var readErr error
+	cl.Read(th.Addr(), driver.IDTMP36, 0, func(_ []int32, err error) { readErr = err })
 	d.Run()
-	if !replied || len(vals) != 0 {
-		t.Fatalf("read after unplug: replied=%v vals=%v", replied, vals)
+	if !errors.Is(readErr, client.ErrNoPeripheral) {
+		t.Fatalf("read after unplug = %v, want ErrNoPeripheral", readErr)
 	}
 }
 
@@ -328,7 +385,11 @@ func TestManagerDriverManagement(t *testing.T) {
 
 	// Driver discovery (messages 6/7).
 	var discovered []hw.DeviceID
-	d.Manager.DiscoverDrivers(th.Addr(), func(ids []hw.DeviceID) { discovered = ids })
+	d.Manager.DiscoverDrivers(th.Addr(), 0, func(ids []hw.DeviceID, err error) {
+		if err == nil {
+			discovered = ids
+		}
+	})
 	d.Run()
 	if len(discovered) != 1 || discovered[0] != driver.IDTMP36 {
 		t.Fatalf("discovered = %v", discovered)
@@ -336,7 +397,7 @@ func TestManagerDriverManagement(t *testing.T) {
 
 	// Driver removal (messages 8/9).
 	var removed bool
-	d.Manager.RemoveDriver(th.Addr(), driver.IDTMP36, func(ok bool) { removed = ok })
+	d.Manager.RemoveDriver(th.Addr(), driver.IDTMP36, 0, func(err error) { removed = err == nil })
 	d.Run()
 	if !removed {
 		t.Fatal("removal must be acknowledged")
@@ -345,12 +406,12 @@ func TestManagerDriverManagement(t *testing.T) {
 		t.Fatal("runtime must stop when its driver is removed")
 	}
 
-	// Removing again nacks.
-	var again bool
-	d.Manager.RemoveDriver(th.Addr(), driver.IDTMP36, func(ok bool) { again = ok })
+	// Removing again is rejected.
+	var againErr error
+	d.Manager.RemoveDriver(th.Addr(), driver.IDTMP36, 0, func(err error) { againErr = err })
 	d.Run()
-	if again {
-		t.Fatal("second removal must nack")
+	if !errors.Is(againErr, client.ErrRemovalRejected) {
+		t.Fatalf("second removal = %v, want ErrRemovalRejected", againErr)
 	}
 }
 
@@ -391,7 +452,11 @@ func TestBMP180RemoteRead(t *testing.T) {
 	d.Run()
 
 	var got []int32
-	cl.Read(th.Addr(), driver.IDBMP180, func(v []int32) { got = v })
+	cl.Read(th.Addr(), driver.IDBMP180, 0, func(v []int32, err error) {
+		if err == nil {
+			got = v
+		}
+	})
 	d.Run()
 	if len(got) != 2 {
 		t.Fatalf("BMP180 read = %v", got)

@@ -21,7 +21,11 @@ func TestADXL345RemoteRead(t *testing.T) {
 	d.Run()
 
 	var got []int32
-	cl.Read(th.Addr(), driver.IDADXL345, func(v []int32) { got = v })
+	cl.Read(th.Addr(), driver.IDADXL345, 0, func(v []int32, err error) {
+		if err == nil {
+			got = v
+		}
+	})
 	d.Run()
 	if len(got) != 3 {
 		t.Fatalf("axes = %v", got)
@@ -48,7 +52,7 @@ func TestRelayWriteActuatesHardware(t *testing.T) {
 	d.Run()
 
 	acked := false
-	cl.Write(th.Addr(), driver.IDRelay, []int32{0b1010_0101}, func(ok bool) { acked = ok })
+	cl.Write(th.Addr(), driver.IDRelay, []int32{0b1010_0101}, 0, func(err error) { acked = err == nil })
 	d.Run()
 	if !acked {
 		t.Fatal("write must be acknowledged")
@@ -59,7 +63,11 @@ func TestRelayWriteActuatesHardware(t *testing.T) {
 
 	// Remote read reflects the hardware state.
 	var got []int32
-	cl.Read(th.Addr(), driver.IDRelay, func(v []int32) { got = v })
+	cl.Read(th.Addr(), driver.IDRelay, 0, func(v []int32, err error) {
+		if err == nil {
+			got = v
+		}
+	})
 	d.Run()
 	if len(got) != 1 || got[0] != 0b1010_0101 {
 		t.Fatalf("read-back = %v", got)
@@ -94,7 +102,7 @@ func TestClassDiscoveryFindsExtensionDevices(t *testing.T) {
 	d.Run()
 
 	before := len(cl.Adverts())
-	cl.DiscoverClass(hw.ClassAccelerometer)
+	cl.DiscoverClass(hw.ClassAccelerometer, 0, nil)
 	d.Run()
 	found := false
 	for _, a := range cl.Adverts()[before:] {

@@ -75,7 +75,7 @@ func TestClassDiscovery(t *testing.T) {
 	d.Run()
 
 	before := len(cl.Adverts())
-	cl.DiscoverClass(hw.ClassTemperature)
+	cl.DiscoverClass(hw.ClassTemperature, 0, nil)
 	d.Run()
 
 	var fromA, fromB bool
@@ -96,7 +96,7 @@ func TestClassDiscovery(t *testing.T) {
 
 	// A vendor-exact discovery still only reaches that vendor's sensor.
 	before = len(cl.Adverts())
-	cl.Discover(idA)
+	cl.Discover(idA, 0, nil)
 	d.Run()
 	for _, a := range cl.Adverts()[before:] {
 		if a.Solicited && a.Thing == t2.Addr() {
@@ -126,7 +126,7 @@ func TestZoneDiscovery(t *testing.T) {
 
 	// Zone-scoped all-peripherals discovery: only zone 1's thing answers.
 	before := len(cl.Adverts())
-	cl.DiscoverInZone(1, hw.DeviceIDAllPeripherals)
+	cl.DiscoverInZone(1, hw.DeviceIDAllPeripherals, 0, nil)
 	d.Run()
 	solicited := 0
 	for _, a := range cl.Adverts()[before:] {
@@ -143,7 +143,7 @@ func TestZoneDiscovery(t *testing.T) {
 
 	// Zone + class discovery composes.
 	before = len(cl.Adverts())
-	cl.DiscoverInZone(2, hw.ClassWildcard(hw.ClassTemperature))
+	cl.DiscoverInZone(2, hw.ClassWildcard(hw.ClassTemperature), 0, nil)
 	d.Run()
 	solicited = 0
 	for _, a := range cl.Adverts()[before:] {

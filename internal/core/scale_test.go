@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"micropnp/internal/client"
 	"micropnp/internal/driver"
 	"micropnp/internal/hw"
 	"micropnp/internal/thing"
@@ -55,7 +56,7 @@ func TestTwentyThingDeployment(t *testing.T) {
 		t.Fatalf("uploads = %d, want 20", ups)
 	}
 	// Discovery by type finds the right subset.
-	cl.Discover(driver.IDTMP36)
+	cl.Discover(driver.IDTMP36, 0, nil)
 	d.Run()
 	if got := len(cl.Things(driver.IDTMP36)); got != 7 {
 		t.Fatalf("TMP36 things = %d, want 7", got)
@@ -67,8 +68,8 @@ func TestTwentyThingDeployment(t *testing.T) {
 		if ref.kind != 2 {
 			continue
 		}
-		cl.Read(ref.th.Addr(), driver.IDBMP180, func(v []int32) {
-			if len(v) == 2 {
+		cl.Read(ref.th.Addr(), driver.IDBMP180, 0, func(v []int32, err error) {
+			if err == nil && len(v) == 2 {
 				reads++
 			}
 		})
@@ -101,8 +102,12 @@ func TestStreamMultipleSubscribers(t *testing.T) {
 	d.Run()
 
 	var got1, got2, closed1, closed2 int
-	c1.Stream(th.Addr(), driver.IDTMP36, func([]int32) { got1++ }, func() { closed1++ })
-	c2.Stream(th.Addr(), driver.IDTMP36, func([]int32) { got2++ }, func() { closed2++ })
+	c1.Subscribe(th.Addr(), driver.IDTMP36, client.SubscribeOptions{
+		OnData: func([]int32) { got1++ }, OnClosed: func() { closed1++ },
+	})
+	c2.Subscribe(th.Addr(), driver.IDTMP36, client.SubscribeOptions{
+		OnData: func([]int32) { got2++ }, OnClosed: func() { closed2++ },
+	})
 	d.RunFor(16 * time.Second)
 
 	if got1 < 2 || got2 < 2 {
@@ -139,7 +144,11 @@ func TestThreePeripheralsOneBoard(t *testing.T) {
 	results := map[hw.DeviceID][]int32{}
 	for _, id := range []hw.DeviceID{driver.IDTMP36, driver.IDHIH4030, driver.IDBMP180} {
 		id := id
-		cl.Read(th.Addr(), id, func(v []int32) { results[id] = v })
+		cl.Read(th.Addr(), id, 0, func(v []int32, err error) {
+			if err == nil {
+				results[id] = v
+			}
+		})
 	}
 	d.Run()
 	if len(results) != 3 {

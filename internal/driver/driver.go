@@ -159,14 +159,17 @@ type StandardDriver struct {
 	Name string
 	Bus  hw.BusKind
 	File string
+	// Units describes the values the driver returns (advertised to clients
+	// via the units TLV and surfaced in the SDK's typed Readings).
+	Units string
 }
 
 // StandardDrivers is the shipped driver set (Table 3's four peripherals).
 var StandardDrivers = []StandardDriver{
-	{ID: IDTMP36, Name: "TMP36", Bus: hw.BusADC, File: "drivers/tmp36.updsl"},
-	{ID: IDHIH4030, Name: "HIH-4030", Bus: hw.BusADC, File: "drivers/hih4030.updsl"},
-	{ID: IDID20LA, Name: "ID-20LA RFID", Bus: hw.BusUART, File: "drivers/id20la.updsl"},
-	{ID: IDBMP180, Name: "BMP180 Pressure", Bus: hw.BusI2C, File: "drivers/bmp180.updsl"},
+	{ID: IDTMP36, Name: "TMP36", Bus: hw.BusADC, File: "drivers/tmp36.updsl", Units: "0.1°C"},
+	{ID: IDHIH4030, Name: "HIH-4030", Bus: hw.BusADC, File: "drivers/hih4030.updsl", Units: "0.1%RH"},
+	{ID: IDID20LA, Name: "ID-20LA RFID", Bus: hw.BusUART, File: "drivers/id20la.updsl", Units: "ascii"},
+	{ID: IDBMP180, Name: "BMP180 Pressure", Bus: hw.BusI2C, File: "drivers/bmp180.updsl", Units: "0.1°C,Pa"},
 }
 
 // Extension peripheral identifiers, allocated under the structured
@@ -181,9 +184,28 @@ var (
 // ExtendedDrivers are the extension peripherals beyond the paper's four:
 // an SPI accelerometer and an I²C relay actuator.
 var ExtendedDrivers = []StandardDriver{
-	{ID: IDADXL345, Name: "ADXL345 Accelerometer", Bus: hw.BusSPI, File: "drivers/adxl345.updsl"},
-	{ID: IDRelay, Name: "PCF8574 Relay Bank", Bus: hw.BusI2C, File: "drivers/relay.updsl"},
+	{ID: IDADXL345, Name: "ADXL345 Accelerometer", Bus: hw.BusSPI, File: "drivers/adxl345.updsl", Units: "mg"},
+	{ID: IDRelay, Name: "PCF8574 Relay Bank", Bus: hw.BusI2C, File: "drivers/relay.updsl", Units: "bitmask"},
 }
+
+// unitsByID indexes the shipped drivers' unit strings once.
+var unitsByID = func() map[hw.DeviceID]string {
+	m := make(map[hw.DeviceID]string, len(StandardDrivers)+len(ExtendedDrivers))
+	for _, sd := range StandardDrivers {
+		m[sd.ID] = sd.Units
+	}
+	for _, sd := range ExtendedDrivers {
+		m[sd.ID] = sd.Units
+	}
+	return m
+}()
+
+// UnitsFor returns the unit string of a shipped driver, or "".
+func UnitsFor(id hw.DeviceID) string { return unitsByID[id] }
+
+// UnitsTable returns the units of every shipped driver, keyed by device
+// type. Callers must treat the map as read-only.
+func UnitsTable() map[hw.DeviceID]string { return unitsByID }
 
 // Source returns the embedded DSL source of a standard driver.
 func Source(sd StandardDriver) (string, error) {

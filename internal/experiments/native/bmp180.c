@@ -1,0 +1,119 @@
+/* BMP180 pressure sensor driver — native C reference (Contiki 2.7 /
+ * ATMega128RFA1). Hand-written TWI master transactions, calibration
+ * readout, split-phase conversions with etimer waits and the full
+ * datasheet compensation algorithm — the code a peripheral vendor has to
+ * write and flash per platform without µPnP. */
+#include "contiki.h"
+#include "dev/i2c.h"
+#include "sys/etimer.h"
+#include "upnp/driver.h"
+
+#define BMP180_ADDR       0x77
+#define BMP180_REG_CALIB  0xAA
+#define BMP180_REG_CTRL   0xF4
+#define BMP180_REG_OUT    0xF6
+#define BMP180_CMD_TEMP   0x2E
+#define BMP180_CMD_PRESS  0x34
+#define BMP180_OSS        1
+
+static struct upnp_driver_ctx *ctx;
+static int16_t ac1, ac2, ac3;
+static uint16_t ac4, ac5, ac6;
+static int16_t b1, b2, mb, mc, md;
+static uint8_t inited;
+
+static uint16_t
+read16(uint8_t reg)
+{
+  uint8_t buf[2];
+  i2c_read_bytes(BMP180_ADDR, reg, buf, 2);
+  return ((uint16_t)buf[0] << 8) | buf[1];
+}
+
+static void
+read_calibration(void)
+{
+  ac1 = (int16_t)read16(BMP180_REG_CALIB + 0);
+  ac2 = (int16_t)read16(BMP180_REG_CALIB + 2);
+  ac3 = (int16_t)read16(BMP180_REG_CALIB + 4);
+  ac4 = read16(BMP180_REG_CALIB + 6);
+  ac5 = read16(BMP180_REG_CALIB + 8);
+  ac6 = read16(BMP180_REG_CALIB + 10);
+  b1 = (int16_t)read16(BMP180_REG_CALIB + 12);
+  b2 = (int16_t)read16(BMP180_REG_CALIB + 14);
+  mb = (int16_t)read16(BMP180_REG_CALIB + 16);
+  mc = (int16_t)read16(BMP180_REG_CALIB + 18);
+  md = (int16_t)read16(BMP180_REG_CALIB + 20);
+  inited = 1;
+}
+
+PROCESS(bmp180_process, "BMP180 driver");
+
+PROCESS_THREAD(bmp180_process, ev, data)
+{
+  static struct etimer et;
+  static uint16_t ut;
+  static uint32_t up;
+  static int32_t out[2];
+  uint8_t buf[3];
+
+  PROCESS_BEGIN();
+  for(;;) {
+    PROCESS_WAIT_EVENT_UNTIL(ev == upnp_event_read);
+    if(!inited) {
+      read_calibration();
+    }
+    i2c_write_byte(BMP180_ADDR, BMP180_REG_CTRL, BMP180_CMD_TEMP);
+    etimer_set(&et, CLOCK_SECOND / 200);
+    PROCESS_WAIT_EVENT_UNTIL(etimer_expired(&et));
+    ut = read16(BMP180_REG_OUT);
+
+    i2c_write_byte(BMP180_ADDR, BMP180_REG_CTRL,
+                   BMP180_CMD_PRESS | (BMP180_OSS << 6));
+    etimer_set(&et, CLOCK_SECOND / 125);
+    PROCESS_WAIT_EVENT_UNTIL(etimer_expired(&et));
+    i2c_read_bytes(BMP180_ADDR, BMP180_REG_OUT, buf, 3);
+    up = (((uint32_t)buf[0] << 16) | ((uint32_t)buf[1] << 8) | buf[2])
+         >> (8 - BMP180_OSS);
+
+    {
+      int32_t x1 = (((int32_t)ut - ac6) * ac5) >> 15;
+      int32_t x2 = ((int32_t)mc << 11) / (x1 + md);
+      int32_t b5 = x1 + x2;
+      int32_t b6, x3, b3, p;
+      uint32_t b4, b7;
+      out[0] = (b5 + 8) >> 4;
+      b6 = b5 - 4000;
+      x1 = (b2 * ((b6 * b6) >> 12)) >> 11;
+      x2 = (ac2 * b6) >> 11;
+      x3 = x1 + x2;
+      b3 = ((((int32_t)ac1 * 4 + x3) << BMP180_OSS) + 2) / 4;
+      x1 = (ac3 * b6) >> 13;
+      x2 = (b1 * ((b6 * b6) >> 12)) >> 16;
+      x3 = ((x1 + x2) + 2) >> 2;
+      b4 = ((uint32_t)ac4 * (uint32_t)(x3 + 32768)) >> 15;
+      b7 = ((uint32_t)up - b3) * (50000 >> BMP180_OSS);
+      if(b7 < 0x80000000UL) {
+        p = (int32_t)((b7 * 2) / b4);
+      } else {
+        p = (int32_t)(b7 / b4) * 2;
+      }
+      x1 = (p >> 8) * (p >> 8);
+      x1 = (x1 * 3038) >> 16;
+      x2 = (-7357 * p) >> 16;
+      out[1] = p + ((x1 + x2 + 3791) >> 4);
+    }
+    upnp_driver_return(ctx, out, 2);
+  }
+  PROCESS_END();
+}
+
+void
+bmp180_driver_init(struct upnp_driver_ctx *c)
+{
+  ctx = c;
+  inited = 0;
+  i2c_enable();
+  process_start(&bmp180_process, NULL);
+  upnp_driver_register(ctx, &bmp180_process, upnp_event_read);
+}

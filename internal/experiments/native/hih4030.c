@@ -1,0 +1,65 @@
+/* HIH-4030 humidity sensor driver — native C reference (Contiki 2.7 /
+ * ATMega128RFA1). Implements the datasheet transfer function
+ * Vout/Vsupply = 0.0062*RH + 0.16 in integer arithmetic, with the raw ADC
+ * configuration and event plumbing the DSL hides. */
+#include "contiki.h"
+#include "dev/adc.h"
+#include "net/netstack.h"
+#include "upnp/driver.h"
+
+#define HIH_RATIO_SCALE   100000L
+#define HIH_ADC_MAX       1023
+#define HIH_ZERO_OFFSET   16000L
+#define HIH_SLOPE_62      62L
+
+static struct upnp_driver_ctx *ctx;
+static volatile uint8_t busy;
+static volatile uint16_t sample;
+
+static void
+adc_isr(uint16_t value)
+{
+  sample = value;
+  process_poll(&hih4030_process);
+}
+
+PROCESS(hih4030_process, "HIH-4030 driver");
+
+PROCESS_THREAD(hih4030_process, ev, data)
+{
+  PROCESS_BEGIN();
+  for(;;) {
+    PROCESS_WAIT_EVENT();
+    if(ev == upnp_event_read) {
+      if(busy) {
+        continue;
+      }
+      busy = 1;
+      adc_init(ADC_CHAN_1, ADC_REF_AVCC, ADC_PRESCALE_64);
+      adc_start(adc_isr);
+    } else if(ev == PROCESS_EVENT_POLL) {
+      int32_t ratio = (int32_t)sample * HIH_RATIO_SCALE / HIH_ADC_MAX;
+      int32_t tenths;
+      if(ratio < HIH_ZERO_OFFSET) {
+        ratio = HIH_ZERO_OFFSET;
+      }
+      tenths = (ratio - HIH_ZERO_OFFSET) / HIH_SLOPE_62;
+      busy = 0;
+      adc_stop();
+      upnp_driver_return(ctx, &tenths, 1);
+    } else if(ev == upnp_event_destroy) {
+      adc_stop();
+      busy = 0;
+    }
+  }
+  PROCESS_END();
+}
+
+void
+hih4030_driver_init(struct upnp_driver_ctx *c)
+{
+  ctx = c;
+  busy = 0;
+  process_start(&hih4030_process, NULL);
+  upnp_driver_register(ctx, &hih4030_process, upnp_event_read);
+}

@@ -1,0 +1,93 @@
+/* ID-20LA RFID reader driver — native C reference (Contiki 2.7 /
+ * ATMega128RFA1). The hand-written USART variant of Listing 1: explicit
+ * register configuration, ISR byte handling, ring buffering and frame
+ * reassembly, none of which the DSL driver has to spell out. */
+#include "contiki.h"
+#include "dev/rs232.h"
+#include "upnp/driver.h"
+#include <avr/interrupt.h>
+
+#define RFID_FRAME_LEN  12
+#define RFID_STX        0x02
+#define RFID_ETX        0x03
+#define RFID_CR         0x0d
+#define RFID_LF         0x0a
+#define RFID_RING_LEN   32
+
+static struct upnp_driver_ctx *ctx;
+static volatile uint8_t busy;
+static volatile uint8_t idx;
+static uint8_t rfid[RFID_FRAME_LEN];
+static volatile uint8_t ring[RFID_RING_LEN];
+static volatile uint8_t ring_head, ring_tail;
+
+ISR(USART1_RX_vect)
+{
+  uint8_t c = UDR1;
+  uint8_t next = (ring_head + 1) % RFID_RING_LEN;
+  if(next != ring_tail) {
+    ring[ring_head] = c;
+    ring_head = next;
+  }
+  process_poll(&id20la_process);
+}
+
+static void
+uart_configure_9600_8n1(void)
+{
+  UBRR1H = 0;
+  UBRR1L = 103; /* 16 MHz / (16 * 9600) - 1 */
+  UCSR1B = _BV(RXEN1) | _BV(RXCIE1);
+  UCSR1C = _BV(UCSZ11) | _BV(UCSZ10);
+}
+
+PROCESS(id20la_process, "ID-20LA driver");
+
+PROCESS_THREAD(id20la_process, ev, data)
+{
+  PROCESS_BEGIN();
+  for(;;) {
+    PROCESS_WAIT_EVENT();
+    if(ev == upnp_event_read) {
+      busy = 1;
+      idx = 0;
+    } else if(ev == PROCESS_EVENT_POLL && busy) {
+      while(ring_tail != ring_head) {
+        uint8_t c = ring[ring_tail];
+        ring_tail = (ring_tail + 1) % RFID_RING_LEN;
+        if(c == RFID_STX || c == RFID_ETX || c == RFID_CR || c == RFID_LF) {
+          continue;
+        }
+        if(idx < RFID_FRAME_LEN) {
+          rfid[idx++] = c;
+        }
+        if(idx == RFID_FRAME_LEN) {
+          int32_t out[RFID_FRAME_LEN];
+          uint8_t i;
+          for(i = 0; i < RFID_FRAME_LEN; i++) {
+            out[i] = rfid[i];
+          }
+          busy = 0;
+          idx = 0;
+          upnp_driver_return(ctx, out, RFID_FRAME_LEN);
+        }
+      }
+    } else if(ev == upnp_event_destroy) {
+      UCSR1B = 0;
+      busy = 0;
+    }
+  }
+  PROCESS_END();
+}
+
+void
+id20la_driver_init(struct upnp_driver_ctx *c)
+{
+  ctx = c;
+  busy = 0;
+  idx = 0;
+  ring_head = ring_tail = 0;
+  uart_configure_9600_8n1();
+  process_start(&id20la_process, NULL);
+  upnp_driver_register(ctx, &id20la_process, upnp_event_read);
+}

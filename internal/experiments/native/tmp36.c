@@ -1,0 +1,59 @@
+/* TMP36 temperature sensor driver — native C reference (Contiki 2.7 /
+ * ATMega128RFA1). The platform-specific variant of the shipped DSL driver:
+ * raw ADC access, interrupt handling and event plumbing are all explicit. */
+#include "contiki.h"
+#include "dev/adc.h"
+#include "net/netstack.h"
+#include "upnp/driver.h"
+
+#define TMP36_MV_REF     3300
+#define TMP36_ADC_MAX    1023
+#define TMP36_OFFSET_MV  500
+
+static struct upnp_driver_ctx *ctx;
+static volatile uint8_t busy;
+static volatile uint16_t sample;
+
+static void
+adc_isr(uint16_t value)
+{
+  sample = value;
+  process_poll(&tmp36_process);
+}
+
+PROCESS(tmp36_process, "TMP36 driver");
+
+PROCESS_THREAD(tmp36_process, ev, data)
+{
+  PROCESS_BEGIN();
+  for(;;) {
+    PROCESS_WAIT_EVENT();
+    if(ev == upnp_event_read) {
+      if(busy) {
+        continue;
+      }
+      busy = 1;
+      adc_init(ADC_CHAN_0, ADC_REF_AVCC, ADC_PRESCALE_64);
+      adc_start(adc_isr);
+    } else if(ev == PROCESS_EVENT_POLL) {
+      int32_t mv = (int32_t)sample * TMP36_MV_REF / TMP36_ADC_MAX;
+      int32_t tenths = mv - TMP36_OFFSET_MV;
+      busy = 0;
+      adc_stop();
+      upnp_driver_return(ctx, &tenths, 1);
+    } else if(ev == upnp_event_destroy) {
+      adc_stop();
+      busy = 0;
+    }
+  }
+  PROCESS_END();
+}
+
+void
+tmp36_driver_init(struct upnp_driver_ctx *c)
+{
+  ctx = c;
+  busy = 0;
+  process_start(&tmp36_process, NULL);
+  upnp_driver_register(ctx, &tmp36_process, upnp_event_read);
+}

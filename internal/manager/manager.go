@@ -14,11 +14,16 @@ import (
 	"micropnp/internal/hw"
 	"micropnp/internal/netsim"
 	"micropnp/internal/proto"
+	"micropnp/internal/reqerr"
 )
 
 // CostLookup is the repository lookup cost charged per driver install
 // request (server-side processing before the upload starts).
 const CostLookup = 26 * time.Millisecond
+
+// DefaultTimeout bounds management requests made without an explicit
+// timeout, mirroring the client-side default (see reqerr.DefaultTimeout).
+const DefaultTimeout = reqerr.DefaultTimeout
 
 // Manager is one µPnP manager instance.
 type Manager struct {
@@ -31,8 +36,21 @@ type Manager struct {
 	uploads int
 	// advertisements from driver discovery, keyed by Thing address.
 	discovered map[netip.Addr][]hw.DeviceID
-	removalAck map[uint16]func(ok bool)
-	discoverCb map[uint16]func([]hw.DeviceID)
+	pending    map[uint16]*mgmtReq
+}
+
+// mgmtReq is one pending management request. Exactly one callback field is
+// set; like the client's table, entries expire at their deadline instead of
+// leaking.
+type mgmtReq struct {
+	// thing is the peer the request was addressed to; replies from any
+	// other address must not complete it (a recycled sequence number could
+	// otherwise let Thing A's stale advert answer a request aimed at B).
+	thing      netip.Addr
+	onDiscover func([]hw.DeviceID, error)
+	onRemoval  func(error)
+	// cancel retracts the expiry event once a reply completed the request.
+	cancel func()
 }
 
 // Config configures a manager instance.
@@ -64,8 +82,7 @@ func New(cfg Config) (*Manager, error) {
 		node:       node,
 		repo:       repo,
 		discovered: map[netip.Addr][]hw.DeviceID{},
-		removalAck: map[uint16]func(bool){},
-		discoverCb: map[uint16]func([]hw.DeviceID){},
+		pending:    map[uint16]*mgmtReq{},
 	}
 	node.Bind(netsim.Port6030, m.handle)
 	if cfg.Anycast.IsValid() {
@@ -94,11 +111,61 @@ func (m *Manager) Discovered(thing netip.Addr) []hw.DeviceID {
 	return append([]hw.DeviceID(nil), m.discovered[thing]...)
 }
 
+// nextSeqLocked allocates the next sequence number, skipping values still
+// bound to an in-flight management request so a 2^16 wrap cannot alias two
+// requests (mirroring the client's allocator). m.mu held.
+func (m *Manager) nextSeqLocked() uint16 {
+	for {
+		m.seq++
+		if m.seq == 0 {
+			continue
+		}
+		if _, busy := m.pending[m.seq]; busy {
+			continue
+		}
+		return m.seq
+	}
+}
+
 func (m *Manager) nextSeq() uint16 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.seq++
-	return m.seq
+	return m.nextSeqLocked()
+}
+
+// register inserts a pending management request and arms its expiry timer;
+// the expiry compares entries by identity so a recycled sequence number can
+// never cancel a newer request.
+func (m *Manager) register(req *mgmtReq, timeout time.Duration) uint16 {
+	m.mu.Lock()
+	seq := m.nextSeqLocked()
+	m.pending[seq] = req
+	m.mu.Unlock()
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	cancel := m.net.ScheduleCancelable(timeout, func() { m.expire(seq, req) })
+	m.mu.Lock()
+	req.cancel = cancel
+	m.mu.Unlock()
+	return seq
+}
+
+func (m *Manager) expire(seq uint16, req *mgmtReq) {
+	m.mu.Lock()
+	cur, ok := m.pending[seq]
+	if !ok || cur != req {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.pending, seq)
+	m.mu.Unlock()
+	if req.onDiscover != nil {
+		req.onDiscover(nil, reqerr.ErrTimeout)
+	}
+	if req.onRemoval != nil {
+		req.onRemoval(reqerr.ErrTimeout)
+	}
 }
 
 func (m *Manager) send(dst netip.Addr, msg *proto.Message) {
@@ -110,25 +177,29 @@ func (m *Manager) send(dst netip.Addr, msg *proto.Message) {
 }
 
 // DiscoverDrivers queries a Thing for its installed drivers (messages 6/7).
-// The callback fires when the advertisement arrives.
-func (m *Manager) DiscoverDrivers(thing netip.Addr, cb func([]hw.DeviceID)) {
-	seq := m.nextSeq()
+// The callback fires exactly once: with the advertised driver list, or with
+// reqerr.ErrTimeout when no advertisement arrives within the timeout
+// (0 = DefaultTimeout). A nil callback sends fire-and-forget.
+func (m *Manager) DiscoverDrivers(thing netip.Addr, timeout time.Duration, cb func([]hw.DeviceID, error)) {
+	var seq uint16
 	if cb != nil {
-		m.mu.Lock()
-		m.discoverCb[seq] = cb
-		m.mu.Unlock()
+		seq = m.register(&mgmtReq{thing: thing, onDiscover: cb}, timeout)
+	} else {
+		seq = m.nextSeq()
 	}
 	m.send(thing, &proto.Message{Type: proto.MsgDriverDiscovery, Seq: seq})
 }
 
 // RemoveDriver removes a driver from a Thing (messages 8/9). The callback
-// fires with the acknowledgement status.
-func (m *Manager) RemoveDriver(thing netip.Addr, id hw.DeviceID, cb func(ok bool)) {
-	seq := m.nextSeq()
+// fires exactly once: nil on acknowledgement, reqerr.ErrRemovalRejected on
+// a negative acknowledgement, reqerr.ErrTimeout on expiry. A nil callback
+// sends fire-and-forget.
+func (m *Manager) RemoveDriver(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func(error)) {
+	var seq uint16
 	if cb != nil {
-		m.mu.Lock()
-		m.removalAck[seq] = cb
-		m.mu.Unlock()
+		seq = m.register(&mgmtReq{thing: thing, onRemoval: cb}, timeout)
+	} else {
+		seq = m.nextSeq()
 	}
 	m.send(thing, &proto.Message{Type: proto.MsgDriverRemovalReq, Seq: seq, DeviceID: id})
 }
@@ -159,22 +230,41 @@ func (m *Manager) handle(msg netsim.Message) {
 		})
 
 	case proto.MsgDriverAdvert:
+		// Only a discovery entry may be completed: a stale advert whose
+		// sequence number was recycled for a removal must not swallow the
+		// removal's pending entry.
 		m.mu.Lock()
 		m.discovered[msg.Src] = append([]hw.DeviceID(nil), pm.Drivers...)
-		cb := m.discoverCb[pm.Seq]
-		delete(m.discoverCb, pm.Seq)
+		req := m.pending[pm.Seq]
+		match := req != nil && req.onDiscover != nil && req.thing == msg.Src
+		if match {
+			delete(m.pending, pm.Seq)
+		}
 		m.mu.Unlock()
-		if cb != nil {
-			cb(pm.Drivers)
+		if match {
+			if req.cancel != nil {
+				req.cancel()
+			}
+			req.onDiscover(pm.Drivers, nil)
 		}
 
 	case proto.MsgDriverRemovalAck:
 		m.mu.Lock()
-		cb := m.removalAck[pm.Seq]
-		delete(m.removalAck, pm.Seq)
+		req := m.pending[pm.Seq]
+		match := req != nil && req.onRemoval != nil && req.thing == msg.Src
+		if match {
+			delete(m.pending, pm.Seq)
+		}
 		m.mu.Unlock()
-		if cb != nil {
-			cb(pm.Status == 0)
+		if match {
+			if req.cancel != nil {
+				req.cancel()
+			}
+			if pm.Status == 0 {
+				req.onRemoval(nil)
+			} else {
+				req.onRemoval(reqerr.ErrRemovalRejected)
+			}
 		}
 	}
 }

@@ -1,13 +1,16 @@
 package manager
 
 import (
+	"errors"
 	"net/netip"
 	"testing"
+	"time"
 
 	"micropnp/internal/driver"
 	"micropnp/internal/hw"
 	"micropnp/internal/netsim"
 	"micropnp/internal/proto"
+	"micropnp/internal/reqerr"
 )
 
 func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
@@ -103,7 +106,11 @@ func TestManagerDriverDiscoveryFlow(t *testing.T) {
 	})
 
 	var got []hw.DeviceID
-	mgr.DiscoverDrivers(peer.Addr(), func(ids []hw.DeviceID) { got = ids })
+	mgr.DiscoverDrivers(peer.Addr(), 0, func(ids []hw.DeviceID, err error) {
+		if err == nil {
+			got = ids
+		}
+	})
 	n.RunUntilIdle(0)
 
 	if len(got) != 1 || got[0] != driver.IDBMP180 {
@@ -128,10 +135,73 @@ func TestManagerRemovalFlow(t *testing.T) {
 	})
 
 	var ok bool
-	mgr.RemoveDriver(peer.Addr(), driver.IDTMP36, func(b bool) { ok = b })
+	mgr.RemoveDriver(peer.Addr(), driver.IDTMP36, 0, func(err error) { ok = err == nil })
 	n.RunUntilIdle(0)
 	if !ok {
 		t.Fatal("removal must be acknowledged")
+	}
+}
+
+// TestManagerRequestsExpire covers the new deadline behaviour: management
+// requests against an unresponsive Thing complete with a timeout error
+// instead of leaking in the pending tables forever.
+func TestManagerRequestsExpire(t *testing.T) {
+	n, mgr, peer, _ := setup(t)
+	// The peer never replies (no handler bound beyond setup's inbox).
+
+	var discoverErr, removeErr error
+	mgr.DiscoverDrivers(peer.Addr(), 100*time.Millisecond, func(_ []hw.DeviceID, err error) {
+		discoverErr = err
+	})
+	mgr.RemoveDriver(peer.Addr(), driver.IDTMP36, 100*time.Millisecond, func(err error) {
+		removeErr = err
+	})
+	n.RunUntilIdle(0)
+
+	if !errors.Is(discoverErr, reqerr.ErrTimeout) {
+		t.Fatalf("discover error = %v, want timeout", discoverErr)
+	}
+	if !errors.Is(removeErr, reqerr.ErrTimeout) {
+		t.Fatalf("removal error = %v, want timeout", removeErr)
+	}
+}
+
+// TestManagerStaleAdvertCannotSwallowRemoval: a late driver advert whose
+// sequence number was recycled for a removal must not consume the
+// removal's pending entry — the removal's callback must still fire.
+func TestManagerStaleAdvertCannotSwallowRemoval(t *testing.T) {
+	n, mgr, peer, _ := setup(t)
+
+	// A discovery that expires unanswered.
+	var discoverErr error
+	mgr.DiscoverDrivers(peer.Addr(), 50*time.Millisecond, func(_ []hw.DeviceID, err error) {
+		discoverErr = err
+	})
+	n.RunUntilIdle(0)
+	if !errors.Is(discoverErr, reqerr.ErrTimeout) {
+		t.Fatalf("setup: discover = %v, want timeout", discoverErr)
+	}
+
+	// Force the next request onto the expired discovery's seq (recycling).
+	mgr.mu.Lock()
+	staleSeq := mgr.seq
+	mgr.seq = staleSeq - 1
+	mgr.mu.Unlock()
+
+	var removeErr = errors.New("never fired")
+	mgr.RemoveDriver(peer.Addr(), driver.IDTMP36, 200*time.Millisecond, func(err error) {
+		removeErr = err
+	})
+
+	// The stale advert for the old discovery arrives with the recycled seq.
+	sendTo(t, n, peer, mgr.Node().Addr(),
+		&proto.Message{Type: proto.MsgDriverAdvert, Seq: staleSeq, Drivers: []hw.DeviceID{driver.IDBMP180}})
+	n.RunUntilIdle(0)
+
+	// The removal must still complete (here: with its own timeout, since
+	// the peer never acks) instead of being silently swallowed.
+	if !errors.Is(removeErr, reqerr.ErrTimeout) {
+		t.Fatalf("removal callback = %v, want its own timeout", removeErr)
 	}
 }
 

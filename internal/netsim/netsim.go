@@ -107,6 +107,9 @@ type scheduled struct {
 	at  time.Duration
 	seq int
 	fn  func()
+	// cancelled, when non-nil and true, marks a dead event: Step/RunUntil
+	// drop it without running fn or advancing the clock to its timestamp.
+	cancelled *bool
 }
 
 // New creates an empty network.
@@ -352,9 +355,29 @@ func (n *Network) Schedule(delay time.Duration, fn func()) {
 	n.scheduleLocked(delay, fn)
 }
 
+// ScheduleCancelable runs fn at Now()+delay and returns a cancel function.
+// A cancelled event is dropped entirely: it neither runs nor advances the
+// clock to its timestamp — request deadlines use this so completed
+// requests leave no dead time behind.
+func (n *Network) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := new(bool)
+	n.scheduleEntryLocked(delay, fn, c)
+	return func() {
+		n.mu.Lock()
+		*c = true
+		n.mu.Unlock()
+	}
+}
+
 func (n *Network) scheduleLocked(delay time.Duration, fn func()) {
+	n.scheduleEntryLocked(delay, fn, nil)
+}
+
+func (n *Network) scheduleEntryLocked(delay time.Duration, fn func(), cancelled *bool) {
 	n.seq++
-	n.queue = append(n.queue, scheduled{at: n.now + delay, seq: n.seq, fn: fn})
+	n.queue = append(n.queue, scheduled{at: n.now + delay, seq: n.seq, fn: fn, cancelled: cancelled})
 	sort.SliceStable(n.queue, func(i, j int) bool {
 		if n.queue[i].at != n.queue[j].at {
 			return n.queue[i].at < n.queue[j].at
@@ -363,10 +386,18 @@ func (n *Network) scheduleLocked(delay time.Duration, fn func()) {
 	})
 }
 
+// dropCancelledLocked removes dead events from the queue head.
+func (n *Network) dropCancelledLocked() {
+	for len(n.queue) > 0 && n.queue[0].cancelled != nil && *n.queue[0].cancelled {
+		n.queue = n.queue[1:]
+	}
+}
+
 // Step executes the next scheduled event, advancing the clock. It reports
 // whether an event ran.
 func (n *Network) Step() bool {
 	n.mu.Lock()
+	n.dropCancelledLocked()
 	if len(n.queue) == 0 {
 		n.mu.Unlock()
 		return false
@@ -401,6 +432,7 @@ func (n *Network) RunUntil(deadline time.Duration) int {
 	steps := 0
 	for {
 		n.mu.Lock()
+		n.dropCancelledLocked()
 		if len(n.queue) == 0 || n.queue[0].at > deadline {
 			if n.now < deadline {
 				n.now = deadline

@@ -258,3 +258,18 @@ func TestHandlersMaySendMore(t *testing.T) {
 		t.Fatalf("round trip time = %v, want %v", n.Now(), want)
 	}
 }
+
+func TestScheduleCancelable(t *testing.T) {
+	n := New(Config{})
+	fired := false
+	cancel := n.ScheduleCancelable(time.Second, func() { fired = true })
+	n.Schedule(100*time.Millisecond, func() {})
+	cancel()
+	n.RunUntilIdle(0)
+	if fired {
+		t.Fatal("cancelled event must not run")
+	}
+	if n.Now() != 100*time.Millisecond {
+		t.Fatalf("clock = %v; a cancelled event must not advance virtual time", n.Now())
+	}
+}

@@ -1,0 +1,46 @@
+// Package reqerr defines the request-layer errors and the default deadline
+// shared by the µPnP network entities (client and manager): both track
+// requests in deadline-armed pending tables and surface the same error
+// vocabulary, without depending on each other.
+package reqerr
+
+import (
+	"context"
+	"errors"
+	"os"
+	"time"
+)
+
+// DefaultTimeout bounds a request when the caller passes no explicit
+// timeout: ample for the multi-hop trees of the evaluation (a read over the
+// deepest Table 4 topology completes in well under a second of virtual
+// time), yet short enough that lossy-network failures surface quickly.
+const DefaultTimeout = 5 * time.Second
+
+// timeoutError is the expiry error for requests whose reply never arrived.
+// It matches errors.Is(err, context.DeadlineExceeded) so callers can treat
+// virtual-clock expiry exactly like a context deadline, and implements the
+// net.Error-style Timeout contract.
+type timeoutError struct{}
+
+func (timeoutError) Error() string { return "micropnp: request timed out (no reply before deadline)" }
+func (timeoutError) Timeout() bool { return true }
+func (timeoutError) Is(target error) bool {
+	return target == context.DeadlineExceeded || target == os.ErrDeadlineExceeded
+}
+
+// ErrTimeout is returned when a request's deadline passes without a reply —
+// the datagram or its answer was lost, or the peer is unreachable.
+var ErrTimeout error = timeoutError{}
+
+// ErrNoPeripheral is returned when the addressed Thing answers but serves no
+// such peripheral (the protocol's empty-data reply).
+var ErrNoPeripheral = errors.New("micropnp: thing serves no such peripheral")
+
+// ErrWriteRejected is returned when a write is answered with a non-zero
+// status: the peripheral is absent or the payload was malformed.
+var ErrWriteRejected = errors.New("micropnp: write rejected by thing")
+
+// ErrRemovalRejected is returned when a driver-removal request is
+// negatively acknowledged: the Thing holds no such driver.
+var ErrRemovalRejected = errors.New("micropnp: driver removal rejected by thing")

@@ -41,6 +41,10 @@ const (
 	DriverRequestTimeout = 500 * time.Millisecond
 	// MaxDriverRequests bounds the retransmissions per plug-in event.
 	MaxDriverRequests = 4
+
+	// PendingReadTimeout is the default for Config.PendingReadTimeout,
+	// matching the client's default request deadline.
+	PendingReadTimeout = 5 * time.Second
 )
 
 // Interconnects is the set of simulated buses behind one peripheral channel:
@@ -132,6 +136,17 @@ type Config struct {
 	// (vendor, class, product) form also join their class-wildcard group,
 	// making class-based discovery ("any temperature sensor") work.
 	StructuredNamespace bool
+	// Units maps peripheral types to the unit string of the values their
+	// drivers return; known units are advertised via the units TLV so
+	// clients can label readings without out-of-band knowledge.
+	Units map[hw.DeviceID]string
+	// PendingReadTimeout is how long the Thing holds an unanswered read
+	// before dropping it (0 = the PendingReadTimeout default). Deployments
+	// that raise the client request timeout should raise this to match: by
+	// the time it fires the requesting client has expired its side, so a
+	// late driver return must go to the next read rather than be sent with
+	// a stale sequence number the client will discard.
+	PendingReadTimeout time.Duration
 }
 
 // netScheduler adapts the network simulator's clock to vm.Scheduler.
@@ -151,6 +166,8 @@ type slotState struct {
 type pendingRead struct {
 	seq    uint16
 	client netip.Addr
+	// cancel retracts the expiry event once the read was answered.
+	cancel func()
 }
 
 type streamState struct {
@@ -179,7 +196,7 @@ type Thing struct {
 	traces    []*PluginTrace
 
 	opsMu   sync.Mutex
-	pending map[hw.DeviceID][]pendingRead
+	pending map[hw.DeviceID][]*pendingRead
 	streams map[hw.DeviceID]*streamState
 }
 
@@ -198,6 +215,9 @@ func New(cfg Config) (*Thing, error) {
 	if cfg.StreamPeriod == 0 {
 		cfg.StreamPeriod = 10 * time.Second
 	}
+	if cfg.PendingReadTimeout == 0 {
+		cfg.PendingReadTimeout = PendingReadTimeout
+	}
 	t := &Thing{
 		cfg:       cfg,
 		node:      node,
@@ -205,7 +225,7 @@ func New(cfg Config) (*Thing, error) {
 		prefix:    netsim.PrefixFromAddr(cfg.Addr),
 		installed: map[hw.DeviceID][]byte{},
 		awaiting:  map[hw.DeviceID]*PluginTrace{},
-		pending:   map[hw.DeviceID][]pendingRead{},
+		pending:   map[hw.DeviceID][]*pendingRead{},
 		streams:   map[hw.DeviceID]*streamState{},
 	}
 	t.slots = make([]*slotState, cfg.Board.Channels())
@@ -479,6 +499,9 @@ func (t *Thing) advertisement(typ proto.MsgType, seq uint16) (*proto.Message, []
 			info.TLVs = append(info.TLVs, proto.TLV{Type: proto.TLVBusKind, Value: []byte{byte(slot.periph.Bus)}})
 		}
 		info.TLVs = append(info.TLVs, proto.TLV{Type: proto.TLVChannel, Value: []byte{byte(ch)}})
+		if u := t.cfg.Units[slot.id]; u != "" {
+			info.TLVs = append(info.TLVs, proto.TLV{Type: proto.TLVUnits, Value: []byte(u)})
+		}
 		m.Peripherals = append(m.Peripherals, info)
 	}
 	t.mu.Unlock()
@@ -559,6 +582,9 @@ func (t *Thing) driverReturned(id hw.DeviceID, vals []int32) {
 		pr := q[0]
 		t.pending[id] = q[1:]
 		t.opsMu.Unlock()
+		if pr.cancel != nil {
+			pr.cancel()
+		}
 		t.send(pr.client, &proto.Message{Type: proto.MsgData, Seq: pr.seq, DeviceID: id, Data: data})
 		return
 	}
@@ -728,11 +754,30 @@ func (t *Thing) handleRead(msg netsim.Message, m *proto.Message) {
 		t.send(msg.Src, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID})
 		return
 	}
+	pr := &pendingRead{seq: m.Seq, client: msg.Src}
 	t.opsMu.Lock()
-	t.pending[m.DeviceID] = append(t.pending[m.DeviceID], pendingRead{seq: m.Seq, client: msg.Src})
+	t.pending[m.DeviceID] = append(t.pending[m.DeviceID], pr)
+	t.opsMu.Unlock()
+	cancel := t.cfg.Network.ScheduleCancelable(t.cfg.PendingReadTimeout, func() { t.expirePendingRead(m.DeviceID, pr) })
+	t.opsMu.Lock()
+	pr.cancel = cancel
 	t.opsMu.Unlock()
 	rt.Post("read")
 	rt.RunUntilIdle(0)
+}
+
+// expirePendingRead drops a pending read the driver never answered (e.g. an
+// RFID read with no card presented within the window).
+func (t *Thing) expirePendingRead(id hw.DeviceID, pr *pendingRead) {
+	t.opsMu.Lock()
+	q := t.pending[id]
+	for i, e := range q {
+		if e == pr { // pointer identity: a recycled (seq, client) pair is a different entry
+			t.pending[id] = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	t.opsMu.Unlock()
 }
 
 func (t *Thing) handleStream(msg netsim.Message, m *proto.Message) {

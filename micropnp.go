@@ -1,0 +1,406 @@
+// Package micropnp is the public SDK of the µPnP reproduction: a Go API for
+// programming against simulated µPnP deployments — plug-and-play peripheral
+// networks in the style of "µPnP: Plug and Play Peripherals for the Internet
+// of Things" (Yang et al., EuroSys 2015).
+//
+// A Deployment bundles a simulated IPv6 mesh, a µPnP manager serving the
+// standard driver repository, and a shared physical environment. Things host
+// peripherals; Clients discover and use them through synchronous,
+// context-aware calls that drive the discrete-event simulator under the
+// hood and return real errors:
+//
+//	d, _ := micropnp.NewDeployment(micropnp.WithSeed(7))
+//	th, _ := d.AddThing("kitchen")
+//	cl, _ := d.AddClient()
+//	th.PlugTMP36(0)
+//	d.Run() // identification, OTA driver install, advertisement
+//
+//	r, err := cl.Read(context.Background(), th.Addr(), micropnp.TMP36)
+//	if err != nil { ... }                     // loss and absence surface as errors
+//	fmt.Println(r.Values[0], r.Units, r.At)   // 238 0.1°C 1.08s
+//
+// All timing is virtual: the simulator's clock advances only while calls
+// drive it, so programs are deterministic and fast regardless of how much
+// simulated time passes. Context deadlines are translated to virtual-time
+// budgets; cancellation is honoured between simulation steps.
+//
+// The implementation lives under internal/ (see the repository README for a
+// tour); this package is the only importable surface.
+package micropnp
+
+import (
+	"context"
+	"net/netip"
+	"time"
+
+	"micropnp/internal/client"
+	"micropnp/internal/core"
+	"micropnp/internal/energy"
+	"micropnp/internal/hw"
+	"micropnp/internal/thing"
+)
+
+// Option configures a Deployment (functional options).
+type Option func(*config)
+
+type config struct {
+	core    core.DeploymentConfig
+	timeout time.Duration
+}
+
+// WithLossRate sets the per-hop frame loss probability (0..1).
+func WithLossRate(p float64) Option {
+	return func(c *config) { c.core.LossRate = p }
+}
+
+// WithProcJitter adds relative per-delivery latency noise (e.g. 0.05 for
+// ±5%), modelling CSMA backoff and stack scheduling variance.
+func WithProcJitter(p float64) Option {
+	return func(c *config) { c.core.ProcJitter = p }
+}
+
+// WithSeed selects the random stream for loss and jitter sampling, making
+// lossy runs reproducible. Zero keeps the fixed default stream.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.core.Seed = seed }
+}
+
+// WithStreamPeriod overrides the Things' stream production period
+// (default 10 s of virtual time).
+func WithStreamPeriod(d time.Duration) Option {
+	return func(c *config) { c.core.StreamPeriod = d }
+}
+
+// WithRequestTimeout sets the default virtual-time deadline for requests
+// issued without a context deadline (default 5 s).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.core.RequestTimeout = d; c.timeout = d }
+}
+
+// Deployment is a complete simulated µPnP network: one manager at the
+// border-router position serving the standard driver repository, plus the
+// Things and Clients added to it.
+type Deployment struct {
+	core    *core.Deployment
+	timeout time.Duration
+}
+
+// NewDeployment builds a deployment.
+func NewDeployment(opts ...Option) (*Deployment, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d, err := core.NewDeployment(cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	timeout := cfg.timeout
+	if timeout <= 0 {
+		timeout = client.DefaultTimeout
+	}
+	return &Deployment{core: d, timeout: timeout}, nil
+}
+
+// AddThing creates a Thing one hop from the manager.
+func (d *Deployment) AddThing(name string) (*Thing, error) {
+	th, err := d.core.AddThing(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Thing{d: d, th: th}, nil
+}
+
+// AddThingUnder creates a Thing attached below an existing Thing in the
+// routing tree, enabling multi-hop topologies.
+func (d *Deployment) AddThingUnder(name string, parent *Thing) (*Thing, error) {
+	th, err := d.core.AddThingAt(name, parent.th.Node())
+	if err != nil {
+		return nil, err
+	}
+	return &Thing{d: d, th: th}, nil
+}
+
+// AddZonedThing creates a Thing placed in a location zone with the
+// structured namespace enabled (the Section 9 extensions): clients can then
+// discover its peripherals by device class and by physical location.
+func (d *Deployment) AddZonedThing(name string, zone uint16) (*Thing, error) {
+	th, err := d.core.AddZonedThing(name, zone)
+	if err != nil {
+		return nil, err
+	}
+	return &Thing{d: d, th: th}, nil
+}
+
+// AddClient creates a client one hop from the manager.
+func (d *Deployment) AddClient() (*Client, error) {
+	cl, err := d.core.AddClient()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{d: d, cl: cl}, nil
+}
+
+// AddClientUnder creates a client attached below a Thing in the routing
+// tree.
+func (d *Deployment) AddClientUnder(parent *Thing) (*Client, error) {
+	cl, err := d.core.AddClientAt(parent.th.Node())
+	if err != nil {
+		return nil, err
+	}
+	return &Client{d: d, cl: cl}, nil
+}
+
+// Run drives the network until idle — use it after plugging peripherals to
+// let the plug-in sequence (identification, driver install, advertisement)
+// play out.
+func (d *Deployment) Run() { d.core.Run() }
+
+// RunFor drives the network for a span of virtual time. Use it for streams,
+// which reschedule themselves and never go idle.
+func (d *Deployment) RunFor(span time.Duration) { d.core.RunFor(span) }
+
+// Now returns the current virtual time.
+func (d *Deployment) Now() time.Duration { return d.core.Network.Now() }
+
+// ScheduleAfter runs fn after a span of virtual time. Use it to stage
+// device-side stimuli — card swipes, environment changes — that should
+// occur while a synchronous call is driving the simulator.
+func (d *Deployment) ScheduleAfter(delay time.Duration, fn func()) {
+	d.core.Network.Schedule(delay, fn)
+}
+
+// SetEnvironment updates the shared physical conditions every sensor
+// observes: temperature (°C), relative humidity (%) and pressure (Pa).
+func (d *Deployment) SetEnvironment(tempC, humidityRH, pressurePa float64) {
+	d.core.Env.Set(tempC, humidityRH, pressurePa)
+}
+
+// Environment returns the current physical conditions.
+func (d *Deployment) Environment() (tempC, humidityRH, pressurePa float64) {
+	return d.core.Env.Snapshot()
+}
+
+// SetAcceleration updates the acceleration vector (in g) accelerometers
+// observe.
+func (d *Deployment) SetAcceleration(x, y, z float64) {
+	d.core.Env.SetAcceleration(x, y, z)
+}
+
+// ManagerUploads returns the number of driver uploads the manager served —
+// a cached driver is uploaded at most once per Thing.
+func (d *Deployment) ManagerUploads() int { return d.core.Manager.Uploads() }
+
+// NetworkStats is a snapshot of network activity counters.
+type NetworkStats struct {
+	UnicastSent   int
+	MulticastSent int
+	// Transmissions counts per-hop frame transmissions, the energy-relevant
+	// quantity.
+	Transmissions int
+	Delivered     int
+	Lost          int
+}
+
+// NetworkStats returns a snapshot of the network counters.
+func (d *Deployment) NetworkStats() NetworkStats {
+	s := d.core.Network.Stats()
+	return NetworkStats{
+		UnicastSent:   s.UnicastSent,
+		MulticastSent: s.MulticastSent,
+		Transmissions: s.Transmissions,
+		Delivered:     s.Delivered,
+		Lost:          s.Lost,
+	}
+}
+
+// DiscoverDrivers asks a Thing for its installed drivers through the
+// manager (protocol messages 6/7).
+func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID, error) {
+	var (
+		ids  []DeviceID
+		derr error
+	)
+	err := d.await(ctx, func(timeout time.Duration, complete func()) {
+		d.core.Manager.DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
+			complete()
+			derr = err
+			for _, id := range got {
+				ids = append(ids, DeviceID(id))
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ids, derr
+}
+
+// RemoveDriver removes a driver from a Thing through the manager (protocol
+// messages 8/9), stopping any runtime serving it.
+func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) error {
+	var rerr error
+	err := d.await(ctx, func(timeout time.Duration, complete func()) {
+		d.core.Manager.RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
+			complete()
+			rerr = err
+		})
+	})
+	if err != nil {
+		return err
+	}
+	return rerr
+}
+
+// await is the synchronous-call harness every SDK request goes through: it
+// translates the context into a virtual-time budget, lets start register
+// the request (whose completion callback must invoke complete), then steps
+// the simulator until completion, context cancellation, or a drained event
+// queue. Every request arms a virtual-time expiry event at registration,
+// so a drained queue without completion cannot happen in practice; it is
+// reported as a timeout defensively.
+func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, complete func())) error {
+	timeout, err := timeoutFrom(ctx, d.timeout)
+	if err != nil {
+		return err
+	}
+	done := false
+	start(timeout, func() { done = true })
+	for !done {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !d.core.Network.Step() {
+			return ErrTimeout
+		}
+	}
+	return nil
+}
+
+// timeoutFrom translates a context deadline into a virtual-time budget: a
+// context with a deadline t from now bounds the request to t of virtual
+// time. Without a deadline the default applies. An already-expired context
+// fails immediately.
+//
+// Note the wall-clock sampling: the budget is time.Until(deadline) at call
+// time, so runs using context deadlines close to the actual virtual reply
+// latency are not bit-for-bit reproducible. Callers that need the fully
+// deterministic behaviour the simulator otherwise guarantees should use
+// WithRequestTimeout (a pure virtual-time bound) and plain contexts.
+func timeoutFrom(ctx context.Context, def time.Duration) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return 0, context.DeadlineExceeded
+		}
+		return rem, nil
+	}
+	return def, nil
+}
+
+// USBHostEnergy returns the energy (in joules) an always-on USB host
+// controller would consume over a span — the baseline the paper's Section 6
+// energy argument compares µPnP's on-demand identification against.
+func USBHostEnergy(span time.Duration) float64 {
+	return float64(energy.DefaultUSBHost.Energy(span))
+}
+
+// ---------------------------------------------------------------------------
+// Things
+
+// PluginTrace records the timing and energy of one peripheral plug-in
+// event: identification, address generation, group join, driver request and
+// install, and advertisement.
+type PluginTrace = thing.PluginTrace
+
+// BoardStats counts control-board activity: interrupts, identification
+// scans, active time and energy.
+type BoardStats = hw.BoardStats
+
+// Thing is one µPnP Thing: an embedded device hosting peripherals behind a
+// µPnP control board.
+type Thing struct {
+	d  *Deployment
+	th *thing.Thing
+}
+
+// Addr returns the Thing's unicast IPv6 address.
+func (t *Thing) Addr() netip.Addr { return t.th.Addr() }
+
+// Traces returns the plug-in traces recorded so far.
+func (t *Thing) Traces() []*PluginTrace { return t.th.Traces() }
+
+// InstalledDrivers lists the locally installed driver identifiers.
+func (t *Thing) InstalledDrivers() []DeviceID {
+	ids := t.th.InstalledDrivers()
+	out := make([]DeviceID, len(ids))
+	for i, id := range ids {
+		out[i] = DeviceID(id)
+	}
+	return out
+}
+
+// BoardStats returns the control board's activity counters.
+func (t *Thing) BoardStats() BoardStats { return t.th.Board().Stats() }
+
+// Unplug disconnects the peripheral on a channel; the Thing tears down its
+// driver and advertises the change.
+func (t *Thing) Unplug(channel int) error { return t.th.Unplug(channel) }
+
+// StopStream terminates an active stream served by this Thing, notifying
+// subscribers.
+func (t *Thing) StopStream(id DeviceID) { t.th.StopStream(hw.DeviceID(id)) }
+
+// PlugTMP36 plugs a TMP36 temperature sensor (ADC) into a channel.
+func (t *Thing) PlugTMP36(channel int) error { return t.d.core.PlugTMP36(t.th, channel) }
+
+// PlugHIH4030 plugs an HIH-4030 humidity sensor (ADC) into a channel.
+func (t *Thing) PlugHIH4030(channel int) error { return t.d.core.PlugHIH4030(t.th, channel) }
+
+// PlugBMP180 plugs a BMP180 pressure sensor (I²C) into a channel.
+func (t *Thing) PlugBMP180(channel int) error { return t.d.core.PlugBMP180(t.th, channel) }
+
+// PlugADXL345 plugs an ADXL345 accelerometer (SPI) into a channel.
+func (t *Thing) PlugADXL345(channel int) error { return t.d.core.PlugADXL345(t.th, channel) }
+
+// RFIDReader is the device-side handle of a plugged ID-20LA RFID reader:
+// present cards to it and read them remotely.
+type RFIDReader struct {
+	dev *core.RFIDDevice
+}
+
+// PresentCard simulates a card with the given 10-hex-digit identifier
+// entering the reader's field.
+func (r *RFIDReader) PresentCard(cardID string) error { return r.dev.PresentCard(cardID) }
+
+// PlugRFID plugs an ID-20LA RFID reader (UART) into a channel and returns
+// the handle for presenting cards.
+func (t *Thing) PlugRFID(channel int) (*RFIDReader, error) {
+	dev, err := t.d.core.PlugRFID(t.th, channel)
+	if err != nil {
+		return nil, err
+	}
+	return &RFIDReader{dev: dev}, nil
+}
+
+// RelayBank is the device-side handle of a plugged PCF8574 relay bank:
+// observe the outputs the network writes set.
+type RelayBank struct {
+	dev *core.RelayDevice
+}
+
+// State returns the relay outputs (bit i = relay i energised).
+func (r *RelayBank) State() byte { return r.dev.State() }
+
+// PlugRelay plugs a PCF8574 relay bank (I²C) into a channel and returns the
+// handle for observing the outputs.
+func (t *Thing) PlugRelay(channel int) (*RelayBank, error) {
+	dev, err := t.d.core.PlugRelay(t.th, channel)
+	if err != nil {
+		return nil, err
+	}
+	return &RelayBank{dev: dev}, nil
+}
