@@ -1,0 +1,168 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go test
+// -bench` output, reduces the -count repetitions of each benchmark to their
+// median ns/op, and compares against a committed JSON baseline. The build
+// fails when the geometric mean of the per-benchmark ratios (new/baseline)
+// exceeds the threshold.
+//
+// Gate a run:
+//
+//	go test -run '^$' -bench <pattern> -benchtime 1x -count 6 ./... | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json -input bench.txt
+//
+// Refresh the baseline after an intentional performance change:
+//
+//	go run ./cmd/benchgate -input bench.txt -update -baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark reference.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// median ns/op of the baseline run.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench reduces a `go test -bench` output stream to median ns/op per
+// benchmark name.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	medians := map[string]float64{}
+	for name, vals := range samples {
+		sort.Float64s(vals)
+		n := len(vals)
+		if n%2 == 1 {
+			medians[name] = vals[n/2]
+		} else {
+			medians[name] = (vals[n/2-1] + vals[n/2]) / 2
+		}
+	}
+	return medians, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+		inputPath    = flag.String("input", "", "benchmark output file (from go test -bench)")
+		threshold    = flag.Float64("threshold", 1.20, "fail when the geomean ratio (new/baseline) exceeds this")
+		update       = flag.Bool("update", false, "write the baseline from -input instead of comparing")
+	)
+	flag.Parse()
+	if *inputPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -input is required")
+		os.Exit(2)
+	}
+	medians, err := parseBench(*inputPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(medians) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark lines found in %s\n", *inputPath)
+		os.Exit(2)
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(Baseline{
+			Note:    "median ns/op from: go test -run '^$' -bench <gate pattern> -benchtime 1x -count 6; refresh with: go run ./cmd/benchgate -input bench.txt -update",
+			NsPerOp: medians,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(medians), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base.NsPerOp))
+	for name := range base.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	logSum, compared, missing := 0.0, 0, 0
+	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "baseline", "new", "ratio")
+	for _, name := range names {
+		got, ok := medians[name]
+		if !ok {
+			fmt.Printf("%-55s %14.1f %14s %8s\n", name, base.NsPerOp[name], "MISSING", "-")
+			missing++
+			continue
+		}
+		ratio := got / base.NsPerOp[name]
+		fmt.Printf("%-55s %14.1f %14.1f %7.3fx\n", name, base.NsPerOp[name], got, ratio)
+		logSum += math.Log(ratio)
+		compared++
+	}
+	for name := range medians {
+		if _, ok := base.NsPerOp[name]; !ok {
+			fmt.Printf("%-55s %14s %14.1f %8s  (not in baseline; run -update)\n", name, "-", medians[name], "-")
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d baseline benchmark(s) missing from the run; update %s if they were renamed\n", missing, *baselinePath)
+		os.Exit(1)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — nothing to compare")
+		os.Exit(1)
+	}
+	geomean := math.Exp(logSum / float64(compared))
+	fmt.Printf("geomean ratio over %d benchmarks: %.3fx (threshold %.2fx)\n", compared, geomean, *threshold)
+	if geomean > *threshold {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean regression %.3fx exceeds %.2fx\n", geomean, *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}

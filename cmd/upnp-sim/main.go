@@ -140,8 +140,8 @@ func run(nThings, hops int, loss float64, churn int, seed int64) error {
 		d.Run()
 	}
 	st := d.NetworkStats()
-	fmt.Printf("network: %d unicast, %d multicast, %d transmissions, %d delivered, %d lost (virtual time %v)\n",
-		st.UnicastSent, st.MulticastSent, st.Transmissions, st.Delivered, st.Lost, d.Now().Round(0))
+	fmt.Printf("network: %d unicast, %d multicast, %d transmissions, %d delivered, %d lost, %d unhandled (virtual time %v)\n",
+		st.UnicastSent, st.MulticastSent, st.Transmissions, st.Delivered, st.Lost, st.NoHandler, d.Now().Round(0))
 	return nil
 }
 

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"micropnp/internal/client"
+	"micropnp/internal/driver"
+)
+
+// BenchmarkScaleDiscovery measures one full type-discovery round trip — a
+// multicast query fanning out to every Thing hosting the type, all replies
+// delivered, and the deadline closing the request — on a populated wide
+// deployment. Per-discovery cost must scale with the member count, not with
+// simulator bookkeeping: the membership index and cached SMRF plans keep
+// the fan-out O(members).
+func BenchmarkScaleDiscovery(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("things=%d", n), func(b *testing.B) {
+			d, err := NewDeployment(DeploymentConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl, err := d.AddClient()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				th, err := d.AddThing(fmt.Sprintf("n%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.PlugTMP36(th, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			d.Run()
+			// Batch rounds per op so -benchtime 1x (the CI regression
+			// gate) measures a stable multi-millisecond quantity.
+			const batch = 4
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					got := -1
+					cl.Discover(driver.IDTMP36, 0, func(ads []client.Advert) { got = len(ads) })
+					d.Run()
+					if got != n {
+						b.Fatalf("discovered %d, want %d", got, n)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/discovery")
+		})
+	}
+}

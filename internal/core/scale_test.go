@@ -8,6 +8,7 @@ import (
 	"micropnp/internal/client"
 	"micropnp/internal/driver"
 	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
 	"micropnp/internal/thing"
 )
 
@@ -162,5 +163,287 @@ func TestThreePeripheralsOneBoard(t *testing.T) {
 	}
 	if p := results[driver.IDBMP180]; len(p) != 2 || p[1] < 98_950 || p[1] > 99_050 {
 		t.Errorf("BMP180 = %v", p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized large-scale topologies. -short keeps the quick 100-Thing
+// run for every leg; the full suite (plain `go test`, and CI's push-to-main
+// leg) climbs to 1,000 and 5,000 Things.
+
+// scaleSizes returns the Thing counts the parameterized scale tests cover.
+func scaleSizes() []int {
+	if testing.Short() {
+		return []int{100}
+	}
+	return []int{100, 1000, 5000}
+}
+
+// plugKind plugs one of the three round-robin sensor kinds used by the
+// scale topologies (kind = i % 3, matching thingRef.kind).
+func (d *Deployment) plugKind(th *thing.Thing, kind int) error {
+	switch kind % 3 {
+	case 0:
+		return d.PlugTMP36(th, 0)
+	case 1:
+		return d.PlugHIH4030(th, 0)
+	default:
+		return d.PlugBMP180(th, 0)
+	}
+}
+
+// buildScaleThings attaches n Things with round-robin peripherals. The
+// nextParent callback picks each Thing's tree parent, shaping the topology.
+func buildScaleThings(t testing.TB, d *Deployment, n int, nextParent func(i int, prev *thing.Thing) *netsim.Node) []*thingRef {
+	t.Helper()
+	things := make([]*thingRef, 0, n)
+	var prev *thing.Thing
+	for i := 0; i < n; i++ {
+		th, err := d.AddThingAt(fmt.Sprintf("n%d", i), nextParent(i, prev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.plugKind(th, i%3); err != nil {
+			t.Fatal(err)
+		}
+		things = append(things, &thingRef{th: th, kind: i % 3})
+		prev = th
+	}
+	return things
+}
+
+// assertScaleDeployment checks the invariants every topology must satisfy
+// after the plug-in sequences drained: all traces complete, drivers served,
+// discovery counts per kind, and working reads. timeout bounds discovery
+// and reads (0 = the client default) — trees deeper than ~40 hops need a
+// generous virtual deadline, since replies take seconds of virtual time to
+// climb back. exactUploads is false for such trees: round trips beyond
+// DriverRequestTimeout legitimately trigger retransmissions, so the manager
+// serves more uploads than Things.
+func assertScaleDeployment(t *testing.T, d *Deployment, cl *client.Client, things []*thingRef, timeout time.Duration, exactUploads bool) {
+	t.Helper()
+	n := len(things)
+	for i, ref := range things {
+		trs := ref.th.Traces()
+		if len(trs) != 1 || !trs[0].Done {
+			t.Fatalf("thing %d: plug-in did not complete: %+v", i, trs)
+		}
+	}
+	if ups := d.Manager.Uploads(); ups != n && (exactUploads || ups < n) {
+		t.Fatalf("uploads = %d, want %s%d", ups, map[bool]string{true: "", false: ">= "}[exactUploads], n)
+	}
+	counts := map[int]int{}
+	for _, ref := range things {
+		counts[ref.kind]++
+	}
+	for kind, id := range map[int]hw.DeviceID{0: driver.IDTMP36, 1: driver.IDHIH4030, 2: driver.IDBMP180} {
+		got := -1
+		cl.Discover(id, timeout, func(ads []client.Advert) { got = len(ads) })
+		d.Run()
+		if got != counts[kind] {
+			t.Fatalf("discovery of kind %d found %d things, want %d", kind, got, counts[kind])
+		}
+	}
+	// Read a spread of BMP180s across the topology (front, middle, back).
+	reads := 0
+	sample := []int{}
+	for _, i := range []int{2, n / 2, n - 3} {
+		for ; i < n && things[i].kind != 2; i++ {
+		}
+		if i < n {
+			sample = append(sample, i)
+		}
+	}
+	for _, i := range sample {
+		cl.Read(things[i].th.Addr(), driver.IDBMP180, timeout, func(v []int32, err error) {
+			if err == nil && len(v) == 2 {
+				reads++
+			}
+		})
+	}
+	d.Run()
+	if reads != len(sample) {
+		t.Fatalf("reads = %d, want %d", reads, len(sample))
+	}
+	if st := d.Network.Stats(); st.NoHandler != 0 {
+		t.Fatalf("NoHandler = %d; scale traffic must only hit bound ports", st.NoHandler)
+	}
+}
+
+// TestScaleDeepTree: chains that deepen every 10 Things, giving tree depths
+// up to 500 at 5,000 Things — the worst case for per-pair path length.
+func TestScaleDeepTree(t *testing.T) {
+	for _, n := range scaleSizes() {
+		t.Run(fmt.Sprintf("things=%d", n), func(t *testing.T) {
+			d := newDeployment(t)
+			cl, err := d.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parent := d.Manager.Node()
+			things := buildScaleThings(t, d, n, func(i int, prev *thing.Thing) *netsim.Node {
+				if i > 0 && i%10 == 0 {
+					parent = prev.Node() // deepen the chain every 10 Things
+				}
+				return parent
+			})
+			d.Run()
+			// Depth reaches n/10 hops: replies take minutes of virtual
+			// time, and driver round trips exceed the retransmission
+			// timeout (duplicate uploads are expected protocol behavior).
+			assertScaleDeployment(t, d, cl, things, time.Hour, false)
+		})
+	}
+}
+
+// TestScaleWideFanout: every Thing one hop from the manager — the worst
+// case for group fan-out (a discovery reaches every member in one hop).
+func TestScaleWideFanout(t *testing.T) {
+	for _, n := range scaleSizes() {
+		t.Run(fmt.Sprintf("things=%d", n), func(t *testing.T) {
+			d := newDeployment(t)
+			cl, err := d.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			things := buildScaleThings(t, d, n, func(int, *thing.Thing) *netsim.Node {
+				return d.Manager.Node()
+			})
+			d.Run()
+			assertScaleDeployment(t, d, cl, things, 0, true)
+		})
+	}
+}
+
+// TestScaleMultiGroupMix: three branch subtrees, one sensor kind per
+// branch, clients attached at different tree positions — exercises several
+// multicast groups concurrently plus discovery from non-root vantage
+// points.
+func TestScaleMultiGroupMix(t *testing.T) {
+	for _, n := range scaleSizes() {
+		t.Run(fmt.Sprintf("things=%d", n), func(t *testing.T) {
+			d := newDeployment(t)
+			branchRoots := make([]*netsim.Node, 3)
+			branchParents := make([]*netsim.Node, 3)
+			things := make([]*thingRef, 0, n)
+			for i := 0; i < n; i++ {
+				branch := i % 3
+				parent := branchParents[branch]
+				if parent == nil {
+					parent = d.Manager.Node()
+				}
+				th, err := d.AddThingAt(fmt.Sprintf("b%dn%d", branch, i), parent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if branchRoots[branch] == nil {
+					branchRoots[branch] = th.Node()
+				}
+				if (i/3)%20 == 19 {
+					branchParents[branch] = th.Node() // deepen each branch every 20
+				} else if branchParents[branch] == nil {
+					branchParents[branch] = branchRoots[branch]
+				}
+				// One kind per branch: branch b holds only kind b.
+				if err := d.plugKind(th, branch); err != nil {
+					t.Fatal(err)
+				}
+				things = append(things, &thingRef{th: th, kind: branch})
+			}
+			// One client at the root, one deep inside branch 0.
+			clRoot, err := d.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			clDeep, err := d.AddClientAt(branchRoots[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Run()
+
+			counts := map[int]int{}
+			for _, ref := range things {
+				counts[ref.kind]++
+			}
+			ids := map[int]hw.DeviceID{0: driver.IDTMP36, 1: driver.IDHIH4030, 2: driver.IDBMP180}
+			// Branches reach ~n/60 hops deep; give replies the virtual
+			// time to climb back before the discovery deadline.
+			for _, cl := range []*client.Client{clRoot, clDeep} {
+				for kind, id := range ids {
+					got := -1
+					cl.Discover(id, time.Hour, func(ads []client.Advert) { got = len(ads) })
+					d.Run()
+					if got != counts[kind] {
+						t.Fatalf("kind %d: discovered %d, want %d", kind, got, counts[kind])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScaleChurnHotSwap: a populated deployment where every 10th Thing
+// hot-swaps its peripheral (TMP36 out, BMP180 in). Group membership, plans
+// and discovery results must all track the churn.
+func TestScaleChurnHotSwap(t *testing.T) {
+	for _, n := range scaleSizes() {
+		t.Run(fmt.Sprintf("things=%d", n), func(t *testing.T) {
+			d := newDeployment(t)
+			cl, err := d.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parent := d.Manager.Node()
+			things := make([]*thing.Thing, 0, n)
+			for i := 0; i < n; i++ {
+				th, err := d.AddThingAt(fmt.Sprintf("n%d", i), parent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i > 0 && i%25 == 0 {
+					parent = th.Node()
+				}
+				if err := d.PlugTMP36(th, 0); err != nil {
+					t.Fatal(err)
+				}
+				things = append(things, th)
+			}
+			d.Run()
+
+			swapped := 0
+			for i := 0; i < n; i += 10 {
+				if err := things[i].Unplug(0); err != nil {
+					t.Fatal(err)
+				}
+				swapped++
+			}
+			d.Run()
+			for i := 0; i < n; i += 10 {
+				if err := d.PlugBMP180(things[i], 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d.Run()
+
+			tmpGroup := d.Group(driver.IDTMP36)
+			bmpGroup := d.Group(driver.IDBMP180)
+			for i := 0; i < n; i += 10 {
+				if trs := things[i].Traces(); len(trs) != 2 || !trs[1].Done {
+					t.Fatalf("thing %d: swap trace incomplete: %+v", i, trs)
+				}
+				if nd := things[i].Node(); nd.InGroup(tmpGroup) || !nd.InGroup(bmpGroup) {
+					t.Fatalf("thing %d: group membership did not follow the hot-swap", i)
+				}
+			}
+			gotTMP, gotBMP := -1, -1
+			cl.Discover(driver.IDTMP36, time.Hour, func(ads []client.Advert) { gotTMP = len(ads) })
+			d.Run()
+			cl.Discover(driver.IDBMP180, time.Hour, func(ads []client.Advert) { gotBMP = len(ads) })
+			d.Run()
+			if gotTMP != n-swapped || gotBMP != swapped {
+				t.Fatalf("post-churn discovery: TMP36=%d (want %d) BMP180=%d (want %d)",
+					gotTMP, n-swapped, gotBMP, swapped)
+			}
+		})
 	}
 }

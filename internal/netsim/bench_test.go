@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// schedBatch is the number of schedule+step cycles one benchmark op covers:
+// a single cycle is ~200ns, far below timer resolution at -benchtime 1x, so
+// the CI regression gate measures stable 10k-event batches instead.
+const schedBatch = 10_000
+
+// BenchmarkNetsimSchedule measures scheduler cost (one Schedule + one Step
+// per event, schedBatch events per op) against a standing backlog of
+// `depth` future events. The heap gives O(log n) per event: 10x the depth
+// must cost well under 2x the per-event time (the former sorted-slice queue
+// resorted everything per insert, an O(n log n) blowup).
+func BenchmarkNetsimSchedule(b *testing.B) {
+	for _, depth := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			n := New(Config{})
+			for i := 0; i < depth; i++ {
+				n.Schedule(24*time.Hour+time.Duration(i)*time.Millisecond, func() {})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < schedBatch; j++ {
+					n.Schedule(time.Microsecond, func() {})
+					n.Step()
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*schedBatch), "ns/event")
+		})
+	}
+}
+
+// BenchmarkNetsimScheduleCancel measures the ScheduleCancelable + cancel
+// round trip under backlog (schedBatch cycles per op): cancellation is O(1)
+// with lazy deletion, so the cost must not grow with queue depth.
+func BenchmarkNetsimScheduleCancel(b *testing.B) {
+	for _, depth := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			n := New(Config{})
+			for i := 0; i < depth; i++ {
+				n.Schedule(24*time.Hour+time.Duration(i)*time.Millisecond, func() {})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < schedBatch; j++ {
+					cancel := n.ScheduleCancelable(time.Hour, func() {})
+					cancel()
+					n.Schedule(time.Microsecond, func() {})
+					n.Step()
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*schedBatch), "ns/event")
+		})
+	}
+}
+
+// benchTree builds an n-node 4-ary tree and returns the nodes (index 0 is
+// the root).
+func benchTree(b *testing.B, n *Network, count int) []*Node {
+	b.Helper()
+	nodes := make([]*Node, count)
+	for i := 0; i < count; i++ {
+		var parent *Node
+		if i > 0 {
+			parent = nodes[(i-1)/4]
+		}
+		var bytes [16]byte
+		bytes[0], bytes[1] = 0x20, 0x01
+		bytes[12] = byte(i >> 24)
+		bytes[13] = byte(i >> 16)
+		bytes[14] = byte(i >> 8)
+		bytes[15] = byte(i)
+		nd, err := n.AddNode(netip.AddrFrom16(bytes), parent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return nodes
+}
+
+// BenchmarkScaleMulticast measures one SMRF dissemination to a group with
+// `members` subscribers spread over a 4-ary tree, including delivery of
+// every copy. The membership index and cached plans make the per-send cost
+// proportional to the member count, not the node count.
+func BenchmarkScaleMulticast(b *testing.B) {
+	for _, count := range []int{100, 1_000, 5_000} {
+		b.Run(fmt.Sprintf("nodes=%d", count), func(b *testing.B) {
+			n := New(Config{})
+			nodes := benchTree(b, n, count)
+			group := MulticastAddr(PrefixFromAddr(nodes[0].Addr()), 0xad1cbe01)
+			delivered := 0
+			for _, nd := range nodes[1:] {
+				nd.JoinGroup(group)
+				nd.Bind(Port6030, func(Message) { delivered++ })
+			}
+			// Prime the plan cache once; steady-state sends are what scale.
+			nodes[0].Send(group, Port6030, []byte("warm"))
+			n.RunUntilIdle(0)
+			delivered = 0
+			// Batch sends per op so -benchtime 1x (the CI regression
+			// gate) measures milliseconds, not one noisy send.
+			const batch = 8
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					nodes[0].Send(group, Port6030, []byte("adv"))
+					n.RunUntilIdle(0)
+				}
+			}
+			b.StopTimer()
+			if delivered != b.N*batch*(count-1) {
+				b.Fatalf("delivered %d, want %d", delivered, b.N*batch*(count-1))
+			}
+			b.ReportMetric(float64(count-1), "members")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/send")
+		})
+	}
+}

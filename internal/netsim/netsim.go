@@ -8,9 +8,18 @@
 // The simulator runs under a virtual clock: Send schedules deliveries,
 // Run/RunUntilIdle advance time. Handlers execute inline at delivery time
 // and may send further messages. All timing results (Table 4) are virtual.
+//
+// The implementation is built to stay fast at thousands of nodes: the event
+// queue is a binary heap with lazy deletion (Schedule and Step are
+// O(log n), cancelled events are skipped on pop and compacted away when
+// they dominate the queue), multicast sends consult a per-group membership
+// index instead of scanning every node, and tree routes (per-pair paths,
+// edge sets and anycast distances) are cached with invalidation on
+// AddNode/JoinGroup/LeaveGroup.
 package netsim
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -88,6 +97,10 @@ type Stats struct {
 	Transmissions int // per-hop frame transmissions, the energy-relevant count
 	Delivered     int
 	Lost          int
+	// NoHandler counts datagrams that reached a node with no handler bound
+	// to the destination port: the embedded stack drops them (ICMPv6 port
+	// unreachable is not generated on these motes).
+	NoHandler int
 }
 
 // Network is the simulated internetwork.
@@ -96,20 +109,66 @@ type Network struct {
 	cfg     Config
 	rng     *rand.Rand
 	now     time.Duration
-	queue   []scheduled
+	queue   eventQueue
+	dead    int // cancelled events still in the heap (lazy deletion)
 	seq     int // tiebreaker for stable ordering
 	nodes   map[netip.Addr]*Node
 	anycast map[netip.Addr][]*Node
-	stats   Stats
+	// members indexes multicast group membership so sends visit only
+	// members, never the full node table.
+	members map[netip.Addr]map[*Node]struct{}
+	// Route caches. Parent links are immutable after AddNode, but both are
+	// invalidated on AddNode (new backbone roots change the disjoint-tree
+	// synthetic paths); plans are additionally invalidated per group on
+	// JoinGroup/LeaveGroup. Per-pair edge lists are NOT cached: they are
+	// only consumed while building a plan, and retaining them would pin
+	// O(members x depth) memory on deep topologies.
+	dists map[nodePair]int
+	plans map[netip.Addr]map[*Node]*mcastPlan
+	stats Stats
 }
 
+type eventState uint8
+
+const (
+	evPending eventState = iota
+	evCancelled
+	evFired
+)
+
 type scheduled struct {
-	at  time.Duration
-	seq int
-	fn  func()
-	// cancelled, when non-nil and true, marks a dead event: Step/RunUntil
-	// drop it without running fn or advancing the clock to its timestamp.
-	cancelled *bool
+	at    time.Duration
+	seq   int
+	fn    func()
+	state eventState
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq); the seq
+// tiebreaker makes delivery order deterministic and identical to the former
+// stable-sorted-slice implementation (the ordering key is total, so heap
+// pop order equals sorted order).
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil // release the slot so popped events do not pin the array
+	*q = old[:n-1]
+	return ev
 }
 
 // New creates an empty network.
@@ -123,6 +182,9 @@ func New(cfg Config) *Network {
 		rng:     rng,
 		nodes:   map[netip.Addr]*Node{},
 		anycast: map[netip.Addr][]*Node{},
+		members: map[netip.Addr]map[*Node]struct{}{},
+		dists:   map[nodePair]int{},
+		plans:   map[netip.Addr]map[*Node]*mcastPlan{},
 	}
 }
 
@@ -163,7 +225,17 @@ func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
 		node.depth = parent.depth + 1
 	}
 	n.nodes[addr] = node
+	n.invalidateRoutesLocked()
 	return node, nil
+}
+
+// invalidateRoutesLocked drops every cached route. Topology only grows, but
+// conservatively flushing on AddNode keeps the caches trivially correct and
+// costs nothing in steady state (nodes are added once, messages flow
+// forever after).
+func (n *Network) invalidateRoutesLocked() {
+	clear(n.dists)
+	clear(n.plans)
 }
 
 // Addr returns the node's unicast address.
@@ -181,16 +253,38 @@ func (nd *Node) Bind(port uint16, h Handler) {
 
 // JoinGroup subscribes the node to a multicast group.
 func (nd *Node) JoinGroup(g netip.Addr) {
-	nd.net.mu.Lock()
-	defer nd.net.mu.Unlock()
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if nd.groups[g] {
+		return
+	}
 	nd.groups[g] = true
+	set := n.members[g]
+	if set == nil {
+		set = map[*Node]struct{}{}
+		n.members[g] = set
+	}
+	set[nd] = struct{}{}
+	delete(n.plans, g)
 }
 
 // LeaveGroup unsubscribes the node.
 func (nd *Node) LeaveGroup(g netip.Addr) {
-	nd.net.mu.Lock()
-	defer nd.net.mu.Unlock()
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !nd.groups[g] {
+		return
+	}
 	delete(nd.groups, g)
+	if set := n.members[g]; set != nil {
+		delete(set, nd)
+		if len(set) == 0 {
+			delete(n.members, g)
+		}
+	}
+	delete(n.plans, g)
 }
 
 // InGroup reports group membership.
@@ -208,6 +302,9 @@ func (n *Network) JoinAnycast(a netip.Addr, nd *Node) {
 	n.anycast[a] = append(n.anycast[a], nd)
 }
 
+// nodePair keys the per-pair route caches.
+type nodePair [2]*Node
+
 // treeDistance returns the hop count between two nodes through the DODAG.
 func treeDistance(a, b *Node) int {
 	seen := map[*Node]int{}
@@ -221,6 +318,129 @@ func treeDistance(a, b *Node) int {
 	}
 	// Disjoint trees: treat as one hop over the backbone plus both depths.
 	return a.depth + b.depth + 1
+}
+
+// distanceLocked is treeDistance through the per-pair cache (anycast
+// nearest-member selection runs it for every member on every request).
+func (n *Network) distanceLocked(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	key := nodePair{a, b}
+	if d, ok := n.dists[key]; ok {
+		return d
+	}
+	d := treeDistance(a, b)
+	n.dists[key] = d
+	n.dists[nodePair{b, a}] = d
+	return d
+}
+
+// pathEntry is one computed tree route: hop count plus the ordered edge
+// list. Entries are scratch state for plan construction — the edge lists
+// live only until the plan's edge union is taken, while the durable caches
+// hold hop counts (dists) and finished plans.
+type pathEntry struct {
+	hops  int
+	edges [][2]*Node
+}
+
+// buildPathLocked walks the tree path src->dst, recording its edges and hop
+// count. Disjoint trees route over a synthetic backbone edge between roots.
+func (n *Network) buildPathLocked(src, dst *Node) *pathEntry {
+	anc := map[*Node]bool{}
+	for x := src; x != nil; x = x.parent {
+		anc[x] = true
+	}
+	var meet *Node
+	for x := dst; x != nil; x = x.parent {
+		if anc[x] {
+			meet = x
+			break
+		}
+	}
+	e := &pathEntry{}
+	if meet == nil {
+		rootA, rootB := src, dst
+		for rootA.parent != nil {
+			rootA = rootA.parent
+		}
+		for rootB.parent != nil {
+			rootB = rootB.parent
+		}
+		up := n.buildPathLocked(src, rootA)
+		down := n.buildPathLocked(rootB, dst)
+		e.hops = up.hops + 1 + down.hops
+		e.edges = make([][2]*Node, 0, len(up.edges)+1+len(down.edges))
+		e.edges = append(e.edges, up.edges...)
+		e.edges = append(e.edges, [2]*Node{rootA, rootB})
+		e.edges = append(e.edges, down.edges...)
+		return e
+	}
+	for x := src; x != meet; x = x.parent {
+		e.edges = append(e.edges, [2]*Node{x, x.parent})
+		e.hops++
+	}
+	for x := dst; x != meet; x = x.parent {
+		e.edges = append(e.edges, [2]*Node{x.parent, x})
+		e.hops++
+	}
+	return e
+}
+
+// mcastPlan is a cached SMRF dissemination: the member targets with their
+// hop counts, and the size of the union of path edges (the per-send
+// transmission count under duplicate suppression).
+type mcastPlan struct {
+	targets []mcastTarget
+	edges   int
+}
+
+type mcastTarget struct {
+	node *Node
+	hops int
+}
+
+// multicastPlanLocked returns the cached (group, src) dissemination plan,
+// building it from the membership index on first use. Targets are ordered
+// by (hops, address) so same-timestamp deliveries are deterministic.
+func (n *Network) multicastPlanLocked(src *Node, group netip.Addr) *mcastPlan {
+	bySrc := n.plans[group]
+	if plan := bySrc[src]; plan != nil {
+		return plan
+	}
+	plan := &mcastPlan{}
+	edgeSet := map[[2]*Node]struct{}{}
+	for member := range n.members[group] {
+		if member == src {
+			continue
+		}
+		p := n.buildPathLocked(src, member)
+		for _, edge := range p.edges {
+			edgeSet[edge] = struct{}{}
+		}
+		plan.targets = append(plan.targets, mcastTarget{node: member, hops: p.hops})
+		// The walk already knows the distance; warm the unicast cache too.
+		key := nodePair{src, member}
+		if _, ok := n.dists[key]; !ok {
+			n.dists[key] = p.hops
+			n.dists[nodePair{member, src}] = p.hops
+		}
+	}
+	plan.edges = len(edgeSet)
+	sort.Slice(plan.targets, func(i, j int) bool {
+		a, b := plan.targets[i], plan.targets[j]
+		if a.hops != b.hops {
+			return a.hops < b.hops
+		}
+		return a.node.addr.Less(b.node.addr)
+	})
+	if bySrc == nil {
+		bySrc = map[*Node]*mcastPlan{}
+		n.plans[group] = bySrc
+	}
+	bySrc[src] = plan
+	return plan
 }
 
 // Send transmits a UDP datagram. Unicast goes through the tree; multicast
@@ -239,9 +459,9 @@ func (nd *Node) Send(dst netip.Addr, port uint16, payload []byte) {
 		n.stats.UnicastSent++
 		if members := n.anycast[dst]; len(members) > 0 {
 			best := members[0]
-			bestD := treeDistance(nd, best)
+			bestD := n.distanceLocked(nd, best)
 			for _, m := range members[1:] {
-				if d := treeDistance(nd, m); d < bestD {
+				if d := n.distanceLocked(nd, m); d < bestD {
 					best, bestD = m, d
 				}
 			}
@@ -253,65 +473,20 @@ func (nd *Node) Send(dst netip.Addr, port uint16, payload []byte) {
 			n.stats.Lost++
 			return
 		}
-		n.deliverLocked(nd, target, msg, treeDistance(nd, target), false)
+		n.deliverLocked(nd, target, msg, n.distanceLocked(nd, target), false)
 	}
 }
 
 // sendMulticastLocked implements SMRF-style dissemination: the datagram
 // travels the tree from the source; every edge on the union of paths to the
-// members is one transmission.
+// members is one transmission (duplicate suppression, the key SMRF property
+// versus naive flooding).
 func (n *Network) sendMulticastLocked(src *Node, msg Message) {
-	edges := map[[2]*Node]bool{}
-	for _, member := range n.nodes {
-		if !member.groups[msg.Dst] || member == src {
-			continue
-		}
-		hops := n.pathEdgesLocked(src, member, edges)
-		n.deliverLocked(src, member, msg, hops, true)
+	plan := n.multicastPlanLocked(src, msg.Dst)
+	for _, t := range plan.targets {
+		n.deliverLocked(src, t.node, msg, t.hops, true)
 	}
-	// Count unique tree edges as transmissions (duplicate suppression, the
-	// key SMRF property versus naive flooding).
-	n.stats.Transmissions += len(edges)
-}
-
-// pathEdgesLocked walks the tree path src->dst, adding its edges to the set,
-// and returns the hop count.
-func (n *Network) pathEdgesLocked(src, dst *Node, edges map[[2]*Node]bool) int {
-	// Ascend from both ends to the common ancestor.
-	anc := map[*Node]bool{}
-	for x := src; x != nil; x = x.parent {
-		anc[x] = true
-	}
-	var meet *Node
-	for x := dst; x != nil; x = x.parent {
-		if anc[x] {
-			meet = x
-			break
-		}
-	}
-	hops := 0
-	if meet == nil {
-		// Disjoint trees: synthetic backbone edge between the roots.
-		rootA, rootB := src, dst
-		for rootA.parent != nil {
-			rootA = rootA.parent
-		}
-		for rootB.parent != nil {
-			rootB = rootB.parent
-		}
-		hops = n.pathEdgesLocked(src, rootA, edges) + 1 + n.pathEdgesLocked(rootB, dst, edges)
-		edges[[2]*Node{rootA, rootB}] = true
-		return hops
-	}
-	for x := src; x != meet; x = x.parent {
-		edges[[2]*Node{x, x.parent}] = true
-		hops++
-	}
-	for x := dst; x != meet; x = x.parent {
-		edges[[2]*Node{x.parent, x}] = true
-		hops++
-	}
-	return hops
+	n.stats.Transmissions += plan.edges
 }
 
 // deliverLocked schedules a delivery after the per-hop latency, applying
@@ -335,13 +510,16 @@ func (n *Network) deliverLocked(src, dst *Node, msg Message, hops int, multicast
 		dev := (n.rng.Float64()*2 - 1) * n.cfg.ProcJitter
 		delay = time.Duration(float64(delay) * (1 + dev))
 	}
-	n.scheduleLocked(delay, func() {
+	n.scheduleEventLocked(delay, func() {
 		n.mu.Lock()
 		h := dst.handlers[msg.Port]
-		n.mu.Unlock()
-		if h != nil {
-			h(msg)
+		if h == nil {
+			n.stats.NoHandler++
+			n.mu.Unlock()
+			return
 		}
+		n.mu.Unlock()
+		h(msg)
 		n.mu.Lock()
 		n.stats.Delivered++
 		n.mu.Unlock()
@@ -352,63 +530,113 @@ func (n *Network) deliverLocked(src, dst *Node, msg Message, hops int, multicast
 func (n *Network) Schedule(delay time.Duration, fn func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.scheduleLocked(delay, fn)
+	n.scheduleEventLocked(delay, fn)
 }
 
 // ScheduleCancelable runs fn at Now()+delay and returns a cancel function.
 // A cancelled event is dropped entirely: it neither runs nor advances the
 // clock to its timestamp — request deadlines use this so completed
-// requests leave no dead time behind.
+// requests leave no dead time behind. Cancelling after the event fired (or
+// cancelling twice) is a no-op. Cancellation is O(1): the event is marked
+// dead and skipped when it surfaces, and the queue compacts when dead
+// events dominate, so cancelled entries do not pin the backing array.
 func (n *Network) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	c := new(bool)
-	n.scheduleEntryLocked(delay, fn, c)
+	ev := n.scheduleEventLocked(delay, fn)
 	return func() {
 		n.mu.Lock()
-		*c = true
-		n.mu.Unlock()
-	}
-}
-
-func (n *Network) scheduleLocked(delay time.Duration, fn func()) {
-	n.scheduleEntryLocked(delay, fn, nil)
-}
-
-func (n *Network) scheduleEntryLocked(delay time.Duration, fn func(), cancelled *bool) {
-	n.seq++
-	n.queue = append(n.queue, scheduled{at: n.now + delay, seq: n.seq, fn: fn, cancelled: cancelled})
-	sort.SliceStable(n.queue, func(i, j int) bool {
-		if n.queue[i].at != n.queue[j].at {
-			return n.queue[i].at < n.queue[j].at
+		defer n.mu.Unlock()
+		if ev.state != evPending {
+			return
 		}
-		return n.queue[i].seq < n.queue[j].seq
-	})
+		ev.state = evCancelled
+		ev.fn = nil // release the closure right away
+		n.dead++
+		n.compactLocked()
+	}
 }
 
-// dropCancelledLocked removes dead events from the queue head.
-func (n *Network) dropCancelledLocked() {
-	for len(n.queue) > 0 && n.queue[0].cancelled != nil && *n.queue[0].cancelled {
-		n.queue = n.queue[1:]
+func (n *Network) scheduleEventLocked(delay time.Duration, fn func()) *scheduled {
+	n.seq++
+	ev := &scheduled{at: n.now + delay, seq: n.seq, fn: fn}
+	heap.Push(&n.queue, ev)
+	return ev
+}
+
+// compactLocked rebuilds the heap without cancelled events once they
+// outnumber live ones (amortised O(1) per cancellation).
+func (n *Network) compactLocked() {
+	if n.dead <= 64 || n.dead*2 <= len(n.queue) {
+		return
 	}
+	live := n.queue[:0]
+	for _, ev := range n.queue {
+		if ev.state == evPending {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(n.queue); i++ {
+		n.queue[i] = nil
+	}
+	n.queue = live
+	heap.Init(&n.queue)
+	n.dead = 0
+}
+
+// popLocked removes and returns the next live event, discarding cancelled
+// ones, or nil when the queue is drained.
+func (n *Network) popLocked() *scheduled {
+	for len(n.queue) > 0 {
+		ev := heap.Pop(&n.queue).(*scheduled)
+		if ev.state == evCancelled {
+			n.dead--
+			continue
+		}
+		ev.state = evFired
+		return ev
+	}
+	return nil
+}
+
+// peekLocked returns the next live event without removing it, discarding
+// cancelled events from the top, or nil when the queue is drained.
+func (n *Network) peekLocked() *scheduled {
+	for len(n.queue) > 0 {
+		ev := n.queue[0]
+		if ev.state != evCancelled {
+			return ev
+		}
+		heap.Pop(&n.queue)
+		n.dead--
+	}
+	return nil
+}
+
+// queueCap exposes the event queue's backing capacity; leak tests assert it
+// stays bounded across long schedule/cancel/step runs.
+func (n *Network) queueCap() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return cap(n.queue)
 }
 
 // Step executes the next scheduled event, advancing the clock. It reports
 // whether an event ran.
 func (n *Network) Step() bool {
 	n.mu.Lock()
-	n.dropCancelledLocked()
-	if len(n.queue) == 0 {
+	ev := n.popLocked()
+	if ev == nil {
 		n.mu.Unlock()
 		return false
 	}
-	ev := n.queue[0]
-	n.queue = n.queue[1:]
 	if ev.at > n.now {
 		n.now = ev.at
 	}
+	fn := ev.fn
+	ev.fn = nil
 	n.mu.Unlock()
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -432,21 +660,22 @@ func (n *Network) RunUntil(deadline time.Duration) int {
 	steps := 0
 	for {
 		n.mu.Lock()
-		n.dropCancelledLocked()
-		if len(n.queue) == 0 || n.queue[0].at > deadline {
+		next := n.peekLocked()
+		if next == nil || next.at > deadline {
 			if n.now < deadline {
 				n.now = deadline
 			}
 			n.mu.Unlock()
 			return steps
 		}
-		ev := n.queue[0]
-		n.queue = n.queue[1:]
+		ev := n.popLocked()
 		if ev.at > n.now {
 			n.now = ev.at
 		}
+		fn := ev.fn
+		ev.fn = nil
 		n.mu.Unlock()
-		ev.fn()
+		fn()
 		steps++
 	}
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"net/netip"
 	"testing"
 	"testing/quick"
@@ -271,5 +272,323 @@ func TestScheduleCancelable(t *testing.T) {
 	}
 	if n.Now() != 100*time.Millisecond {
 		t.Fatalf("clock = %v; a cancelled event must not advance virtual time", n.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Heap event-queue semantics: cancellation at scale, deterministic ordering,
+// bounded memory, and drop accounting.
+
+func TestNoHandlerCountsAsDropped(t *testing.T) {
+	n := New(Config{})
+	nodes := buildLine(t, n, 2)
+	// No handler bound on the destination: the stack drops the datagram.
+	nodes[0].Send(nodes[1].Addr(), Port6030, []byte("x"))
+	n.RunUntilIdle(0)
+	st := n.Stats()
+	if st.Delivered != 0 || st.NoHandler != 1 {
+		t.Fatalf("stats = %+v, want Delivered=0 NoHandler=1", st)
+	}
+	// Binding afterwards makes the next datagram count as delivered.
+	nodes[1].Bind(Port6030, func(Message) {})
+	nodes[0].Send(nodes[1].Addr(), Port6030, []byte("y"))
+	n.RunUntilIdle(0)
+	st = n.Stats()
+	if st.Delivered != 1 || st.NoHandler != 1 {
+		t.Fatalf("stats = %+v, want Delivered=1 NoHandler=1", st)
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	n := New(Config{})
+	var got []int
+	for i := 0; i < 500; i++ {
+		i := i
+		n.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	n.RunUntilIdle(0)
+	if len(got) != 500 {
+		t.Fatalf("fired %d events", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie at the same timestamp fired out of order: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSameTimestampFIFOWithCancellations(t *testing.T) {
+	n := New(Config{})
+	var got []int
+	var cancels []func()
+	for i := 0; i < 300; i++ {
+		i := i
+		cancels = append(cancels, n.ScheduleCancelable(time.Second, func() { got = append(got, i) }))
+	}
+	// Cancel every third event; the survivors must still fire in seq order.
+	for i := 0; i < 300; i += 3 {
+		cancels[i]()
+	}
+	n.RunUntilIdle(0)
+	want := make([]int, 0, 200)
+	for i := 0; i < 300; i++ {
+		if i%3 != 0 {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCancelAfterFireNoop(t *testing.T) {
+	n := New(Config{})
+	fired := 0
+	cancel := n.ScheduleCancelable(time.Millisecond, func() { fired++ })
+	n.RunUntilIdle(0)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	cancel() // after the fact: must be a no-op
+	cancel() // and idempotent
+	n.Schedule(time.Millisecond, func() { fired++ })
+	n.RunUntilIdle(0)
+	if fired != 2 {
+		t.Fatalf("later events disturbed by post-fire cancel: fired = %d", fired)
+	}
+}
+
+// TestHeapMatchesReferenceOrdering drives a randomized interleaving of
+// Schedule/ScheduleCancelable/cancel/Step and checks every firing against a
+// brute-force reference model of the former sorted-slice implementation:
+// the live event with the smallest (timestamp, seq) fires next.
+func TestHeapMatchesReferenceOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := New(Config{})
+	type mirrorEv struct {
+		at        time.Duration
+		idx       int
+		cancel    func()
+		fired     bool
+		cancelled bool
+	}
+	var all []*mirrorEv
+	var got []int
+	idx := 0
+	for round := 0; round < 3000; round++ {
+		for j := rng.Intn(4); j > 0; j-- {
+			delay := time.Duration(rng.Intn(50)) * time.Millisecond
+			me := &mirrorEv{at: n.Now() + delay, idx: idx}
+			idx++
+			id := me.idx
+			fire := func() { got = append(got, id); me.fired = true }
+			if rng.Intn(2) == 0 {
+				me.cancel = n.ScheduleCancelable(delay, fire)
+			} else {
+				n.Schedule(delay, fire)
+			}
+			all = append(all, me)
+		}
+		if rng.Intn(3) == 0 {
+			// Cancel a random still-pending cancellable event.
+			start := 0
+			if len(all) > 0 {
+				start = rng.Intn(len(all))
+			}
+			for k := 0; k < len(all); k++ {
+				me := all[(start+k)%len(all)]
+				if me.cancel != nil && !me.fired && !me.cancelled {
+					me.cancel()
+					me.cancelled = true
+					break
+				}
+			}
+		}
+		if rng.Intn(6) == 0 && len(all) > 0 {
+			// Cancel-after-fire must be a no-op even mid-run.
+			me := all[rng.Intn(len(all))]
+			if me.cancel != nil && me.fired {
+				me.cancel()
+			}
+		}
+		var want *mirrorEv
+		for _, me := range all {
+			if me.fired || me.cancelled {
+				continue
+			}
+			if want == nil || me.at < want.at || (me.at == want.at && me.idx < want.idx) {
+				want = me
+			}
+		}
+		stepped := n.Step()
+		if want == nil {
+			if stepped {
+				t.Fatalf("round %d: Step ran with no live event expected", round)
+			}
+			continue
+		}
+		if !stepped {
+			t.Fatalf("round %d: Step found nothing, expected event %d", round, want.idx)
+		}
+		if last := got[len(got)-1]; last != want.idx {
+			t.Fatalf("round %d: fired %d, reference model expects %d", round, last, want.idx)
+		}
+	}
+}
+
+// TestQueueCapacityBounded guards against the former queue = queue[1:] pop,
+// which retained the backing array indefinitely: across 100k
+// schedule/cancel/step cycles the heap's backing capacity must stay small.
+func TestQueueCapacityBounded(t *testing.T) {
+	n := New(Config{})
+	for i := 0; i < 100_000; i++ {
+		cancel := n.ScheduleCancelable(time.Hour, func() {})
+		n.Schedule(time.Microsecond, func() {})
+		cancel()
+		if !n.Step() {
+			t.Fatal("expected a live event")
+		}
+	}
+	if c := n.queueCap(); c > 4096 {
+		t.Fatalf("queue capacity = %d after 100k schedule/cancel cycles; backing array must stay bounded", c)
+	}
+}
+
+// TestSchedulePerOpScaling asserts the asymptotic win of the heap: per-event
+// cost at 100x the queue depth must stay far below the linear blowup the
+// sorted-slice implementation exhibited (which resorted the whole queue per
+// insert). Generous margin keeps it robust on noisy CI runners.
+func TestSchedulePerOpScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive scaling check runs on the full (non-short) leg")
+	}
+	perOp := func(depth int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			n := New(Config{})
+			for i := 0; i < depth; i++ {
+				n.Schedule(time.Hour+time.Duration(i)*time.Millisecond, func() {})
+			}
+			const ops = 100_000
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				n.Schedule(time.Microsecond, func() {})
+				n.Step()
+			}
+			if d := time.Since(start) / ops; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	shallow, deep := perOp(1_000), perOp(100_000)
+	if shallow <= 0 {
+		shallow = 1
+	}
+	if ratio := float64(deep) / float64(shallow); ratio > 10 {
+		t.Fatalf("per-op cost at depth 100k is %.1fx depth 1k (%v vs %v); want O(log n) scaling",
+			ratio, deep, shallow)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Route-cache invalidation
+
+func TestMulticastMembershipInvalidation(t *testing.T) {
+	n := New(Config{})
+	root, _ := n.AddNode(addr("2001:db8::1"), nil)
+	a, _ := n.AddNode(addr("2001:db8::2"), root)
+	b, _ := n.AddNode(addr("2001:db8::3"), root)
+	group := MulticastAddr(PrefixFromAddr(root.Addr()), 0xad1cbe01)
+	recv := map[netip.Addr]int{}
+	for _, nd := range []*Node{a, b} {
+		nd.JoinGroup(group)
+		me := nd.Addr()
+		nd.Bind(Port6030, func(Message) { recv[me]++ })
+	}
+
+	root.Send(group, Port6030, []byte("1"))
+	n.RunUntilIdle(0)
+	tx1 := n.Stats().Transmissions
+	if recv[a.Addr()] != 1 || recv[b.Addr()] != 1 || tx1 != 2 {
+		t.Fatalf("first send: recv=%v tx=%d", recv, tx1)
+	}
+
+	// Second send exercises the cached plan: identical deliveries and the
+	// same transmission increment.
+	root.Send(group, Port6030, []byte("2"))
+	n.RunUntilIdle(0)
+	if tx2 := n.Stats().Transmissions - tx1; recv[a.Addr()] != 2 || recv[b.Addr()] != 2 || tx2 != 2 {
+		t.Fatalf("cached send: recv=%v tx delta=%d", recv, n.Stats().Transmissions-tx1)
+	}
+
+	// Leaving must invalidate the plan: b stops receiving, one edge fewer.
+	before := n.Stats().Transmissions
+	b.LeaveGroup(group)
+	root.Send(group, Port6030, []byte("3"))
+	n.RunUntilIdle(0)
+	if tx3 := n.Stats().Transmissions - before; recv[a.Addr()] != 3 || recv[b.Addr()] != 2 || tx3 != 1 {
+		t.Fatalf("after leave: recv=%v tx delta=%d", recv, n.Stats().Transmissions-before)
+	}
+
+	// Re-joining must invalidate again.
+	b.JoinGroup(group)
+	root.Send(group, Port6030, []byte("4"))
+	n.RunUntilIdle(0)
+	if recv[b.Addr()] != 3 {
+		t.Fatalf("after re-join: recv=%v", recv)
+	}
+}
+
+func TestMulticastPlanAfterAddNode(t *testing.T) {
+	n := New(Config{})
+	root, _ := n.AddNode(addr("2001:db8::1"), nil)
+	a, _ := n.AddNode(addr("2001:db8::2"), root)
+	group := MulticastAddr(PrefixFromAddr(root.Addr()), 0xad1cbe01)
+	a.JoinGroup(group)
+	gotA, gotC := 0, 0
+	a.Bind(Port6030, func(Message) { gotA++ })
+
+	root.Send(group, Port6030, []byte("1")) // primes the (root, group) plan
+	n.RunUntilIdle(0)
+
+	c, _ := n.AddNode(addr("2001:db8::4"), a)
+	c.JoinGroup(group)
+	var hopsC int
+	c.Bind(Port6030, func(m Message) { gotC++; hopsC = m.Hops })
+	root.Send(group, Port6030, []byte("2"))
+	n.RunUntilIdle(0)
+	if gotA != 2 || gotC != 1 || hopsC != 2 {
+		t.Fatalf("after AddNode+Join: a=%d c=%d hopsC=%d", gotA, gotC, hopsC)
+	}
+}
+
+func TestAnycastDistanceCacheAfterAddNode(t *testing.T) {
+	n := New(Config{})
+	root, _ := n.AddNode(addr("2001:db8::1"), nil)
+	mid, _ := n.AddNode(addr("2001:db8::2"), root)
+	far, _ := n.AddNode(addr("2001:db8::3"), mid)
+	src, _ := n.AddNode(addr("2001:db8::4"), root)
+
+	any := addr("2001:db8::aaaa")
+	n.JoinAnycast(any, far)
+	gotFar, gotNear := 0, 0
+	far.Bind(Port6030, func(Message) { gotFar++ })
+	src.Send(any, Port6030, []byte("1")) // primes src->far distance
+	n.RunUntilIdle(0)
+
+	// A nearer member added after the caches were warm must win.
+	near, _ := n.AddNode(addr("2001:db8::5"), root)
+	n.JoinAnycast(any, near)
+	near.Bind(Port6030, func(Message) { gotNear++ })
+	src.Send(any, Port6030, []byte("2"))
+	n.RunUntilIdle(0)
+	if gotFar != 1 || gotNear != 1 {
+		t.Fatalf("anycast after AddNode: far=%d near=%d", gotFar, gotNear)
 	}
 }

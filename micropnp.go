@@ -200,6 +200,9 @@ type NetworkStats struct {
 	Transmissions int
 	Delivered     int
 	Lost          int
+	// NoHandler counts datagrams dropped at a node because no handler was
+	// bound to the destination port.
+	NoHandler int
 }
 
 // NetworkStats returns a snapshot of the network counters.
@@ -211,6 +214,7 @@ func (d *Deployment) NetworkStats() NetworkStats {
 		Transmissions: s.Transmissions,
 		Delivered:     s.Delivered,
 		Lost:          s.Lost,
+		NoHandler:     s.NoHandler,
 	}
 }
 
