@@ -12,9 +12,13 @@ import (
 )
 
 // Client is a µPnP client: software that discovers and uses peripherals
-// hosted by Things. Its calls are synchronous — each one drives the
-// discrete-event simulator until the reply arrives, the virtual deadline
-// passes, or the context is cancelled.
+// hosted by Things. Its calls are synchronous: each one blocks until the
+// reply arrives, the deadline passes, or the context is cancelled. In
+// virtual mode blocked calls cooperatively drive the discrete-event
+// simulator; in real-time mode they wait on channels while the network's
+// own goroutines do the work. A Client is safe for concurrent use — any
+// number of goroutines may issue Reads, Writes, Discovers and Subscribes
+// at once.
 type Client struct {
 	d  *Deployment
 	cl *client.Client
@@ -61,18 +65,20 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 	)
 	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
 		c.cl.Read(thing, hw.DeviceID(id), timeout, func(vals []int32, err error) {
-			complete()
+			// Write the results before signalling completion: the awaiting
+			// goroutine reads them the moment complete() closes the channel.
 			if err != nil {
 				rerr = err
-				return
+			} else {
+				r = Reading{
+					Thing:  thing,
+					Device: id,
+					Values: vals,
+					Units:  c.units(id),
+					At:     c.d.Now(),
+				}
 			}
-			r = Reading{
-				Thing:  thing,
-				Device: id,
-				Values: vals,
-				Units:  c.units(id),
-				At:     c.d.Now(),
-			}
+			complete()
 		})
 	})
 	if err != nil {
@@ -88,8 +94,8 @@ func (c *Client) Write(ctx context.Context, thing netip.Addr, id DeviceID, vals 
 	var werr error
 	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
 		c.cl.Write(thing, hw.DeviceID(id), vals, timeout, func(err error) {
-			complete()
 			werr = err
+			complete()
 		})
 	})
 	if err != nil {
@@ -118,8 +124,8 @@ func (c *Client) runDiscovery(ctx context.Context, kind int, id DeviceID, class 
 	var got []Advert
 	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
 		collect := func(adverts []client.Advert) {
-			complete()
 			got = advertsFrom(adverts)
+			complete()
 		}
 		switch kind {
 		case discoverByClass:
@@ -190,6 +196,15 @@ func (s *Subscription) Closed() bool {
 
 // Close unsubscribes locally. The Thing keeps streaming for any other
 // subscribers until it closes the stream itself.
+//
+// Close is idempotent and safe to call from any goroutine, concurrently
+// with other Closes and with in-flight deliveries: the node leaves the
+// stream's multicast group exactly once (and only when no other live
+// subscription still needs it), and a redundant Close is a no-op. One
+// delivery already being dispatched when Close is called may still invoke
+// OnReading (and be retained in Readings) after Close returns — Close
+// synchronizes the subscription's state, not the network's in-flight
+// traffic; no deliveries are dispatched after that final race window.
 func (s *Subscription) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -228,6 +243,12 @@ func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, o
 					At:     c.d.Now(),
 				}
 				sub.mu.Lock()
+				if sub.closed {
+					// Close won the race against this delivery: drop it so
+					// Readings stays stable once Close was observed.
+					sub.mu.Unlock()
+					return
+				}
 				sub.readings = append(sub.readings, r)
 				cb := sub.onRead
 				sub.mu.Unlock()
@@ -241,8 +262,8 @@ func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, o
 				sub.mu.Unlock()
 			},
 			OnEstablished: func(err error) {
-				complete()
 				serr = err
+				complete()
 			},
 		})
 	})

@@ -6,15 +6,20 @@
 //
 // Usage:
 //
-//	upnp-sim [-things N] [-hops H] [-loss P] [-churn K] [-seed S]
+//	upnp-sim [-things N] [-hops H] [-loss P] [-churn K] [-seed S] [-realtime] [-timescale X]
 //
 // Flags:
 //
-//	-things  number of Things (default 3)
-//	-hops    depth of the RPL tree the Things hang from (default 1)
-//	-loss    per-hop frame loss probability (default 0)
-//	-churn   extra plug/unplug cycles to simulate (default 1)
-//	-seed    random seed for loss/jitter sampling (default 1)
+//	-things    number of Things (default 3)
+//	-hops      depth of the RPL tree the Things hang from (default 1)
+//	-loss      per-hop frame loss probability (default 0)
+//	-churn     extra plug/unplug cycles to simulate (default 1)
+//	-seed      random seed for loss/jitter sampling (default 1)
+//	-realtime  run on the wall clock: the network advances on its own
+//	           goroutines and SDK calls genuinely block (default: the
+//	           deterministic virtual clock)
+//	-timescale virtual seconds per wall second in -realtime mode
+//	           (default 60; 1 = true real time)
 package main
 
 import (
@@ -32,20 +37,31 @@ func main() {
 	loss := flag.Float64("loss", 0, "per-hop frame loss probability")
 	churn := flag.Int("churn", 1, "extra plug/unplug cycles")
 	seed := flag.Int64("seed", 1, "random seed for loss/jitter sampling")
+	realtime := flag.Bool("realtime", false, "run on the wall clock (concurrent runtime)")
+	timescale := flag.Float64("timescale", 60, "virtual seconds per wall second in -realtime mode")
 	flag.Parse()
 
-	if err := run(*nThings, *hops, *loss, *churn, *seed); err != nil {
+	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nThings, hops int, loss float64, churn int, seed int64) error {
-	d, err := micropnp.NewDeployment(micropnp.WithLossRate(loss), micropnp.WithSeed(seed))
+func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64) error {
+	opts := []micropnp.Option{micropnp.WithLossRate(loss), micropnp.WithSeed(seed)}
+	if realtime {
+		opts = append(opts, micropnp.WithRealTime(), micropnp.WithTimeScale(timescale))
+	}
+	d, err := micropnp.NewDeployment(opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("deployment: loss=%.2f seed=%d\n", loss, seed)
+	defer d.Close()
+	mode := "virtual clock"
+	if realtime {
+		mode = fmt.Sprintf("wall clock, %gx accelerated", timescale)
+	}
+	fmt.Printf("deployment: loss=%.2f seed=%d runtime=%s\n", loss, seed, mode)
 	ctx := context.Background()
 
 	// Build a chain of relays to reach the requested depth, then hang the

@@ -5,12 +5,21 @@
 //
 // Every request is tracked in a pending-request table with a virtual-time
 // deadline: replies complete the request, lost replies expire it with
-// ErrTimeout, and nothing leaks. The public SDK in the repository root
-// wraps this layer in synchronous, context-aware calls.
+// ErrTimeout, and nothing leaks. Completion is callback-based and every
+// callback fires exactly once, off the network's clock — under the realtime
+// clock that means a pool worker's goroutine — so the public SDK in the
+// repository root can wrap this layer in synchronous, context-aware calls
+// that block on channels. All Client methods are safe for concurrent use.
+//
+// An optional RetryPolicy adds an ARQ layer: unanswered unicast reads and
+// writes are retransmitted with doubling, jittered backoff inside the
+// request's deadline (the paper defers unreliable-network handling; this is
+// the reproduction's extension).
 package client
 
 import (
 	"fmt"
+	"math/rand"
 	"net/netip"
 	"sync"
 	"time"
@@ -71,7 +80,35 @@ type pending struct {
 	// cancel retracts the expiry event once a reply completed the request,
 	// so finished requests leave no dead deadline in the event queue.
 	cancel func()
+	// cancelRetx retracts the pending retransmission (RetryPolicy) when the
+	// request completes or expires. Guarded by Client.mu.
+	cancelRetx func()
 }
+
+// RetryPolicy enables automatic retransmission of unanswered unicast
+// requests (reads and writes): when no reply arrived BaseBackoff after a
+// transmission, the request is retransmitted, up to Attempts extra
+// transmissions with doubling backoff and ±50% jitter. The request's
+// overall deadline is unchanged — retries happen inside it, and the request
+// still expires with ErrTimeout when every transmission goes unanswered.
+// Multicast discoveries are never retransmitted (their window closing is
+// completion, not failure), nor are stream subscriptions.
+type RetryPolicy struct {
+	// Attempts is the maximum number of retransmissions after the first
+	// send (0 disables retries).
+	Attempts int
+	// BaseBackoff is the delay before the first retransmission; attempt k
+	// waits BaseBackoff<<(k-1), capped at 32*BaseBackoff and jittered by a
+	// factor in [0.5, 1.5).
+	BaseBackoff time.Duration
+}
+
+// maxBackoffShift caps the exponential backoff at BaseBackoff<<5 (32x) so
+// long retry budgets spread transmissions across the deadline instead of
+// pushing the tail attempts past it.
+const maxBackoffShift = 5
+
+func (p RetryPolicy) enabled() bool { return p.Attempts > 0 && p.BaseBackoff > 0 }
 
 // Client is one µPnP client instance.
 type Client struct {
@@ -79,8 +116,10 @@ type Client struct {
 	node    *netsim.Node
 	prefix  netsim.NetworkPrefix
 	timeout time.Duration
+	retry   RetryPolicy
 
 	mu             sync.Mutex
+	retryRng       *rand.Rand // backoff jitter; guarded by mu
 	seq            uint16
 	adverts        []Advert
 	pending        map[uint16]*pending
@@ -98,6 +137,9 @@ type Config struct {
 	// DefaultTimeout bounds requests made without an explicit timeout
 	// (zero = DefaultTimeout).
 	DefaultTimeout time.Duration
+	// Retry enables automatic retransmission of unanswered unicast reads
+	// and writes (zero value disables).
+	Retry RetryPolicy
 }
 
 // New builds and registers a client. Clients join the all-clients multicast
@@ -112,11 +154,21 @@ func New(cfg Config) (*Client, error) {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
+	// The jitter stream is seeded per client (from its address), so
+	// co-deployed clients desynchronize their retransmissions instead of
+	// retrying in lockstep, while each client stays deterministic.
+	a16 := cfg.Addr.As16()
+	var jitterSeed int64 = 0x6031
+	for _, b := range a16 {
+		jitterSeed = jitterSeed*131 + int64(b)
+	}
 	c := &Client{
 		net:            cfg.Network,
 		node:           node,
 		prefix:         netsim.PrefixFromAddr(cfg.Addr),
 		timeout:        timeout,
+		retry:          cfg.Retry,
+		retryRng:       rand.New(rand.NewSource(jitterSeed)),
 		pending:        map[uint16]*pending{},
 		streams:        map[hw.DeviceID][]*Stream{},
 		pendingStreams: map[uint16]*Stream{},
@@ -242,7 +294,11 @@ func (c *Client) expire(seq uint16, p *pending) {
 	}
 	delete(c.pending, seq)
 	adverts := p.adverts
+	cancelRetx := p.cancelRetx
 	c.mu.Unlock()
+	if cancelRetx != nil {
+		cancelRetx()
+	}
 	switch p.kind {
 	case pendingRead:
 		if p.onRead != nil {
@@ -308,32 +364,87 @@ func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done fun
 // callback fires exactly once: with the decoded values, or with an error —
 // ErrTimeout when no reply arrives within the timeout (0 = the default),
 // ErrNoPeripheral when the Thing serves no such device, or a decode error
-// for a malformed reply.
+// for a malformed reply. With a RetryPolicy configured, unanswered requests
+// are retransmitted with backoff inside the deadline.
 func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func([]int32, error)) {
 	var seq uint16
+	var p *pending
 	if cb != nil {
-		seq = c.register(&pending{kind: pendingRead, thing: thing, id: id, onRead: cb}, timeout)
+		p = &pending{kind: pendingRead, thing: thing, id: id, onRead: cb}
+		seq = c.register(p, timeout)
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
-	c.send(thing, &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id})
+	m := &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id}
+	c.send(thing, m)
+	c.armRetransmit(seq, p, thing, m, 1)
 }
 
 // Write sends a value to a peripheral, e.g. an actuator (messages 16/17).
 // The callback fires exactly once with nil on acknowledgement, ErrTimeout
-// on expiry, or ErrWriteRejected on a negative acknowledgement.
+// on expiry, or ErrWriteRejected on a negative acknowledgement. With a
+// RetryPolicy configured, unanswered requests are retransmitted with
+// backoff inside the deadline. Writes are assumed idempotent at the Thing
+// (the driver re-applies the same values); callers for whom duplicate
+// application matters should not enable retries.
 func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout time.Duration, cb func(error)) {
 	var seq uint16
+	var p *pending
 	if cb != nil {
-		seq = c.register(&pending{kind: pendingWrite, onWrite: cb}, timeout)
+		p = &pending{kind: pendingWrite, onWrite: cb}
+		seq = c.register(p, timeout)
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
-	c.send(thing, &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)})
+	m := &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)}
+	c.send(thing, m)
+	c.armRetransmit(seq, p, thing, m, 1)
+}
+
+// armRetransmit schedules the attempt-th retransmission of an unanswered
+// unicast request: attempt k fires BaseBackoff<<(k-1) (jittered ±50%) after
+// the previous transmission, resends the identical datagram — same sequence
+// number, so a late reply to any transmission completes the request — and
+// arms the next attempt. Completion and expiry retract the pending
+// retransmission through pending.cancelRetx.
+func (c *Client) armRetransmit(seq uint16, p *pending, dst netip.Addr, m *proto.Message, attempt int) {
+	if p == nil || !c.retry.enabled() || attempt > c.retry.Attempts {
+		return
+	}
+	shift := attempt - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	base := c.retry.BaseBackoff << shift
+	c.mu.Lock()
+	jitter := 0.5 + c.retryRng.Float64()
+	c.mu.Unlock()
+	delay := time.Duration(float64(base) * jitter)
+	cancel := c.net.ScheduleCancelable(delay, func() {
+		c.mu.Lock()
+		cur, ok := c.pending[seq]
+		if !ok || cur != p {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		c.send(dst, m)
+		c.armRetransmit(seq, p, dst, m, attempt+1)
+	})
+	c.mu.Lock()
+	if cur, ok := c.pending[seq]; ok && cur == p {
+		p.cancelRetx = cancel
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	// The request completed between scheduling and registration (possible
+	// under the realtime clock): retract the orphaned retransmission.
+	cancel()
 }
 
 // ---------------------------------------------------------------------------
@@ -513,10 +624,13 @@ func (c *Client) handle(msg netsim.Message) {
 		if p, ok := c.pending[m.Seq]; ok && p.kind == pendingRead &&
 			!msg.Dst.IsMulticast() && msg.Src == p.thing && m.DeviceID == p.id {
 			delete(c.pending, m.Seq)
-			cancel := p.cancel
+			cancel, cancelRetx := p.cancel, p.cancelRetx
 			c.mu.Unlock()
 			if cancel != nil {
 				cancel()
+			}
+			if cancelRetx != nil {
+				cancelRetx()
 			}
 			c.completeRead(p, m)
 			return
@@ -532,13 +646,18 @@ func (c *Client) handle(msg netsim.Message) {
 	case proto.MsgWriteAck:
 		c.mu.Lock()
 		p, ok := c.pending[m.Seq]
+		var cancel, cancelRetx func()
 		if ok && p.kind == pendingWrite {
 			delete(c.pending, m.Seq)
+			cancel, cancelRetx = p.cancel, p.cancelRetx
 		}
 		c.mu.Unlock()
 		if ok && p.kind == pendingWrite {
-			if p.cancel != nil {
-				p.cancel()
+			if cancel != nil {
+				cancel()
+			}
+			if cancelRetx != nil {
+				cancelRetx()
 			}
 			if p.onWrite != nil {
 				if m.Status == 0 {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"sync"
 	"time"
 
 	"micropnp/internal/bus"
@@ -50,6 +51,18 @@ type DeploymentConfig struct {
 	// RequestTimeout bounds client requests made without an explicit
 	// timeout (zero = the client default).
 	RequestTimeout time.Duration
+	// Realtime runs the network on the wall clock: the event loop gets its
+	// own goroutine and handlers dispatch from a bounded worker pool (see
+	// netsim.RealtimeClock). Default is the deterministic virtual clock.
+	Realtime bool
+	// TimeScale compresses virtual time relative to wall time in realtime
+	// mode (1 or 0 = real time; 100 = 100x accelerated).
+	TimeScale float64
+	// Workers bounds the realtime handler pool (0 = min(GOMAXPROCS, 8)).
+	Workers int
+	// Retry enables automatic retransmission of unanswered unicast client
+	// reads and writes (zero value disables).
+	Retry client.RetryPolicy
 }
 
 // Deployment is a complete simulated µPnP network.
@@ -61,6 +74,7 @@ type Deployment struct {
 
 	cfg      DeploymentConfig
 	prefix   netsim.NetworkPrefix
+	addrMu   sync.Mutex
 	hostSeq  int
 	managerA netip.Addr
 }
@@ -84,7 +98,14 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if cfg.Seed != 0 {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	net := netsim.New(netsim.Config{LossRate: cfg.LossRate, ProcJitter: cfg.ProcJitter, Rng: rng})
+	net := netsim.New(netsim.Config{
+		LossRate:   cfg.LossRate,
+		ProcJitter: cfg.ProcJitter,
+		Rng:        rng,
+		Realtime:   cfg.Realtime,
+		TimeScale:  cfg.TimeScale,
+		Workers:    cfg.Workers,
+	})
 	mgrAddr := netip.MustParseAddr("2001:db8::1")
 	mgr, err := manager.New(manager.Config{
 		Network:    net,
@@ -106,9 +127,17 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 }
 
 func (d *Deployment) nextAddr() netip.Addr {
+	d.addrMu.Lock()
 	d.hostSeq++
-	return netip.MustParseAddr(fmt.Sprintf("2001:db8::%x", 0x100+d.hostSeq))
+	seq := d.hostSeq
+	d.addrMu.Unlock()
+	return netip.MustParseAddr(fmt.Sprintf("2001:db8::%x", 0x100+seq))
 }
+
+// Close stops the network's clock: in realtime mode it terminates the event
+// loop and the worker pool; on the virtual clock it is a no-op. Close is
+// idempotent.
+func (d *Deployment) Close() { d.Network.Close() }
 
 // AddThing creates a Thing one hop from the manager.
 func (d *Deployment) AddThing(name string) (*thing.Thing, error) {
@@ -166,6 +195,7 @@ func (d *Deployment) AddClientAt(parent *netsim.Node) (*client.Client, error) {
 		Addr:           d.nextAddr(),
 		Parent:         parent,
 		DefaultTimeout: d.cfg.RequestTimeout,
+		Retry:          d.cfg.Retry,
 	})
 }
 

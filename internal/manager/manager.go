@@ -237,13 +237,15 @@ func (m *Manager) handle(msg netsim.Message) {
 		m.discovered[msg.Src] = append([]hw.DeviceID(nil), pm.Drivers...)
 		req := m.pending[pm.Seq]
 		match := req != nil && req.onDiscover != nil && req.thing == msg.Src
+		var cancel func()
 		if match {
 			delete(m.pending, pm.Seq)
+			cancel = req.cancel
 		}
 		m.mu.Unlock()
 		if match {
-			if req.cancel != nil {
-				req.cancel()
+			if cancel != nil {
+				cancel()
 			}
 			req.onDiscover(pm.Drivers, nil)
 		}
@@ -252,13 +254,15 @@ func (m *Manager) handle(msg netsim.Message) {
 		m.mu.Lock()
 		req := m.pending[pm.Seq]
 		match := req != nil && req.onRemoval != nil && req.thing == msg.Src
+		var cancel func()
 		if match {
 			delete(m.pending, pm.Seq)
+			cancel = req.cancel
 		}
 		m.mu.Unlock()
 		if match {
-			if req.cancel != nil {
-				req.cancel()
+			if cancel != nil {
+				cancel()
 			}
 			if pm.Status == 0 {
 				req.onRemoval(nil)

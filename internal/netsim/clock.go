@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time-advancement engine behind a Network. Two implementations
+// exist:
+//
+//   - VirtualClock: the deterministic discrete-event clock. Time advances
+//     only while a caller drives Step/RunUntilIdle/RunUntil; handlers execute
+//     inline on the driving goroutine. This is the default and keeps
+//     simulations byte-for-byte reproducible.
+//   - RealtimeClock: a wall-clock runtime. The event loop runs on its own
+//     goroutine, fires timers via time.Timer (optionally compressed by a
+//     time-scale factor), and dispatches handlers from a bounded worker
+//     pool, so many callers can block on in-flight requests concurrently.
+//
+// All scheduling is expressed in virtual time; the clock decides how virtual
+// time maps onto the caller's world.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Schedule runs fn at Now()+delay.
+	Schedule(delay time.Duration, fn func())
+	// ScheduleCancelable runs fn at Now()+delay and returns a cancel
+	// function. A cancelled event neither runs nor (on the virtual clock)
+	// advances time to its timestamp. Cancelling after the event fired, or
+	// cancelling twice, is a no-op.
+	ScheduleCancelable(delay time.Duration, fn func()) (cancel func())
+	// Stop releases the clock's resources (loop goroutine and worker pool
+	// for the realtime clock; a no-op for the virtual clock). Events still
+	// queued are discarded. Stop is idempotent.
+	Stop()
+}
+
+type eventState uint8
+
+const (
+	evPending eventState = iota
+	evCancelled
+	evFired
+)
+
+type scheduled struct {
+	at    time.Duration
+	seq   int
+	fn    func()
+	state eventState
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq); the seq
+// tiebreaker makes delivery order deterministic and identical to the former
+// stable-sorted-slice implementation (the ordering key is total, so heap
+// pop order equals sorted order).
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil // release the slot so popped events do not pin the array
+	*q = old[:n-1]
+	return ev
+}
+
+// eventHeap is the lazy-deletion event heap both clock implementations build
+// on. It is not self-locking: the owning clock guards it with its own mutex.
+type eventHeap struct {
+	queue eventQueue
+	dead  int // cancelled events still in the heap (lazy deletion)
+	seq   int // tiebreaker for stable ordering
+}
+
+// pushAt inserts an event at an absolute virtual timestamp.
+func (h *eventHeap) pushAt(at time.Duration, fn func()) *scheduled {
+	h.seq++
+	ev := &scheduled{at: at, seq: h.seq, fn: fn}
+	heap.Push(&h.queue, ev)
+	return ev
+}
+
+// cancel marks a pending event dead and compacts when dead events dominate.
+// It reports whether the event was still pending.
+func (h *eventHeap) cancel(ev *scheduled) bool {
+	if ev.state != evPending {
+		return false
+	}
+	ev.state = evCancelled
+	ev.fn = nil // release the closure right away
+	h.dead++
+	h.compact()
+	return true
+}
+
+// compact rebuilds the heap without cancelled events once they outnumber
+// live ones (amortised O(1) per cancellation).
+func (h *eventHeap) compact() {
+	if h.dead <= 64 || h.dead*2 <= len(h.queue) {
+		return
+	}
+	live := h.queue[:0]
+	for _, ev := range h.queue {
+		if ev.state == evPending {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(h.queue); i++ {
+		h.queue[i] = nil
+	}
+	h.queue = live
+	heap.Init(&h.queue)
+	h.dead = 0
+}
+
+// pop removes and returns the next live event, discarding cancelled ones, or
+// nil when the queue is drained.
+func (h *eventHeap) pop() *scheduled {
+	for len(h.queue) > 0 {
+		ev := heap.Pop(&h.queue).(*scheduled)
+		if ev.state == evCancelled {
+			h.dead--
+			continue
+		}
+		ev.state = evFired
+		return ev
+	}
+	return nil
+}
+
+// peek returns the next live event without removing it, discarding cancelled
+// events from the top, or nil when the queue is drained.
+func (h *eventHeap) peek() *scheduled {
+	for len(h.queue) > 0 {
+		ev := h.queue[0]
+		if ev.state != evCancelled {
+			return ev
+		}
+		heap.Pop(&h.queue)
+		h.dead--
+	}
+	return nil
+}
+
+// live returns the number of pending (not cancelled) events.
+func (h *eventHeap) live() int { return len(h.queue) - h.dead }
+
+// VirtualClock is the deterministic discrete-event clock: time advances only
+// while a caller drives it, handlers run inline on the driving goroutine,
+// and event order is total (timestamp, then schedule order), so runs are
+// byte-for-byte reproducible.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+	eh  eventHeap
+}
+
+// NewVirtualClock builds a virtual clock starting at time zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the virtual time.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule runs fn at Now()+delay (virtual).
+func (c *VirtualClock) Schedule(delay time.Duration, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eh.pushAt(c.now+delay, fn)
+}
+
+// ScheduleCancelable runs fn at Now()+delay and returns a cancel function.
+// A cancelled event is dropped entirely: it neither runs nor advances the
+// clock to its timestamp — request deadlines use this so completed
+// requests leave no dead time behind. Cancelling after the event fired (or
+// cancelling twice) is a no-op. Cancellation is O(1): the event is marked
+// dead and skipped when it surfaces, and the queue compacts when dead
+// events dominate, so cancelled entries do not pin the backing array.
+func (c *VirtualClock) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
+	c.mu.Lock()
+	ev := c.eh.pushAt(c.now+delay, fn)
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.eh.cancel(ev)
+	}
+}
+
+// Stop implements Clock; the virtual clock owns no resources.
+func (c *VirtualClock) Stop() {}
+
+// Step executes the next scheduled event, advancing the clock. It reports
+// whether an event ran.
+func (c *VirtualClock) Step() bool {
+	c.mu.Lock()
+	ev := c.eh.pop()
+	if ev == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if ev.at > c.now {
+		c.now = ev.at
+	}
+	fn := ev.fn
+	ev.fn = nil
+	c.mu.Unlock()
+	fn()
+	return true
+}
+
+// RunUntilIdle steps until no events remain (bounded by maxSteps; 0 means
+// the 1e6 default). It returns the number of steps.
+func (c *VirtualClock) RunUntilIdle(maxSteps int) int {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	steps := 0
+	for steps < maxSteps && c.Step() {
+		steps++
+	}
+	return steps
+}
+
+// RunUntil processes events up to (and including) the given virtual
+// deadline, then advances the clock to the deadline. Use this to drive
+// self-rescheduling activities such as streams, which never go idle.
+func (c *VirtualClock) RunUntil(deadline time.Duration) int {
+	steps := 0
+	for {
+		c.mu.Lock()
+		next := c.eh.peek()
+		if next == nil || next.at > deadline {
+			if c.now < deadline {
+				c.now = deadline
+			}
+			c.mu.Unlock()
+			return steps
+		}
+		ev := c.eh.pop()
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		c.mu.Unlock()
+		fn()
+		steps++
+	}
+}
+
+// queueCap exposes the event queue's backing capacity; leak tests assert it
+// stays bounded across long schedule/cancel/step runs.
+func (c *VirtualClock) queueCap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cap(c.eh.queue)
+}

@@ -5,26 +5,34 @@
 // datagrams; per-packet latency models the 250 kbit/s 802.15.4 wire rate,
 // 6LoWPAN fragmentation and the embedded stack's per-packet processing cost.
 //
-// The simulator runs under a virtual clock: Send schedules deliveries,
-// Run/RunUntilIdle advance time. Handlers execute inline at delivery time
-// and may send further messages. All timing results (Table 4) are virtual.
+// Time-advancement is pluggable (see Clock). Under the default VirtualClock
+// the simulator is deterministic: Send schedules deliveries, Run/RunUntilIdle
+// advance time, handlers execute inline at delivery time and may send
+// further messages. Under the RealtimeClock (Config.Realtime) the event loop
+// runs on its own goroutine against the wall clock and handlers dispatch
+// from a bounded worker pool, so many client goroutines can block on
+// in-flight requests concurrently.
 //
-// The implementation is built to stay fast at thousands of nodes: the event
-// queue is a binary heap with lazy deletion (Schedule and Step are
-// O(log n), cancelled events are skipped on pop and compacted away when
-// they dominate the queue), multicast sends consult a per-group membership
-// index instead of scanning every node, and tree routes (per-pair paths,
-// edge sets and anycast distances) are cached with invalidation on
-// AddNode/JoinGroup/LeaveGroup.
+// The implementation is built to stay fast at thousands of nodes and many
+// concurrent handlers: the event queue is a binary heap with lazy deletion
+// (Schedule and Step are O(log n), cancelled events are skipped on pop and
+// compacted away when they dominate the queue), multicast sends consult a
+// per-group membership index instead of scanning every node, and tree routes
+// (per-pair paths, edge sets and anycast distances) are cached with
+// invalidation on AddNode/JoinGroup/LeaveGroup. The former single Network
+// mutex is sharded by role — topology (RWMutex, read-mostly after setup),
+// route caches (RWMutex, double-checked fills), loss/jitter sampling, atomic
+// stats counters, and the clock's own lock — so concurrent handlers do not
+// serialize on one lock.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -75,7 +83,10 @@ type Message struct {
 	Hops int
 }
 
-// Handler consumes a delivered datagram.
+// Handler consumes a delivered datagram. Under the realtime clock handlers
+// for independent deliveries run concurrently on pool workers; handlers must
+// therefore be safe for concurrent use when the network runs in realtime
+// mode.
 type Handler func(Message)
 
 // Config tunes the simulated network.
@@ -88,6 +99,17 @@ type Config struct {
 	ProcJitter float64
 	// Rng drives loss and jitter sampling; nil uses a fixed seed.
 	Rng *rand.Rand
+	// Realtime runs the network on the wall clock (see RealtimeClock):
+	// the event loop gets its own goroutine and handlers dispatch from a
+	// bounded worker pool. The default is the deterministic virtual clock.
+	Realtime bool
+	// TimeScale compresses virtual time relative to wall time in realtime
+	// mode (1 or 0 = real time; 100 = 100x accelerated). Ignored by the
+	// virtual clock.
+	TimeScale float64
+	// Workers bounds the realtime handler pool (0 = min(GOMAXPROCS, 8)).
+	// Ignored by the virtual clock.
+	Workers int
 }
 
 // Stats counts network activity.
@@ -103,81 +125,75 @@ type Stats struct {
 	NoHandler int
 }
 
+// counters is the internal, lock-free form of Stats: handlers on different
+// pool workers bump counts without touching any shared lock.
+type counters struct {
+	unicastSent   atomic.Int64
+	multicastSent atomic.Int64
+	transmissions atomic.Int64
+	delivered     atomic.Int64
+	lost          atomic.Int64
+	noHandler     atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		UnicastSent:   int(c.unicastSent.Load()),
+		MulticastSent: int(c.multicastSent.Load()),
+		Transmissions: int(c.transmissions.Load()),
+		Delivered:     int(c.delivered.Load()),
+		Lost:          int(c.lost.Load()),
+		NoHandler:     int(c.noHandler.Load()),
+	}
+}
+
 // Network is the simulated internetwork.
 type Network struct {
-	mu      sync.Mutex
-	cfg     Config
-	rng     *rand.Rand
-	now     time.Duration
-	queue   eventQueue
-	dead    int // cancelled events still in the heap (lazy deletion)
-	seq     int // tiebreaker for stable ordering
+	cfg   Config
+	clock Clock
+	// Exactly one of vclock/rclock is set, aliasing clock.
+	vclock *VirtualClock
+	rclock *RealtimeClock
+
+	// rngMu guards the loss/jitter stream; draws stay ordered and
+	// reproducible in virtual mode (single driving goroutine).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// topoMu guards the topology: the node table, anycast and multicast
+	// membership, per-node handler bindings and group sets. Read-mostly
+	// after setup, so deliveries and sends share it as readers.
+	topoMu  sync.RWMutex
 	nodes   map[netip.Addr]*Node
 	anycast map[netip.Addr][]*Node
 	// members indexes multicast group membership so sends visit only
 	// members, never the full node table.
 	members map[netip.Addr]map[*Node]struct{}
-	// Route caches. Parent links are immutable after AddNode, but both are
-	// invalidated on AddNode (new backbone roots change the disjoint-tree
-	// synthetic paths); plans are additionally invalidated per group on
-	// JoinGroup/LeaveGroup. Per-pair edge lists are NOT cached: they are
-	// only consumed while building a plan, and retaining them would pin
-	// O(members x depth) memory on deep topologies.
-	dists map[nodePair]int
-	plans map[netip.Addr]map[*Node]*mcastPlan
-	stats Stats
+
+	// routeMu guards the route caches (double-checked fill: readers take
+	// the read lock, cache misses upgrade). Parent links are immutable
+	// after AddNode, but both caches are invalidated on AddNode (new
+	// backbone roots change the disjoint-tree synthetic paths); plans are
+	// additionally invalidated per group on JoinGroup/LeaveGroup. Per-pair
+	// edge lists are NOT cached: they are only consumed while building a
+	// plan, and retaining them would pin O(members x depth) memory on deep
+	// topologies. Lock order is always topoMu before routeMu.
+	routeMu sync.RWMutex
+	dists   map[nodePair]int
+	plans   map[netip.Addr]map[*Node]*mcastPlan
+
+	stats counters
 }
 
-type eventState uint8
-
-const (
-	evPending eventState = iota
-	evCancelled
-	evFired
-)
-
-type scheduled struct {
-	at    time.Duration
-	seq   int
-	fn    func()
-	state eventState
-}
-
-// eventQueue is a binary min-heap of events ordered by (at, seq); the seq
-// tiebreaker makes delivery order deterministic and identical to the former
-// stable-sorted-slice implementation (the ordering key is total, so heap
-// pop order equals sorted order).
-type eventQueue []*scheduled
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*scheduled)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil // release the slot so popped events do not pin the array
-	*q = old[:n-1]
-	return ev
-}
-
-// New creates an empty network.
+// New creates an empty network running on the clock Config selects: the
+// deterministic virtual clock by default, the wall-clock runtime when
+// cfg.Realtime is set.
 func New(cfg Config) *Network {
 	rng := cfg.Rng
 	if rng == nil {
 		rng = rand.New(rand.NewSource(0x6030))
 	}
-	return &Network{
+	n := &Network{
 		cfg:     cfg,
 		rng:     rng,
 		nodes:   map[netip.Addr]*Node{},
@@ -186,25 +202,47 @@ func New(cfg Config) *Network {
 		dists:   map[nodePair]int{},
 		plans:   map[netip.Addr]map[*Node]*mcastPlan{},
 	}
+	if cfg.Realtime {
+		n.rclock = NewRealtimeClock(RealtimeConfig{TimeScale: cfg.TimeScale, Workers: cfg.Workers})
+		n.clock = n.rclock
+	} else {
+		n.vclock = NewVirtualClock()
+		n.clock = n.vclock
+	}
+	return n
 }
+
+// Clock returns the network's time-advancement engine.
+func (n *Network) Clock() Clock { return n.clock }
+
+// Realtime reports whether the network runs on the wall clock.
+func (n *Network) Realtime() bool { return n.rclock != nil }
+
+// TimeScale returns the virtual-per-wall factor (1 on the virtual clock,
+// whose virtual time is unrelated to wall time).
+func (n *Network) TimeScale() float64 {
+	if n.rclock != nil {
+		return n.rclock.TimeScale()
+	}
+	return 1
+}
+
+// Close stops the clock: in realtime mode it terminates the event loop and
+// the worker pool (handlers already running finish first) and discards
+// queued events; on the virtual clock it is a no-op. Close is idempotent.
+// Do not call Close from inside a handler.
+func (n *Network) Close() { n.clock.Stop() }
 
 // Now returns the virtual time.
-func (n *Network) Now() time.Duration {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.now
-}
+func (n *Network) Now() time.Duration { return n.clock.Now() }
 
 // Stats returns a snapshot of the counters.
-func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
-}
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
 
 // Node is one IPv6 host: a µPnP Thing, client or manager.
 type Node struct {
-	net      *Network
+	net *Network
+	// addr, parent and depth are immutable after AddNode.
 	addr     netip.Addr
 	parent   *Node
 	depth    int
@@ -215,8 +253,8 @@ type Node struct {
 // AddNode registers a host. parent nil makes it a DODAG root (or a node on
 // the backbone); otherwise the node hangs off parent in the tree.
 func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	if _, dup := n.nodes[addr]; dup {
 		return nil, fmt.Errorf("netsim: address %v already in use", addr)
 	}
@@ -225,17 +263,19 @@ func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
 		node.depth = parent.depth + 1
 	}
 	n.nodes[addr] = node
-	n.invalidateRoutesLocked()
+	n.invalidateRoutes()
 	return node, nil
 }
 
-// invalidateRoutesLocked drops every cached route. Topology only grows, but
-// conservatively flushing on AddNode keeps the caches trivially correct and
-// costs nothing in steady state (nodes are added once, messages flow
-// forever after).
-func (n *Network) invalidateRoutesLocked() {
+// invalidateRoutes drops every cached route (topoMu held, so no plan builder
+// can interleave). Topology only grows, but conservatively flushing on
+// AddNode keeps the caches trivially correct and costs nothing in steady
+// state (nodes are added once, messages flow forever after).
+func (n *Network) invalidateRoutes() {
+	n.routeMu.Lock()
 	clear(n.dists)
 	clear(n.plans)
+	n.routeMu.Unlock()
 }
 
 // Addr returns the node's unicast address.
@@ -246,16 +286,16 @@ func (nd *Node) Depth() int { return nd.depth }
 
 // Bind registers the datagram handler for a UDP port.
 func (nd *Node) Bind(port uint16, h Handler) {
-	nd.net.mu.Lock()
-	defer nd.net.mu.Unlock()
+	nd.net.topoMu.Lock()
+	defer nd.net.topoMu.Unlock()
 	nd.handlers[port] = h
 }
 
 // JoinGroup subscribes the node to a multicast group.
 func (nd *Node) JoinGroup(g netip.Addr) {
 	n := nd.net
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	if nd.groups[g] {
 		return
 	}
@@ -266,14 +306,16 @@ func (nd *Node) JoinGroup(g netip.Addr) {
 		n.members[g] = set
 	}
 	set[nd] = struct{}{}
+	n.routeMu.Lock()
 	delete(n.plans, g)
+	n.routeMu.Unlock()
 }
 
 // LeaveGroup unsubscribes the node.
 func (nd *Node) LeaveGroup(g netip.Addr) {
 	n := nd.net
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	if !nd.groups[g] {
 		return
 	}
@@ -284,21 +326,23 @@ func (nd *Node) LeaveGroup(g netip.Addr) {
 			delete(n.members, g)
 		}
 	}
+	n.routeMu.Lock()
 	delete(n.plans, g)
+	n.routeMu.Unlock()
 }
 
 // InGroup reports group membership.
 func (nd *Node) InGroup(g netip.Addr) bool {
-	nd.net.mu.Lock()
-	defer nd.net.mu.Unlock()
+	nd.net.topoMu.RLock()
+	defer nd.net.topoMu.RUnlock()
 	return nd.groups[g]
 }
 
 // JoinAnycast registers the node as a member of an anycast address
 // (Section 5: the µPnP manager uses anycast for redundancy).
 func (n *Network) JoinAnycast(a netip.Addr, nd *Node) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
 	n.anycast[a] = append(n.anycast[a], nd)
 }
 
@@ -306,6 +350,7 @@ func (n *Network) JoinAnycast(a netip.Addr, nd *Node) {
 type nodePair [2]*Node
 
 // treeDistance returns the hop count between two nodes through the DODAG.
+// parent/depth are immutable after AddNode, so the walk needs no lock.
 func treeDistance(a, b *Node) int {
 	seen := map[*Node]int{}
 	for d, x := 0, a; x != nil; d, x = d+1, x.parent {
@@ -320,19 +365,26 @@ func treeDistance(a, b *Node) int {
 	return a.depth + b.depth + 1
 }
 
-// distanceLocked is treeDistance through the per-pair cache (anycast
+// distance is treeDistance through the per-pair cache (anycast
 // nearest-member selection runs it for every member on every request).
-func (n *Network) distanceLocked(a, b *Node) int {
+// Callers hold topoMu (read or write); the cache fill double-checks under
+// routeMu so concurrent senders race benignly on identical values.
+func (n *Network) distance(a, b *Node) int {
 	if a == b {
 		return 0
 	}
 	key := nodePair{a, b}
-	if d, ok := n.dists[key]; ok {
+	n.routeMu.RLock()
+	d, ok := n.dists[key]
+	n.routeMu.RUnlock()
+	if ok {
 		return d
 	}
-	d := treeDistance(a, b)
+	d = treeDistance(a, b)
+	n.routeMu.Lock()
 	n.dists[key] = d
 	n.dists[nodePair{b, a}] = d
+	n.routeMu.Unlock()
 	return d
 }
 
@@ -345,9 +397,10 @@ type pathEntry struct {
 	edges [][2]*Node
 }
 
-// buildPathLocked walks the tree path src->dst, recording its edges and hop
+// buildPath walks the tree path src->dst, recording its edges and hop
 // count. Disjoint trees route over a synthetic backbone edge between roots.
-func (n *Network) buildPathLocked(src, dst *Node) *pathEntry {
+// Pure tree-walk over immutable parent links; no locks required.
+func buildPath(src, dst *Node) *pathEntry {
 	anc := map[*Node]bool{}
 	for x := src; x != nil; x = x.parent {
 		anc[x] = true
@@ -368,8 +421,8 @@ func (n *Network) buildPathLocked(src, dst *Node) *pathEntry {
 		for rootB.parent != nil {
 			rootB = rootB.parent
 		}
-		up := n.buildPathLocked(src, rootA)
-		down := n.buildPathLocked(rootB, dst)
+		up := buildPath(src, rootA)
+		down := buildPath(rootB, dst)
 		e.hops = up.hops + 1 + down.hops
 		e.edges = make([][2]*Node, 0, len(up.edges)+1+len(down.edges))
 		e.edges = append(e.edges, up.edges...)
@@ -401,21 +454,30 @@ type mcastTarget struct {
 	hops int
 }
 
-// multicastPlanLocked returns the cached (group, src) dissemination plan,
-// building it from the membership index on first use. Targets are ordered
-// by (hops, address) so same-timestamp deliveries are deterministic.
-func (n *Network) multicastPlanLocked(src *Node, group netip.Addr) *mcastPlan {
-	bySrc := n.plans[group]
-	if plan := bySrc[src]; plan != nil {
+// multicastPlan returns the cached (group, src) dissemination plan, building
+// it from the membership index on first use. Targets are ordered by
+// (hops, address) so same-timestamp deliveries are deterministic. The caller
+// holds topoMu.RLock (so membership cannot change underneath); the build
+// runs under the routeMu write lock with a double-check.
+func (n *Network) multicastPlan(src *Node, group netip.Addr) *mcastPlan {
+	n.routeMu.RLock()
+	plan := n.plans[group][src]
+	n.routeMu.RUnlock()
+	if plan != nil {
 		return plan
 	}
-	plan := &mcastPlan{}
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
+	if plan := n.plans[group][src]; plan != nil {
+		return plan
+	}
+	plan = &mcastPlan{}
 	edgeSet := map[[2]*Node]struct{}{}
 	for member := range n.members[group] {
 		if member == src {
 			continue
 		}
-		p := n.buildPathLocked(src, member)
+		p := buildPath(src, member)
 		for _, edge := range p.edges {
 			edgeSet[edge] = struct{}{}
 		}
@@ -435,6 +497,7 @@ func (n *Network) multicastPlanLocked(src *Node, group netip.Addr) *mcastPlan {
 		}
 		return a.node.addr.Less(b.node.addr)
 	})
+	bySrc := n.plans[group]
 	if bySrc == nil {
 		bySrc = map[*Node]*mcastPlan{}
 		n.plans[group] = bySrc
@@ -445,237 +508,159 @@ func (n *Network) multicastPlanLocked(src *Node, group netip.Addr) *mcastPlan {
 
 // Send transmits a UDP datagram. Unicast goes through the tree; multicast
 // (ff00::/8) is SMRF-disseminated to all group members; anycast addresses
-// reach the nearest registered member.
+// reach the nearest registered member. Send is safe for concurrent use;
+// concurrent senders share the topology as readers.
 func (nd *Node) Send(dst netip.Addr, port uint16, payload []byte) {
 	n := nd.net
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.topoMu.RLock()
+	defer n.topoMu.RUnlock()
 	msg := Message{Src: nd.addr, Dst: dst, Port: port, Payload: append([]byte(nil), payload...)}
 	switch {
 	case dst.IsMulticast():
-		n.stats.MulticastSent++
-		n.sendMulticastLocked(nd, msg)
+		n.stats.multicastSent.Add(1)
+		n.sendMulticast(nd, msg)
 	default:
-		n.stats.UnicastSent++
+		n.stats.unicastSent.Add(1)
 		if members := n.anycast[dst]; len(members) > 0 {
 			best := members[0]
-			bestD := n.distanceLocked(nd, best)
+			bestD := n.distance(nd, best)
 			for _, m := range members[1:] {
-				if d := n.distanceLocked(nd, m); d < bestD {
+				if d := n.distance(nd, m); d < bestD {
 					best, bestD = m, d
 				}
 			}
-			n.deliverLocked(nd, best, msg, bestD, false)
+			n.deliver(nd, best, msg, bestD, false)
 			return
 		}
 		target, ok := n.nodes[dst]
 		if !ok {
-			n.stats.Lost++
+			n.stats.lost.Add(1)
 			return
 		}
-		n.deliverLocked(nd, target, msg, n.distanceLocked(nd, target), false)
+		n.deliver(nd, target, msg, n.distance(nd, target), false)
 	}
 }
 
-// sendMulticastLocked implements SMRF-style dissemination: the datagram
-// travels the tree from the source; every edge on the union of paths to the
-// members is one transmission (duplicate suppression, the key SMRF property
-// versus naive flooding).
-func (n *Network) sendMulticastLocked(src *Node, msg Message) {
-	plan := n.multicastPlanLocked(src, msg.Dst)
+// sendMulticast implements SMRF-style dissemination: the datagram travels
+// the tree from the source; every edge on the union of paths to the members
+// is one transmission (duplicate suppression, the key SMRF property versus
+// naive flooding). Caller holds topoMu.RLock.
+func (n *Network) sendMulticast(src *Node, msg Message) {
+	plan := n.multicastPlan(src, msg.Dst)
 	for _, t := range plan.targets {
-		n.deliverLocked(src, t.node, msg, t.hops, true)
+		n.deliver(src, t.node, msg, t.hops, true)
 	}
-	n.stats.Transmissions += plan.edges
+	n.stats.transmissions.Add(int64(plan.edges))
 }
 
-// deliverLocked schedules a delivery after the per-hop latency, applying
-// per-hop loss.
-func (n *Network) deliverLocked(src, dst *Node, msg Message, hops int, multicast bool) {
+// deliver schedules a delivery after the per-hop latency, applying per-hop
+// loss. Caller holds topoMu.RLock; the delivery closure reacquires it when
+// the event fires.
+func (n *Network) deliver(src, dst *Node, msg Message, hops int, multicast bool) {
 	if hops == 0 {
 		hops = 1 // loopback or same-node corner: still one stack traversal
 	}
 	if !multicast {
-		n.stats.Transmissions += hops
+		n.stats.transmissions.Add(int64(hops))
 	}
+	n.rngMu.Lock()
+	lost := false
 	for h := 0; h < hops; h++ {
 		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
-			n.stats.Lost++
-			return
+			lost = true
+			break
 		}
 	}
 	msg.Hops = hops
 	delay := time.Duration(hops) * PacketDelay(len(msg.Payload), multicast)
-	if n.cfg.ProcJitter > 0 {
+	if !lost && n.cfg.ProcJitter > 0 {
 		dev := (n.rng.Float64()*2 - 1) * n.cfg.ProcJitter
 		delay = time.Duration(float64(delay) * (1 + dev))
 	}
-	n.scheduleEventLocked(delay, func() {
-		n.mu.Lock()
+	n.rngMu.Unlock()
+	if lost {
+		n.stats.lost.Add(1)
+		return
+	}
+	n.clock.Schedule(delay, func() {
+		n.topoMu.RLock()
 		h := dst.handlers[msg.Port]
+		n.topoMu.RUnlock()
 		if h == nil {
-			n.stats.NoHandler++
-			n.mu.Unlock()
+			n.stats.noHandler.Add(1)
 			return
 		}
-		n.mu.Unlock()
 		h(msg)
-		n.mu.Lock()
-		n.stats.Delivered++
-		n.mu.Unlock()
+		n.stats.delivered.Add(1)
 	})
 }
 
 // Schedule runs fn at Now()+delay (virtual).
 func (n *Network) Schedule(delay time.Duration, fn func()) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.scheduleEventLocked(delay, fn)
+	n.clock.Schedule(delay, fn)
 }
 
 // ScheduleCancelable runs fn at Now()+delay and returns a cancel function.
 // A cancelled event is dropped entirely: it neither runs nor advances the
 // clock to its timestamp — request deadlines use this so completed
 // requests leave no dead time behind. Cancelling after the event fired (or
-// cancelling twice) is a no-op. Cancellation is O(1): the event is marked
-// dead and skipped when it surfaces, and the queue compacts when dead
-// events dominate, so cancelled entries do not pin the backing array.
+// cancelling twice) is a no-op.
 func (n *Network) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ev := n.scheduleEventLocked(delay, fn)
-	return func() {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if ev.state != evPending {
-			return
-		}
-		ev.state = evCancelled
-		ev.fn = nil // release the closure right away
-		n.dead++
-		n.compactLocked()
-	}
-}
-
-func (n *Network) scheduleEventLocked(delay time.Duration, fn func()) *scheduled {
-	n.seq++
-	ev := &scheduled{at: n.now + delay, seq: n.seq, fn: fn}
-	heap.Push(&n.queue, ev)
-	return ev
-}
-
-// compactLocked rebuilds the heap without cancelled events once they
-// outnumber live ones (amortised O(1) per cancellation).
-func (n *Network) compactLocked() {
-	if n.dead <= 64 || n.dead*2 <= len(n.queue) {
-		return
-	}
-	live := n.queue[:0]
-	for _, ev := range n.queue {
-		if ev.state == evPending {
-			live = append(live, ev)
-		}
-	}
-	for i := len(live); i < len(n.queue); i++ {
-		n.queue[i] = nil
-	}
-	n.queue = live
-	heap.Init(&n.queue)
-	n.dead = 0
-}
-
-// popLocked removes and returns the next live event, discarding cancelled
-// ones, or nil when the queue is drained.
-func (n *Network) popLocked() *scheduled {
-	for len(n.queue) > 0 {
-		ev := heap.Pop(&n.queue).(*scheduled)
-		if ev.state == evCancelled {
-			n.dead--
-			continue
-		}
-		ev.state = evFired
-		return ev
-	}
-	return nil
-}
-
-// peekLocked returns the next live event without removing it, discarding
-// cancelled events from the top, or nil when the queue is drained.
-func (n *Network) peekLocked() *scheduled {
-	for len(n.queue) > 0 {
-		ev := n.queue[0]
-		if ev.state != evCancelled {
-			return ev
-		}
-		heap.Pop(&n.queue)
-		n.dead--
-	}
-	return nil
+	return n.clock.ScheduleCancelable(delay, fn)
 }
 
 // queueCap exposes the event queue's backing capacity; leak tests assert it
 // stays bounded across long schedule/cancel/step runs.
 func (n *Network) queueCap() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return cap(n.queue)
+	if n.vclock != nil {
+		return n.vclock.queueCap()
+	}
+	return n.rclock.queueCap()
 }
 
-// Step executes the next scheduled event, advancing the clock. It reports
-// whether an event ran.
+// Step executes the next scheduled event, advancing the virtual clock. It
+// reports whether an event ran. On the realtime clock there is nothing for
+// the caller to drive — the loop goroutine fires events — so Step always
+// reports false.
 func (n *Network) Step() bool {
-	n.mu.Lock()
-	ev := n.popLocked()
-	if ev == nil {
-		n.mu.Unlock()
-		return false
+	if n.vclock != nil {
+		return n.vclock.Step()
 	}
-	if ev.at > n.now {
-		n.now = ev.at
-	}
-	fn := ev.fn
-	ev.fn = nil
-	n.mu.Unlock()
-	fn()
-	return true
+	return false
 }
 
-// RunUntilIdle steps until no events remain (bounded by maxSteps; 0 means
-// the 1e6 default). It returns the number of steps.
+// RunUntilIdle drives the network until no events remain. On the virtual
+// clock it steps inline (bounded by maxSteps; 0 means the 1e6 default) and
+// returns the number of steps. On the realtime clock it blocks until the
+// runtime is idle — queue drained, no handler queued or running — and
+// returns 0; self-rescheduling activities (active streams) never go idle,
+// so bound those waits with RunUntil instead.
 func (n *Network) RunUntilIdle(maxSteps int) int {
-	if maxSteps <= 0 {
-		maxSteps = 1_000_000
+	if n.vclock != nil {
+		return n.vclock.RunUntilIdle(maxSteps)
 	}
-	steps := 0
-	for steps < maxSteps && n.Step() {
-		steps++
-	}
-	return steps
+	n.rclock.WaitIdle()
+	return 0
 }
 
 // RunUntil processes events up to (and including) the given virtual
-// deadline, then advances the clock to the deadline. Use this to drive
-// self-rescheduling activities such as streams, which never go idle.
+// deadline, then advances the clock to the deadline. On the virtual clock
+// the caller's goroutine executes the events inline; on the realtime clock
+// the call simply blocks (sleeping on the wall clock, compressed by the
+// time scale) until the deadline passes on the loop goroutine.
 func (n *Network) RunUntil(deadline time.Duration) int {
-	steps := 0
+	if n.vclock != nil {
+		return n.vclock.RunUntil(deadline)
+	}
 	for {
-		n.mu.Lock()
-		next := n.peekLocked()
-		if next == nil || next.at > deadline {
-			if n.now < deadline {
-				n.now = deadline
-			}
-			n.mu.Unlock()
-			return steps
+		now := n.rclock.Now()
+		if now >= deadline {
+			return 0
 		}
-		ev := n.popLocked()
-		if ev.at > n.now {
-			n.now = ev.at
+		wall := time.Duration(float64(deadline-now) / n.rclock.TimeScale())
+		if wall < time.Millisecond {
+			wall = time.Millisecond
 		}
-		fn := ev.fn
-		ev.fn = nil
-		n.mu.Unlock()
-		fn()
-		steps++
+		time.Sleep(wall)
 	}
 }

@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RealtimeConfig tunes the wall-clock runtime.
+type RealtimeConfig struct {
+	// TimeScale maps virtual time onto wall time: a wall second covers
+	// TimeScale seconds of virtual time. 1 (or 0) runs in real time;
+	// 100 runs a hundred-fold accelerated, so the paper's multi-second
+	// plug-in sequences play out in tens of milliseconds. The scale must
+	// not be negative.
+	TimeScale float64
+	// Workers bounds the handler worker pool (0 = min(GOMAXPROCS, 8)).
+	// Handlers dispatch from this pool, so at most Workers handlers run
+	// concurrently; ready events queue (in timestamp order) when all
+	// workers are busy.
+	Workers int
+}
+
+// RealtimeClock runs the event loop on its own goroutine under the wall
+// clock: timers fire via time.Timer (compressed by TimeScale), and due
+// handlers are dispatched from a bounded worker pool, so handlers for
+// independent events run concurrently and callers block on real channels
+// instead of driving the loop themselves.
+//
+// Virtual timestamps remain the scheduling currency: Now() is the wall time
+// elapsed since the clock started, multiplied by the time scale. Runs are
+// NOT deterministic — wall-clock jitter reorders same-window events and
+// handlers race in the pool. Use the VirtualClock for reproducibility.
+type RealtimeClock struct {
+	scale   float64
+	workers int
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on any state change: runq, running, queue
+	eh   eventHeap
+	runq []func() // due events awaiting a worker, in pop order
+	// running counts handlers currently executing in the pool.
+	running int
+	stopped bool
+
+	start time.Time // wall anchor; virtual now = elapsed(start) * scale
+
+	wake     chan struct{} // kicks the loop out of a timer wait
+	done     chan struct{} // closed by Stop
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRealtimeClock builds and starts a wall-clock runtime.
+func NewRealtimeClock(cfg RealtimeConfig) *RealtimeClock {
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	c := &RealtimeClock{
+		scale:   scale,
+		workers: workers,
+		start:   time.Now(),
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.wg.Add(1 + workers)
+	go c.loop()
+	for i := 0; i < workers; i++ {
+		go c.worker()
+	}
+	return c
+}
+
+// nowLocked computes the virtual time (c.mu held or single-writer start).
+func (c *RealtimeClock) nowLocked() time.Duration {
+	return time.Duration(float64(time.Since(c.start)) * c.scale)
+}
+
+// Now returns the current virtual time.
+func (c *RealtimeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nowLocked()
+}
+
+// TimeScale returns the virtual-per-wall time factor.
+func (c *RealtimeClock) TimeScale() float64 { return c.scale }
+
+// Workers returns the worker-pool bound.
+func (c *RealtimeClock) Workers() int { return c.workers }
+
+// Schedule runs fn at Now()+delay (virtual) on a pool worker. Scheduling
+// against a stopped clock is a silent no-op, mirroring cancelled events.
+func (c *RealtimeClock) Schedule(delay time.Duration, fn func()) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.eh.pushAt(c.nowLocked()+delay, fn)
+	c.mu.Unlock()
+	c.kick()
+}
+
+// ScheduleCancelable runs fn at Now()+delay and returns a cancel function;
+// semantics match the virtual clock's (identity-checked, idempotent, O(1)).
+func (c *RealtimeClock) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return func() {}
+	}
+	ev := c.eh.pushAt(c.nowLocked()+delay, fn)
+	c.mu.Unlock()
+	c.kick()
+	return func() {
+		c.mu.Lock()
+		if c.eh.cancel(ev) {
+			// A cancellation can empty the queue: wake idle waiters.
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// kick nudges the loop to re-examine the queue head (non-blocking).
+func (c *RealtimeClock) kick() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the scheduler goroutine: it sleeps until the earliest pending
+// event is due on the wall clock, then moves every due event (in timestamp
+// order) onto the worker run queue.
+func (c *RealtimeClock) loop() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		ev := c.eh.peek()
+		if ev == nil {
+			c.mu.Unlock()
+			select {
+			case <-c.wake:
+				continue
+			case <-c.done:
+				return
+			}
+		}
+		nowV := c.nowLocked()
+		if ev.at <= nowV {
+			ev = c.eh.pop()
+			fn := ev.fn
+			ev.fn = nil
+			c.runq = append(c.runq, fn)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			continue
+		}
+		wait := time.Duration(float64(ev.at-nowV) / c.scale)
+		c.mu.Unlock()
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-c.wake:
+			timer.Stop()
+		case <-c.done:
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// worker executes due handlers from the run queue.
+func (c *RealtimeClock) worker() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for len(c.runq) == 0 && !c.stopped {
+			c.cond.Wait()
+		}
+		if c.stopped {
+			c.mu.Unlock()
+			return
+		}
+		fn := c.runq[0]
+		c.runq[0] = nil
+		c.runq = c.runq[1:]
+		if len(c.runq) == 0 {
+			c.runq = nil // release the drained backing array
+		}
+		c.running++
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+		c.running--
+		// Completion may have made the runtime idle: wake WaitIdle.
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// WaitIdle blocks until no events are pending, none are queued for a worker
+// and none are running — i.e. the cascade triggered so far has fully played
+// out — or the clock is stopped. Self-rescheduling activities (active
+// streams) never go idle; bound those waits with RunUntil instead.
+func (c *RealtimeClock) WaitIdle() {
+	c.mu.Lock()
+	for !c.stopped && !(c.eh.live() == 0 && len(c.runq) == 0 && c.running == 0) {
+		if c.eh.live() > 0 && len(c.runq) == 0 && c.running == 0 {
+			// Only future events remain; the loop is asleep on its timer and
+			// nothing will broadcast until it fires. Poll on a wall tick
+			// scaled to the next event so WaitIdle neither spins nor sleeps
+			// past the cascade's tail.
+			next := c.eh.peek()
+			nowV := c.nowLocked()
+			wait := time.Duration(0)
+			if next != nil && next.at > nowV {
+				wait = time.Duration(float64(next.at-nowV) / c.scale)
+			}
+			c.mu.Unlock()
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+			case <-c.done:
+				return
+			}
+			c.mu.Lock()
+			continue
+		}
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// queueCap exposes the event queue's backing capacity (leak tests).
+func (c *RealtimeClock) queueCap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cap(c.eh.queue)
+}
+
+// Stop terminates the loop and the worker pool and discards queued events.
+// It blocks until every goroutine exited (a handler already running is
+// allowed to finish). Stop is idempotent and safe to call concurrently —
+// every caller, not just the first, returns only after the goroutines are
+// gone. Do not call Stop from inside a handler (it would wait on itself).
+func (c *RealtimeClock) Stop() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		c.stopped = true
+		c.runq = nil
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		close(c.done)
+	})
+	c.wg.Wait()
+	// Wake any WaitIdle callers that raced the shutdown.
+	c.cond.Broadcast()
+}

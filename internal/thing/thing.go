@@ -149,11 +149,21 @@ type Config struct {
 	PendingReadTimeout time.Duration
 }
 
-// netScheduler adapts the network simulator's clock to vm.Scheduler.
-type netScheduler struct{ n *netsim.Network }
+// netScheduler adapts the network's clock to vm.Scheduler. Scheduled driver
+// callbacks fire on the clock (a pool worker under the realtime runtime), so
+// they are wrapped in the Thing's vmMu: driver runtimes are single-threaded
+// state machines — like the MCU they model — and every execution on this
+// Thing serializes through that one lock.
+type netScheduler struct{ t *Thing }
 
-func (s netScheduler) Now() time.Duration                  { return s.n.Now() }
-func (s netScheduler) Schedule(d time.Duration, fn func()) { s.n.Schedule(d, fn) }
+func (s netScheduler) Now() time.Duration { return s.t.cfg.Network.Now() }
+func (s netScheduler) Schedule(d time.Duration, fn func()) {
+	s.t.cfg.Network.Schedule(d, func() {
+		s.t.vmMu.Lock()
+		defer s.t.vmMu.Unlock()
+		fn()
+	})
+}
 
 type slotState struct {
 	ic     *Interconnects
@@ -179,9 +189,13 @@ type streamState struct {
 // Thing is one simulated µPnP Thing.
 //
 // Locking: mu guards slots/installed/awaiting/traces; opsMu guards the
-// pending-read and stream tables. Driver runtimes may call back into
-// driverReturned while mu is held, so driverReturned takes only opsMu
-// (lock order is always mu before opsMu, never the reverse).
+// pending-read and stream tables; vmMu serializes every driver-runtime
+// execution (vm.Runtime is not itself safe for concurrent use — one MCU,
+// one thread of control), which matters when the network's realtime clock
+// dispatches handlers from a worker pool. Driver runtimes may call back
+// into driverReturned while vmMu is held, so driverReturned takes only
+// opsMu. mu and opsMu are never held while acquiring vmMu's predecessors:
+// the order is mu → opsMu, and both are released before vmMu is taken.
 type Thing struct {
 	cfg    Config
 	node   *netsim.Node
@@ -198,6 +212,8 @@ type Thing struct {
 	opsMu   sync.Mutex
 	pending map[hw.DeviceID][]*pendingRead
 	streams map[hw.DeviceID]*streamState
+
+	vmMu sync.Mutex
 }
 
 // New builds and registers a Thing on the network.
@@ -458,15 +474,17 @@ func (t *Thing) activate(channel int, code []byte, trace *PluginTrace) {
 			t.mu.Unlock()
 			return
 		}
-		// Drivers run on the network's virtual clock so that timeouts,
-		// sensor conversions and protocol traffic advance coherently.
-		rt.SetScheduler(netScheduler{net})
+		// Drivers run on the network's clock so that timeouts, sensor
+		// conversions and protocol traffic advance coherently.
+		rt.SetScheduler(netScheduler{t: t})
 		id := slot.id
 		rt.OnReturn(func(vals []int32) { t.driverReturned(id, vals) })
 		slot.rt = rt
 		t.mu.Unlock()
 
+		t.vmMu.Lock()
 		rt.Start()
+		t.vmMu.Unlock()
 
 		if trace != nil {
 			trace.InstallDriver += net.Now() - installStart
@@ -528,7 +546,9 @@ func (t *Thing) teardown(channel int) {
 	t.mu.Unlock()
 
 	if rt != nil {
+		t.vmMu.Lock()
 		rt.Stop()
+		t.vmMu.Unlock()
 	}
 	if dev != nil {
 		dev.Detach(ic)
@@ -581,9 +601,12 @@ func (t *Thing) driverReturned(id hw.DeviceID, vals []int32) {
 	if q := t.pending[id]; len(q) > 0 {
 		pr := q[0]
 		t.pending[id] = q[1:]
+		// Capture cancel while opsMu is held: handleRead assigns it under
+		// opsMu after arming the expiry, possibly after this pop.
+		cancel := pr.cancel
 		t.opsMu.Unlock()
-		if pr.cancel != nil {
-			pr.cancel()
+		if cancel != nil {
+			cancel()
 		}
 		t.send(pr.client, &proto.Message{Type: proto.MsgData, Seq: pr.seq, DeviceID: id, Data: data})
 		return
@@ -613,6 +636,8 @@ func (t *Thing) Pump() {
 		}
 	}
 	t.mu.Unlock()
+	t.vmMu.Lock()
+	defer t.vmMu.Unlock()
 	for _, rt := range rts {
 		rt.RunUntilIdle(0)
 	}
@@ -735,8 +760,12 @@ func (t *Thing) handleDriverRemoval(msg netsim.Message, m *proto.Message) {
 		status = 0
 	}
 	t.mu.Unlock()
-	for _, rt := range stopped {
-		rt.Stop()
+	if len(stopped) > 0 {
+		t.vmMu.Lock()
+		for _, rt := range stopped {
+			rt.Stop()
+		}
+		t.vmMu.Unlock()
 	}
 	t.send(msg.Src, &proto.Message{Type: proto.MsgDriverRemovalAck, Seq: m.Seq, DeviceID: m.DeviceID, Status: status})
 }
@@ -762,8 +791,10 @@ func (t *Thing) handleRead(msg netsim.Message, m *proto.Message) {
 	t.opsMu.Lock()
 	pr.cancel = cancel
 	t.opsMu.Unlock()
+	t.vmMu.Lock()
 	rt.Post("read")
 	rt.RunUntilIdle(0)
+	t.vmMu.Unlock()
 }
 
 // expirePendingRead drops a pending read the driver never answered (e.g. an
@@ -827,8 +858,10 @@ func (t *Thing) scheduleStreamTick(id hw.DeviceID) {
 		if rt == nil {
 			return
 		}
+		t.vmMu.Lock()
 		rt.Post("read")
 		rt.RunUntilIdle(0)
+		t.vmMu.Unlock()
 		t.scheduleStreamTick(id)
 	})
 }
@@ -844,8 +877,10 @@ func (t *Thing) handleWrite(msg netsim.Message, m *proto.Message) {
 	status := uint8(1)
 	if rt != nil {
 		if vals, err := proto.ParseValues32(m.Data); err == nil {
+			t.vmMu.Lock()
 			rt.Post("write", vals...)
 			rt.RunUntilIdle(0)
+			t.vmMu.Unlock()
 			status = 0
 		}
 	}

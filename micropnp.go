@@ -19,10 +19,24 @@
 //	if err != nil { ... }                     // loss and absence surface as errors
 //	fmt.Println(r.Values[0], r.Units, r.At)   // 238 0.1°C 1.08s
 //
-// All timing is virtual: the simulator's clock advances only while calls
-// drive it, so programs are deterministic and fast regardless of how much
-// simulated time passes. Context deadlines are translated to virtual-time
-// budgets; cancellation is honoured between simulation steps.
+// # Runtime modes
+//
+// A Deployment runs in one of two clock modes:
+//
+//   - Virtual (the default): the simulator's clock advances only while
+//     calls drive it, so programs are deterministic and fast regardless of
+//     how much simulated time passes. Context deadlines are translated to
+//     virtual-time budgets; cancellation is honoured between simulation
+//     steps.
+//   - Real time (WithRealTime): the network event loop runs on its own
+//     goroutine against the wall clock, handlers dispatch from a bounded
+//     worker pool, and calls genuinely block on channels — so hundreds of
+//     goroutines can issue requests against one deployment concurrently.
+//     WithTimeScale compresses virtual time for accelerated runs.
+//     Determinism is traded away; remember to Close the deployment.
+//
+// A Deployment and its Things and Clients are safe for concurrent use in
+// both modes; only the realtime mode executes handlers in parallel.
 //
 // The implementation lives under internal/ (see the repository README for a
 // tour); this package is the only importable surface.
@@ -31,6 +45,9 @@ package micropnp
 import (
 	"context"
 	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"micropnp/internal/client"
@@ -77,12 +94,75 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(c *config) { c.core.RequestTimeout = d; c.timeout = d }
 }
 
+// WithRealTime runs the deployment on the wall clock instead of the
+// caller-driven virtual clock: the network event loop gets its own
+// goroutine, timers fire as real time passes, and handlers dispatch from a
+// bounded worker pool, so SDK calls genuinely block and may be issued from
+// many goroutines at once. Determinism is traded away. Deployments in this
+// mode hold goroutines; call Close when done.
+func WithRealTime() Option {
+	return func(c *config) { c.core.Realtime = true }
+}
+
+// WithTimeScale compresses virtual time relative to wall time in real-time
+// mode: at scale s, one wall second covers s seconds of virtual time, so
+// the paper's multi-second plug-in sequences and request deadlines play out
+// s-fold accelerated. 1 (or 0) runs in real time. Ignored by the virtual
+// clock, whose virtual time is unrelated to wall time.
+func WithTimeScale(s float64) Option {
+	return func(c *config) { c.core.TimeScale = s }
+}
+
+// WithWorkers bounds the real-time handler worker pool: at most n network
+// handlers run concurrently (0 = min(GOMAXPROCS, 8)). Ignored by the
+// virtual clock, which executes handlers inline on the driving goroutine.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.core.Workers = n }
+}
+
+// WithRetryPolicy enables automatic retransmission of unanswered unicast
+// reads and writes (the ARQ layer the paper defers): when no reply arrived
+// baseBackoff of virtual time after a transmission, the request is resent,
+// up to attempts extra transmissions with doubling backoff and ±50% jitter,
+// all inside the request's overall deadline. Lost requests then surface as
+// ErrTimeout only after every transmission went unanswered. Multicast
+// discoveries and stream subscriptions are never retransmitted.
+func WithRetryPolicy(attempts int, baseBackoff time.Duration) Option {
+	return func(c *config) {
+		c.core.Retry = client.RetryPolicy{Attempts: attempts, BaseBackoff: baseBackoff}
+	}
+}
+
 // Deployment is a complete simulated µPnP network: one manager at the
 // border-router position serving the standard driver repository, plus the
-// Things and Clients added to it.
+// Things and Clients added to it. A Deployment is safe for concurrent use:
+// in virtual mode concurrent blocked calls elect one goroutine to drive the
+// simulator while the others park on their completion channels; in
+// real-time mode every call simply blocks until its reply arrives.
 type Deployment struct {
-	core    *core.Deployment
-	timeout time.Duration
+	core     *core.Deployment
+	timeout  time.Duration
+	realtime bool
+	scale    float64
+
+	// pumpMu elects the single virtual-mode simulator driver; stepMu/stepCh
+	// broadcast simulation progress to parked waiters (the channel is closed
+	// and replaced on each broadcast). waiters counts goroutines that may
+	// park on stepCh, so the driver skips the broadcast entirely in the
+	// common single-goroutine case. driverGid records the driver's
+	// goroutine, letting SDK calls made from inside a simulator-driven
+	// callback (OnReading, OnAdvert, ScheduleAfter closures) detect the
+	// reentrancy and pump directly instead of parking on themselves.
+	pumpMu    sync.Mutex
+	stepMu    sync.Mutex
+	stepCh    chan struct{}
+	waiters   atomic.Int32
+	driverGid atomic.Int64
+
+	// closeCh unblocks realtime calls parked in await when the deployment
+	// is closed (their expiry events die with the clock).
+	closeCh   chan struct{}
+	closeOnce sync.Once
 }
 
 // NewDeployment builds a deployment.
@@ -99,8 +179,33 @@ func NewDeployment(opts ...Option) (*Deployment, error) {
 	if timeout <= 0 {
 		timeout = client.DefaultTimeout
 	}
-	return &Deployment{core: d, timeout: timeout}, nil
+	scale := cfg.core.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Deployment{
+		core:     d,
+		timeout:  timeout,
+		realtime: cfg.core.Realtime,
+		scale:    scale,
+		stepCh:   make(chan struct{}),
+		closeCh:  make(chan struct{}),
+	}, nil
 }
+
+// Close releases the deployment's runtime resources: in real-time mode it
+// stops the network event loop and the worker pool (a handler already
+// running finishes first) and discards scheduled events; in virtual mode
+// only the bookkeeping applies. Close is idempotent. Calls blocked on
+// in-flight requests when Close runs fail with ErrClosed (their expiry
+// events die with the clock, so they could never complete).
+func (d *Deployment) Close() {
+	d.closeOnce.Do(func() { close(d.closeCh) })
+	d.core.Close()
+}
+
+// Realtime reports whether the deployment runs on the wall clock.
+func (d *Deployment) Realtime() bool { return d.realtime }
 
 // AddThing creates a Thing one hop from the manager.
 func (d *Deployment) AddThing(name string) (*Thing, error) {
@@ -153,12 +258,51 @@ func (d *Deployment) AddClientUnder(parent *Thing) (*Client, error) {
 
 // Run drives the network until idle — use it after plugging peripherals to
 // let the plug-in sequence (identification, driver install, advertisement)
-// play out.
-func (d *Deployment) Run() { d.core.Run() }
+// play out. In real-time mode it blocks until the runtime has drained
+// (nothing scheduled, queued or running); do not call it while a stream is
+// active in that mode — active streams reschedule forever and never drain.
+// Use RunFor to bound such waits instead.
+func (d *Deployment) Run() {
+	if d.realtime {
+		d.core.Run()
+		return
+	}
+	d.pump(d.core.Run)
+}
 
-// RunFor drives the network for a span of virtual time. Use it for streams,
-// which reschedule themselves and never go idle.
-func (d *Deployment) RunFor(span time.Duration) { d.core.RunFor(span) }
+// RunFor lets a span of virtual time elapse: in virtual mode it drives the
+// network inline, in real-time mode it sleeps until the span has passed on
+// the (scaled) wall clock. Use it for streams, which reschedule themselves
+// and never go idle.
+func (d *Deployment) RunFor(span time.Duration) {
+	if d.realtime {
+		d.core.RunFor(span)
+		return
+	}
+	d.pump(func() { d.core.RunFor(span) })
+}
+
+// pump runs a virtual-mode drive function as the elected driver: it takes
+// the driver lock, records its goroutine so nested SDK calls from inside
+// handlers pump reentrantly instead of deadlocking, and broadcasts progress
+// to parked await waiters afterwards. Called from a handler the current
+// driver is running, it drives the core directly — the election is already
+// held further up this goroutine's stack.
+func (d *Deployment) pump(drive func()) {
+	self := gid()
+	if d.driverGid.Load() == self {
+		drive()
+		return
+	}
+	d.waiters.Add(1)
+	defer d.waiters.Add(-1)
+	d.pumpMu.Lock()
+	d.driverGid.Store(self)
+	drive()
+	d.driverGid.Store(0)
+	d.pumpMu.Unlock()
+	d.broadcastStep()
+}
 
 // Now returns the current virtual time.
 func (d *Deployment) Now() time.Duration { return d.core.Network.Now() }
@@ -227,11 +371,11 @@ func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID
 	)
 	err := d.await(ctx, func(timeout time.Duration, complete func()) {
 		d.core.Manager.DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
-			complete()
 			derr = err
 			for _, id := range got {
 				ids = append(ids, DeviceID(id))
 			}
+			complete()
 		})
 	})
 	if err != nil {
@@ -246,8 +390,8 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 	var rerr error
 	err := d.await(ctx, func(timeout time.Duration, complete func()) {
 		d.core.Manager.RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
-			complete()
 			rerr = err
+			complete()
 		})
 	})
 	if err != nil {
@@ -258,40 +402,158 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 
 // await is the synchronous-call harness every SDK request goes through: it
 // translates the context into a virtual-time budget, lets start register
-// the request (whose completion callback must invoke complete), then steps
-// the simulator until completion, context cancellation, or a drained event
-// queue. Every request arms a virtual-time expiry event at registration,
-// so a drained queue without completion cannot happen in practice; it is
-// reported as a timeout defensively.
+// the request (whose completion callback must invoke complete, exactly
+// once, from whichever goroutine the network delivers on), then blocks
+// until completion or context cancellation.
+//
+// In real-time mode the block is a plain channel wait — the event loop and
+// worker pool advance the network, and the registration's expiry timer
+// guarantees completion. In virtual mode nothing advances the clock unless
+// a caller does, so the blocked goroutines elect a driver: whoever acquires
+// pumpMu steps the simulator (completing everyone's requests, not just its
+// own) and broadcasts progress; the rest park until the next step or their
+// own completion. Every request arms a virtual-time expiry event at
+// registration, so a drained queue without completion cannot happen in
+// practice; it is reported as a timeout defensively.
 func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, complete func())) error {
-	timeout, err := timeoutFrom(ctx, d.timeout)
+	timeout, err := d.timeoutFrom(ctx)
 	if err != nil {
 		return err
 	}
-	done := false
-	start(timeout, func() { done = true })
-	for !done {
+	done := make(chan struct{})
+	var once sync.Once
+	start(timeout, func() { once.Do(func() { close(done) }) })
+	if d.realtime {
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-d.closeCh:
+			// The clock died with our expiry event still queued; nothing
+			// can complete this request anymore.
+			return ErrClosed
+		}
+	}
+	// Count ourselves as a potential parker BEFORE sampling the progress
+	// channel: drivers check the count after releasing pumpMu, so a failed
+	// TryLock guarantees the holder will observe us and broadcast.
+	d.waiters.Add(1)
+	defer d.waiters.Add(-1)
+	self := gid()
+	for {
+		select {
+		case <-done:
+			return nil
+		default:
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if !d.core.Network.Step() {
-			return ErrTimeout
+		// Sample the progress channel BEFORE trying to become the driver:
+		// every broadcast after this point closes the sampled channel, so a
+		// driver finishing between our failed TryLock and our wait cannot
+		// strand us on a channel nobody closes.
+		progress := d.stepChan()
+		if d.pumpMu.TryLock() {
+			d.driverGid.Store(self)
+			stepped := d.core.Network.Step()
+			d.driverGid.Store(0)
+			d.pumpMu.Unlock()
+			// Broadcast AFTER releasing pumpMu: a goroutine whose TryLock
+			// failed while we held the lock sampled its channel before this
+			// point, and this broadcast closes it.
+			d.broadcastStep()
+			if !stepped {
+				select {
+				case <-done:
+					return nil
+				default:
+					return ErrTimeout
+				}
+			}
+		} else if d.driverGid.Load() == self {
+			// We ARE the driver, reentered from inside a handler it is
+			// running (an SDK call in an OnReading/OnAdvert callback or a
+			// ScheduleAfter closure). Pump directly, as the pre-runtime
+			// SDK's inline Step loop did — parking would deadlock on
+			// ourselves.
+			if !d.core.Network.Step() {
+				select {
+				case <-done:
+					return nil
+				default:
+					return ErrTimeout
+				}
+			}
+		} else {
+			select {
+			case <-done:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-progress:
+			}
 		}
 	}
-	return nil
+}
+
+// gid returns the current goroutine's id (parsed from runtime.Stack; there
+// is no cheaper portable way). Called once per blocking SDK call, not per
+// simulation step.
+func gid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// The header is "goroutine <id> [...".
+	s := buf[len("goroutine "):n]
+	var id int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// stepChan returns the channel closed at the next simulation progress
+// broadcast.
+func (d *Deployment) stepChan() <-chan struct{} {
+	d.stepMu.Lock()
+	defer d.stepMu.Unlock()
+	return d.stepCh
+}
+
+// broadcastStep wakes every parked waiter by closing the current progress
+// channel and installing a fresh one. Every caller is itself registered in
+// d.waiters, so a count of 1 means no one else can be parked (a goroutine
+// registers BEFORE sampling the channel, and the sequentially consistent
+// atomics make its registration visible to the driver's post-step load) —
+// the common single-goroutine virtual program pays one atomic load per
+// step and the hot loop stays allocation-free.
+func (d *Deployment) broadcastStep() {
+	if d.waiters.Load() <= 1 {
+		return
+	}
+	d.stepMu.Lock()
+	close(d.stepCh)
+	d.stepCh = make(chan struct{})
+	d.stepMu.Unlock()
 }
 
 // timeoutFrom translates a context deadline into a virtual-time budget: a
 // context with a deadline t from now bounds the request to t of virtual
-// time. Without a deadline the default applies. An already-expired context
-// fails immediately.
+// time (scaled by the time-scale factor in real-time mode, so the virtual
+// expiry and the wall deadline coincide). Without a deadline the default
+// virtual-time timeout applies. An already-expired context fails
+// immediately.
 //
 // Note the wall-clock sampling: the budget is time.Until(deadline) at call
 // time, so runs using context deadlines close to the actual virtual reply
 // latency are not bit-for-bit reproducible. Callers that need the fully
-// deterministic behaviour the simulator otherwise guarantees should use
+// deterministic behaviour the virtual clock otherwise guarantees should use
 // WithRequestTimeout (a pure virtual-time bound) and plain contexts.
-func timeoutFrom(ctx context.Context, def time.Duration) (time.Duration, error) {
+func (d *Deployment) timeoutFrom(ctx context.Context) (time.Duration, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
@@ -300,9 +562,12 @@ func timeoutFrom(ctx context.Context, def time.Duration) (time.Duration, error) 
 		if rem <= 0 {
 			return 0, context.DeadlineExceeded
 		}
+		if d.realtime {
+			rem = time.Duration(float64(rem) * d.scale)
+		}
 		return rem, nil
 	}
-	return def, nil
+	return d.timeout, nil
 }
 
 // USBHostEnergy returns the energy (in joules) an always-on USB host

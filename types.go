@@ -1,6 +1,7 @@
 package micropnp
 
 import (
+	"errors"
 	"net/netip"
 	"time"
 
@@ -66,6 +67,10 @@ var (
 	ErrWriteRejected = client.ErrWriteRejected
 	// ErrRemovalRejected reports a negatively acknowledged driver removal.
 	ErrRemovalRejected = client.ErrRemovalRejected
+	// ErrClosed reports that the deployment was closed while the request
+	// was in flight (real-time mode): the clock died with the request's
+	// expiry event, so it could never complete or time out.
+	ErrClosed = errors.New("micropnp: deployment closed")
 )
 
 // Reading is one value set produced by a peripheral, with the metadata a
