@@ -190,6 +190,7 @@ func BenchmarkEventRouter(b *testing.B) {
 // (identification excluded; the network phases) on a one-hop deployment.
 func BenchmarkTable4Plugin(b *testing.B) {
 	var total, endToEnd time.Duration
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := micropnp.NewDeployment()
 		if err != nil {
@@ -249,6 +250,7 @@ func BenchmarkRealtimeThroughput(b *testing.B) {
 	ctx := context.Background()
 	const readers, per = 64, 8
 	var failed atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var wg sync.WaitGroup

@@ -35,6 +35,12 @@ func (c *Client) Adverts() []Advert { return advertsFrom(c.cl.Adverts()) }
 // (AllPeripherals matches any).
 func (c *Client) Things(id DeviceID) []netip.Addr { return c.cl.Things(hw.DeviceID(id)) }
 
+// InFlight returns the number of requests (reads, writes, discoveries) this
+// client currently has pending — a diagnostic for load tooling, and zero
+// once every call returned: cancelled calls retract their pending entry
+// immediately rather than letting it expire at its deadline.
+func (c *Client) InFlight() int { return c.cl.Pending() }
+
 // OnAdvert registers a callback invoked for every incoming advertisement.
 func (c *Client) OnAdvert(fn func(Advert)) {
 	if fn == nil {
@@ -59,18 +65,21 @@ func (c *Client) units(id DeviceID) string {
 // ErrNoPeripheral when the Thing serves no such device, and the context's
 // error on cancellation.
 func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Reading, error) {
-	var (
-		r    Reading
-		rerr error
-	)
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
-		c.cl.Read(thing, hw.DeviceID(id), timeout, func(vals []int32, err error) {
+	// One result struct, not separate captured variables: each variable a
+	// closure captures by reference becomes its own heap cell, and Read is
+	// the hottest SDK call.
+	var res struct {
+		r   Reading
+		err error
+	}
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+		return c.cl.Read(thing, hw.DeviceID(id), timeout, func(vals []int32, err error) {
 			// Write the results before signalling completion: the awaiting
 			// goroutine reads them the moment complete() closes the channel.
 			if err != nil {
-				rerr = err
+				res.err = err
 			} else {
-				r = Reading{
+				res.r = Reading{
 					Thing:  thing,
 					Device: id,
 					Values: vals,
@@ -84,7 +93,7 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 	if err != nil {
 		return Reading{}, err
 	}
-	return r, rerr
+	return res.r, res.err
 }
 
 // Write sends values to a peripheral (e.g. an actuator) and blocks until
@@ -92,8 +101,8 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 // such peripheral or rejects the payload, ErrTimeout on loss.
 func (c *Client) Write(ctx context.Context, thing netip.Addr, id DeviceID, vals []int32) error {
 	var werr error
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
-		c.cl.Write(thing, hw.DeviceID(id), vals, timeout, func(err error) {
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+		return c.cl.Write(thing, hw.DeviceID(id), vals, timeout, func(err error) {
 			werr = err
 			complete()
 		})
@@ -122,18 +131,18 @@ const (
 
 func (c *Client) runDiscovery(ctx context.Context, kind int, id DeviceID, class uint8, zone uint16) ([]Advert, error) {
 	var got []Advert
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
 		collect := func(adverts []client.Advert) {
 			got = advertsFrom(adverts)
 			complete()
 		}
 		switch kind {
 		case discoverByClass:
-			c.cl.DiscoverClass(class, timeout, collect)
+			return c.cl.DiscoverClass(class, timeout, collect)
 		case discoverByZone:
-			c.cl.DiscoverInZone(zone, hw.DeviceID(id), timeout, collect)
+			return c.cl.DiscoverInZone(zone, hw.DeviceID(id), timeout, collect)
 		default:
-			c.cl.Discover(hw.DeviceID(id), timeout, collect)
+			return c.cl.Discover(hw.DeviceID(id), timeout, collect)
 		}
 	})
 	if err != nil {
@@ -231,7 +240,7 @@ func (s *Subscription) Close() {
 func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, onReading func(Reading)) (*Subscription, error) {
 	sub := &Subscription{c: c, thing: thing, id: id, onRead: onReading}
 	var serr error
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
 		sub.stream = c.cl.Subscribe(thing, hw.DeviceID(id), client.SubscribeOptions{
 			Timeout: timeout,
 			OnData: func(vals []int32) {
@@ -266,6 +275,9 @@ func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, o
 				complete()
 			},
 		})
+		// Subscriptions retract through sub.Close below: closing also leaves
+		// the stream's multicast group when it was already established.
+		return nil
 	})
 	if err != nil {
 		// Cancelled mid-establishment: retract the subscription so a later

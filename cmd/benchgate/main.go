@@ -1,8 +1,10 @@
 // Command benchgate is the CI benchmark-regression gate: it parses `go test
 // -bench` output, reduces the -count repetitions of each benchmark to their
-// median ns/op, and compares against a committed JSON baseline. The build
-// fails when the geometric mean of the per-benchmark ratios (new/baseline)
-// exceeds the threshold.
+// median ns/op and allocs/op, and compares against a committed JSON baseline.
+// The build fails when the geometric mean of the per-benchmark ratios
+// (new/baseline) exceeds the threshold — on either metric: wall time and
+// allocation count are gated independently, so a change that stays fast but
+// reintroduces per-message allocations still fails.
 //
 // Gate a run:
 //
@@ -12,6 +14,11 @@
 // Refresh the baseline after an intentional performance change:
 //
 //	go run ./cmd/benchgate -input bench.txt -update -baseline BENCH_baseline.json
+//
+// Diagnose a regression the gate flagged (no Makefile needed): pass -profile
+// to print ready-to-run `go test -cpuprofile/-memprofile` command lines for
+// the worst offenders, or profile a scenario end to end with
+// `go run ./cmd/upnp-sim -cpuprofile cpu.pprof -memprofile mem.pprof`.
 package main
 
 import (
@@ -33,74 +40,152 @@ type Baseline struct {
 	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to the
 	// median ns/op of the baseline run.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp is the median allocs/op for benchmarks that report it
+	// (b.ReportAllocs or -benchmem).
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	allocsPart = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+)
 
-// parseBench reduces a `go test -bench` output stream to median ns/op per
-// benchmark name.
-func parseBench(path string) (map[string]float64, error) {
+// parseBench reduces a `go test -bench` output stream to median ns/op (and,
+// where reported, median allocs/op) per benchmark name.
+func parseBench(path string) (ns, allocs map[string]float64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	samples := map[string][]float64{}
+	nsSamples := map[string][]float64{}
+	allocSamples := map[string][]float64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		v, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
 		}
-		samples[m[1]] = append(samples[m[1]], v)
+		nsSamples[m[1]] = append(nsSamples[m[1]], v)
+		if am := allocsPart.FindStringSubmatch(line); am != nil {
+			a, err := strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad allocs/op in %q: %v", line, err)
+			}
+			allocSamples[m[1]] = append(allocSamples[m[1]], a)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	medians := map[string]float64{}
+	return medians(nsSamples), medians(allocSamples), nil
+}
+
+func medians(samples map[string][]float64) map[string]float64 {
+	out := map[string]float64{}
 	for name, vals := range samples {
 		sort.Float64s(vals)
 		n := len(vals)
 		if n%2 == 1 {
-			medians[name] = vals[n/2]
+			out[name] = vals[n/2]
 		} else {
-			medians[name] = (vals[n/2-1] + vals[n/2]) / 2
+			out[name] = (vals[n/2-1] + vals[n/2]) / 2
 		}
 	}
-	return medians, nil
+	return out
+}
+
+// compare prints a baseline-versus-run table for one metric and returns the
+// geomean ratio, how many benchmarks were compared and how many baseline
+// entries the run is missing. For allocs/op the ratio is smoothed as
+// (new+1)/(baseline+1) so zero-allocation baselines stay comparable (and a
+// 0→N regression still shows up as a large ratio).
+func compare(metric string, base, got map[string]float64, smooth float64) (geomean float64, compared, missing int, worst []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type row struct {
+		name  string
+		ratio float64
+	}
+	var rows []row
+	logSum := 0.0
+	fmt.Printf("%-55s %14s %14s %8s\n", metric, "baseline", "new", "ratio")
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			fmt.Printf("%-55s %14.1f %14s %8s\n", name, base[name], "MISSING", "-")
+			missing++
+			continue
+		}
+		ratio := (g + smooth) / (base[name] + smooth)
+		fmt.Printf("%-55s %14.1f %14.1f %7.3fx\n", name, base[name], g, ratio)
+		logSum += math.Log(ratio)
+		compared++
+		rows = append(rows, row{name, ratio})
+	}
+	for name := range got {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-55s %14s %14.1f %8s  (not in baseline; run -update)\n", name, "-", got[name], "-")
+		}
+	}
+	if compared == 0 {
+		return 1, 0, missing, nil
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+	for i := 0; i < len(rows) && i < 3; i++ {
+		if rows[i].ratio > 1 {
+			worst = append(worst, rows[i].name)
+		}
+	}
+	return math.Exp(logSum / float64(compared)), compared, missing, worst
 }
 
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
 		inputPath    = flag.String("input", "", "benchmark output file (from go test -bench)")
-		threshold    = flag.Float64("threshold", 1.20, "fail when the geomean ratio (new/baseline) exceeds this")
+		threshold    = flag.Float64("threshold", 1.20, "fail when a geomean ratio (new/baseline) exceeds this")
 		update       = flag.Bool("update", false, "write the baseline from -input instead of comparing")
+		profile      = flag.Bool("profile", false, "on regression, print go test -cpuprofile/-memprofile commands for the worst benchmarks")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: go run ./cmd/benchgate -input bench.txt [-baseline BENCH_baseline.json] [-threshold 1.20] [-update] [-profile]\n\n"+
+			"Gates both ns/op and allocs/op medians against the committed baseline.\n"+
+			"Diagnose a flagged regression without any Makefile:\n"+
+			"  go run ./cmd/benchgate -input bench.txt -profile\n"+
+			"  go run ./cmd/upnp-sim -cpuprofile cpu.pprof -memprofile mem.pprof -things 100\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *inputPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -input is required")
+		flag.Usage()
 		os.Exit(2)
 	}
-	medians, err := parseBench(*inputPath)
+	ns, allocs, err := parseBench(*inputPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	if len(medians) == 0 {
+	if len(ns) == 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: no benchmark lines found in %s\n", *inputPath)
 		os.Exit(2)
 	}
 
 	if *update {
 		out, err := json.MarshalIndent(Baseline{
-			Note:    "median ns/op from: go test -run '^$' -bench <gate pattern> -benchtime 1x -count 6; refresh with: go run ./cmd/benchgate -input bench.txt -update",
-			NsPerOp: medians,
+			Note:        "median ns/op and allocs/op from: go test -run '^$' -bench <gate pattern> -benchtime 1x -count 6; refresh with: go run ./cmd/benchgate -input bench.txt -update",
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
 		}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
@@ -110,7 +195,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(medians), *baselinePath)
+		fmt.Printf("benchgate: wrote %d benchmarks (%d with allocs/op) to %s\n", len(ns), len(allocs), *baselinePath)
 		return
 	}
 
@@ -125,44 +210,61 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(base.NsPerOp))
-	for name := range base.NsPerOp {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	nsGeo, nsCompared, nsMissing, nsWorst := compare("benchmark (ns/op)", base.NsPerOp, ns, 0)
+	fmt.Println()
+	allocGeo, allocCompared, allocMissing, allocWorst := compare("benchmark (allocs/op)", base.AllocsPerOp, allocs, 1)
+	fmt.Println()
 
-	logSum, compared, missing := 0.0, 0, 0
-	fmt.Printf("%-55s %14s %14s %8s\n", "benchmark", "baseline", "new", "ratio")
-	for _, name := range names {
-		got, ok := medians[name]
-		if !ok {
-			fmt.Printf("%-55s %14.1f %14s %8s\n", name, base.NsPerOp[name], "MISSING", "-")
-			missing++
-			continue
-		}
-		ratio := got / base.NsPerOp[name]
-		fmt.Printf("%-55s %14.1f %14.1f %7.3fx\n", name, base.NsPerOp[name], got, ratio)
-		logSum += math.Log(ratio)
-		compared++
+	fail := false
+	if nsMissing > 0 || allocMissing > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d ns/op and %d allocs/op baseline benchmark(s) missing from the run; update %s if they were renamed\n",
+			nsMissing, allocMissing, *baselinePath)
+		fail = true
 	}
-	for name := range medians {
-		if _, ok := base.NsPerOp[name]; !ok {
-			fmt.Printf("%-55s %14s %14.1f %8s  (not in baseline; run -update)\n", name, "-", medians[name], "-")
-		}
-	}
-	if missing > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d baseline benchmark(s) missing from the run; update %s if they were renamed\n", missing, *baselinePath)
-		os.Exit(1)
-	}
-	if compared == 0 {
+	if nsCompared == 0 {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL — nothing to compare")
-		os.Exit(1)
+		fail = true
 	}
-	geomean := math.Exp(logSum / float64(compared))
-	fmt.Printf("geomean ratio over %d benchmarks: %.3fx (threshold %.2fx)\n", compared, geomean, *threshold)
-	if geomean > *threshold {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean regression %.3fx exceeds %.2fx\n", geomean, *threshold)
+	fmt.Printf("geomean ns/op ratio over %d benchmarks: %.3fx (threshold %.2fx)\n", nsCompared, nsGeo, *threshold)
+	if allocCompared > 0 {
+		fmt.Printf("geomean allocs/op ratio over %d benchmarks: %.3fx (threshold %.2fx)\n", allocCompared, allocGeo, *threshold)
+	}
+	var regressed []string
+	if nsGeo > *threshold {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean ns/op regression %.3fx exceeds %.2fx\n", nsGeo, *threshold)
+		regressed = append(regressed, nsWorst...)
+		fail = true
+	}
+	if allocCompared > 0 && allocGeo > *threshold {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean allocs/op regression %.3fx exceeds %.2fx\n", allocGeo, *threshold)
+		regressed = append(regressed, allocWorst...)
+		fail = true
+	}
+	if fail {
+		if *profile && len(regressed) > 0 {
+			fmt.Fprintln(os.Stderr, "\nprofile the worst offenders:")
+			seen := map[string]bool{}
+			for _, name := range regressed {
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				fmt.Fprintf(os.Stderr, "  go test -run '^$' -bench '^%s$' -benchtime 10x -cpuprofile cpu.pprof -memprofile mem.pprof ./...\n", benchRootName(name))
+			}
+			fmt.Fprintln(os.Stderr, "  go tool pprof -top cpu.pprof   # or: -alloc_objects mem.pprof")
+		}
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: OK")
+}
+
+// benchRootName strips a sub-benchmark suffix ("BenchmarkX/depth=10") down to
+// the function name `go test -bench` can anchor on.
+func benchRootName(name string) string {
+	for i, r := range name {
+		if r == '/' {
+			return name[:i]
+		}
+	}
+	return name
 }

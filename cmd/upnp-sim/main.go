@@ -7,6 +7,7 @@
 // Usage:
 //
 //	upnp-sim [-things N] [-hops H] [-loss P] [-churn K] [-seed S] [-realtime] [-timescale X]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Flags:
 //
@@ -20,6 +21,11 @@
 //	           deterministic virtual clock)
 //	-timescale virtual seconds per wall second in -realtime mode
 //	           (default 60; 1 = true real time)
+//	-cpuprofile / -memprofile
+//	           write pprof profiles of the scenario — the quickest way to
+//	           diagnose a regression the benchgate CI gate flagged:
+//	           go run ./cmd/upnp-sim -things 100 -churn 10 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	           go tool pprof -top cpu.pprof
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"micropnp"
 )
@@ -39,11 +47,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for loss/jitter sampling")
 	realtime := flag.Bool("realtime", false, "run on the wall clock (concurrent runtime)")
 	timescale := flag.Float64("timescale", 60, "virtual seconds per wall second in -realtime mode")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the scenario to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the scenario) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upnp-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "upnp-sim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upnp-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live objects so the profile shows retention, not churn
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "upnp-sim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -317,47 +317,95 @@ func (c *Client) expire(seq uint16, p *pending) {
 	}
 }
 
+// send encodes into a pooled buffer and hands it to the network (zero-copy,
+// zero-allocation in steady state). Deliberately duplicated across client,
+// manager and thing rather than shared behind an interface — see the note in
+// netsim/packet.go.
 func (c *Client) send(dst netip.Addr, m *proto.Message) {
-	payload, err := m.Encode()
+	pb := netsim.AcquireBuf()
+	b, err := m.AppendEncode(pb.B[:0])
 	if err != nil {
+		pb.Release()
 		return
 	}
-	c.node.Send(dst, netsim.Port6030, payload)
+	pb.B = b
+	c.node.SendBuf(dst, netsim.Port6030, pb)
 }
+
+// Pending returns the number of in-flight requests (reads, writes and
+// discoveries awaiting completion). Streams pending establishment are not
+// counted.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// retract withdraws an in-flight request without firing its callback: the
+// pending entry is removed and its expiry and retransmission events are
+// cancelled. Used by the SDK when the caller's context is done — the caller
+// has already returned, so neither a late reply nor the deadline may complete
+// the request. Retracting an already-completed request is a no-op.
+func (c *Client) retract(seq uint16, p *pending) {
+	c.mu.Lock()
+	cur, ok := c.pending[seq]
+	if !ok || cur != p {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.pending, seq)
+	cancel, cancelRetx := p.cancel, p.cancelRetx
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if cancelRetx != nil {
+		cancelRetx()
+	}
+}
+
+// noRetract is returned for fire-and-forget requests with nothing to
+// withdraw.
+func noRetract() {}
 
 // Discover multicasts a peripheral discovery (message 2) to the group of
 // Things serving the given peripheral type. When done is non-nil it fires
 // once the discovery window (timeout, 0 = the default) closes, with every
 // solicited advertisement the request gathered; a nil done is
-// fire-and-forget — observe results via Adverts/Things/OnAdvert.
-func (c *Client) Discover(id hw.DeviceID, timeout time.Duration, done func([]Advert), filter ...proto.TLV) {
-	c.discoverGroup(netsim.MulticastAddr(c.prefix, id), timeout, done, filter)
+// fire-and-forget — observe results via Adverts/Things/OnAdvert. The
+// returned retract withdraws the request without firing done (see retract).
+func (c *Client) Discover(id hw.DeviceID, timeout time.Duration, done func([]Advert), filter ...proto.TLV) (retract func()) {
+	return c.discoverGroup(netsim.MulticastAddr(c.prefix, id), timeout, done, filter)
 }
 
 // DiscoverClass discovers any peripheral of a device class, regardless of
 // vendor or product — the Section 9 hierarchical-typing extension. Only
 // Things running with the structured namespace respond.
-func (c *Client) DiscoverClass(class uint8, timeout time.Duration, done func([]Advert), filter ...proto.TLV) {
-	c.Discover(hw.ClassWildcard(class), timeout, done, filter...)
+func (c *Client) DiscoverClass(class uint8, timeout time.Duration, done func([]Advert), filter ...proto.TLV) (retract func()) {
+	return c.Discover(hw.ClassWildcard(class), timeout, done, filter...)
 }
 
 // DiscoverInZone discovers a peripheral type within a location zone — the
 // Section 9 location-aware multicast extension. Only Things placed in the
 // zone receive the discovery.
-func (c *Client) DiscoverInZone(zone uint16, id hw.DeviceID, timeout time.Duration, done func([]Advert), filter ...proto.TLV) {
-	c.discoverGroup(netsim.MulticastAddrZone(c.prefix, zone, id), timeout, done, filter)
+func (c *Client) DiscoverInZone(zone uint16, id hw.DeviceID, timeout time.Duration, done func([]Advert), filter ...proto.TLV) (retract func()) {
+	return c.discoverGroup(netsim.MulticastAddrZone(c.prefix, zone, id), timeout, done, filter)
 }
 
-func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done func([]Advert), filter []proto.TLV) {
+func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done func([]Advert), filter []proto.TLV) (retract func()) {
 	var seq uint16
+	retract = noRetract
 	if done != nil {
-		seq = c.register(&pending{kind: pendingDiscover, onDiscover: done}, timeout)
+		p := &pending{kind: pendingDiscover, onDiscover: done}
+		seq = c.register(p, timeout)
+		retract = func() { c.retract(seq, p) }
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
 	c.send(group, &proto.Message{Type: proto.MsgDiscovery, Seq: seq, Filter: filter})
+	return retract
 }
 
 // Read requests a single value from a peripheral (messages 10/11). The
@@ -365,13 +413,16 @@ func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done fun
 // ErrTimeout when no reply arrives within the timeout (0 = the default),
 // ErrNoPeripheral when the Thing serves no such device, or a decode error
 // for a malformed reply. With a RetryPolicy configured, unanswered requests
-// are retransmitted with backoff inside the deadline.
-func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func([]int32, error)) {
+// are retransmitted with backoff inside the deadline. The returned retract
+// withdraws the request without firing cb (see retract).
+func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func([]int32, error)) (retract func()) {
 	var seq uint16
 	var p *pending
+	retract = noRetract
 	if cb != nil {
 		p = &pending{kind: pendingRead, thing: thing, id: id, onRead: cb}
 		seq = c.register(p, timeout)
+		retract = func() { c.retract(seq, p) }
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
@@ -379,7 +430,13 @@ func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, c
 	}
 	m := &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id}
 	c.send(thing, m)
-	c.armRetransmit(seq, p, thing, m, 1)
+	// Guarded here, not inside armRetransmit: without retries the message
+	// then never escapes into a retransmission closure, keeping the hot
+	// request path free of that allocation.
+	if p != nil && c.retry.enabled() {
+		c.armRetransmit(seq, p, thing, m, 1)
+	}
+	return retract
 }
 
 // Write sends a value to a peripheral, e.g. an actuator (messages 16/17).
@@ -388,13 +445,16 @@ func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, c
 // RetryPolicy configured, unanswered requests are retransmitted with
 // backoff inside the deadline. Writes are assumed idempotent at the Thing
 // (the driver re-applies the same values); callers for whom duplicate
-// application matters should not enable retries.
-func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout time.Duration, cb func(error)) {
+// application matters should not enable retries. The returned retract
+// withdraws the request without firing cb (see retract).
+func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout time.Duration, cb func(error)) (retract func()) {
 	var seq uint16
 	var p *pending
+	retract = noRetract
 	if cb != nil {
 		p = &pending{kind: pendingWrite, onWrite: cb}
 		seq = c.register(p, timeout)
+		retract = func() { c.retract(seq, p) }
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
@@ -402,7 +462,10 @@ func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout t
 	}
 	m := &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)}
 	c.send(thing, m)
-	c.armRetransmit(seq, p, thing, m, 1)
+	if p != nil && c.retry.enabled() {
+		c.armRetransmit(seq, p, thing, m, 1)
+	}
+	return retract
 }
 
 // armRetransmit schedules the attempt-th retransmission of an unanswered
@@ -605,9 +668,13 @@ func (c *Client) groupStillNeededLocked(group netip.Addr) bool {
 	return false
 }
 
-// handle processes incoming protocol messages.
+// handle processes incoming protocol messages. Decoding borrows a pooled
+// Decoder — the decoded message (and msg.Payload it aliases) is valid only
+// within this call, so anything retained (adverts) is cloned.
 func (c *Client) handle(msg netsim.Message) {
-	m, err := proto.Decode(msg.Payload)
+	dec := proto.AcquireDecoder()
+	defer proto.ReleaseDecoder(dec)
+	m, err := dec.Decode(msg.Payload)
 	if err != nil {
 		return
 	}
@@ -774,7 +841,10 @@ func (c *Client) handleAdvert(msg netsim.Message, m *proto.Message) {
 	cb := c.onAdvert
 	var fired []Advert
 	for _, p := range m.Peripherals {
-		a := Advert{Thing: msg.Src, Peripheral: p, Solicited: solicited, At: c.net.Now()}
+		// Clone: the decoded TLVs alias the datagram buffer, which the
+		// network recycles after this handler returns, while adverts are
+		// retained indefinitely.
+		a := Advert{Thing: msg.Src, Peripheral: p.Clone(), Solicited: solicited, At: c.net.Now()}
 		c.adverts = append(c.adverts, a)
 		if u, ok := p.TLVString(proto.TLVUnits); ok {
 			c.units[p.ID] = u

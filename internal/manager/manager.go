@@ -168,63 +168,111 @@ func (m *Manager) expire(seq uint16, req *mgmtReq) {
 	}
 }
 
+// send is deliberately duplicated across client, manager and thing rather
+// than shared behind an interface — see the note in netsim/packet.go.
 func (m *Manager) send(dst netip.Addr, msg *proto.Message) {
-	payload, err := msg.Encode()
+	pb := netsim.AcquireBuf()
+	b, err := msg.AppendEncode(pb.B[:0])
 	if err != nil {
+		pb.Release()
 		return
 	}
-	m.node.Send(dst, netsim.Port6030, payload)
+	pb.B = b
+	m.node.SendBuf(dst, netsim.Port6030, pb)
 }
+
+// Pending returns the number of in-flight management requests.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// retract withdraws an in-flight management request without firing its
+// callback (the SDK uses it when the caller's context is done). Retracting a
+// completed request is a no-op.
+func (m *Manager) retract(seq uint16, req *mgmtReq) {
+	m.mu.Lock()
+	cur, ok := m.pending[seq]
+	if !ok || cur != req {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.pending, seq)
+	cancel := req.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// noRetract is returned for fire-and-forget requests.
+func noRetract() {}
 
 // DiscoverDrivers queries a Thing for its installed drivers (messages 6/7).
 // The callback fires exactly once: with the advertised driver list, or with
 // reqerr.ErrTimeout when no advertisement arrives within the timeout
 // (0 = DefaultTimeout). A nil callback sends fire-and-forget.
-func (m *Manager) DiscoverDrivers(thing netip.Addr, timeout time.Duration, cb func([]hw.DeviceID, error)) {
+func (m *Manager) DiscoverDrivers(thing netip.Addr, timeout time.Duration, cb func([]hw.DeviceID, error)) (retract func()) {
 	var seq uint16
+	retract = noRetract
 	if cb != nil {
-		seq = m.register(&mgmtReq{thing: thing, onDiscover: cb}, timeout)
+		req := &mgmtReq{thing: thing, onDiscover: cb}
+		seq = m.register(req, timeout)
+		retract = func() { m.retract(seq, req) }
 	} else {
 		seq = m.nextSeq()
 	}
 	m.send(thing, &proto.Message{Type: proto.MsgDriverDiscovery, Seq: seq})
+	return retract
 }
 
 // RemoveDriver removes a driver from a Thing (messages 8/9). The callback
 // fires exactly once: nil on acknowledgement, reqerr.ErrRemovalRejected on
 // a negative acknowledgement, reqerr.ErrTimeout on expiry. A nil callback
 // sends fire-and-forget.
-func (m *Manager) RemoveDriver(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func(error)) {
+func (m *Manager) RemoveDriver(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func(error)) (retract func()) {
 	var seq uint16
+	retract = noRetract
 	if cb != nil {
-		seq = m.register(&mgmtReq{thing: thing, onRemoval: cb}, timeout)
+		req := &mgmtReq{thing: thing, onRemoval: cb}
+		seq = m.register(req, timeout)
+		retract = func() { m.retract(seq, req) }
 	} else {
 		seq = m.nextSeq()
 	}
 	m.send(thing, &proto.Message{Type: proto.MsgDriverRemovalReq, Seq: seq, DeviceID: id})
+	return retract
 }
 
-// handle processes protocol messages addressed to the manager.
+// handle processes protocol messages addressed to the manager. Decoding
+// borrows a pooled Decoder; anything retained past this call (the driver
+// lists) is copied.
 func (m *Manager) handle(msg netsim.Message) {
-	pm, err := proto.Decode(msg.Payload)
+	dec := proto.AcquireDecoder()
+	defer proto.ReleaseDecoder(dec)
+	pm, err := dec.Decode(msg.Payload)
 	if err != nil {
 		return
 	}
 	switch pm.Type {
 	case proto.MsgDriverInstallReq:
 		// Charge the repository lookup, then upload if we hold the driver.
+		// The decoded message is borrowed scratch — copy the scalars the
+		// deferred closure needs.
+		id, seq, src := pm.DeviceID, pm.Seq, msg.Src
 		m.net.Schedule(CostLookup, func() {
-			entry, ok := m.repo.Lookup(pm.DeviceID)
+			entry, ok := m.repo.Lookup(id)
 			if !ok {
 				return
 			}
 			m.mu.Lock()
 			m.uploads++
 			m.mu.Unlock()
-			m.send(msg.Src, &proto.Message{
+			m.send(src, &proto.Message{
 				Type:     proto.MsgDriverUpload,
-				Seq:      pm.Seq,
-				DeviceID: pm.DeviceID,
+				Seq:      seq,
+				DeviceID: id,
 				Driver:   entry.Bytecode,
 			})
 		})
@@ -233,8 +281,9 @@ func (m *Manager) handle(msg netsim.Message) {
 		// Only a discovery entry may be completed: a stale advert whose
 		// sequence number was recycled for a removal must not swallow the
 		// removal's pending entry.
+		drivers := append([]hw.DeviceID(nil), pm.Drivers...)
 		m.mu.Lock()
-		m.discovered[msg.Src] = append([]hw.DeviceID(nil), pm.Drivers...)
+		m.discovered[msg.Src] = drivers
 		req := m.pending[pm.Seq]
 		match := req != nil && req.onDiscover != nil && req.thing == msg.Src
 		var cancel func()
@@ -247,7 +296,7 @@ func (m *Manager) handle(msg netsim.Message) {
 			if cancel != nil {
 				cancel()
 			}
-			req.onDiscover(pm.Drivers, nil)
+			req.onDiscover(drivers, nil)
 		}
 
 	case proto.MsgDriverRemovalAck:

@@ -62,6 +62,46 @@ func BenchmarkNetsimScheduleCancel(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnReplan measures the cost of keeping a warm SMRF plan valid
+// across group churn: one op is `churnBatch` leave+join cycles of a single
+// member, each followed by a plan access (the freshness cost a sender pays on
+// its next multicast). With incremental plan maintenance this is O(depth) per
+// cycle — flat as the group grows — where whole-plan invalidation rebuilt
+// O(members × depth) state per cycle. Gated in CI on ns/op and allocs/op.
+func BenchmarkChurnReplan(b *testing.B) {
+	const churnBatch = 64
+	for _, count := range []int{1_000, 5_000} {
+		b.Run(fmt.Sprintf("members=%d", count), func(b *testing.B) {
+			n := New(Config{})
+			nodes := benchTree(b, n, count)
+			group := MulticastAddr(PrefixFromAddr(nodes[0].Addr()), 0xad1cbe01)
+			for _, nd := range nodes[1:] {
+				nd.JoinGroup(group)
+			}
+			churn := nodes[len(nodes)-1] // a leaf: deepest splice path
+			// Warm the (root, group) plan once; churn must keep it valid.
+			n.topoMu.RLock()
+			n.multicastPlan(nodes[0], group)
+			n.topoMu.RUnlock()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < churnBatch; j++ {
+					churn.LeaveGroup(group)
+					churn.JoinGroup(group)
+					n.topoMu.RLock()
+					plan := n.multicastPlan(nodes[0], group)
+					n.topoMu.RUnlock()
+					if len(plan.targets) != count-1 {
+						b.Fatalf("plan has %d targets, want %d", len(plan.targets), count-1)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*churnBatch), "ns/churn")
+		})
+	}
+}
+
 // benchTree builds an n-node 4-ary tree and returns the nodes (index 0 is
 // the root).
 func benchTree(b *testing.B, n *Network, count int) []*Node {

@@ -44,11 +44,40 @@ const (
 	evFired
 )
 
+// scheduled is one queued event: either a plain closure (fn) or a pooled
+// packet delivery (del) — the typed variant lets the hot path schedule a
+// delivery without allocating a closure per datagram copy.
+//
+// Events are recycled along two paths. Plain events (Schedule, deliveries)
+// go through the global scheduledPool: nothing references them after they
+// fire. Cancelable events instead return to their heap's freelist: their
+// cancel closure retains the pointer indefinitely, so they must never
+// migrate to another clock (a stale cancel would race the new owner's lock),
+// and reuse is guarded by the generation counter — a recycled event's gen no
+// longer matches the one the stale cancel captured, making it a no-op.
 type scheduled struct {
 	at    time.Duration
 	seq   int
 	fn    func()
+	del   *delivery
 	state eventState
+	// poolable marks plain events (global pool); cancelable events carry
+	// gen/next for the per-heap freelist instead.
+	poolable bool
+	gen      uint64
+	next     *scheduled
+}
+
+var scheduledPool = sync.Pool{New: func() any { return new(scheduled) }}
+
+// recycleEvent returns a fired poolable event to the global pool. The caller
+// must hold the only remaining reference.
+func recycleEvent(ev *scheduled) {
+	if !ev.poolable {
+		return
+	}
+	*ev = scheduled{}
+	scheduledPool.Put(ev)
 }
 
 // eventQueue is a binary min-heap of events ordered by (at, seq); the seq
@@ -85,20 +114,69 @@ type eventHeap struct {
 	queue eventQueue
 	dead  int // cancelled events still in the heap (lazy deletion)
 	seq   int // tiebreaker for stable ordering
+	// free is the intrusive freelist of retired cancelable events. Bounded
+	// by the high-water mark of concurrently pending cancelables.
+	free *scheduled
 }
 
-// pushAt inserts an event at an absolute virtual timestamp.
+// pushAt inserts a plain (non-cancelable) event at an absolute virtual
+// timestamp; it is recycled through the global pool once fired.
 func (h *eventHeap) pushAt(at time.Duration, fn func()) *scheduled {
+	ev := scheduledPool.Get().(*scheduled)
 	h.seq++
-	ev := &scheduled{at: at, seq: h.seq, fn: fn}
+	ev.at, ev.seq, ev.fn, ev.del = at, h.seq, fn, nil
+	ev.state, ev.poolable = evPending, true
 	heap.Push(&h.queue, ev)
 	return ev
 }
 
+// pushDeliveryAt inserts a pooled packet delivery (plain, globally pooled).
+func (h *eventHeap) pushDeliveryAt(at time.Duration, del *delivery) {
+	ev := scheduledPool.Get().(*scheduled)
+	h.seq++
+	ev.at, ev.seq, ev.fn, ev.del = at, h.seq, nil, del
+	ev.state, ev.poolable = evPending, true
+	heap.Push(&h.queue, ev)
+}
+
+// pushCancelableAt inserts a cancelable event, reusing the heap's freelist.
+// The returned generation must be captured by the cancel closure and passed
+// back to cancel: it is what makes a stale cancel of a recycled event a
+// no-op.
+func (h *eventHeap) pushCancelableAt(at time.Duration, fn func()) (*scheduled, uint64) {
+	ev := h.free
+	if ev != nil {
+		h.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &scheduled{}
+	}
+	h.seq++
+	ev.at, ev.seq, ev.fn, ev.del = at, h.seq, fn, nil
+	ev.state, ev.poolable = evPending, false
+	heap.Push(&h.queue, ev)
+	return ev, ev.gen
+}
+
+// retire recycles an event that left the queue (fired or discarded while
+// cancelled). Cancelable events return to the freelist with their generation
+// bumped; plain events are left for the caller to hand to the global pool
+// once outside the clock lock.
+func (h *eventHeap) retire(ev *scheduled) {
+	if ev.poolable {
+		return
+	}
+	ev.gen++
+	ev.fn = nil
+	ev.next = h.free
+	h.free = ev
+}
+
 // cancel marks a pending event dead and compacts when dead events dominate.
-// It reports whether the event was still pending.
-func (h *eventHeap) cancel(ev *scheduled) bool {
-	if ev.state != evPending {
+// It reports whether the event was still pending; a generation mismatch
+// (the event was recycled since this cancel handle was made) is a no-op.
+func (h *eventHeap) cancel(ev *scheduled, gen uint64) bool {
+	if ev.gen != gen || ev.state != evPending {
 		return false
 	}
 	ev.state = evCancelled
@@ -118,6 +196,8 @@ func (h *eventHeap) compact() {
 	for _, ev := range h.queue {
 		if ev.state == evPending {
 			live = append(live, ev)
+		} else {
+			h.retire(ev)
 		}
 	}
 	for i := len(live); i < len(h.queue); i++ {
@@ -128,13 +208,15 @@ func (h *eventHeap) compact() {
 	h.dead = 0
 }
 
-// pop removes and returns the next live event, discarding cancelled ones, or
-// nil when the queue is drained.
+// pop removes and returns the next live event, discarding (and retiring)
+// cancelled ones, or nil when the queue is drained. The caller extracts
+// fn/del and retires the fired event under the clock lock before running it.
 func (h *eventHeap) pop() *scheduled {
 	for len(h.queue) > 0 {
 		ev := heap.Pop(&h.queue).(*scheduled)
 		if ev.state == evCancelled {
 			h.dead--
+			h.retire(ev)
 			continue
 		}
 		ev.state = evFired
@@ -153,6 +235,7 @@ func (h *eventHeap) peek() *scheduled {
 		}
 		heap.Pop(&h.queue)
 		h.dead--
+		h.retire(ev)
 	}
 	return nil
 }
@@ -187,6 +270,13 @@ func (c *VirtualClock) Schedule(delay time.Duration, fn func()) {
 	c.eh.pushAt(c.now+delay, fn)
 }
 
+// scheduleDelivery queues a pooled packet delivery at Now()+delay.
+func (c *VirtualClock) scheduleDelivery(delay time.Duration, del *delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eh.pushDeliveryAt(c.now+delay, del)
+}
+
 // ScheduleCancelable runs fn at Now()+delay and returns a cancel function.
 // A cancelled event is dropped entirely: it neither runs nor advances the
 // clock to its timestamp — request deadlines use this so completed
@@ -196,12 +286,12 @@ func (c *VirtualClock) Schedule(delay time.Duration, fn func()) {
 // events dominate, so cancelled entries do not pin the backing array.
 func (c *VirtualClock) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
 	c.mu.Lock()
-	ev := c.eh.pushAt(c.now+delay, fn)
+	ev, gen := c.eh.pushCancelableAt(c.now+delay, fn)
 	c.mu.Unlock()
 	return func() {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		c.eh.cancel(ev)
+		c.eh.cancel(ev, gen)
 	}
 }
 
@@ -220,10 +310,19 @@ func (c *VirtualClock) Step() bool {
 	if ev.at > c.now {
 		c.now = ev.at
 	}
-	fn := ev.fn
-	ev.fn = nil
+	fn, del := ev.fn, ev.del
+	ev.fn, ev.del = nil, nil
+	pool := ev.poolable
+	c.eh.retire(ev)
 	c.mu.Unlock()
-	fn()
+	if pool {
+		recycleEvent(ev)
+	}
+	if del != nil {
+		del.run()
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -259,10 +358,19 @@ func (c *VirtualClock) RunUntil(deadline time.Duration) int {
 		if ev.at > c.now {
 			c.now = ev.at
 		}
-		fn := ev.fn
-		ev.fn = nil
+		fn, del := ev.fn, ev.del
+		ev.fn, ev.del = nil, nil
+		pool := ev.poolable
+		c.eh.retire(ev)
 		c.mu.Unlock()
-		fn()
+		if pool {
+			recycleEvent(ev)
+		}
+		if del != nil {
+			del.run()
+		} else {
+			fn()
+		}
 		steps++
 	}
 }

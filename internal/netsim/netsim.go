@@ -14,16 +14,22 @@
 // in-flight requests concurrently.
 //
 // The implementation is built to stay fast at thousands of nodes and many
-// concurrent handlers: the event queue is a binary heap with lazy deletion
-// (Schedule and Step are O(log n), cancelled events are skipped on pop and
-// compacted away when they dominate the queue), multicast sends consult a
-// per-group membership index instead of scanning every node, and tree routes
-// (per-pair paths, edge sets and anycast distances) are cached with
-// invalidation on AddNode/JoinGroup/LeaveGroup. The former single Network
-// mutex is sharded by role — topology (RWMutex, read-mostly after setup),
-// route caches (RWMutex, double-checked fills), loss/jitter sampling, atomic
-// stats counters, and the clock's own lock — so concurrent handlers do not
-// serialize on one lock.
+// concurrent handlers, and to keep the steady-state message path free of
+// heap allocations: payloads travel in pooled refcounted buffers with
+// explicit ownership hand-off (see Buf and SendBuf; handlers borrow
+// Message.Payload for the duration of the call), deliveries are pooled typed
+// events rather than per-datagram closures, the event queue is a binary heap
+// with lazy deletion (Schedule and Step are O(log n), cancelled events are
+// skipped on pop, compacted away when they dominate the queue, and recycled
+// through a per-clock freelist guarded by generation counters), multicast
+// sends consult a per-group membership index instead of scanning every node,
+// and tree routes are cached — per-pair hop distances, and per-(group,src)
+// SMRF plans that group churn maintains incrementally (JoinGroup/LeaveGroup
+// splice the member's path in O(depth) against a refcounted edge union)
+// rather than invalidating. Locks are sharded by role — topology (RWMutex,
+// read-mostly after setup), the per-group plan stripes, the distance cache,
+// loss/jitter sampling, atomic stats counters, and the clock's own lock — so
+// concurrent handlers do not serialize on one lock.
 package netsim
 
 import (
@@ -75,9 +81,12 @@ func PacketDelay(payloadBytes int, multicast bool) time.Duration {
 
 // Message is a UDP datagram in flight or delivered.
 type Message struct {
-	Src     netip.Addr
-	Dst     netip.Addr
-	Port    uint16
+	Src  netip.Addr
+	Dst  netip.Addr
+	Port uint16
+	// Payload is BORROWED by handlers: the bytes live in a pooled buffer the
+	// network recycles as soon as the handler returns (multicast receivers
+	// share one buffer). Handlers that retain payload bytes must copy them.
 	Payload []byte
 	// Hops the datagram traversed (filled at delivery).
 	Hops int
@@ -86,7 +95,7 @@ type Message struct {
 // Handler consumes a delivered datagram. Under the realtime clock handlers
 // for independent deliveries run concurrently on pool workers; handlers must
 // therefore be safe for concurrent use when the network runs in realtime
-// mode.
+// mode. Message.Payload is only valid for the duration of the call.
 type Handler func(Message)
 
 // Config tunes the simulated network.
@@ -170,19 +179,30 @@ type Network struct {
 	// members, never the full node table.
 	members map[netip.Addr]map[*Node]struct{}
 
-	// routeMu guards the route caches (double-checked fill: readers take
-	// the read lock, cache misses upgrade). Parent links are immutable
-	// after AddNode, but both caches are invalidated on AddNode (new
-	// backbone roots change the disjoint-tree synthetic paths); plans are
-	// additionally invalidated per group on JoinGroup/LeaveGroup. Per-pair
-	// edge lists are NOT cached: they are only consumed while building a
-	// plan, and retaining them would pin O(members x depth) memory on deep
-	// topologies. Lock order is always topoMu before routeMu.
-	routeMu sync.RWMutex
+	// Route caches. Parent links are immutable after AddNode; both caches
+	// are flushed on AddNode (new backbone roots change the disjoint-tree
+	// synthetic paths). distMu guards the per-pair hop-count cache
+	// (double-checked fill, a leaf lock). plansMu guards only the
+	// group→groupPlans table; each group carries its own lock, so realtime
+	// plan warmup for different groups never serializes on one mutex.
+	// Group churn (JoinGroup/LeaveGroup) no longer invalidates plans: the
+	// member's path is spliced into or out of every cached plan of the
+	// group incrementally (O(depth) per cached source, not
+	// O(members × depth) rebuilds). Lock order: topoMu → plansMu →
+	// groupPlans.mu → distMu.
+	distMu  sync.RWMutex
 	dists   map[nodePair]int
-	plans   map[netip.Addr]map[*Node]*mcastPlan
+	plansMu sync.RWMutex
+	plans   map[netip.Addr]*groupPlans
 
 	stats counters
+}
+
+// groupPlans is one group's stripe of the plan cache: the per-source SMRF
+// dissemination plans plus the lock that guards them.
+type groupPlans struct {
+	mu    sync.RWMutex
+	bySrc map[*Node]*mcastPlan
 }
 
 // New creates an empty network running on the clock Config selects: the
@@ -200,7 +220,7 @@ func New(cfg Config) *Network {
 		anycast: map[netip.Addr][]*Node{},
 		members: map[netip.Addr]map[*Node]struct{}{},
 		dists:   map[nodePair]int{},
-		plans:   map[netip.Addr]map[*Node]*mcastPlan{},
+		plans:   map[netip.Addr]*groupPlans{},
 	}
 	if cfg.Realtime {
 		n.rclock = NewRealtimeClock(RealtimeConfig{TimeScale: cfg.TimeScale, Workers: cfg.Workers})
@@ -270,12 +290,15 @@ func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
 // invalidateRoutes drops every cached route (topoMu held, so no plan builder
 // can interleave). Topology only grows, but conservatively flushing on
 // AddNode keeps the caches trivially correct and costs nothing in steady
-// state (nodes are added once, messages flow forever after).
+// state (nodes are added once, messages flow forever after). Group churn
+// does NOT come through here — it splices plans incrementally.
 func (n *Network) invalidateRoutes() {
-	n.routeMu.Lock()
+	n.distMu.Lock()
 	clear(n.dists)
+	n.distMu.Unlock()
+	n.plansMu.Lock()
 	clear(n.plans)
-	n.routeMu.Unlock()
+	n.plansMu.Unlock()
 }
 
 // Addr returns the node's unicast address.
@@ -291,7 +314,10 @@ func (nd *Node) Bind(port uint16, h Handler) {
 	nd.handlers[port] = h
 }
 
-// JoinGroup subscribes the node to a multicast group.
+// JoinGroup subscribes the node to a multicast group. Cached SMRF plans for
+// the group are maintained incrementally: the new member's tree path is
+// spliced into every cached per-source plan (O(depth) each) instead of
+// invalidating and rebuilding them from all members.
 func (nd *Node) JoinGroup(g netip.Addr) {
 	n := nd.net
 	n.topoMu.Lock()
@@ -306,12 +332,11 @@ func (nd *Node) JoinGroup(g netip.Addr) {
 		n.members[g] = set
 	}
 	set[nd] = struct{}{}
-	n.routeMu.Lock()
-	delete(n.plans, g)
-	n.routeMu.Unlock()
+	n.spliceMember(g, nd, true)
 }
 
-// LeaveGroup unsubscribes the node.
+// LeaveGroup unsubscribes the node, splicing its path out of every cached
+// plan of the group.
 func (nd *Node) LeaveGroup(g netip.Addr) {
 	n := nd.net
 	n.topoMu.Lock()
@@ -326,9 +351,32 @@ func (nd *Node) LeaveGroup(g netip.Addr) {
 			delete(n.members, g)
 		}
 	}
-	n.routeMu.Lock()
-	delete(n.plans, g)
-	n.routeMu.Unlock()
+	n.spliceMember(g, nd, false)
+}
+
+// spliceMember applies one membership change to every cached plan of the
+// group. Caller holds topoMu (write), which excludes all senders and plan
+// builders; the group's own lock is still taken to order the write against
+// the striped readers' memory model.
+func (n *Network) spliceMember(g netip.Addr, nd *Node, add bool) {
+	n.plansMu.RLock()
+	gp := n.plans[g]
+	n.plansMu.RUnlock()
+	if gp == nil {
+		return
+	}
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	for src, plan := range gp.bySrc {
+		if src == nd {
+			continue // a plan never targets its own source
+		}
+		if add {
+			plan.addMember(n, src, nd)
+		} else {
+			plan.removeMember(n, src, nd)
+		}
+	}
 }
 
 // InGroup reports group membership.
@@ -368,24 +416,29 @@ func treeDistance(a, b *Node) int {
 // distance is treeDistance through the per-pair cache (anycast
 // nearest-member selection runs it for every member on every request).
 // Callers hold topoMu (read or write); the cache fill double-checks under
-// routeMu so concurrent senders race benignly on identical values.
+// distMu so concurrent senders race benignly on identical values.
 func (n *Network) distance(a, b *Node) int {
 	if a == b {
 		return 0
 	}
 	key := nodePair{a, b}
-	n.routeMu.RLock()
+	n.distMu.RLock()
 	d, ok := n.dists[key]
-	n.routeMu.RUnlock()
+	n.distMu.RUnlock()
 	if ok {
 		return d
 	}
 	d = treeDistance(a, b)
-	n.routeMu.Lock()
-	n.dists[key] = d
-	n.dists[nodePair{b, a}] = d
-	n.routeMu.Unlock()
+	n.warmDist(a, b, d)
 	return d
+}
+
+// warmDist stores a known pair distance in both directions.
+func (n *Network) warmDist(a, b *Node, d int) {
+	n.distMu.Lock()
+	n.dists[nodePair{a, b}] = d
+	n.dists[nodePair{b, a}] = d
+	n.distMu.Unlock()
 }
 
 // pathEntry is one computed tree route: hop count plus the ordered edge
@@ -441,12 +494,15 @@ func buildPath(src, dst *Node) *pathEntry {
 	return e
 }
 
-// mcastPlan is a cached SMRF dissemination: the member targets with their
-// hop counts, and the size of the union of path edges (the per-send
-// transmission count under duplicate suppression).
+// mcastPlan is a cached SMRF dissemination for one (group, source) pair: the
+// member targets with their hop counts, an index for O(1) membership splices,
+// and the reference-counted union of path edges (its size is the per-send
+// transmission count under duplicate suppression; the counts let a member's
+// path be removed without recomputing the union).
 type mcastPlan struct {
-	targets []mcastTarget
-	edges   int
+	targets  []mcastTarget
+	index    map[*Node]int    // member -> position in targets
+	edgeRefs map[[2]*Node]int // path edge -> member paths crossing it
 }
 
 type mcastTarget struct {
@@ -454,42 +510,103 @@ type mcastTarget struct {
 	hops int
 }
 
+// addMember splices one member's path into the plan: O(path depth). The
+// caller holds topoMu (write) and the group's plan lock.
+func (p *mcastPlan) addMember(n *Network, src, member *Node) {
+	if _, dup := p.index[member]; dup {
+		return
+	}
+	pe := buildPath(src, member)
+	for _, e := range pe.edges {
+		p.edgeRefs[e]++
+	}
+	p.index[member] = len(p.targets)
+	p.targets = append(p.targets, mcastTarget{node: member, hops: pe.hops})
+	n.warmDist(src, member, pe.hops)
+}
+
+// removeMember splices one member's path out of the plan: O(path depth),
+// with a swap-remove of the target entry. Parent links are immutable, so
+// the path walked here is the same one addMember (or the initial build)
+// counted in.
+func (p *mcastPlan) removeMember(n *Network, src, member *Node) {
+	i, ok := p.index[member]
+	if !ok {
+		return
+	}
+	pe := buildPath(src, member)
+	for _, e := range pe.edges {
+		if c := p.edgeRefs[e] - 1; c == 0 {
+			delete(p.edgeRefs, e)
+		} else {
+			p.edgeRefs[e] = c
+		}
+	}
+	last := len(p.targets) - 1
+	p.targets[i] = p.targets[last]
+	p.targets[last] = mcastTarget{}
+	p.targets = p.targets[:last]
+	if i < last {
+		p.index[p.targets[i].node] = i
+	}
+	delete(p.index, member)
+}
+
 // multicastPlan returns the cached (group, src) dissemination plan, building
-// it from the membership index on first use. Targets are ordered by
-// (hops, address) so same-timestamp deliveries are deterministic. The caller
-// holds topoMu.RLock (so membership cannot change underneath); the build
-// runs under the routeMu write lock with a double-check.
+// it from the membership index on first use. The caller holds topoMu.RLock
+// (so membership cannot change underneath); lookups and builds take only the
+// group's own stripe lock, so concurrent warmup of different groups does not
+// serialize. Target order is deterministic — (hops, address) at build time,
+// append/swap-remove order across splices — which keeps virtual-clock runs
+// reproducible.
 func (n *Network) multicastPlan(src *Node, group netip.Addr) *mcastPlan {
-	n.routeMu.RLock()
-	plan := n.plans[group][src]
-	n.routeMu.RUnlock()
+	n.plansMu.RLock()
+	gp := n.plans[group]
+	n.plansMu.RUnlock()
+	if gp == nil {
+		n.plansMu.Lock()
+		gp = n.plans[group]
+		if gp == nil {
+			gp = &groupPlans{bySrc: map[*Node]*mcastPlan{}}
+			n.plans[group] = gp
+		}
+		n.plansMu.Unlock()
+	}
+	gp.mu.RLock()
+	plan := gp.bySrc[src]
+	gp.mu.RUnlock()
 	if plan != nil {
 		return plan
 	}
-	n.routeMu.Lock()
-	defer n.routeMu.Unlock()
-	if plan := n.plans[group][src]; plan != nil {
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	if plan := gp.bySrc[src]; plan != nil {
 		return plan
 	}
-	plan = &mcastPlan{}
-	edgeSet := map[[2]*Node]struct{}{}
+	plan = n.buildPlan(src, group)
+	gp.bySrc[src] = plan
+	return plan
+}
+
+// buildPlan computes a full (group, src) plan from the membership index.
+// Caller holds topoMu (read or write) and the group's plan write lock.
+func (n *Network) buildPlan(src *Node, group netip.Addr) *mcastPlan {
+	plan := &mcastPlan{
+		index:    map[*Node]int{},
+		edgeRefs: map[[2]*Node]int{},
+	}
 	for member := range n.members[group] {
 		if member == src {
 			continue
 		}
 		p := buildPath(src, member)
 		for _, edge := range p.edges {
-			edgeSet[edge] = struct{}{}
+			plan.edgeRefs[edge]++
 		}
 		plan.targets = append(plan.targets, mcastTarget{node: member, hops: p.hops})
 		// The walk already knows the distance; warm the unicast cache too.
-		key := nodePair{src, member}
-		if _, ok := n.dists[key]; !ok {
-			n.dists[key] = p.hops
-			n.dists[nodePair{member, src}] = p.hops
-		}
+		n.warmDist(src, member, p.hops)
 	}
-	plan.edges = len(edgeSet)
 	sort.Slice(plan.targets, func(i, j int) bool {
 		a, b := plan.targets[i], plan.targets[j]
 		if a.hops != b.hops {
@@ -497,12 +614,9 @@ func (n *Network) multicastPlan(src *Node, group netip.Addr) *mcastPlan {
 		}
 		return a.node.addr.Less(b.node.addr)
 	})
-	bySrc := n.plans[group]
-	if bySrc == nil {
-		bySrc = map[*Node]*mcastPlan{}
-		n.plans[group] = bySrc
+	for i, t := range plan.targets {
+		plan.index[t.node] = i
 	}
-	bySrc[src] = plan
 	return plan
 }
 
@@ -510,15 +624,29 @@ func (n *Network) multicastPlan(src *Node, group netip.Addr) *mcastPlan {
 // (ff00::/8) is SMRF-disseminated to all group members; anycast addresses
 // reach the nearest registered member. Send is safe for concurrent use;
 // concurrent senders share the topology as readers.
+//
+// The payload is copied into a pooled buffer (the caller keeps ownership of
+// its slice); hot paths that can hand ownership over should encode straight
+// into an AcquireBuf buffer and use SendBuf instead.
 func (nd *Node) Send(dst netip.Addr, port uint16, payload []byte) {
+	pb := AcquireBuf()
+	pb.B = append(pb.B, payload...)
+	nd.SendBuf(dst, port, pb)
+}
+
+// SendBuf transmits a pooled payload buffer, taking ownership: the network
+// releases the buffer after the final delivery handler returned (or on
+// loss), so the caller must not touch pb afterwards. See Buf for the full
+// ownership discipline.
+func (nd *Node) SendBuf(dst netip.Addr, port uint16, pb *Buf) {
 	n := nd.net
 	n.topoMu.RLock()
 	defer n.topoMu.RUnlock()
-	msg := Message{Src: nd.addr, Dst: dst, Port: port, Payload: append([]byte(nil), payload...)}
+	msg := Message{Src: nd.addr, Dst: dst, Port: port, Payload: pb.B}
 	switch {
 	case dst.IsMulticast():
 		n.stats.multicastSent.Add(1)
-		n.sendMulticast(nd, msg)
+		n.sendMulticast(nd, msg, pb)
 	default:
 		n.stats.unicastSent.Add(1)
 		if members := n.anycast[dst]; len(members) > 0 {
@@ -529,34 +657,71 @@ func (nd *Node) Send(dst netip.Addr, port uint16, payload []byte) {
 					best, bestD = m, d
 				}
 			}
-			n.deliver(nd, best, msg, bestD, false)
+			n.deliver(nd, best, msg, pb, bestD, false)
 			return
 		}
 		target, ok := n.nodes[dst]
 		if !ok {
 			n.stats.lost.Add(1)
+			pb.Release()
 			return
 		}
-		n.deliver(nd, target, msg, n.distance(nd, target), false)
+		n.deliver(nd, target, msg, pb, n.distance(nd, target), false)
 	}
 }
 
 // sendMulticast implements SMRF-style dissemination: the datagram travels
 // the tree from the source; every edge on the union of paths to the members
 // is one transmission (duplicate suppression, the key SMRF property versus
-// naive flooding). Caller holds topoMu.RLock.
-func (n *Network) sendMulticast(src *Node, msg Message) {
+// naive flooding). The fan-out shares one payload buffer, holding one
+// reference per receiver. Caller holds topoMu.RLock.
+func (n *Network) sendMulticast(src *Node, msg Message, pb *Buf) {
 	plan := n.multicastPlan(src, msg.Dst)
-	for _, t := range plan.targets {
-		n.deliver(src, t.node, msg, t.hops, true)
+	if len(plan.targets) == 0 {
+		pb.Release()
+		return
 	}
-	n.stats.transmissions.Add(int64(plan.edges))
+	pb.retain(int32(len(plan.targets)) - 1)
+	for _, t := range plan.targets {
+		n.deliver(src, t.node, msg, pb, t.hops, true)
+	}
+	n.stats.transmissions.Add(int64(len(plan.edgeRefs)))
+}
+
+// delivery is one scheduled datagram arrival, pooled so steady-state
+// deliveries allocate neither a closure nor an event.
+type delivery struct {
+	net *Network
+	dst *Node
+	msg Message
+	buf *Buf
+}
+
+var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
+
+// run executes the arrival on the clock's firing goroutine: dispatch to the
+// bound handler, then release the payload reference (handlers only borrow
+// Message.Payload).
+func (d *delivery) run() {
+	n, dst, msg, pb := d.net, d.dst, d.msg, d.buf
+	*d = delivery{}
+	deliveryPool.Put(d)
+	n.topoMu.RLock()
+	h := dst.handlers[msg.Port]
+	n.topoMu.RUnlock()
+	if h == nil {
+		n.stats.noHandler.Add(1)
+	} else {
+		h(msg)
+		n.stats.delivered.Add(1)
+	}
+	pb.Release()
 }
 
 // deliver schedules a delivery after the per-hop latency, applying per-hop
-// loss. Caller holds topoMu.RLock; the delivery closure reacquires it when
-// the event fires.
-func (n *Network) deliver(src, dst *Node, msg Message, hops int, multicast bool) {
+// loss. Caller holds topoMu.RLock and has accounted one payload reference
+// for this delivery; deliver consumes it (on loss, or after the handler).
+func (n *Network) deliver(src, dst *Node, msg Message, pb *Buf, hops int, multicast bool) {
 	if hops == 0 {
 		hops = 1 // loopback or same-node corner: still one stack traversal
 	}
@@ -580,19 +745,22 @@ func (n *Network) deliver(src, dst *Node, msg Message, hops int, multicast bool)
 	n.rngMu.Unlock()
 	if lost {
 		n.stats.lost.Add(1)
+		pb.Release()
 		return
 	}
-	n.clock.Schedule(delay, func() {
-		n.topoMu.RLock()
-		h := dst.handlers[msg.Port]
-		n.topoMu.RUnlock()
-		if h == nil {
-			n.stats.noHandler.Add(1)
-			return
-		}
-		h(msg)
-		n.stats.delivered.Add(1)
-	})
+	d := deliveryPool.Get().(*delivery)
+	d.net, d.dst, d.msg, d.buf = n, dst, msg, pb
+	n.scheduleDelivery(delay, d)
+}
+
+// scheduleDelivery routes a pooled delivery to the concrete clock (the Clock
+// interface stays closure-only; deliveries are a package-internal fast path).
+func (n *Network) scheduleDelivery(delay time.Duration, d *delivery) {
+	if n.vclock != nil {
+		n.vclock.scheduleDelivery(delay, d)
+		return
+	}
+	n.rclock.scheduleDelivery(delay, d)
 }
 
 // Schedule runs fn at Now()+delay (virtual).

@@ -30,8 +30,12 @@ func buildLine(t *testing.T, n *Network, count int) []*Node {
 func TestUnicastOneHop(t *testing.T) {
 	n := New(Config{})
 	nodes := buildLine(t, n, 2)
-	var got []Message
-	nodes[1].Bind(Port6030, func(m Message) { got = append(got, m) })
+	type arrival struct {
+		payload string // copied in-handler: Payload is only borrowed
+		hops    int
+	}
+	var got []arrival
+	nodes[1].Bind(Port6030, func(m Message) { got = append(got, arrival{string(m.Payload), m.Hops}) })
 
 	nodes[0].Send(nodes[1].Addr(), Port6030, []byte("hello"))
 	n.RunUntilIdle(0)
@@ -39,7 +43,7 @@ func TestUnicastOneHop(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("delivered %d messages", len(got))
 	}
-	if got[0].Hops != 1 || string(got[0].Payload) != "hello" {
+	if got[0].hops != 1 || got[0].payload != "hello" {
 		t.Fatalf("message = %+v", got[0])
 	}
 	want := PacketDelay(5, false)

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"micropnp/internal/hw"
+)
+
+// testTree builds an n-node k-ary tree (index 0 is the root).
+func testTree(t *testing.T, n *Network, count, arity int) []*Node {
+	t.Helper()
+	nodes := make([]*Node, count)
+	for i := 0; i < count; i++ {
+		var parent *Node
+		if i > 0 {
+			parent = nodes[(i-1)/arity]
+		}
+		var bytes [16]byte
+		bytes[0], bytes[1] = 0x20, 0x01
+		bytes[12] = byte(i >> 24)
+		bytes[13] = byte(i >> 16)
+		bytes[14] = byte(i >> 8)
+		bytes[15] = byte(i)
+		nd, err := n.AddNode(netip.AddrFrom16(bytes), parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return nodes
+}
+
+// planSnapshot reduces a plan to comparable state: member→hops plus the edge
+// union size (delivery order is deterministic but splice-history-dependent,
+// so equivalence is on sets).
+func planSnapshot(p *mcastPlan) (targets map[*Node]int, edges int) {
+	targets = map[*Node]int{}
+	for _, t := range p.targets {
+		targets[t.node] = t.hops
+	}
+	return targets, len(p.edgeRefs)
+}
+
+// TestIncrementalPlanMatchesRebuild drives randomized join/leave churn
+// against several source nodes' cached plans and checks, after every
+// operation, that the incrementally maintained plan is equivalent to a
+// rebuild-from-scratch reference: same targets, same hop counts, same edge
+// union (transmission count).
+func TestIncrementalPlanMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5324))
+	n := New(Config{})
+	nodes := testTree(t, n, 120, 3)
+	group := MulticastAddr(PrefixFromAddr(nodes[0].Addr()), 0xad1cbe01)
+	srcs := []*Node{nodes[0], nodes[17], nodes[119]}
+
+	// Start from a random membership and warm every source's plan.
+	inGroup := map[*Node]bool{}
+	for _, nd := range nodes {
+		if rng.Intn(2) == 0 {
+			nd.JoinGroup(group)
+			inGroup[nd] = true
+		}
+	}
+	warm := func() {
+		n.topoMu.RLock()
+		defer n.topoMu.RUnlock()
+		for _, src := range srcs {
+			n.multicastPlan(src, group)
+		}
+	}
+	warm()
+
+	check := func(step int) {
+		n.topoMu.RLock()
+		defer n.topoMu.RUnlock()
+		for _, src := range srcs {
+			got := n.multicastPlan(src, group)
+			want := n.buildPlan(src, group)
+			gt, ge := planSnapshot(got)
+			wt, we := planSnapshot(want)
+			if len(gt) != len(wt) {
+				t.Fatalf("step %d src %v: %d targets, rebuild has %d", step, src.Addr(), len(gt), len(wt))
+			}
+			for nd, hops := range wt {
+				if gt[nd] != hops {
+					t.Fatalf("step %d src %v: member %v hops %d, rebuild says %d", step, src.Addr(), nd.Addr(), gt[nd], hops)
+				}
+			}
+			if ge != we {
+				t.Fatalf("step %d src %v: edge union %d, rebuild says %d", step, src.Addr(), ge, we)
+			}
+		}
+	}
+
+	for step := 0; step < 2000; step++ {
+		nd := nodes[rng.Intn(len(nodes))]
+		if inGroup[nd] {
+			nd.LeaveGroup(group)
+			delete(inGroup, nd)
+		} else {
+			nd.JoinGroup(group)
+			inGroup[nd] = true
+		}
+		// Membership emptying drops the member set; plans for the group must
+		// still agree with a rebuild (empty).
+		if step%97 == 0 {
+			warm() // re-warm in case a plan was never built for a new src
+		}
+		check(step)
+	}
+
+	// The maintained plan must also still route correctly end to end.
+	var delivered int
+	var mu sync.Mutex
+	for nd := range inGroup {
+		nd.Bind(Port6030, func(Message) { mu.Lock(); delivered++; mu.Unlock() })
+	}
+	want := len(inGroup)
+	if inGroup[srcs[0]] {
+		want-- // the source does not deliver to itself
+	}
+	srcs[0].Send(group, Port6030, []byte("post-churn"))
+	n.RunUntilIdle(0)
+	if delivered != want {
+		t.Fatalf("post-churn send delivered %d, want %d", delivered, want)
+	}
+}
+
+// TestPlanChurnTransmissionsMatch checks the refcounted edge union against
+// observed transmission accounting after churn: leave+join cycles must leave
+// the per-send transmission increment exactly where a cold rebuild puts it.
+func TestPlanChurnTransmissionsMatch(t *testing.T) {
+	n := New(Config{})
+	nodes := testTree(t, n, 60, 2)
+	group := MulticastAddr(PrefixFromAddr(nodes[0].Addr()), 0xed3f0ac1)
+	for _, nd := range nodes[1:] {
+		nd.JoinGroup(group)
+		nd.Bind(Port6030, func(Message) {})
+	}
+	send := func() int {
+		before := n.Stats().Transmissions
+		nodes[0].Send(group, Port6030, []byte("x"))
+		n.RunUntilIdle(0)
+		return n.Stats().Transmissions - before
+	}
+	warmTx := send() // builds the plan
+
+	// Churn half the members, then compare against a cold network built at
+	// the final membership.
+	for i := 1; i < len(nodes); i += 2 {
+		nodes[i].LeaveGroup(group)
+	}
+	gotTx := send()
+
+	cold := New(Config{})
+	coldNodes := testTree(t, cold, 60, 2)
+	for i, nd := range coldNodes[1:] {
+		if (i+1)%2 == 0 { // the members that stayed
+			nd.JoinGroup(group)
+			nd.Bind(Port6030, func(Message) {})
+		}
+	}
+	before := cold.Stats().Transmissions
+	coldNodes[0].Send(group, Port6030, []byte("x"))
+	cold.RunUntilIdle(0)
+	wantTx := cold.Stats().Transmissions - before
+	if gotTx != wantTx {
+		t.Fatalf("transmissions after churn = %d, cold rebuild = %d (warm full group was %d)", gotTx, wantTx, warmTx)
+	}
+	if gotTx >= warmTx {
+		t.Fatalf("halving the group must shrink the edge union: %d -> %d", warmTx, gotTx)
+	}
+}
+
+// TestStripedRouteLocksRace exercises the per-group plan stripes under -race:
+// concurrent senders warming plans for many groups, concurrent join/leave
+// churn splicing them, and anycast lookups hitting the distance cache, across
+// both clock modes.
+func TestStripedRouteLocksRace(t *testing.T) {
+	for _, realtime := range []bool{false, true} {
+		name := "virtual"
+		if realtime {
+			name = "realtime"
+		}
+		t.Run(name, func(t *testing.T) {
+			n := New(Config{Realtime: realtime, TimeScale: 10_000})
+			defer n.Close()
+			nodes := testTree(t, n, 200, 4)
+			prefix := PrefixFromAddr(nodes[0].Addr())
+			const groups = 8
+			addrs := make([]netip.Addr, groups)
+			for g := range addrs {
+				addrs[g] = MulticastAddr(prefix, hw.DeviceID(0xad1c0000+uint32(g)))
+			}
+			for i, nd := range nodes {
+				nd.Bind(Port6030, func(Message) {})
+				nd.JoinGroup(addrs[i%groups])
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 400; i++ {
+						nd := nodes[rng.Intn(len(nodes))]
+						g := addrs[rng.Intn(groups)]
+						switch rng.Intn(4) {
+						case 0:
+							nd.JoinGroup(g)
+						case 1:
+							nd.LeaveGroup(g)
+						default:
+							nd.Send(g, Port6030, []byte("race"))
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if !realtime {
+				n.RunUntilIdle(0)
+			}
+		})
+	}
+}

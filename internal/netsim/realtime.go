@@ -6,6 +6,21 @@ import (
 	"time"
 )
 
+// runnable is one due event awaiting a pool worker: a closure or a pooled
+// packet delivery.
+type runnable struct {
+	fn  func()
+	del *delivery
+}
+
+func (r runnable) run() {
+	if r.del != nil {
+		r.del.run()
+		return
+	}
+	r.fn()
+}
+
 // RealtimeConfig tunes the wall-clock runtime.
 type RealtimeConfig struct {
 	// TimeScale maps virtual time onto wall time: a wall second covers
@@ -38,7 +53,7 @@ type RealtimeClock struct {
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on any state change: runq, running, queue
 	eh   eventHeap
-	runq []func() // due events awaiting a worker, in pop order
+	runq []runnable // due events awaiting a worker, in pop order
 	// running counts handlers currently executing in the pool.
 	running int
 	stopped bool
@@ -111,6 +126,19 @@ func (c *RealtimeClock) Schedule(delay time.Duration, fn func()) {
 	c.kick()
 }
 
+// scheduleDelivery queues a pooled packet delivery at Now()+delay. On a
+// stopped clock the delivery is dropped (its buffer is left to the GC).
+func (c *RealtimeClock) scheduleDelivery(delay time.Duration, del *delivery) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.eh.pushDeliveryAt(c.nowLocked()+delay, del)
+	c.mu.Unlock()
+	c.kick()
+}
+
 // ScheduleCancelable runs fn at Now()+delay and returns a cancel function;
 // semantics match the virtual clock's (identity-checked, idempotent, O(1)).
 func (c *RealtimeClock) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
@@ -119,12 +147,12 @@ func (c *RealtimeClock) ScheduleCancelable(delay time.Duration, fn func()) (canc
 		c.mu.Unlock()
 		return func() {}
 	}
-	ev := c.eh.pushAt(c.nowLocked()+delay, fn)
+	ev, gen := c.eh.pushCancelableAt(c.nowLocked()+delay, fn)
 	c.mu.Unlock()
 	c.kick()
 	return func() {
 		c.mu.Lock()
-		if c.eh.cancel(ev) {
+		if c.eh.cancel(ev, gen) {
 			// A cancellation can empty the queue: wake idle waiters.
 			c.cond.Broadcast()
 		}
@@ -145,6 +173,11 @@ func (c *RealtimeClock) kick() {
 // order) onto the worker run queue.
 func (c *RealtimeClock) loop() {
 	defer c.wg.Done()
+	// One reusable timer for all waits (Go 1.23 timer semantics make Reset
+	// after Stop race-free); allocating a fresh timer per wait dominated the
+	// loop's allocation profile under load.
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
 	for {
 		c.mu.Lock()
 		if c.stopped {
@@ -164,16 +197,21 @@ func (c *RealtimeClock) loop() {
 		nowV := c.nowLocked()
 		if ev.at <= nowV {
 			ev = c.eh.pop()
-			fn := ev.fn
-			ev.fn = nil
-			c.runq = append(c.runq, fn)
+			r := runnable{fn: ev.fn, del: ev.del}
+			ev.fn, ev.del = nil, nil
+			pool := ev.poolable
+			c.eh.retire(ev)
+			c.runq = append(c.runq, r)
 			c.cond.Broadcast()
 			c.mu.Unlock()
+			if pool {
+				recycleEvent(ev)
+			}
 			continue
 		}
 		wait := time.Duration(float64(ev.at-nowV) / c.scale)
 		c.mu.Unlock()
-		timer := time.NewTimer(wait)
+		timer.Reset(wait)
 		select {
 		case <-timer.C:
 		case <-c.wake:
@@ -197,15 +235,15 @@ func (c *RealtimeClock) worker() {
 			c.mu.Unlock()
 			return
 		}
-		fn := c.runq[0]
-		c.runq[0] = nil
+		r := c.runq[0]
+		c.runq[0] = runnable{}
 		c.runq = c.runq[1:]
 		if len(c.runq) == 0 {
 			c.runq = nil // release the drained backing array
 		}
 		c.running++
 		c.mu.Unlock()
-		fn()
+		r.run()
 		c.mu.Lock()
 		c.running--
 		// Completion may have made the runtime idle: wake WaitIdle.

@@ -103,13 +103,17 @@ func TestRealtimeDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := make(chan Message, 1)
-	leaf.Bind(Port6030, func(m Message) { got <- m })
+	type arrival struct {
+		payload string // copied in-handler: Payload is borrowed
+		hops    int
+	}
+	got := make(chan arrival, 1)
+	leaf.Bind(Port6030, func(m Message) { got <- arrival{string(m.Payload), m.Hops} })
 	root.Send(leaf.Addr(), Port6030, []byte("hi"))
 	select {
 	case m := <-got:
-		if string(m.Payload) != "hi" || m.Hops != 1 {
-			t.Fatalf("delivered %q over %d hops", m.Payload, m.Hops)
+		if m.payload != "hi" || m.hops != 1 {
+			t.Fatalf("delivered %q over %d hops", m.payload, m.hops)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("delivery never arrived on the wall clock")

@@ -1,0 +1,81 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"micropnp/internal/hw"
+)
+
+// FuzzProtoRoundTrip cross-checks the two decode implementations and the two
+// encode entry points on arbitrary datagrams:
+//
+//   - Decode (copying) and Decoder.Decode (borrowing) must accept exactly the
+//     same inputs.
+//   - When a datagram decodes, re-encoding either decode's result must
+//     reproduce the input byte-for-byte (the wire format is canonical: every
+//     accepted byte is stored and re-emitted, and trailing bytes are
+//     rejected).
+//   - AppendEncode must agree with Encode byte-for-byte and must leave a
+//     non-empty destination prefix intact.
+//
+// CI runs this as a short smoke leg (-fuzztime 10s); longer local runs just
+// work: go test -fuzz FuzzProtoRoundTrip ./internal/proto
+func FuzzProtoRoundTrip(f *testing.F) {
+	seedMsgs := []*Message{
+		{Type: MsgUnsolicitedAdvert, Seq: 7, Peripherals: []PeripheralInfo{
+			{ID: 0xad1cbe01, TLVs: []TLV{
+				{Type: TLVName, Value: []byte("kitchen")},
+				{Type: TLVChannel, Value: []byte{2}},
+				{Type: TLVUnits, Value: []byte("0.1°C")},
+			}},
+			{ID: 0xed3f0ac1},
+		}},
+		{Type: MsgDiscovery, Seq: 1, Filter: []TLV{{Type: TLVBusKind, Value: []byte{1}}}},
+		{Type: MsgRead, Seq: 0xffff, DeviceID: 0xad1cbe01},
+		{Type: MsgData, Seq: 3, DeviceID: 0xad1cbe01, Data: []byte{0, 0, 0, 238}},
+		{Type: MsgDriverUpload, Seq: 9, DeviceID: 5, Driver: []byte{1, 2, 3, 4, 5}},
+		{Type: MsgDriverAdvert, Seq: 2, Drivers: []hw.DeviceID{1, 0xad1cbe01}},
+		{Type: MsgEstablished, Seq: 4, DeviceID: 6},
+		{Type: MsgWriteAck, Seq: 5, DeviceID: 6, Status: 1},
+		{Type: MsgDriverDiscovery, Seq: 8},
+	}
+	for _, m := range seedMsgs {
+		if b, err := m.Encode(); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{byte(MsgClosed), 0, 1, 0, 0, 0})
+
+	var dec Decoder
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1, err1 := Decode(data)
+		m2, err2 := dec.Decode(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Decode err=%v, Decoder err=%v for %x", err1, err2, data)
+		}
+		if err1 != nil {
+			return
+		}
+		b1, err := m1.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding Decode result: %v", err)
+		}
+		if !bytes.Equal(b1, data) {
+			t.Fatalf("Encode(Decode(%x)) = %x", data, b1)
+		}
+		prefix := []byte("prefix")
+		b2, err := m2.AppendEncode(append([]byte(nil), prefix...))
+		if err != nil {
+			t.Fatalf("re-encoding Decoder result: %v", err)
+		}
+		if !bytes.Equal(b2[:len(prefix)], prefix) {
+			t.Fatalf("AppendEncode clobbered the destination prefix: %x", b2)
+		}
+		if !bytes.Equal(b2[len(prefix):], data) {
+			t.Fatalf("AppendEncode(Decoder.Decode(%x)) = %x", data, b2[len(prefix):])
+		}
+	})
+}

@@ -11,6 +11,7 @@ package proto
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"micropnp/internal/hw"
 )
@@ -39,27 +40,30 @@ const (
 	MsgWriteAck          MsgType = 17 // Thing -> client
 )
 
+// msgTypeNames is indexed by MsgType; entry 14 is unused (stream data reuses
+// MsgData). A package-level table, so String never allocates for known types.
+var msgTypeNames = [...]string{
+	MsgUnsolicitedAdvert: "unsolicited-advertisement",
+	MsgDiscovery:         "discovery",
+	MsgSolicitedAdvert:   "solicited-advertisement",
+	MsgDriverInstallReq:  "driver-install-request",
+	MsgDriverUpload:      "driver-upload",
+	MsgDriverDiscovery:   "driver-discovery",
+	MsgDriverAdvert:      "driver-advertisement",
+	MsgDriverRemovalReq:  "driver-removal-request",
+	MsgDriverRemovalAck:  "driver-removal-ack",
+	MsgRead:              "read",
+	MsgData:              "data",
+	MsgStream:            "stream",
+	MsgEstablished:       "established",
+	MsgClosed:            "closed",
+	MsgWrite:             "write",
+	MsgWriteAck:          "write-ack",
+}
+
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		MsgUnsolicitedAdvert: "unsolicited-advertisement",
-		MsgDiscovery:         "discovery",
-		MsgSolicitedAdvert:   "solicited-advertisement",
-		MsgDriverInstallReq:  "driver-install-request",
-		MsgDriverUpload:      "driver-upload",
-		MsgDriverDiscovery:   "driver-discovery",
-		MsgDriverAdvert:      "driver-advertisement",
-		MsgDriverRemovalReq:  "driver-removal-request",
-		MsgDriverRemovalAck:  "driver-removal-ack",
-		MsgRead:              "read",
-		MsgData:              "data",
-		MsgStream:            "stream",
-		MsgEstablished:       "established",
-		MsgClosed:            "closed",
-		MsgWrite:             "write",
-		MsgWriteAck:          "write-ack",
-	}
-	if n, ok := names[t]; ok {
-		return n
+	if int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
 	}
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
@@ -105,6 +109,21 @@ func (p PeripheralInfo) TLVByte(typ uint8) (byte, bool) {
 	return 0, false
 }
 
+// Clone returns a deep copy owning all its memory. Use it to retain a
+// PeripheralInfo obtained from a Decoder beyond the decode's lifetime: a
+// decoded PeripheralInfo's TLV values alias the datagram buffer, which the
+// network recycles once the handler returns.
+func (p PeripheralInfo) Clone() PeripheralInfo {
+	out := PeripheralInfo{ID: p.ID}
+	if len(p.TLVs) > 0 {
+		out.TLVs = make([]TLV, len(p.TLVs))
+		for i, t := range p.TLVs {
+			out.TLVs[i] = TLV{Type: t.Type, Value: append([]byte(nil), t.Value...)}
+		}
+	}
+	return out
+}
+
 // Message is a decoded µPnP protocol message. Field usage depends on Type.
 type Message struct {
 	Type MsgType
@@ -130,13 +149,21 @@ type Message struct {
 // ErrTruncated reports a short or malformed message.
 var ErrTruncated = errors.New("proto: truncated message")
 
-// Encode serialises the message.
+// Encode serialises the message into a fresh buffer. Hot paths should prefer
+// AppendEncode with a reused (pooled) destination; Encode allocates per call.
 func (m *Message) Encode() ([]byte, error) {
-	buf := []byte{byte(m.Type), byte(m.Seq >> 8), byte(m.Seq)}
+	return m.AppendEncode(nil)
+}
+
+// AppendEncode serialises the message, appending to dst (which may be nil or
+// a truncated pooled buffer) and returning the extended slice. The encoding
+// is identical to Encode's; on error dst is returned unmodified.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	buf := append(dst, byte(m.Type), byte(m.Seq>>8), byte(m.Seq))
 	switch m.Type {
 	case MsgUnsolicitedAdvert, MsgSolicitedAdvert:
 		if len(m.Peripherals) > 255 {
-			return nil, errors.New("proto: too many peripherals")
+			return dst, errors.New("proto: too many peripherals")
 		}
 		buf = append(buf, byte(len(m.Peripherals)))
 		for _, p := range m.Peripherals {
@@ -144,21 +171,21 @@ func (m *Message) Encode() ([]byte, error) {
 			var err error
 			buf, err = appendTLVs(buf, p.TLVs)
 			if err != nil {
-				return nil, err
+				return dst, err
 			}
 		}
 	case MsgDiscovery:
 		var err error
 		buf, err = appendTLVs(buf, m.Filter)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 	case MsgDriverInstallReq, MsgDriverRemovalReq, MsgRead, MsgStream, MsgClosed:
 		buf = appendU32(buf, uint32(m.DeviceID))
 	case MsgDriverUpload:
 		buf = appendU32(buf, uint32(m.DeviceID))
 		if len(m.Driver) > 0xffff {
-			return nil, errors.New("proto: driver too large")
+			return dst, errors.New("proto: driver too large")
 		}
 		buf = append(buf, byte(len(m.Driver)>>8), byte(len(m.Driver)))
 		buf = append(buf, m.Driver...)
@@ -166,7 +193,7 @@ func (m *Message) Encode() ([]byte, error) {
 		// type + seq only
 	case MsgDriverAdvert:
 		if len(m.Drivers) > 255 {
-			return nil, errors.New("proto: too many drivers")
+			return dst, errors.New("proto: too many drivers")
 		}
 		buf = append(buf, byte(len(m.Drivers)))
 		for _, id := range m.Drivers {
@@ -178,7 +205,7 @@ func (m *Message) Encode() ([]byte, error) {
 	case MsgData, MsgWrite:
 		buf = appendU32(buf, uint32(m.DeviceID))
 		if len(m.Data) > 255 {
-			return nil, errors.New("proto: data too large")
+			return dst, errors.New("proto: data too large")
 		}
 		buf = append(buf, byte(len(m.Data)))
 		buf = append(buf, m.Data...)
@@ -186,7 +213,7 @@ func (m *Message) Encode() ([]byte, error) {
 		buf = appendU32(buf, uint32(m.DeviceID))
 		buf = append(buf, m.Group[:]...)
 	default:
-		return nil, fmt.Errorf("proto: cannot encode type %v", m.Type)
+		return dst, fmt.Errorf("proto: cannot encode type %v", m.Type)
 	}
 	return buf, nil
 }
@@ -272,7 +299,9 @@ func (r *reader) bytes(n int) []byte {
 		r.err = ErrTruncated
 		return nil
 	}
-	b := r.data[r.pos : r.pos+n]
+	// Three-index slice: borrowed views must not be able to append into the
+	// bytes that follow them in the datagram.
+	b := r.data[r.pos : r.pos+n : r.pos+n]
 	r.pos += n
 	return b
 }
@@ -313,6 +342,119 @@ func (r *reader) tlvs() []TLV {
 		}
 	}
 	return out
+}
+
+// appendTLVs is the borrowing variant of tlvs: parsed values alias r.data and
+// tuples are appended to dst (Decoder scratch) instead of a fresh slice.
+func (r *reader) appendTLVs(dst []TLV) []TLV {
+	n := int(r.u8())
+	for i := 0; i < n && r.err == nil; i++ {
+		typ := r.u8()
+		ln := int(r.u8())
+		val := r.bytes(ln)
+		if r.err == nil {
+			dst = append(dst, TLV{Type: typ, Value: val})
+		}
+	}
+	return dst
+}
+
+// Decoder is the allocation-free counterpart of Decode: it parses datagrams
+// into a reusable Message whose slices (Peripherals, TLVs, Filter, Drivers)
+// are scratch owned by the Decoder and whose byte fields (TLV values, Driver,
+// Data) alias the input buffer. The returned message is therefore BORROWED:
+// it is valid only until the next Decode call on the same Decoder and only
+// while the input buffer lives — retain parts with PeripheralInfo.Clone or an
+// explicit copy. A Decoder is not safe for concurrent use; pool instances
+// with AcquireDecoder/ReleaseDecoder when handlers run on pool workers.
+type Decoder struct {
+	msg     Message
+	periphs []PeripheralInfo
+	tlvs    []TLV
+	spans   [][2]int // per-peripheral [start, end) into tlvs
+	drivers []hw.DeviceID
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// AcquireDecoder returns a pooled Decoder. Release it with ReleaseDecoder
+// once the decoded message is no longer referenced.
+func AcquireDecoder() *Decoder { return decoderPool.Get().(*Decoder) }
+
+// ReleaseDecoder returns a Decoder to the pool. The caller must not touch the
+// Decoder or any message it produced afterwards.
+func ReleaseDecoder(d *Decoder) { decoderPool.Put(d) }
+
+// Decode parses a datagram payload into the Decoder's scratch message. The
+// wire format accepted and the resulting field values are identical to the
+// package-level Decode; only the memory discipline differs (see the type
+// comment). Steady state it performs no heap allocation.
+func (d *Decoder) Decode(data []byte) (*Message, error) {
+	r := reader{data: data}
+	m := &d.msg
+	*m = Message{}
+	d.periphs = d.periphs[:0]
+	d.tlvs = d.tlvs[:0]
+	d.spans = d.spans[:0]
+	d.drivers = d.drivers[:0]
+	m.Type = MsgType(r.u8())
+	m.Seq = r.u16()
+	switch m.Type {
+	case MsgUnsolicitedAdvert, MsgSolicitedAdvert:
+		n := int(r.u8())
+		for i := 0; i < n && r.err == nil; i++ {
+			id := hw.DeviceID(r.u32())
+			start := len(d.tlvs)
+			d.tlvs = r.appendTLVs(d.tlvs)
+			if r.err != nil {
+				break
+			}
+			d.periphs = append(d.periphs, PeripheralInfo{ID: id})
+			d.spans = append(d.spans, [2]int{start, len(d.tlvs)})
+		}
+		// Fix up the TLV sub-slices only after all appends: growth may have
+		// moved d.tlvs' backing array.
+		for i := range d.periphs {
+			s := d.spans[i]
+			d.periphs[i].TLVs = d.tlvs[s[0]:s[1]:s[1]]
+		}
+		m.Peripherals = d.periphs
+	case MsgDiscovery:
+		d.tlvs = r.appendTLVs(d.tlvs)
+		m.Filter = d.tlvs
+	case MsgDriverInstallReq, MsgDriverRemovalReq, MsgRead, MsgStream, MsgClosed:
+		m.DeviceID = hw.DeviceID(r.u32())
+	case MsgDriverUpload:
+		m.DeviceID = hw.DeviceID(r.u32())
+		n := int(r.u16())
+		m.Driver = r.bytes(n)
+	case MsgDriverDiscovery:
+	case MsgDriverAdvert:
+		n := int(r.u8())
+		for i := 0; i < n && r.err == nil; i++ {
+			d.drivers = append(d.drivers, hw.DeviceID(r.u32()))
+		}
+		m.Drivers = d.drivers
+	case MsgDriverRemovalAck, MsgWriteAck:
+		m.DeviceID = hw.DeviceID(r.u32())
+		m.Status = r.u8()
+	case MsgData, MsgWrite:
+		m.DeviceID = hw.DeviceID(r.u32())
+		n := int(r.u8())
+		m.Data = r.bytes(n)
+	case MsgEstablished:
+		m.DeviceID = hw.DeviceID(r.u32())
+		copy(m.Group[:], r.bytes(16))
+	default:
+		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("proto: %d trailing bytes in %v", len(r.data)-r.pos, m.Type)
+	}
+	return m, nil
 }
 
 // Values32 packs int32 values into a Data payload (big-endian), the format

@@ -162,6 +162,143 @@ func TestValues32RoundTrip(t *testing.T) {
 	}
 }
 
+// encodeOf reduces a message to its canonical wire form for comparisons that
+// must ignore nil-versus-empty slice representation differences between the
+// copying and borrowing decoders.
+func encodeOf(t *testing.T, m *Message) []byte {
+	t.Helper()
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatalf("encode %v: %v", m.Type, err)
+	}
+	return b
+}
+
+func TestDecoderMatchesDecode(t *testing.T) {
+	var group [16]byte
+	group[0], group[1] = 0xff, 0x3e
+	msgs := []*Message{
+		{Type: MsgUnsolicitedAdvert, Seq: 1, Peripherals: []PeripheralInfo{
+			{ID: 0xad1cbe01, TLVs: []TLV{{Type: TLVName, Value: []byte("TMP36")}, {Type: TLVUnits, Value: []byte("0.1°C")}}},
+			{ID: 0xed3f0ac1, TLVs: []TLV{{Type: TLVChannel, Value: []byte{2}}}},
+		}},
+		{Type: MsgDiscovery, Seq: 2, Filter: []TLV{{Type: TLVBusKind, Value: []byte{1}}}},
+		{Type: MsgDriverUpload, Seq: 6, DeviceID: 0xad1cbe01, Driver: bytes.Repeat([]byte{0xB5}, 80)},
+		{Type: MsgDriverAdvert, Seq: 8, Drivers: []hw.DeviceID{1, 2, 0xffff0000}},
+		{Type: MsgData, Seq: 11, DeviceID: 4, Data: []byte{1, 2, 3, 4}},
+		{Type: MsgEstablished, Seq: 12, DeviceID: 4, Group: group},
+		{Type: MsgWriteAck, Seq: 14, DeviceID: 5, Status: 1},
+	}
+	var dec Decoder
+	// Two passes: the second exercises scratch reuse after every shape.
+	for pass := 0; pass < 2; pass++ {
+		for _, m := range msgs {
+			wire := encodeOf(t, m)
+			got, err := dec.Decode(wire)
+			if err != nil {
+				t.Fatalf("pass %d: Decoder.Decode(%v): %v", pass, m.Type, err)
+			}
+			if !bytes.Equal(encodeOf(t, got), wire) {
+				t.Errorf("pass %d: Decoder result for %v diverges from Decode:\n got %+v\nwant %+v", pass, m.Type, got, m)
+			}
+		}
+	}
+	// Rejection parity on malformed inputs.
+	for i, bad := range [][]byte{nil, {}, {99, 0, 0}, {byte(MsgRead), 0, 1}} {
+		if _, err := dec.Decode(bad); err == nil {
+			t.Errorf("malformed case %d must fail", i)
+		}
+	}
+}
+
+func TestDecoderBorrowsInput(t *testing.T) {
+	m := &Message{Type: MsgUnsolicitedAdvert, Seq: 1, Peripherals: []PeripheralInfo{
+		{ID: 7, TLVs: []TLV{{Type: TLVName, Value: []byte("orig")}}},
+	}}
+	wire := encodeOf(t, m)
+	var dec Decoder
+	got, err := dec.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, _ := got.Peripherals[0].TLVString(TLVName)
+	if name != "orig" {
+		t.Fatalf("name = %q", name)
+	}
+	// The decoded TLV value aliases the wire buffer: mutating the buffer must
+	// show through (that is the zero-copy contract callers must respect), and
+	// Clone must sever the alias.
+	clone := got.Peripherals[0].Clone()
+	copy(wire[len(wire)-4:], "XXXX")
+	if name, _ := got.Peripherals[0].TLVString(TLVName); name != "XXXX" {
+		t.Fatalf("borrowed view = %q, want XXXX (must alias input)", name)
+	}
+	if name, _ := clone.TLVString(TLVName); name != "orig" {
+		t.Fatalf("clone = %q, want orig (must own its memory)", name)
+	}
+}
+
+func TestDecoderReuseInvalidatesPrior(t *testing.T) {
+	a := encodeOf(t, &Message{Type: MsgDriverAdvert, Seq: 1, Drivers: []hw.DeviceID{1, 2, 3}})
+	b := encodeOf(t, &Message{Type: MsgDriverAdvert, Seq: 2, Drivers: []hw.DeviceID{9}})
+	var dec Decoder
+	first, err := dec.Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(b); err != nil {
+		t.Fatal(err)
+	}
+	// first and the second result are the same scratch message.
+	if first.Seq != 2 || len(first.Drivers) != 1 {
+		t.Fatalf("scratch not reused: %+v", first)
+	}
+}
+
+func TestAppendEncodePreservesPrefix(t *testing.T) {
+	m := &Message{Type: MsgRead, Seq: 3, DeviceID: 4}
+	prefix := []byte("hdr")
+	out, err := m.AppendEncode(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:3], prefix) {
+		t.Fatalf("prefix clobbered: %q", out)
+	}
+	if !bytes.Equal(out[3:], encodeOf(t, m)) {
+		t.Fatalf("appended encoding diverges from Encode: %x", out[3:])
+	}
+	// Errors must hand the destination back unmodified.
+	bad := &Message{Type: MsgType(99)}
+	out2, err := bad.AppendEncode(prefix)
+	if err == nil || !bytes.Equal(out2, prefix) {
+		t.Fatalf("error path: out=%q err=%v", out2, err)
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	read := &Message{Type: MsgRead, Seq: 42, DeviceID: 0xad1cbe01}
+	buf, err := read.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Decoder
+	if _, err := dec.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf, _ = read.AppendEncode(buf[:0])
+		if _, err := dec.Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("steady-state encode+decode allocates %.1f times per round trip", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = MsgRead.String() }); n != 0 {
+		t.Fatalf("MsgType.String allocates %.1f times per call", n)
+	}
+}
+
 func TestEncodeLimits(t *testing.T) {
 	big := &Message{Type: MsgDriverUpload, Driver: make([]byte, 70000)}
 	if _, err := big.Encode(); err == nil {

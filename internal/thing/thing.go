@@ -489,20 +489,23 @@ func (t *Thing) activate(channel int, code []byte, trace *PluginTrace) {
 		if trace != nil {
 			trace.InstallDriver += net.Now() - installStart
 		}
-		adv, payload := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq())
+		adv, pb := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq())
 		if adv != nil {
-			t.node.Send(netsim.AllClientsAddr(t.prefix), netsim.Port6030, payload)
+			// Transit time is computed before SendBuf takes ownership.
+			transit := netsim.PacketDelay(len(pb.B), true)
+			t.node.SendBuf(netsim.AllClientsAddr(t.prefix), netsim.Port6030, pb)
 			if trace != nil {
-				trace.Advertise = netsim.PacketDelay(len(payload), true)
+				trace.Advertise = transit
 				trace.finish()
 			}
 		}
 	})
 }
 
-// advertisement builds an advertisement listing active peripherals and its
-// encoding. It returns (nil, nil) on encoding failure.
-func (t *Thing) advertisement(typ proto.MsgType, seq uint16) (*proto.Message, []byte) {
+// advertisement builds an advertisement listing active peripherals, encoded
+// into a pooled buffer the caller owns: hand it to SendBuf or Release it.
+// It returns (nil, nil) on encoding failure.
+func (t *Thing) advertisement(typ proto.MsgType, seq uint16) (*proto.Message, *netsim.Buf) {
 	t.mu.Lock()
 	m := &proto.Message{Type: typ, Seq: seq}
 	for ch, slot := range t.slots {
@@ -523,11 +526,14 @@ func (t *Thing) advertisement(typ proto.MsgType, seq uint16) (*proto.Message, []
 		m.Peripherals = append(m.Peripherals, info)
 	}
 	t.mu.Unlock()
-	payload, err := m.Encode()
+	pb := netsim.AcquireBuf()
+	b, err := m.AppendEncode(pb.B[:0])
 	if err != nil {
+		pb.Release()
 		return nil, nil
 	}
-	return m, payload
+	pb.B = b
+	return m, pb
 }
 
 // teardown handles peripheral removal: stop the driver, leave the group,
@@ -565,8 +571,8 @@ func (t *Thing) teardown(channel int) {
 		}
 		t.leavePeripheralGroups(id)
 	}
-	if _, payload := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq()); payload != nil {
-		t.node.Send(netsim.AllClientsAddr(t.prefix), netsim.Port6030, payload)
+	if _, pb := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq()); pb != nil {
+		t.node.SendBuf(netsim.AllClientsAddr(t.prefix), netsim.Port6030, pb)
 	}
 }
 
@@ -574,12 +580,19 @@ func (t *Thing) nextSeq() uint16 {
 	return uint16(t.seq.Add(1))
 }
 
+// send encodes into a pooled buffer and hands it to the network (zero-copy,
+// zero-allocation in steady state). Deliberately duplicated across client,
+// manager and thing rather than shared behind an interface — see the note in
+// netsim/packet.go.
 func (t *Thing) send(dst netip.Addr, m *proto.Message) {
-	payload, err := m.Encode()
+	pb := netsim.AcquireBuf()
+	b, err := m.AppendEncode(pb.B[:0])
 	if err != nil {
+		pb.Release()
 		return
 	}
-	t.node.Send(dst, netsim.Port6030, payload)
+	pb.B = b
+	t.node.SendBuf(dst, netsim.Port6030, pb)
 }
 
 // slotForLocked returns the slot serving a device type (t.mu held).
@@ -658,9 +671,14 @@ func (t *Thing) StopStream(id hw.DeviceID) {
 	t.send(group, &proto.Message{Type: proto.MsgClosed, Seq: seq, DeviceID: id})
 }
 
-// handle processes incoming protocol messages.
+// handle processes incoming protocol messages. Decoding borrows a pooled
+// Decoder: the decoded message is valid only within this call, so deferred
+// work (scheduled closures) copies the scalars it needs and the driver
+// upload's bytecode is copied before retention.
 func (t *Thing) handle(msg netsim.Message) {
-	m, err := proto.Decode(msg.Payload)
+	dec := proto.AcquireDecoder()
+	defer proto.ReleaseDecoder(dec)
+	m, err := dec.Decode(msg.Payload)
 	if err != nil {
 		return
 	}
@@ -712,10 +730,15 @@ func (t *Thing) handleDiscovery(msg netsim.Message, m *proto.Message) {
 			return
 		}
 	}
-	adv, payload := t.advertisement(proto.MsgSolicitedAdvert, m.Seq)
-	if adv != nil && len(adv.Peripherals) > 0 {
-		t.node.Send(msg.Src, netsim.Port6030, payload)
+	adv, pb := t.advertisement(proto.MsgSolicitedAdvert, m.Seq)
+	if adv == nil {
+		return
 	}
+	if len(adv.Peripherals) == 0 {
+		pb.Release()
+		return
+	}
+	t.node.SendBuf(msg.Src, netsim.Port6030, pb)
 }
 
 func (t *Thing) handleDriverUpload(msg netsim.Message, m *proto.Message) {
@@ -783,11 +806,13 @@ func (t *Thing) handleRead(msg netsim.Message, m *proto.Message) {
 		t.send(msg.Src, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID})
 		return
 	}
+	// id is copied out: the expiry closure outlives the borrowed decode.
+	id := m.DeviceID
 	pr := &pendingRead{seq: m.Seq, client: msg.Src}
 	t.opsMu.Lock()
-	t.pending[m.DeviceID] = append(t.pending[m.DeviceID], pr)
+	t.pending[id] = append(t.pending[id], pr)
 	t.opsMu.Unlock()
-	cancel := t.cfg.Network.ScheduleCancelable(t.cfg.PendingReadTimeout, func() { t.expirePendingRead(m.DeviceID, pr) })
+	cancel := t.cfg.Network.ScheduleCancelable(t.cfg.PendingReadTimeout, func() { t.expirePendingRead(id, pr) })
 	t.opsMu.Lock()
 	pr.cancel = cancel
 	t.opsMu.Unlock()

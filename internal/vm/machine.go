@@ -70,6 +70,12 @@ type Machine struct {
 	Fuel int
 	// Time is the emulated cost model (default DefaultAVRTimeModel).
 	Time AVRTimeModel
+
+	// scratch is the reusable operand-stack backing array. A Machine is
+	// single-threaded and handlers run to completion without re-entering
+	// Run (native libraries post events instead of calling back), so one
+	// scratch stack per machine suffices and keeps Run allocation-free.
+	scratch []int32
 }
 
 // NewMachine verifies and loads a driver program.
@@ -116,7 +122,10 @@ func (m *Machine) Run(name string, args []int32) (RunResult, error) {
 	}
 
 	var res RunResult
-	stack := make([]int32, 0, m.MaxStack)
+	if cap(m.scratch) < m.MaxStack {
+		m.scratch = make([]int32, 0, m.MaxStack)
+	}
+	stack := m.scratch[:0]
 	code := h.Code
 	trap := func(t Trap, pc int) (RunResult, error) {
 		return res, &TrapError{Trap: t, Handler: name, PC: pc}

@@ -24,14 +24,39 @@ type Event struct {
 	Source string
 }
 
+// evQueue is a FIFO over a reusable backing array: popping advances a head
+// index instead of re-slicing, and a drained queue rewinds to reuse its
+// array — steady-state post/dispatch cycles allocate nothing (the former
+// `q = q[1:]` pop abandoned the backing array's front, so every append
+// eventually grew a fresh one).
+type evQueue struct {
+	buf  []Event
+	head int
+}
+
+func (q *evQueue) push(e Event) { q.buf = append(q.buf, e) }
+
+func (q *evQueue) len() int { return len(q.buf) - q.head }
+
+func (q *evQueue) pop() Event {
+	e := q.buf[q.head]
+	q.buf[q.head] = Event{} // release Args/Name references
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return e
+}
+
 // Router implements the two event queues of the execution environment:
 // regular events are handled first-come first-served, error events are
 // prioritised. Posting never blocks; control returns immediately to the
 // originator (Section 4.2).
 type Router struct {
 	mu     sync.Mutex
-	fifo   []Event
-	errors []Event
+	fifo   evQueue
+	errors evQueue
 
 	// stats
 	posted     int
@@ -47,9 +72,9 @@ func (r *Router) Post(e Event) {
 	defer r.mu.Unlock()
 	r.posted++
 	if e.IsError {
-		r.errors = append(r.errors, e)
+		r.errors.push(e)
 	} else {
-		r.fifo = append(r.fifo, e)
+		r.fifo.push(e)
 	}
 }
 
@@ -58,17 +83,13 @@ func (r *Router) Post(e Event) {
 func (r *Router) Next() (Event, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.errors) > 0 {
-		e := r.errors[0]
-		r.errors = r.errors[1:]
+	if r.errors.len() > 0 {
 		r.dispatched++
-		return e, true
+		return r.errors.pop(), true
 	}
-	if len(r.fifo) > 0 {
-		e := r.fifo[0]
-		r.fifo = r.fifo[1:]
+	if r.fifo.len() > 0 {
 		r.dispatched++
-		return e, true
+		return r.fifo.pop(), true
 	}
 	return Event{}, false
 }
@@ -77,7 +98,7 @@ func (r *Router) Next() (Event, bool) {
 func (r *Router) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.fifo) + len(r.errors)
+	return r.fifo.len() + r.errors.len()
 }
 
 // Stats returns lifetime posted/dispatched counters.

@@ -369,8 +369,8 @@ func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID
 		ids  []DeviceID
 		derr error
 	)
-	err := d.await(ctx, func(timeout time.Duration, complete func()) {
-		d.core.Manager.DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
+	err := d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+		return d.core.Manager.DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
 			derr = err
 			for _, id := range got {
 				ids = append(ids, DeviceID(id))
@@ -388,8 +388,8 @@ func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID
 // messages 8/9), stopping any runtime serving it.
 func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) error {
 	var rerr error
-	err := d.await(ctx, func(timeout time.Duration, complete func()) {
-		d.core.Manager.RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
+	err := d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+		return d.core.Manager.RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
 			rerr = err
 			complete()
 		})
@@ -404,7 +404,11 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 // translates the context into a virtual-time budget, lets start register
 // the request (whose completion callback must invoke complete, exactly
 // once, from whichever goroutine the network delivers on), then blocks
-// until completion or context cancellation.
+// until completion or context cancellation. start returns a retract
+// function (possibly nil) that withdraws the registered request without
+// firing its callback; await invokes it whenever it returns without
+// completion, so a cancelled call's pending-request entry is reclaimed
+// immediately instead of lingering until its deadline expires.
 //
 // In real-time mode the block is a plain channel wait — the event loop and
 // worker pool advance the network, and the registration's expiry timer
@@ -415,23 +419,28 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 // own completion. Every request arms a virtual-time expiry event at
 // registration, so a drained queue without completion cannot happen in
 // practice; it is reported as a timeout defensively.
-func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, complete func())) error {
+func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, complete func()) (retract func())) error {
 	timeout, err := d.timeoutFrom(ctx)
 	if err != nil {
 		return err
 	}
-	done := make(chan struct{})
-	var once sync.Once
-	start(timeout, func() { once.Do(func() { close(done) }) })
+	cpl := &completion{done: make(chan struct{})}
+	done := cpl.done
+	retract := start(timeout, cpl.complete)
+	if retract == nil {
+		retract = func() {} // avoids nil checks at every abandonment site
+	}
 	if d.realtime {
 		select {
 		case <-done:
 			return nil
 		case <-ctx.Done():
+			retract()
 			return ctx.Err()
 		case <-d.closeCh:
 			// The clock died with our expiry event still queued; nothing
 			// can complete this request anymore.
+			retract()
 			return ErrClosed
 		}
 	}
@@ -448,6 +457,7 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 		default:
 		}
 		if err := ctx.Err(); err != nil {
+			retract()
 			return err
 		}
 		// Sample the progress channel BEFORE trying to become the driver:
@@ -469,6 +479,7 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 				case <-done:
 					return nil
 				default:
+					retract()
 					return ErrTimeout
 				}
 			}
@@ -483,6 +494,7 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 				case <-done:
 					return nil
 				default:
+					retract()
 					return ErrTimeout
 				}
 			}
@@ -491,10 +503,27 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			case <-done:
 				return nil
 			case <-ctx.Done():
+				retract()
 				return ctx.Err()
 			case <-progress:
 			}
 		}
+	}
+}
+
+// completion is the once-only done signal of one await: complete is handed
+// to the request registration as its callback and closes done exactly once,
+// from whichever goroutine the network delivers on. (A struct with a CAS
+// rather than chan+sync.Once+closures: await is on the hot path of every SDK
+// call, and this shape is two heap objects instead of four.)
+type completion struct {
+	done  chan struct{}
+	fired atomic.Bool
+}
+
+func (c *completion) complete() {
+	if c.fired.CompareAndSwap(false, true) {
+		close(c.done)
 	}
 }
 

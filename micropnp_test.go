@@ -324,6 +324,70 @@ func TestSDKContextCancellation(t *testing.T) {
 	}
 }
 
+// TestSDKCancellationRetractsPending: a call abandoned by context
+// cancellation must withdraw its pending-request entry immediately, not
+// leave it to expire at its (possibly distant) virtual deadline.
+func TestSDKCancellationRetractsPending(t *testing.T) {
+	d := newSDKDeployment(t, micropnp.WithRequestTimeout(time.Hour))
+	if _, err := d.AddThing("t"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Reads to a nonexistent address never complete; cancel the context from
+	// inside the simulation so the blocked call observes it deterministically
+	// long before the one-hour deadline.
+	d.ScheduleAfter(50*time.Millisecond, cancel)
+	_, rerr := cl.Read(ctx, mustAddr("2001:db8::9999"), micropnp.TMP36)
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", rerr)
+	}
+	if n := cl.InFlight(); n != 0 {
+		t.Fatalf("InFlight = %d after cancellation; the pending entry must be retracted, not left to expire", n)
+	}
+	if now := d.Now(); now >= time.Hour {
+		t.Fatalf("virtual time advanced to %v; retraction must not wait for the deadline", now)
+	}
+}
+
+// TestSDKCancellationRetractsPendingRealtime is the wall-clock variant: the
+// blocked call returns on ctx cancellation and the entry is gone without
+// waiting out the request deadline.
+func TestSDKCancellationRetractsPendingRealtime(t *testing.T) {
+	d := newSDKDeployment(t,
+		micropnp.WithRealTime(),
+		micropnp.WithTimeScale(1000),
+		micropnp.WithRequestTimeout(time.Hour))
+	defer d.Close()
+	if _, err := d.AddThing("t"); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := d.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, rerr := cl.Read(ctx, mustAddr("2001:db8::9999"), micropnp.TMP36)
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", rerr)
+	}
+	// The retract runs on the cancelling goroutine before Read returns.
+	if n := cl.InFlight(); n != 0 {
+		t.Fatalf("InFlight = %d after realtime cancellation, want 0", n)
+	}
+}
+
 func TestSDKDriverManagement(t *testing.T) {
 	d := newSDKDeployment(t)
 	th, _ := d.AddThing("managed")
