@@ -96,6 +96,50 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 	return res.r, res.err
 }
 
+// ReadInto is Read with a caller-provided value buffer: the reply's values
+// are parsed by appending into scratch[:0] (growing it only when capacity is
+// short), so the returned Reading.Values alias the scratch instead of a
+// fresh allocation. Recycling the returned Values as the next call's scratch
+// makes steady-state reads free of the per-read value allocation — the shape
+// load generators use so measurement does not perturb the zero-allocation
+// hot path:
+//
+//	var buf []int32
+//	for ... {
+//		r, err := cl.ReadInto(ctx, addr, id, buf)
+//		if err == nil { buf = r.Values } // reuse the (possibly grown) buffer
+//	}
+//
+// The aliasing means the Reading is only valid until the scratch is reused;
+// copy Values to retain them. Do not issue a second ReadInto with the same
+// scratch while one is still in flight.
+func (c *Client) ReadInto(ctx context.Context, thing netip.Addr, id DeviceID, scratch []int32) (Reading, error) {
+	var res struct {
+		r   Reading
+		err error
+	}
+	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+		return c.cl.ReadInto(thing, hw.DeviceID(id), scratch, timeout, func(vals []int32, err error) {
+			if err != nil {
+				res.err = err
+			} else {
+				res.r = Reading{
+					Thing:  thing,
+					Device: id,
+					Values: vals,
+					Units:  c.units(id),
+					At:     c.d.Now(),
+				}
+			}
+			complete()
+		})
+	})
+	if err != nil {
+		return Reading{}, err
+	}
+	return res.r, res.err
+}
+
 // Write sends values to a peripheral (e.g. an actuator) and blocks until
 // the acknowledgement. It returns ErrWriteRejected when the Thing serves no
 // such peripheral or rejects the payload, ErrTimeout on loss.

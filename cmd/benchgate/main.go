@@ -6,6 +6,17 @@
 // allocation count are gated independently, so a change that stays fast but
 // reintroduces per-message allocations still fails.
 //
+// With -latency the gate instead compares a cmd/upnp-load result
+// (LOAD_result.json) against a committed latency baseline
+// (LOAD_baseline.json): the per-operation p99s are ratioed and the same
+// geomean-over-threshold rule applies. Virtual-mode load runs are
+// deterministic, so the committed baseline reproduces exactly on any
+// machine and the gate has no noise floor:
+//
+//	go run ./cmd/upnp-load -scenario smoke -out LOAD_result.json
+//	go run ./cmd/benchgate -latency -baseline LOAD_baseline.json -input LOAD_result.json
+//	go run ./cmd/benchgate -latency -input LOAD_result.json -update -baseline LOAD_baseline.json
+//
 // Gate a run:
 //
 //	go test -run '^$' -bench <pattern> -benchtime 1x -count 6 ./... | tee bench.txt
@@ -149,17 +160,130 @@ func compare(metric string, base, got map[string]float64, smooth float64) (geome
 	return math.Exp(logSum / float64(compared)), compared, missing, worst
 }
 
+// LatencyBaseline is the committed load-latency reference: the per-op p99s
+// of one deterministic virtual-mode cmd/upnp-load run.
+type LatencyBaseline struct {
+	Note string `json:"note"`
+	// Scenario and Seed pin the run the baseline came from; the gate
+	// refuses to compare a result from a different scenario or seed.
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Mode     string `json:"mode"`
+	// P99Ns maps operation name to its p99 latency in nanoseconds of
+	// virtual time.
+	P99Ns map[string]float64 `json:"p99_ns"`
+}
+
+// loadResult is the subset of cmd/upnp-load's LOAD_result.json the latency
+// gate consumes.
+type loadResult struct {
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"`
+	Seed     int64  `json:"seed"`
+	Ops      map[string]struct {
+		P99Ns float64 `json:"p99_ns"`
+	} `json:"ops"`
+}
+
+// latencySmooth is added to both sides of every p99 ratio so zero-sample
+// operations stay comparable (1ms, well under any real op latency in the
+// gated scenarios).
+const latencySmooth = 1e6
+
+// latencyGate implements -latency: gate (or -update) a LOAD_result.json
+// against a committed LOAD_baseline.json on per-op p99 geomean.
+func latencyGate(baselinePath, inputPath string, threshold float64, update bool) {
+	raw, err := os.ReadFile(inputPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var res loadResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", inputPath, err)
+		os.Exit(2)
+	}
+	if len(res.Ops) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no ops in %s\n", inputPath)
+		os.Exit(2)
+	}
+	p99s := map[string]float64{}
+	for name, op := range res.Ops {
+		p99s[name] = op.P99Ns
+	}
+
+	if update {
+		out, err := json.MarshalIndent(LatencyBaseline{
+			Note:     "per-op p99 (ns, virtual) from: go run ./cmd/upnp-load -scenario " + res.Scenario + " ; refresh with: go run ./cmd/benchgate -latency -input LOAD_result.json -update",
+			Scenario: res.Scenario,
+			Seed:     res.Seed,
+			Mode:     res.Mode,
+			P99Ns:    p99s,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d op p99s (scenario %s, seed %d) to %s\n", len(p99s), res.Scenario, res.Seed, baselinePath)
+		return
+	}
+
+	braw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var base LatencyBaseline
+	if err := json.Unmarshal(braw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", baselinePath, err)
+		os.Exit(2)
+	}
+	if base.Scenario != res.Scenario || base.Seed != res.Seed || (base.Mode != "" && base.Mode != res.Mode) {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — baseline is scenario %q seed %d mode %q but the run is scenario %q seed %d mode %q; latency ratios only mean something within one deterministic scenario\n",
+			base.Scenario, base.Seed, base.Mode, res.Scenario, res.Seed, res.Mode)
+		os.Exit(1)
+	}
+
+	geo, compared, missing, _ := compare("load latency (p99 ns)", base.P99Ns, p99s, latencySmooth)
+	fmt.Println()
+	fail := false
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d baseline op(s) missing from the run; update %s if the mix changed\n", missing, baselinePath)
+		fail = true
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — nothing to compare")
+		fail = true
+	}
+	fmt.Printf("geomean p99 ratio over %d ops: %.3fx (threshold %.2fx)\n", compared, geo, threshold)
+	if geo > threshold {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — geomean p99 regression %.3fx exceeds %.2fx\n", geo, threshold)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
-		inputPath    = flag.String("input", "", "benchmark output file (from go test -bench)")
+		inputPath    = flag.String("input", "", "benchmark output file (from go test -bench), or a LOAD_result.json with -latency")
 		threshold    = flag.Float64("threshold", 1.20, "fail when a geomean ratio (new/baseline) exceeds this")
 		update       = flag.Bool("update", false, "write the baseline from -input instead of comparing")
 		profile      = flag.Bool("profile", false, "on regression, print go test -cpuprofile/-memprofile commands for the worst benchmarks")
+		latency      = flag.Bool("latency", false, "gate cmd/upnp-load latency percentiles (p99 geomean) instead of go test -bench output")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: go run ./cmd/benchgate -input bench.txt [-baseline BENCH_baseline.json] [-threshold 1.20] [-update] [-profile]\n\n"+
-			"Gates both ns/op and allocs/op medians against the committed baseline.\n"+
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: go run ./cmd/benchgate -input bench.txt [-baseline BENCH_baseline.json] [-threshold 1.20] [-update] [-profile]\n"+
+			"       go run ./cmd/benchgate -latency -input LOAD_result.json [-baseline LOAD_baseline.json] [-threshold 1.20] [-update]\n\n"+
+			"Gates both ns/op and allocs/op medians against the committed baseline;\n"+
+			"-latency gates a cmd/upnp-load run's per-op p99s instead.\n"+
 			"Diagnose a flagged regression without any Makefile:\n"+
 			"  go run ./cmd/benchgate -input bench.txt -profile\n"+
 			"  go run ./cmd/upnp-sim -cpuprofile cpu.pprof -memprofile mem.pprof -things 100\n\n")
@@ -170,6 +294,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -input is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *latency {
+		baselineSet := false
+		flag.Visit(func(f *flag.Flag) { baselineSet = baselineSet || f.Name == "baseline" })
+		if !baselineSet {
+			*baselinePath = "LOAD_baseline.json"
+		}
+		latencyGate(*baselinePath, *inputPath, *threshold, *update)
+		return
 	}
 	ns, allocs, err := parseBench(*inputPath)
 	if err != nil {

@@ -77,6 +77,12 @@ type pending struct {
 	onWrite    func(error)
 	onDiscover func([]Advert)
 	adverts    []Advert
+	// scratch, when hasScratch is set, is the caller-provided value buffer a
+	// read reply is parsed into (appended to scratch[:0]) instead of a fresh
+	// allocation — see ReadInto. The callback's values then alias the scratch
+	// and are only valid until the next request reusing it.
+	scratch    []int32
+	hasScratch bool
 	// cancel retracts the expiry event once a reply completed the request,
 	// so finished requests leave no dead deadline in the event queue.
 	cancel func()
@@ -416,11 +422,28 @@ func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done fun
 // are retransmitted with backoff inside the deadline. The returned retract
 // withdraws the request without firing cb (see retract).
 func (c *Client) Read(thing netip.Addr, id hw.DeviceID, timeout time.Duration, cb func([]int32, error)) (retract func()) {
+	return c.read(thing, id, nil, false, timeout, cb)
+}
+
+// ReadInto is Read with a caller-provided scratch buffer: the reply's values
+// are parsed by appending into scratch[:0] (growing it only when capacity is
+// short) instead of allocating a fresh slice, so a caller that recycles the
+// values handed to its callback as the next call's scratch performs
+// steady-state reads without the per-read value allocation. The values
+// passed to cb alias the scratch: they are valid only until the caller
+// reuses it, and must be copied to be retained. One outstanding request per
+// scratch buffer — issuing a second ReadInto with the same scratch before
+// the first callback fired would let the two replies race on the buffer.
+func (c *Client) ReadInto(thing netip.Addr, id hw.DeviceID, scratch []int32, timeout time.Duration, cb func([]int32, error)) (retract func()) {
+	return c.read(thing, id, scratch, true, timeout, cb)
+}
+
+func (c *Client) read(thing netip.Addr, id hw.DeviceID, scratch []int32, hasScratch bool, timeout time.Duration, cb func([]int32, error)) (retract func()) {
 	var seq uint16
 	var p *pending
 	retract = noRetract
 	if cb != nil {
-		p = &pending{kind: pendingRead, thing: thing, id: id, onRead: cb}
+		p = &pending{kind: pendingRead, thing: thing, id: id, onRead: cb, scratch: scratch, hasScratch: hasScratch}
 		seq = c.register(p, timeout)
 		retract = func() { c.retract(seq, p) }
 	} else {
@@ -825,7 +848,15 @@ func (c *Client) completeRead(p *pending, m *proto.Message) {
 		p.onRead(nil, ErrNoPeripheral)
 		return
 	}
-	vals, err := proto.ParseValues32(m.Data)
+	var (
+		vals []int32
+		err  error
+	)
+	if p.hasScratch {
+		vals, err = proto.AppendParseValues32(p.scratch[:0], m.Data)
+	} else {
+		vals, err = proto.ParseValues32(m.Data)
+	}
 	if err != nil {
 		p.onRead(nil, fmt.Errorf("micropnp: malformed data reply: %w", err))
 		return

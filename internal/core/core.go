@@ -208,6 +208,14 @@ func (d *Deployment) RunFor(span time.Duration) {
 	d.Network.RunUntil(d.Network.Now() + span)
 }
 
+// Quiesce drives the network until idle or until horizon of virtual time has
+// elapsed, whichever comes first, reporting whether it went idle — the
+// bounded drain to use when streams may be active (they reschedule forever,
+// so Run would never return the network idle).
+func (d *Deployment) Quiesce(horizon time.Duration) bool {
+	return d.Network.RunUntilQuiesced(d.Network.Now() + horizon)
+}
+
 // Prefix returns the deployment's 48-bit network prefix.
 func (d *Deployment) Prefix() netsim.NetworkPrefix { return d.prefix }
 

@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries: every value must land in a bucket whose [lo, hi)
+// range contains it, small values exactly, and the index must be monotone in
+// the value.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact region: one bucket per value.
+	for v := int64(0); v < histSubCount; v++ {
+		idx := bucketIdx(v)
+		if idx != int(v) {
+			t.Fatalf("bucketIdx(%d) = %d, want exact", v, idx)
+		}
+		lo, hi := bucketBounds(idx)
+		if lo != v || hi != v+1 {
+			t.Fatalf("bounds(%d) = [%d,%d), want [%d,%d)", idx, lo, hi, v, v+1)
+		}
+	}
+	// Sweep boundaries and random points across the log-linear region.
+	vals := []int64{histSubCount - 1, histSubCount, histSubCount + 1}
+	for shift := uint(histSubBits + 1); shift < 40; shift++ {
+		v := int64(1) << shift
+		vals = append(vals, v-1, v, v+1)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10_000; i++ {
+		vals = append(vals, rng.Int63n(int64(1)<<40))
+	}
+	prevIdx := -1
+	for _, v := range vals {
+		idx := bucketIdx(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d,%d)", v, idx, lo, hi)
+		}
+		// Relative bucket width bounds the quantization error.
+		if lo >= histSubCount && float64(hi-lo)/float64(lo) > 2.0/histSubCount+1e-9 {
+			t.Fatalf("bucket [%d,%d) wider than the precision bound", lo, hi)
+		}
+		_ = prevIdx
+	}
+	// Monotonicity over a dense range.
+	prev := 0
+	for v := int64(0); v < 1<<20; v += 13 {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	// Clamps.
+	if bucketIdx(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+	if idx := bucketIdx(1 << 62); idx >= histBuckets {
+		t.Fatalf("huge value index %d out of range", idx)
+	}
+}
+
+// TestQuantileInterpolation: known sample sets must produce quantiles within
+// one bucket width of the exact order statistic.
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zero")
+	}
+	// Exact region: values 0..63 once each.
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.25, 15}, {0.5, 31}, {0.75, 47}, {1, 63}} {
+		if got := h.Quantile(tc.q); got < tc.want-1 || got > tc.want+1 {
+			t.Fatalf("Quantile(%v) = %d, want ~%d", tc.q, got, tc.want)
+		}
+	}
+	if h.Max() != 63 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if m := h.Mean(); m != 31.5 {
+		t.Fatalf("Mean = %v, want 31.5", m)
+	}
+
+	// Log-linear region: 1..100000, quantiles within the ~3% bucket width.
+	var big Histogram
+	for v := int64(1); v <= 100_000; v++ {
+		big.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := q * 100_000
+		got := float64(big.Quantile(q))
+		if got < want*0.96 || got > want*1.04 {
+			t.Fatalf("Quantile(%v) = %v, want within 4%% of %v", q, got, want)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecording: samples recorded from many goroutines
+// must all be counted, in the right buckets.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := int64(g * 1000)
+			for i := 0; i < per; i++ {
+				h.Record(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+	for g := 0; g < goroutines; g++ {
+		if c := h.counts[bucketIdx(int64(g*1000))].Load(); c != per {
+			t.Fatalf("bucket for %d holds %d, want %d", g*1000, c, per)
+		}
+	}
+	if h.Max() != 7000 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+}

@@ -1,0 +1,244 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// miniCfg is a fast scenario covering every op kind: ~100 ops over 40s of
+// virtual time, milliseconds of wall time.
+func miniCfg() Config {
+	return Config{
+		Scenario: "mini", Things: 6, Shape: ShapeWide, Rate: 3,
+		Warmup: 2 * time.Second, Duration: 40 * time.Second, Cooldown: 10 * time.Second,
+		Seed: 42, StreamPeriod: 2 * time.Second, RequestTimeout: 500 * time.Millisecond,
+		Mix: mixOf(50, 10, 5, 15, 15, 5),
+	}
+}
+
+// TestVirtualDeterminism: the same seed and scenario must reproduce the op
+// schedule and every latency histogram bit for bit — the property the CI
+// latency gate rests on.
+func TestVirtualDeterminism(t *testing.T) {
+	r1, res1, err := run(miniCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, res2, err := run(miniCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Issued == 0 || res1.Completed == 0 {
+		t.Fatalf("mini run issued %d / completed %d ops", res1.Issued, res1.Completed)
+	}
+	if res1.ScheduleHash != res2.ScheduleHash {
+		t.Fatalf("schedule hash differs across identical runs: %s vs %s", res1.ScheduleHash, res2.ScheduleHash)
+	}
+	for op := range r1.stats {
+		if !r1.stats[op].hist.equal(&r2.stats[op].hist) {
+			t.Fatalf("%v histogram differs across identical runs", Op(op))
+		}
+	}
+	j1, err := json.Marshal(res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("results differ across identical runs:\n%s\n%s", j1, j2)
+	}
+	// A different seed must produce a different schedule.
+	other := miniCfg()
+	other.Seed = 43
+	_, res3, err := run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.ScheduleHash == res1.ScheduleHash {
+		t.Fatal("different seeds hashed to the same schedule")
+	}
+}
+
+// TestVirtualRunShape sanity-checks the mini run: every op kind issued,
+// streams delivered data, hot-swaps resolved, and the teardown quiesce
+// drained the network.
+func TestVirtualRunShape(t *testing.T) {
+	_, res, err := run(miniCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"read", "write", "discover", "subscribe", "hotswap", "discover_drivers"} {
+		o := res.Ops[name]
+		if o == nil || o.Issued == 0 {
+			t.Fatalf("op %s never issued: %+v", name, o)
+		}
+		if o.Count > 0 && (o.P50Ns <= 0 || o.P99Ns < o.P50Ns || o.MaxNs <= 0) {
+			t.Fatalf("op %s has implausible percentiles: %+v", name, o)
+		}
+	}
+	if res.StreamReadings == 0 {
+		t.Fatal("no stream data observed despite subscribe ops")
+	}
+	if res.MaxInFlight != 1 {
+		t.Fatalf("virtual mode executes ops sequentially; max in-flight = %d", res.MaxInFlight)
+	}
+	if !res.Drained {
+		t.Fatal("teardown quiesce did not drain (streams left running?)")
+	}
+	if res.Unresolved != 0 {
+		t.Fatalf("%d hot-swaps never resolved in a loss-free run", res.Unresolved)
+	}
+}
+
+// TestClosedLoopVirtualInvariants: a closed-loop run distributes work over
+// exactly Workers lanes, never overlaps ops on the virtual timeline, and
+// remains deterministic.
+func TestClosedLoopVirtualInvariants(t *testing.T) {
+	cfg := miniCfg()
+	cfg.Arrival = ArrivalClosed
+	cfg.Workers = 3
+	cfg.Think = 300 * time.Millisecond
+	_, res1, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res2, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.ScheduleHash != res2.ScheduleHash || res1.Issued != res2.Issued {
+		t.Fatal("closed-loop virtual run not deterministic")
+	}
+	if len(res1.LaneOps) != cfg.Workers {
+		t.Fatalf("lanes = %d, want %d", len(res1.LaneOps), cfg.Workers)
+	}
+	var sum uint64
+	for w, n := range res1.LaneOps {
+		if n == 0 {
+			t.Fatalf("worker %d issued nothing", w)
+		}
+		sum += n
+	}
+	if sum != res1.Issued {
+		t.Fatalf("lane ops sum %d != issued %d", sum, res1.Issued)
+	}
+	if res1.MaxInFlight != 1 {
+		t.Fatalf("virtual closed loop must serialize; max in-flight = %d", res1.MaxInFlight)
+	}
+	// More workers with the same think time must issue more ops (the
+	// population bounds throughput).
+	cfg6 := cfg
+	cfg6.Workers = 6
+	_, res6, err := run(cfg6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res6.Issued <= res1.Issued {
+		t.Fatalf("6 workers issued %d ops, 3 workers %d — population should raise closed-loop throughput", res6.Issued, res1.Issued)
+	}
+}
+
+// TestClosedLoopRealtimeInvariants: under the wall-clock runtime the worker
+// population bounds concurrency: never more than Workers ops in flight, and
+// every lane participates.
+func TestClosedLoopRealtimeInvariants(t *testing.T) {
+	cfg := Config{
+		Scenario: "mini-rt", Things: 4, Shape: ShapeWide,
+		Arrival: ArrivalClosed, Workers: 4, Think: 50 * time.Millisecond,
+		Warmup: time.Second, Duration: 20 * time.Second, Cooldown: 5 * time.Second,
+		Seed: 7, StreamPeriod: 2 * time.Second, RequestTimeout: 500 * time.Millisecond,
+		Realtime: true, TimeScale: 100,
+		Mix: mixOf(70, 10, 0, 10, 10, 0),
+	}
+	_, res, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("realtime closed loop completed nothing")
+	}
+	if res.MaxInFlight > int64(cfg.Workers) {
+		t.Fatalf("max in-flight %d exceeds the %d-worker population", res.MaxInFlight, cfg.Workers)
+	}
+	if len(res.LaneOps) != cfg.Workers {
+		t.Fatalf("lanes = %d, want %d", len(res.LaneOps), cfg.Workers)
+	}
+	var sum uint64
+	for w, n := range res.LaneOps {
+		if n == 0 {
+			t.Fatalf("worker %d issued nothing", w)
+		}
+		sum += n
+	}
+	if sum != res.Issued {
+		t.Fatalf("lane ops sum %d != issued %d", sum, res.Issued)
+	}
+}
+
+// TestOpenLoopScheduleSharedAcrossModes: the open-loop arrival schedule is
+// drawn identically in virtual and realtime mode — same seed, same hash —
+// so a realtime run measures real latencies of the exact schedule the
+// deterministic gate run used.
+func TestOpenLoopScheduleSharedAcrossModes(t *testing.T) {
+	cfg := miniCfg()
+	cfg.Duration = 15 * time.Second
+	cfg.Cooldown = 5 * time.Second
+	_, virt, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := cfg
+	rt.Realtime = true
+	rt.TimeScale = 100
+	_, real, err := run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.ScheduleHash != virt.ScheduleHash {
+		t.Fatalf("open-loop schedule hash differs across modes: %s (virtual) vs %s (realtime)", virt.ScheduleHash, real.ScheduleHash)
+	}
+	if real.MaxInFlight < 1 || real.Completed == 0 {
+		t.Fatalf("realtime open loop: %+v", real)
+	}
+}
+
+// TestPresetsNormalize: every shipped scenario must validate.
+func TestPresetsNormalize(t *testing.T) {
+	for _, name := range Scenarios() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.normalize(); err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if cfg.Mix.total() == 0 || cfg.Things == 0 || cfg.Duration == 0 {
+			t.Fatalf("preset %s underspecified: %+v", name, cfg)
+		}
+	}
+}
+
+// TestParseMix round-trips the CLI mix syntax.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("read=60, write=10,hotswap=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[OpRead] != 60 || m[OpWrite] != 10 || m[OpHotSwap] != 5 || m[OpDiscover] != 0 {
+		t.Fatalf("mix = %+v", m)
+	}
+	if _, err := ParseMix("read=60,warp=1"); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+	if _, err := ParseMix("read=-1"); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if _, err := ParseMix(""); err == nil {
+		t.Fatal("empty mix must fail")
+	}
+}

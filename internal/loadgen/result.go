@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// OpResult summarizes one operation kind over the measure window.
+type OpResult struct {
+	// Issued counts operations whose (intended) start fell inside the
+	// measure window; Count of them completed successfully, Errors failed
+	// with a non-timeout error, Timeouts expired unanswered.
+	Issued   uint64 `json:"issued"`
+	Count    uint64 `json:"count"`
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+	// ThroughputPerSec is successful completions per virtual second of the
+	// measure window.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// Latency percentiles over successful completions, in nanoseconds of
+	// virtual time (mode-independent: realtime runs divide wall time by the
+	// time scale through the deployment clock).
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	P999Ns int64   `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Result is one load run's machine-readable outcome (LOAD_result.json).
+type Result struct {
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"` // "virtual" or "realtime"
+	Seed     int64  `json:"seed"`
+	Things   int    `json:"things"`
+	Shape    string `json:"shape"`
+	Clients  int    `json:"clients"`
+	Arrival  string `json:"arrival"`
+	Process  string `json:"process,omitempty"`
+	// RatePerSec is the configured open-loop arrival rate; Workers/ThinkNs
+	// the closed-loop population.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	ThinkNs    int64   `json:"think_ns,omitempty"`
+	TimeScale  float64 `json:"time_scale,omitempty"`
+	Mix        string  `json:"mix"`
+
+	// WarmupNs/MeasureNs/CooldownNs are the phase spans in virtual time.
+	WarmupNs   int64 `json:"warmup_ns"`
+	MeasureNs  int64 `json:"measure_ns"`
+	CooldownNs int64 `json:"cooldown_ns"`
+
+	// ScheduleHash fingerprints the issued op schedule (kind, target,
+	// client and — for open-loop lanes — intended arrival time, FNV-1a
+	// combined per lane): two runs with the same seed and config hash
+	// identically even in realtime mode, where latencies differ.
+	ScheduleHash string `json:"schedule_hash"`
+
+	// Totals over the measure window, all operation kinds combined. Shed
+	// counts open-loop arrivals dropped at the realtime in-flight bound;
+	// Unresolved counts hot-swaps whose advertisement never arrived before
+	// the run ended (they are also in the hotswap op's Timeouts).
+	Issued     uint64 `json:"issued"`
+	Completed  uint64 `json:"completed"`
+	Errors     uint64 `json:"errors"`
+	Timeouts   uint64 `json:"timeouts"`
+	Shed       uint64 `json:"shed"`
+	Unresolved uint64 `json:"unresolved"`
+	// StreamReadings counts stream data deliveries observed on
+	// subscriptions opened by the workload (any phase).
+	StreamReadings uint64 `json:"stream_readings"`
+	// MaxInFlight is the high-water mark of concurrently executing
+	// operations (1 in virtual mode, ≤ Workers in closed-loop realtime).
+	MaxInFlight int64 `json:"max_in_flight"`
+	// LaneOps is the per-lane issued count (one lane per closed-loop
+	// worker; one lane total in open loop).
+	LaneOps []uint64 `json:"lane_ops"`
+	// Drained reports whether the cooldown quiesce drained all in-flight
+	// work before its horizon.
+	Drained bool `json:"drained"`
+
+	Ops map[string]*OpResult `json:"ops"`
+}
+
+// WriteJSON writes the result, indented, to path ("-" for stdout).
+func (r *Result) WriteJSON(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// Summarize prints a human-readable table of the result.
+func (r *Result) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s (%s, %s arrival, seed %d): %d things, mix %s\n",
+		r.Scenario, r.Mode, r.Arrival, r.Seed, r.Things, r.Mix)
+	fmt.Fprintf(w, "measure window %s (+%s warmup): %d issued, %d ok, %d errors, %d timeouts, %d shed; max in-flight %d; %d stream readings\n",
+		time.Duration(r.MeasureNs), time.Duration(r.WarmupNs),
+		r.Issued, r.Completed, r.Errors, r.Timeouts, r.Shed, r.MaxInFlight, r.StreamReadings)
+	names := make([]string, 0, len(r.Ops))
+	for name := range r.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-17s %8s %8s %6s %6s %10s %10s %10s %10s %10s\n",
+		"op", "count", "ops/s", "err", "tmo", "p50", "p90", "p99", "p99.9", "max")
+	for _, name := range names {
+		o := r.Ops[name]
+		fmt.Fprintf(w, "%-17s %8d %8.2f %6d %6d %10s %10s %10s %10s %10s\n",
+			name, o.Count, o.ThroughputPerSec, o.Errors, o.Timeouts,
+			time.Duration(o.P50Ns), time.Duration(o.P90Ns), time.Duration(o.P99Ns),
+			time.Duration(o.P999Ns), time.Duration(o.MaxNs))
+	}
+}

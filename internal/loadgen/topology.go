@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"micropnp"
+)
+
+// target is one load-targetable Thing: its current sensor kind (which
+// hot-swaps rotate) and whether a swap is in flight.
+type target struct {
+	idx   int
+	thing *micropnp.Thing
+	addr  netip.Addr
+
+	mu       sync.Mutex
+	dev      micropnp.DeviceID
+	swapping bool
+}
+
+// device returns the target's current sensor kind.
+func (t *target) device() micropnp.DeviceID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dev
+}
+
+// sensorCycle is the hot-swap rotation; all three kinds also seed the
+// round-robin plug order, mirroring the scale test-suite's topologies.
+var sensorCycle = [3]micropnp.DeviceID{micropnp.TMP36, micropnp.HIH4030, micropnp.BMP180}
+
+// plugSensor plugs the kind-th round-robin sensor on channel 0.
+func plugSensor(th *micropnp.Thing, kind int) (micropnp.DeviceID, error) {
+	dev := sensorCycle[kind%len(sensorCycle)]
+	return dev, plugDevice(th, dev)
+}
+
+// buildTopology attaches cfg.Things Things in the configured shape with
+// round-robin sensors on channel 0, plus a relay bank on channel 1 of every
+// fifth Thing (the write targets — at least one whenever the mix writes).
+// The shapes mirror the scale test-suite: wide (all one hop from the
+// manager), deep (chains deepening every 10), branches (three subtrees, one
+// sensor kind each, deepening every 20).
+func buildTopology(d *micropnp.Deployment, cfg Config) (targets []*target, writables []*target, err error) {
+	n := cfg.Things
+	targets = make([]*target, 0, n)
+	var prev, parent *micropnp.Thing
+	branchParents := make([]*micropnp.Thing, 3)
+	for i := 0; i < n; i++ {
+		var th *micropnp.Thing
+		switch cfg.Shape {
+		case ShapeDeep:
+			if i > 0 && i%10 == 0 {
+				parent = prev
+			}
+			th, err = addUnder(d, fmt.Sprintf("n%d", i), parent)
+		case ShapeBranches:
+			branch := i % 3
+			th, err = addUnder(d, fmt.Sprintf("b%dn%d", branch, i), branchParents[branch])
+			if err == nil && (i/3)%20 == 19 {
+				branchParents[branch] = th
+			}
+		default: // ShapeWide
+			th, err = d.AddThing(fmt.Sprintf("n%d", i))
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		// Round-robin kinds; under ShapeBranches this doubles as one kind
+		// per branch, since the branch index is also i % 3.
+		dev, err := plugSensor(th, i%3)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := &target{idx: i, thing: th, addr: th.Addr(), dev: dev}
+		targets = append(targets, t)
+		if i%5 == 4 {
+			if _, err := th.PlugRelay(1); err != nil {
+				return nil, nil, err
+			}
+			writables = append(writables, t)
+		}
+		prev = th
+	}
+	if cfg.Mix[OpWrite] > 0 && len(writables) == 0 {
+		if _, err := targets[0].thing.PlugRelay(1); err != nil {
+			return nil, nil, err
+		}
+		writables = append(writables, targets[0])
+	}
+	return targets, writables, nil
+}
+
+// addUnder adds a Thing under parent, or one hop from the manager when
+// parent is nil.
+func addUnder(d *micropnp.Deployment, name string, parent *micropnp.Thing) (*micropnp.Thing, error) {
+	if parent == nil {
+		return d.AddThing(name)
+	}
+	return d.AddThingUnder(name, parent)
+}

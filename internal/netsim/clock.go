@@ -375,6 +375,47 @@ func (c *VirtualClock) RunUntil(deadline time.Duration) int {
 	}
 }
 
+// RunUntilQuiesced processes events up to (and including) the given virtual
+// deadline, reporting whether the queue drained before reaching it — the
+// bounded companion of RunUntilIdle for networks that can never go idle
+// (active streams reschedule themselves forever). On a drain the clock stays
+// at the last event's time, like RunUntilIdle; otherwise it advances exactly
+// to the deadline, like RunUntil, and the remaining events stay queued.
+func (c *VirtualClock) RunUntilQuiesced(deadline time.Duration) bool {
+	for {
+		c.mu.Lock()
+		next := c.eh.peek()
+		if next == nil {
+			c.mu.Unlock()
+			return true
+		}
+		if next.at > deadline {
+			if c.now < deadline {
+				c.now = deadline
+			}
+			c.mu.Unlock()
+			return false
+		}
+		ev := c.eh.pop()
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		fn, del := ev.fn, ev.del
+		ev.fn, ev.del = nil, nil
+		pool := ev.poolable
+		c.eh.retire(ev)
+		c.mu.Unlock()
+		if pool {
+			recycleEvent(ev)
+		}
+		if del != nil {
+			del.run()
+		} else {
+			fn()
+		}
+	}
+}
+
 // queueCap exposes the event queue's backing capacity; leak tests assert it
 // stays bounded across long schedule/cancel/step runs.
 func (c *VirtualClock) queueCap() int {

@@ -811,6 +811,20 @@ func (n *Network) RunUntilIdle(maxSteps int) int {
 	return 0
 }
 
+// RunUntilQuiesced drives the network until it is idle or until the virtual
+// deadline passes, whichever comes first, and reports whether it went idle —
+// the bounded drain RunUntilIdle cannot provide while self-rescheduling
+// activities (active streams) keep the queue populated. On the virtual clock
+// the caller's goroutine executes the due events inline; on the realtime
+// clock the call blocks until the runtime drains or the deadline passes on
+// the (scaled) wall clock.
+func (n *Network) RunUntilQuiesced(deadline time.Duration) bool {
+	if n.vclock != nil {
+		return n.vclock.RunUntilQuiesced(deadline)
+	}
+	return n.rclock.WaitIdleUntil(deadline)
+}
+
 // RunUntil processes events up to (and including) the given virtual
 // deadline, then advances the clock to the deadline. On the virtual clock
 // the caller's goroutine executes the events inline; on the realtime clock

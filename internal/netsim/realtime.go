@@ -287,6 +287,64 @@ func (c *RealtimeClock) WaitIdle() {
 	c.mu.Unlock()
 }
 
+// WaitIdleUntil is WaitIdle with a horizon: it blocks until the runtime went
+// idle (reporting true) or until the virtual deadline passed on the (scaled)
+// wall clock (reporting false, with whatever is still scheduled left to run)
+// — the bounded drain for runtimes that can never go idle because active
+// streams reschedule themselves forever. A stopped clock reports false.
+func (c *RealtimeClock) WaitIdleUntil(deadline time.Duration) bool {
+	// Arm a wall-clock wakeup at the deadline: cond.Wait has no timeout, so
+	// the waiters below need an external broadcast when time runs out.
+	nowV := c.Now()
+	if wall := time.Duration(float64(deadline-nowV) / c.scale); wall > 0 {
+		t := time.AfterFunc(wall, func() {
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.stopped {
+			return false
+		}
+		if c.eh.live() == 0 && len(c.runq) == 0 && c.running == 0 {
+			return true
+		}
+		nowV = c.nowLocked()
+		if nowV >= deadline {
+			return false
+		}
+		if c.eh.live() > 0 && len(c.runq) == 0 && c.running == 0 {
+			// Only future events remain; the loop is asleep on its timer and
+			// nothing will broadcast until it fires. Poll on a wall tick
+			// bounded by both the next event and the deadline (see WaitIdle).
+			next := c.eh.peek()
+			bound := deadline
+			if next != nil && next.at < bound {
+				bound = next.at
+			}
+			wait := time.Duration(0)
+			if bound > nowV {
+				wait = time.Duration(float64(bound-nowV) / c.scale)
+			}
+			c.mu.Unlock()
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+			case <-c.done:
+			}
+			c.mu.Lock()
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
 // queueCap exposes the event queue's backing capacity (leak tests).
 func (c *RealtimeClock) queueCap() int {
 	c.mu.Lock()

@@ -460,23 +460,43 @@ func (d *Decoder) Decode(data []byte) (*Message, error) {
 // Values32 packs int32 values into a Data payload (big-endian), the format
 // drivers' return values travel in.
 func Values32(vals []int32) []byte {
-	out := make([]byte, 0, len(vals)*4)
+	return AppendValues32(make([]byte, 0, len(vals)*4), vals)
+}
+
+// AppendValues32 packs int32 values into a Data payload appended to dst and
+// returns the extended slice — the allocation-free variant of Values32 for
+// hot paths that own a reusable scratch buffer (pass dst[:0] to reuse it).
+func AppendValues32(dst []byte, vals []int32) []byte {
 	for _, v := range vals {
-		out = appendU32(out, uint32(v))
+		dst = appendU32(dst, uint32(v))
 	}
-	return out
+	return dst
 }
 
 // ParseValues32 unpacks a Data payload into int32 values.
 func ParseValues32(data []byte) ([]int32, error) {
+	return AppendParseValues32(nil, data)
+}
+
+// AppendParseValues32 unpacks a Data payload, appending the values to dst,
+// and returns the extended slice — the caller-scratch variant of
+// ParseValues32 for hot paths that reuse a value buffer across requests
+// (pass scratch[:0] to reuse it; with a nil dst it behaves exactly like
+// ParseValues32). dst is returned unchanged on error.
+func AppendParseValues32(dst []int32, data []byte) ([]int32, error) {
 	if len(data)%4 != 0 {
-		return nil, fmt.Errorf("proto: data length %d is not a multiple of 4", len(data))
+		return dst, fmt.Errorf("proto: data length %d is not a multiple of 4", len(data))
 	}
-	out := make([]int32, len(data)/4)
-	for i := range out {
-		out[i] = int32(uint32(data[4*i])<<24 | uint32(data[4*i+1])<<16 | uint32(data[4*i+2])<<8 | uint32(data[4*i+3]))
+	n := len(data) / 4
+	if cap(dst)-len(dst) < n {
+		grown := make([]int32, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out, nil
+	for i := 0; i < n; i++ {
+		dst = append(dst, int32(uint32(data[4*i])<<24|uint32(data[4*i+1])<<16|uint32(data[4*i+2])<<8|uint32(data[4*i+3])))
+	}
+	return dst, nil
 }
 
 // ValuesBytes packs int32 values as single bytes (for byte-oriented

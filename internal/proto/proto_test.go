@@ -162,6 +162,65 @@ func TestValues32RoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendValues32Scratch(t *testing.T) {
+	vals := []int32{-5, 0, 1 << 30}
+	want := Values32(vals)
+
+	// Appending into a reused scratch produces identical bytes without
+	// reallocating once capacity suffices.
+	scratch := make([]byte, 0, 16)
+	packed := AppendValues32(scratch[:0], vals)
+	if !reflect.DeepEqual(packed, want) {
+		t.Fatalf("AppendValues32 = %x, want %x", packed, want)
+	}
+	if &packed[0] != &scratch[:1][0] {
+		t.Fatal("AppendValues32 must reuse the scratch's backing array")
+	}
+	// Appending preserves an existing prefix.
+	prefixed := AppendValues32([]byte{0xff}, []int32{1})
+	if !reflect.DeepEqual(prefixed, []byte{0xff, 0, 0, 0, 1}) {
+		t.Fatalf("prefixed = %x", prefixed)
+	}
+}
+
+func TestAppendParseValues32Scratch(t *testing.T) {
+	vals := []int32{7, -1, 42}
+	data := Values32(vals)
+
+	// nil dst behaves exactly like ParseValues32.
+	got, err := AppendParseValues32(nil, data)
+	if err != nil || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("AppendParseValues32(nil) = %v, %v", got, err)
+	}
+	// A roomy scratch is reused, not reallocated.
+	scratch := make([]int32, 0, 8)
+	got, err = AppendParseValues32(scratch[:0], data)
+	if err != nil || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("scratch parse = %v, %v", got, err)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("AppendParseValues32 must reuse the scratch's backing array")
+	}
+	// Recycling the returned slice across parses stays allocation-free.
+	if allocs := testing.AllocsPerRun(100, func() {
+		var perr error
+		got, perr = AppendParseValues32(got[:0], data)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+	}); allocs != 0 {
+		t.Fatalf("steady-state scratch parse allocates %v per run", allocs)
+	}
+	// An existing prefix is preserved; errors leave dst unchanged.
+	prefixed, err := AppendParseValues32([]int32{9}, Values32([]int32{1}))
+	if err != nil || !reflect.DeepEqual(prefixed, []int32{9, 1}) {
+		t.Fatalf("prefixed = %v, %v", prefixed, err)
+	}
+	if out, err := AppendParseValues32([]int32{9}, []byte{1, 2, 3}); err == nil || !reflect.DeepEqual(out, []int32{9}) {
+		t.Fatalf("error case = %v, %v", out, err)
+	}
+}
+
 // encodeOf reduces a message to its canonical wire form for comparisons that
 // must ignore nil-versus-empty slice representation differences between the
 // copying and borrowing decoders.

@@ -214,6 +214,12 @@ type Thing struct {
 	streams map[hw.DeviceID]*streamState
 
 	vmMu sync.Mutex
+	// dataScratch is the reusable payload buffer driverReturned packs return
+	// values into. Guarded by vmMu: driver runtimes only execute (and hence
+	// only call back into driverReturned) while vmMu is held, and the packed
+	// bytes are copied into the outgoing pooled datagram before driverReturned
+	// returns, so one buffer per Thing suffices.
+	dataScratch []byte
 }
 
 // New builds and registers a Thing on the network.
@@ -609,7 +615,11 @@ func (t *Thing) slotForLocked(id hw.DeviceID) *slotState {
 // if one exists, otherwise to the active stream group. It must take only
 // opsMu — it can run while t.mu is held by a caller pumping the runtime.
 func (t *Thing) driverReturned(id hw.DeviceID, vals []int32) {
-	data := proto.Values32(vals)
+	// Pack into the vmMu-guarded scratch: send copies the bytes into a pooled
+	// network buffer synchronously, so nothing retains data past this call.
+	// This shaves one per-read (and per-stream-tick) heap allocation.
+	t.dataScratch = proto.AppendValues32(t.dataScratch[:0], vals)
+	data := t.dataScratch
 	t.opsMu.Lock()
 	if q := t.pending[id]; len(q) > 0 {
 		pr := q[0]

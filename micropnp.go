@@ -261,7 +261,7 @@ func (d *Deployment) AddClientUnder(parent *Thing) (*Client, error) {
 // play out. In real-time mode it blocks until the runtime has drained
 // (nothing scheduled, queued or running); do not call it while a stream is
 // active in that mode — active streams reschedule forever and never drain.
-// Use RunFor to bound such waits instead.
+// Use RunFor to let a fixed span elapse, or Quiesce to drain with a bound.
 func (d *Deployment) Run() {
 	if d.realtime {
 		d.core.Run()
@@ -280,6 +280,23 @@ func (d *Deployment) RunFor(span time.Duration) {
 		return
 	}
 	d.pump(func() { d.core.RunFor(span) })
+}
+
+// Quiesce drives the network until idle or until horizon of virtual time has
+// elapsed, whichever comes first, and reports whether it went idle. It is
+// the bounded drain Run cannot provide while subscriptions are active:
+// streams reschedule themselves forever, so a deployment with live streams
+// never goes idle — Quiesce lets their traffic (and everything else in
+// flight) play out for at most the horizon and then returns, leaving the
+// streams ticking. With no streams active it returns true as soon as the
+// in-flight cascade drained, which may be well before the horizon.
+func (d *Deployment) Quiesce(horizon time.Duration) bool {
+	if d.realtime {
+		return d.core.Quiesce(horizon)
+	}
+	var idle bool
+	d.pump(func() { idle = d.core.Quiesce(horizon) })
+	return idle
 }
 
 // pump runs a virtual-mode drive function as the elected driver: it takes

@@ -294,6 +294,112 @@ func TestSDKSubscribe(t *testing.T) {
 	}
 }
 
+// TestSDKReadInto: the caller-scratch read parses the reply into the
+// provided buffer (reusing its backing array) instead of allocating, and
+// recycling the returned Values keeps working across calls.
+func TestSDKReadInto(t *testing.T) {
+	d := newSDKDeployment(t)
+	d.SetEnvironment(24.0, 40, 101_325)
+	th, _ := d.AddThing("lab")
+	cl, _ := d.AddClient()
+	if err := th.PlugBMP180(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	scratch := make([]int32, 0, 8)
+	r, err := cl.ReadInto(context.Background(), th.Addr(), micropnp.BMP180, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Values) != 2 || r.Units != "0.1°C,Pa" {
+		t.Fatalf("reading = %+v", r)
+	}
+	if &r.Values[0] != &scratch[:1][0] {
+		t.Fatal("ReadInto must parse into the caller's scratch backing array")
+	}
+	// Recycle the returned Values as the next call's scratch.
+	r2, err := cl.ReadInto(context.Background(), th.Addr(), micropnp.BMP180, r.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Values) != 2 || &r2.Values[0] != &r.Values[0] {
+		t.Fatalf("recycled scratch not reused: %+v", r2)
+	}
+	// Error semantics match Read.
+	if _, err := cl.ReadInto(context.Background(), th.Addr(), micropnp.TMP36, r2.Values); !errors.Is(err, micropnp.ErrNoPeripheral) {
+		t.Fatalf("absent peripheral = %v, want ErrNoPeripheral", err)
+	}
+}
+
+// TestSDKQuiesce: Quiesce is the bounded drain — with an active stream the
+// deployment can never go idle, so it must advance exactly the horizon and
+// report false; once the stream stops it drains and reports true early.
+func TestSDKQuiesce(t *testing.T) {
+	d := newSDKDeployment(t, micropnp.WithStreamPeriod(10*time.Second))
+	th, _ := d.AddThing("src")
+	cl, _ := d.AddClient()
+	if err := th.PlugTMP36(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if !d.Quiesce(time.Minute) {
+		t.Fatal("an idle deployment must quiesce immediately")
+	}
+
+	got := 0
+	sub, err := cl.Subscribe(context.Background(), th.Addr(), micropnp.TMP36,
+		func(micropnp.Reading) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	before := d.Now()
+	if d.Quiesce(35 * time.Second) {
+		t.Fatal("quiesce with an active stream must hit the horizon")
+	}
+	if moved := d.Now() - before; moved != 35*time.Second {
+		t.Fatalf("quiesce advanced %v, want exactly the 35s horizon", moved)
+	}
+	if got != 3 {
+		t.Fatalf("stream delivered %d readings inside the horizon, want 3", got)
+	}
+	th.StopStream(micropnp.TMP36)
+	if !d.Quiesce(time.Minute) {
+		t.Fatal("deployment must drain once the stream stopped")
+	}
+	if d.Now()-before >= time.Minute {
+		t.Fatal("post-stop quiesce should drain well before its horizon")
+	}
+}
+
+// TestSDKQuiesceRealtime: same semantics on the wall-clock runtime.
+func TestSDKQuiesceRealtime(t *testing.T) {
+	d := newSDKDeployment(t,
+		micropnp.WithRealTime(), micropnp.WithTimeScale(200),
+		micropnp.WithStreamPeriod(2*time.Second))
+	defer d.Close()
+	th, _ := d.AddThing("src")
+	cl, _ := d.AddClient()
+	if err := th.PlugTMP36(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	sub, err := cl.Subscribe(context.Background(), th.Addr(), micropnp.TMP36, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if d.Quiesce(5 * time.Second) {
+		t.Fatal("quiesce with an active stream must hit the horizon")
+	}
+	th.StopStream(micropnp.TMP36)
+	if !d.Quiesce(time.Minute) {
+		t.Fatal("deployment must drain once the stream stopped")
+	}
+}
+
 func TestSDKSubscribeUnreachableTimesOut(t *testing.T) {
 	d := newSDKDeployment(t, micropnp.WithRequestTimeout(300*time.Millisecond))
 	if _, err := d.AddThing("x"); err != nil {
