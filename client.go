@@ -41,13 +41,29 @@ func (c *Client) Things(id DeviceID) []netip.Addr { return c.cl.Things(hw.Device
 // immediately rather than letting it expire at its deadline.
 func (c *Client) InFlight() int { return c.cl.Pending() }
 
-// OnAdvert registers a callback invoked for every incoming advertisement.
+// OnAdvert registers a callback invoked for every incoming advertisement,
+// replacing any callback registered before. For composable listeners use
+// AddAdvertHook.
 func (c *Client) OnAdvert(fn func(Advert)) {
 	if fn == nil {
 		c.cl.OnAdvert(nil)
 		return
 	}
 	c.cl.OnAdvert(func(a client.Advert) { fn(advertFrom(a)) })
+}
+
+// AddAdvertHook registers an additional advertisement listener. Unlike
+// OnAdvert it composes: every registered hook fires for every advert,
+// alongside the OnAdvert callback, so independent consumers — a catalog
+// feeding on the advert flow, an application callback — can coexist without
+// clobbering each other. Hooks cannot be removed; they live as long as the
+// client. Hooks run on the goroutine delivering the advert (a pool worker in
+// real-time mode) and must not block.
+func (c *Client) AddAdvertHook(fn func(Advert)) {
+	if fn == nil {
+		return
+	}
+	c.cl.AddAdvertHook(func(a client.Advert) { fn(advertFrom(a)) })
 }
 
 // units resolves the unit string for a peripheral type: what the Thing
@@ -72,7 +88,7 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 		r   Reading
 		err error
 	}
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return c.cl.Read(thing, hw.DeviceID(id), timeout, func(vals []int32, err error) {
 			// Write the results before signalling completion: the awaiting
 			// goroutine reads them the moment complete() closes the channel.
@@ -87,7 +103,7 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 					At:     c.d.Now(),
 				}
 			}
-			complete()
+			cpl.complete()
 		})
 	})
 	if err != nil {
@@ -118,7 +134,7 @@ func (c *Client) ReadInto(ctx context.Context, thing netip.Addr, id DeviceID, sc
 		r   Reading
 		err error
 	}
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return c.cl.ReadInto(thing, hw.DeviceID(id), scratch, timeout, func(vals []int32, err error) {
 			if err != nil {
 				res.err = err
@@ -131,7 +147,7 @@ func (c *Client) ReadInto(ctx context.Context, thing netip.Addr, id DeviceID, sc
 					At:     c.d.Now(),
 				}
 			}
-			complete()
+			cpl.complete()
 		})
 	})
 	if err != nil {
@@ -145,10 +161,10 @@ func (c *Client) ReadInto(ctx context.Context, thing netip.Addr, id DeviceID, sc
 // such peripheral or rejects the payload, ErrTimeout on loss.
 func (c *Client) Write(ctx context.Context, thing netip.Addr, id DeviceID, vals []int32) error {
 	var werr error
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return c.cl.Write(thing, hw.DeviceID(id), vals, timeout, func(err error) {
 			werr = err
-			complete()
+			cpl.complete()
 		})
 	})
 	if err != nil {
@@ -175,10 +191,10 @@ const (
 
 func (c *Client) runDiscovery(ctx context.Context, kind int, id DeviceID, class uint8, zone uint16) ([]Advert, error) {
 	var got []Advert
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		collect := func(adverts []client.Advert) {
 			got = advertsFrom(adverts)
-			complete()
+			cpl.complete()
 		}
 		switch kind {
 		case discoverByClass:
@@ -284,7 +300,7 @@ func (s *Subscription) Close() {
 func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, onReading func(Reading)) (*Subscription, error) {
 	sub := &Subscription{c: c, thing: thing, id: id, onRead: onReading}
 	var serr error
-	err := c.d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		sub.stream = c.cl.Subscribe(thing, hw.DeviceID(id), client.SubscribeOptions{
 			Timeout: timeout,
 			OnData: func(vals []int32) {
@@ -316,7 +332,7 @@ func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, o
 			},
 			OnEstablished: func(err error) {
 				serr = err
-				complete()
+				cpl.complete()
 			},
 		})
 		// Subscriptions retract through sub.Close below: closing also leaves

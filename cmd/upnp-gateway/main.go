@@ -1,0 +1,203 @@
+// Command upnp-gateway serves the HTTP/JSON front door over a simulated
+// µPnP deployment: it boots a deployment (deterministic virtual clock by
+// default, -realtime for the wall-clock runtime), plugs a sensor/actuator
+// population, and exposes it through the internal/gateway REST surface —
+// paged catalog listings, unicast reads and writes, multicast discovery and
+// SSE subscription streams.
+//
+// A refresher goroutine issues a wildcard discovery every -refresh interval.
+// The discovery replies renew the catalog's TTL leases (so hot-unplugged
+// peripherals age out within one TTL + sweep), and in virtual mode the
+// blocked discovery call doubles as the simulator pump: virtual time
+// advances one discovery window per round even when no external request is
+// driving it.
+//
+// Usage:
+//
+//	upnp-gateway [-addr :8080] [-things N] [-relays N] [-seed S]
+//	             [-ttl D] [-sweep D] [-refresh D]
+//	             [-request-timeout D] [-stream-period D]
+//	             [-realtime] [-timescale X]
+//
+// Examples:
+//
+//	go run ./cmd/upnp-gateway -things 100
+//	curl -s localhost:8080/things?limit=5
+//	curl -s "localhost:8080/things/$ADDR/read?peripheral=tmp36"
+//	curl -N "localhost:8080/things/$ADDR/stream?peripheral=tmp36"
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"micropnp"
+	"micropnp/internal/catalog"
+	"micropnp/internal/gateway"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		things     = flag.Int("things", 24, "deployment size")
+		relays     = flag.Int("relays", 0, "Things that also carry a relay bank (0 = every 8th)")
+		seed       = flag.Int64("seed", 1, "deployment randomness seed")
+		ttl        = flag.Duration("ttl", 30*time.Second, "catalog lease TTL (virtual time)")
+		sweep      = flag.Duration("sweep", time.Second, "catalog sweep interval (wall time)")
+		refresh    = flag.Duration("refresh", 2*time.Second, "lease-refresh discovery interval (wall time)")
+		reqTimeout = flag.Duration("request-timeout", 0, "deployment request timeout (virtual; 0 = SDK default)")
+		streamPer  = flag.Duration("stream-period", 5*time.Second, "subscription stream tick period (virtual)")
+		realtime   = flag.Bool("realtime", false, "run the deployment on the wall clock")
+		timescale  = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode")
+	)
+	flag.Parse()
+	if err := run(*addr, *things, *relays, *seed, *ttl, *sweep, *refresh, *reqTimeout, *streamPer, *realtime, *timescale); err != nil {
+		fmt.Fprintln(os.Stderr, "upnp-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, things, relays int, seed int64, ttl, sweepIv, refreshIv, reqTimeout, streamPer time.Duration, realtime bool, timescale float64) error {
+	opts := []micropnp.Option{micropnp.WithSeed(seed), micropnp.WithStreamPeriod(streamPer)}
+	if reqTimeout > 0 {
+		opts = append(opts, micropnp.WithRequestTimeout(reqTimeout))
+	}
+	if realtime {
+		opts = append(opts, micropnp.WithRealTime())
+		if timescale > 0 {
+			opts = append(opts, micropnp.WithTimeScale(timescale))
+		}
+	}
+	d, err := micropnp.NewDeployment(opts...)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	cl, err := d.AddClient()
+	if err != nil {
+		return err
+	}
+	cat, err := catalog.New(catalog.Config{TTL: ttl, Now: d.Now})
+	if err != nil {
+		return err
+	}
+	cl.AddAdvertHook(cat.Observe)
+
+	if relays <= 0 {
+		relays = (things + 7) / 8
+	}
+	if err := buildPopulation(d, things, relays); err != nil {
+		return err
+	}
+	d.Run() // let every plug-in sequence (and its advert) play out
+	fmt.Printf("upnp-gateway: %d things, %d catalogued peripherals, mode %s\n",
+		things, cat.Size(), mode(d))
+
+	stopSweep := cat.Start(sweepIv)
+	defer stopSweep()
+
+	// Lease refresher (and virtual-clock pump).
+	refreshCtx, stopRefresh := context.WithCancel(context.Background())
+	defer stopRefresh()
+	refreshDone := make(chan struct{})
+	go func() {
+		defer close(refreshDone)
+		t := time.NewTicker(refreshIv)
+		defer t.Stop()
+		for {
+			select {
+			case <-refreshCtx.Done():
+				return
+			case <-t.C:
+				if _, err := cl.Discover(refreshCtx, micropnp.AllPeripherals); err != nil &&
+					!errors.Is(err, context.Canceled) && !errors.Is(err, micropnp.ErrClosed) {
+					fmt.Fprintln(os.Stderr, "upnp-gateway: refresh discovery:", err)
+				}
+			}
+		}
+	}()
+
+	gw, err := gateway.New(gateway.Config{Deployment: d, Client: cl, Catalog: cat})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: gw}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("upnp-gateway: listening on %s\n", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		stopRefresh()
+		<-refreshDone
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, finish in-flight handlers, stop
+	// the refresher, then drain the deployment's in-flight traffic.
+	fmt.Println("upnp-gateway: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "upnp-gateway: shutdown:", err)
+	}
+	stopRefresh()
+	<-refreshDone
+	stopSweep()
+	d.Quiesce(30 * time.Second)
+	return nil
+}
+
+func mode(d *micropnp.Deployment) string {
+	if d.Realtime() {
+		return "realtime"
+	}
+	return "virtual"
+}
+
+// buildPopulation plugs a deterministic sensor cycle (TMP36, HIH4030,
+// BMP180, ADXL345) into n Things, the first nRelay of them also carrying a
+// relay bank on channel 1.
+func buildPopulation(d *micropnp.Deployment, n, nRelay int) error {
+	for i := 0; i < n; i++ {
+		th, err := d.AddThing(fmt.Sprintf("thing-%03d", i))
+		if err != nil {
+			return err
+		}
+		switch i % 4 {
+		case 0:
+			err = th.PlugTMP36(0)
+		case 1:
+			err = th.PlugHIH4030(0)
+		case 2:
+			err = th.PlugBMP180(0)
+		default:
+			err = th.PlugADXL345(0)
+		}
+		if err != nil {
+			return err
+		}
+		if i < nRelay {
+			if _, err := th.PlugRelay(1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

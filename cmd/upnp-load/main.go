@@ -7,10 +7,18 @@
 //
 // Usage:
 //
-//	upnp-load [-scenario smoke|steady|churn|fanout] [-things N] [-shape wide|deep|branches]
+//	upnp-load [-scenario smoke|steady|churn|fanout|http-smoke] [-things N] [-shape wide|deep|branches]
 //	          [-rate R | -workers W -think D] [-mix read=60,write=10,...]
 //	          [-warmup D] [-duration D] [-cooldown D] [-seed S] [-loss P]
 //	          [-realtime] [-timescale X] [-clients N] [-out FILE]
+//	          [-target http://HOST:PORT [-ops N]]
+//
+// -target switches to the HTTP client mode: instead of building an
+// in-process deployment, the reads, writes and discoveries of the mix are
+// issued as REST calls against a running cmd/upnp-gateway, and latency is
+// the gateway's X-Upnp-Virtual-Ns virtual-time span. Against a quiet
+// virtual-mode gateway the single-lane http-smoke scenario is deterministic
+// and CI gates its p99s (LOAD_http_baseline.json).
 //
 // Virtual-mode runs (the default) are deterministic: the same scenario and
 // seed reproduce the op schedule and every histogram bit for bit, on any
@@ -54,6 +62,8 @@ func main() {
 		loss      = flag.Float64("loss", 0, "per-hop frame loss probability")
 		realtime  = flag.Bool("realtime", false, "run on the wall clock (concurrent runtime) instead of the deterministic virtual clock")
 		timescale = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode (preset default 50)")
+		target    = flag.String("target", "", "HTTP client mode: drive a running cmd/upnp-gateway at this base URL instead of an in-process deployment")
+		ops       = flag.Int("ops", 0, "HTTP mode: total operations to issue (default 200)")
 		out       = flag.String("out", "LOAD_result.json", "write the JSON result here (\"-\" for stdout, \"\" to skip)")
 		quiet     = flag.Bool("q", false, "suppress the human-readable summary")
 	)
@@ -117,6 +127,10 @@ func main() {
 	cfg.Realtime = *realtime
 	if *timescale > 0 {
 		cfg.TimeScale = *timescale
+	}
+	cfg.Target = *target
+	if *ops > 0 {
+		cfg.HTTPOps = *ops
 	}
 
 	started := time.Now()

@@ -1,0 +1,342 @@
+// Package catalog implements a TTL-leased registry of the Things and
+// peripherals a µPnP deployment currently serves — the registry half of the
+// gateway+catalog pair (patchwork-toolkit style) that turns the SDK's advert
+// flow into a queryable device directory.
+//
+// Entries are fed from live advertisements (Client.AddAdvertHook → Observe):
+// each advert upserts the {Thing, peripheral} entry and refreshes its lease.
+// Things advertise on plug-in and in discovery replies — there is no
+// periodic keep-alive — so a deployment-facing refresher (the gateway issues
+// periodic wildcard discoveries) keeps leases of live peripherals fresh,
+// while an unplugged peripheral simply stops appearing in replies and its
+// lease runs out: a sweep then removes it, and hot-unplug disappears from
+// the catalog without anyone polling the Thing.
+//
+// Time is virtual time (micropnp.Deployment.Now): leases expire on the
+// deployment's clock in both runtime modes, so virtual-mode tests are
+// deterministic and realtime TTLs scale with WithTimeScale. The sweep
+// goroutine ticks on the wall clock but evaluates leases against the
+// virtual clock.
+//
+// The catalog is safe for concurrent use: reads take an RWMutex snapshot,
+// listings are paged and deterministically ordered, and hit/miss/expiry
+// counters are atomic.
+package catalog
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micropnp"
+)
+
+// DefaultTTL is the lease duration when Config.TTL is zero: long enough to
+// span several gateway refresh rounds, short enough that an unplugged
+// peripheral vanishes promptly.
+const DefaultTTL = 30 * time.Second
+
+// Entry is one catalogued peripheral on one Thing.
+type Entry struct {
+	// Thing is the serving Thing's unicast address.
+	Thing netip.Addr
+	// Device is the peripheral type.
+	Device micropnp.DeviceID
+	// Name is the Thing's advertised human-readable name ("" when never
+	// advertised).
+	Name string
+	// Units describes the peripheral's values ("" when never advertised).
+	Units string
+	// Channel is the control-board channel serving the peripheral (-1 when
+	// not advertised).
+	Channel int
+	// FirstSeen/LastSeen are the virtual times of the first and most recent
+	// advert for this entry.
+	FirstSeen time.Duration
+	LastSeen  time.Duration
+	// Expires is the lease deadline (virtual time): the entry is dropped by
+	// the first sweep after this instant unless an advert refreshes it.
+	Expires time.Duration
+	// Solicited reports whether the most recent advert was a discovery
+	// reply (false: an unsolicited plug-in advertisement).
+	Solicited bool
+}
+
+// Key identifies an entry.
+type Key struct {
+	Thing  netip.Addr
+	Device micropnp.DeviceID
+}
+
+// Stats is a snapshot of the catalog's counters.
+type Stats struct {
+	// Size is the number of live entries.
+	Size int
+	// Things is the number of distinct Things with at least one live entry.
+	Things int
+	// Observed counts adverts absorbed (upserts + refreshes).
+	Observed uint64
+	// Hits/Misses count Get and List lookups that did/did not find entries.
+	Hits   uint64
+	Misses uint64
+	// Expired counts entries dropped by sweeps (lease ran out).
+	Expired uint64
+	// Sweeps counts sweep passes.
+	Sweeps uint64
+}
+
+// Config configures a catalog.
+type Config struct {
+	// TTL is the lease duration in virtual time (0 = DefaultTTL). An entry
+	// not refreshed by an advert within TTL is removed by the next sweep.
+	TTL time.Duration
+	// Now is the virtual clock source, normally micropnp.Deployment.Now.
+	Now func() time.Duration
+}
+
+// Catalog is the lease-based registry. Create with New.
+type Catalog struct {
+	ttl time.Duration
+	now func() time.Duration
+
+	mu      sync.RWMutex
+	entries map[Key]Entry
+
+	observed atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	expired  atomic.Uint64
+	sweeps   atomic.Uint64
+}
+
+// New builds a catalog.
+func New(cfg Config) (*Catalog, error) {
+	if cfg.Now == nil {
+		return nil, fmt.Errorf("catalog: Config.Now (virtual clock source) is required")
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Catalog{
+		ttl:     ttl,
+		now:     cfg.Now,
+		entries: map[Key]Entry{},
+	}, nil
+}
+
+// TTL returns the configured lease duration.
+func (c *Catalog) TTL() time.Duration { return c.ttl }
+
+// Observe absorbs one advert: it upserts the {Thing, peripheral} entry and
+// refreshes its lease. Wire it to the advert flow with
+// client.AddAdvertHook(cat.Observe). Safe for concurrent use; must not
+// block (it runs on the delivering goroutine).
+func (c *Catalog) Observe(a micropnp.Advert) {
+	k := Key{Thing: a.Thing, Device: a.Device}
+	now := c.now()
+	c.observed.Add(1)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = Entry{Thing: a.Thing, Device: a.Device, Channel: -1, FirstSeen: a.At}
+	}
+	// Adverts may omit optional TLVs; never let a terse refresh erase
+	// metadata a richer advert already provided.
+	if a.Name != "" {
+		e.Name = a.Name
+	}
+	if a.Units != "" {
+		e.Units = a.Units
+	}
+	if a.Channel >= 0 {
+		e.Channel = a.Channel
+	}
+	e.LastSeen = a.At
+	e.Expires = now + c.ttl
+	e.Solicited = a.Solicited
+	c.entries[k] = e
+	c.mu.Unlock()
+}
+
+// Get returns the live entry for a {Thing, peripheral} pair. An entry whose
+// lease already ran out but which no sweep collected yet still counts as
+// live — expiry is the sweep's job, so reads stay cheap and monotone.
+func (c *Catalog) Get(thing netip.Addr, device micropnp.DeviceID) (Entry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[Key{Thing: thing, Device: device}]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Thing returns every live entry of one Thing, ordered by peripheral type.
+func (c *Catalog) Thing(thing netip.Addr) []Entry {
+	c.mu.RLock()
+	var out []Entry
+	for k, e := range c.entries {
+		if k.Thing == thing {
+			out = append(out, e)
+		}
+	}
+	c.mu.RUnlock()
+	if len(out) == 0 {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// Filter narrows a listing. Zero fields match everything.
+type Filter struct {
+	// Device keeps entries of one peripheral type (micropnp.AllPeripherals
+	// or 0 matches any).
+	Device micropnp.DeviceID
+	// Units keeps entries whose advertised unit string equals Units.
+	Units string
+	// Thing keeps entries of one Thing.
+	Thing netip.Addr
+}
+
+func (f Filter) matches(e Entry) bool {
+	if f.Device != 0 && f.Device != micropnp.AllPeripherals && e.Device != f.Device {
+		return false
+	}
+	if f.Units != "" && e.Units != f.Units {
+		return false
+	}
+	if f.Thing.IsValid() && e.Thing != f.Thing {
+		return false
+	}
+	return true
+}
+
+// List returns one page of the filtered catalog plus the total number of
+// matching entries. Entries are ordered by (Thing address, peripheral type);
+// each page is a consistent snapshot in that total order, and offset/limit
+// select the page (limit <= 0 means everything). A multi-page walk stays
+// duplicate-free while the key set is stable or only shrinking — refreshes
+// update entries in place and expiries can only shift later pages left
+// (skips, never repeats). A registration of a NEW key that sorts before the
+// walk's cursor shifts later pages right, so such a walk can legitimately
+// see an entry twice; callers that need exactly-once enumeration under
+// insert churn should fetch one unpaged snapshot (limit <= 0) instead.
+func (c *Catalog) List(f Filter, offset, limit int) (page []Entry, total int) {
+	c.mu.RLock()
+	matched := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if f.matches(e) {
+			matched = append(matched, e)
+		}
+	}
+	c.mu.RUnlock()
+	if len(matched) == 0 {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	sort.Slice(matched, func(i, j int) bool {
+		if matched[i].Thing != matched[j].Thing {
+			return matched[i].Thing.Less(matched[j].Thing)
+		}
+		return matched[i].Device < matched[j].Device
+	})
+	total = len(matched)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= total {
+		return nil, total
+	}
+	matched = matched[offset:]
+	if limit > 0 && limit < len(matched) {
+		matched = matched[:limit]
+	}
+	return matched, total
+}
+
+// Size returns the number of live entries.
+func (c *Catalog) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Sweep removes every entry whose lease ran out, returning how many were
+// dropped. Called periodically by the Start goroutine; tests may call it
+// directly for deterministic expiry.
+func (c *Catalog) Sweep() int {
+	now := c.now()
+	c.sweeps.Add(1)
+	c.mu.Lock()
+	dropped := 0
+	for k, e := range c.entries {
+		if e.Expires <= now {
+			delete(c.entries, k)
+			dropped++
+		}
+	}
+	c.mu.Unlock()
+	if dropped > 0 {
+		c.expired.Add(uint64(dropped))
+	}
+	return dropped
+}
+
+// Start launches the sweep goroutine, ticking every interval of wall time
+// (leases themselves are evaluated against the virtual clock). It returns a
+// stop function; stopping is idempotent and waits for the goroutine to exit.
+func (c *Catalog) Start(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	size := len(c.entries)
+	things := map[netip.Addr]struct{}{}
+	for k := range c.entries {
+		things[k.Thing] = struct{}{}
+	}
+	c.mu.RUnlock()
+	return Stats{
+		Size:     size,
+		Things:   len(things),
+		Observed: c.observed.Load(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Expired:  c.expired.Load(),
+		Sweeps:   c.sweeps.Load(),
+	}
+}

@@ -65,6 +65,14 @@ const (
 
 // pending is one in-flight request. Exactly one of the completion paths
 // fires: the matching reply, or the deadline expiry scheduled at send time.
+//
+// Entries are pooled: the completion/expiry/retract path that removes the
+// entry from the table releases it back to pendingPool. gen survives
+// recycling and is bumped on every release (under Client.mu), so a stale
+// handle — an expiry event or retract that captured the entry before it was
+// recycled into a newer request — fails its generation check and becomes a
+// no-op even when the pool hands back the same entry at the same sequence
+// number (the identity check alone cannot catch that ABA).
 type pending struct {
 	kind pendingKind
 	// thing and id identify the peer and peripheral a read was addressed
@@ -83,12 +91,35 @@ type pending struct {
 	// and are only valid until the next request reusing it.
 	scratch    []int32
 	hasScratch bool
-	// cancel retracts the expiry event once a reply completed the request,
-	// so finished requests leave no dead deadline in the event queue.
-	cancel func()
+	// expiry retracts the typed deadline event once a reply completed the
+	// request, so finished requests leave no dead deadline in the queue.
+	expiry netsim.ExpiryRef
 	// cancelRetx retracts the pending retransmission (RetryPolicy) when the
 	// request completes or expires. Guarded by Client.mu.
 	cancelRetx func()
+	// gen guards pooled reuse (see above). Written only under Client.mu.
+	gen uint64
+}
+
+var pendingPool = sync.Pool{New: func() any { return new(pending) }}
+
+// release recycles a pending entry after its terminal path ran. The caller
+// must have removed it from c.pending and fired its callback already; no
+// other goroutine may touch the entry's non-gen fields once it left the
+// table.
+func (c *Client) release(p *pending) {
+	c.mu.Lock()
+	p.gen++
+	c.mu.Unlock()
+	p.kind = 0
+	p.thing = netip.Addr{}
+	p.id = 0
+	p.onRead, p.onWrite, p.onDiscover = nil, nil, nil
+	p.adverts = nil // handed to the callback, possibly retained: do not reuse
+	p.scratch, p.hasScratch = nil, false
+	p.expiry = netsim.ExpiryRef{}
+	p.cancelRetx = nil
+	pendingPool.Put(p)
 }
 
 // RetryPolicy enables automatic retransmission of unanswered unicast
@@ -133,6 +164,7 @@ type Client struct {
 	pendingStreams map[uint16]*Stream
 	units          map[hw.DeviceID]string
 	onAdvert       func(Advert)
+	advertHooks    []func(Advert)
 }
 
 // Config configures a client.
@@ -198,10 +230,25 @@ func (c *Client) Adverts() []Advert {
 	return append([]Advert(nil), c.adverts...)
 }
 
-// OnAdvert registers a callback for every incoming advertisement.
+// OnAdvert registers the callback for incoming advertisements, replacing any
+// previous one (the original single-listener surface).
 func (c *Client) OnAdvert(fn func(Advert)) {
 	c.mu.Lock()
 	c.onAdvert = fn
+	c.mu.Unlock()
+}
+
+// AddAdvertHook registers an additional advertisement listener. Unlike
+// OnAdvert it composes: every hook fires for every advert, alongside the
+// OnAdvert callback, so independent consumers (a catalog, an application
+// callback) can observe the advert flow without clobbering each other.
+// Hooks cannot be removed; they live as long as the client.
+func (c *Client) AddAdvertHook(fn func(Advert)) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.advertHooks = append(c.advertHooks, fn)
 	c.mu.Unlock()
 }
 
@@ -276,25 +323,42 @@ func (c *Client) timeoutOr(t time.Duration) time.Duration {
 	return t
 }
 
-// register inserts a pending request and arms its expiry timer. The expiry
-// compares the table entry by identity, so a sequence number recycled after
-// completion can never cancel a newer request.
-func (c *Client) register(p *pending, timeout time.Duration) uint16 {
+// register inserts a pending request and arms its expiry as a typed clock
+// event (netsim.Expirer) — no closure, no allocation. It returns the
+// sequence number and the entry's generation; both are packed into the
+// event's seq cookie and checked on firing, so neither a recycled sequence
+// number nor a recycled pool entry can expire a newer request.
+func (c *Client) register(p *pending, timeout time.Duration) (uint16, uint64) {
 	c.mu.Lock()
 	seq := c.nextSeqLocked()
+	gen := p.gen
 	c.pending[seq] = p
 	c.mu.Unlock()
-	cancel := c.net.ScheduleCancelable(c.timeoutOr(timeout), func() { c.expire(seq, p) })
+	ref := c.net.ScheduleExpiry(c.timeoutOr(timeout), c, uint64(seq)|gen<<16, p)
 	c.mu.Lock()
-	p.cancel = cancel
+	if cur, ok := c.pending[seq]; ok && cur == p && p.gen == gen {
+		p.expiry = ref
+		c.mu.Unlock()
+		return seq, gen
+	}
 	c.mu.Unlock()
-	return seq
+	// The request already terminated (possible under the realtime clock when
+	// the deadline fires between scheduling and this registration): the ref
+	// is orphaned — cancelling the already-fired event is a no-op.
+	ref.Cancel()
+	return seq, gen
 }
 
-func (c *Client) expire(seq uint16, p *pending) {
+// ExpireEvent implements netsim.Expirer: the typed deadline of a pending
+// request. seqgen packs the sequence number (low 16 bits) and the pooled
+// entry's generation (upper bits).
+func (c *Client) ExpireEvent(seqgen uint64, tok any) {
+	p := tok.(*pending)
+	seq := uint16(seqgen)
+	gen := seqgen >> 16
 	c.mu.Lock()
 	cur, ok := c.pending[seq]
-	if !ok || cur != p {
+	if !ok || cur != p || p.gen != gen {
 		c.mu.Unlock()
 		return
 	}
@@ -321,6 +385,7 @@ func (c *Client) expire(seq uint16, p *pending) {
 			p.onDiscover(adverts)
 		}
 	}
+	c.release(p)
 }
 
 // send encodes into a pooled buffer and hands it to the network (zero-copy,
@@ -352,22 +417,21 @@ func (c *Client) Pending() int {
 // cancelled. Used by the SDK when the caller's context is done — the caller
 // has already returned, so neither a late reply nor the deadline may complete
 // the request. Retracting an already-completed request is a no-op.
-func (c *Client) retract(seq uint16, p *pending) {
+func (c *Client) retract(seq uint16, gen uint64, p *pending) {
 	c.mu.Lock()
 	cur, ok := c.pending[seq]
-	if !ok || cur != p {
+	if !ok || cur != p || p.gen != gen {
 		c.mu.Unlock()
 		return
 	}
 	delete(c.pending, seq)
-	cancel, cancelRetx := p.cancel, p.cancelRetx
+	ref, cancelRetx := p.expiry, p.cancelRetx
 	c.mu.Unlock()
-	if cancel != nil {
-		cancel()
-	}
+	ref.Cancel()
 	if cancelRetx != nil {
 		cancelRetx()
 	}
+	c.release(p)
 }
 
 // noRetract is returned for fire-and-forget requests with nothing to
@@ -402,9 +466,11 @@ func (c *Client) discoverGroup(group netip.Addr, timeout time.Duration, done fun
 	var seq uint16
 	retract = noRetract
 	if done != nil {
-		p := &pending{kind: pendingDiscover, onDiscover: done}
-		seq = c.register(p, timeout)
-		retract = func() { c.retract(seq, p) }
+		p := pendingPool.Get().(*pending)
+		p.kind, p.onDiscover = pendingDiscover, done
+		var gen uint64
+		seq, gen = c.register(p, timeout)
+		retract = func() { c.retract(seq, gen, p) }
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
@@ -440,12 +506,15 @@ func (c *Client) ReadInto(thing netip.Addr, id hw.DeviceID, scratch []int32, tim
 
 func (c *Client) read(thing netip.Addr, id hw.DeviceID, scratch []int32, hasScratch bool, timeout time.Duration, cb func([]int32, error)) (retract func()) {
 	var seq uint16
+	var gen uint64
 	var p *pending
 	retract = noRetract
 	if cb != nil {
-		p = &pending{kind: pendingRead, thing: thing, id: id, onRead: cb, scratch: scratch, hasScratch: hasScratch}
-		seq = c.register(p, timeout)
-		retract = func() { c.retract(seq, p) }
+		p = pendingPool.Get().(*pending)
+		p.kind, p.thing, p.id = pendingRead, thing, id
+		p.onRead, p.scratch, p.hasScratch = cb, scratch, hasScratch
+		seq, gen = c.register(p, timeout)
+		retract = func() { c.retract(seq, gen, p) }
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
@@ -457,7 +526,7 @@ func (c *Client) read(thing netip.Addr, id hw.DeviceID, scratch []int32, hasScra
 	// then never escapes into a retransmission closure, keeping the hot
 	// request path free of that allocation.
 	if p != nil && c.retry.enabled() {
-		c.armRetransmit(seq, p, thing, m, 1)
+		c.armRetransmit(seq, gen, p, thing, m, 1)
 	}
 	return retract
 }
@@ -472,12 +541,14 @@ func (c *Client) read(thing netip.Addr, id hw.DeviceID, scratch []int32, hasScra
 // withdraws the request without firing cb (see retract).
 func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout time.Duration, cb func(error)) (retract func()) {
 	var seq uint16
+	var gen uint64
 	var p *pending
 	retract = noRetract
 	if cb != nil {
-		p = &pending{kind: pendingWrite, onWrite: cb}
-		seq = c.register(p, timeout)
-		retract = func() { c.retract(seq, p) }
+		p = pendingPool.Get().(*pending)
+		p.kind, p.onWrite = pendingWrite, cb
+		seq, gen = c.register(p, timeout)
+		retract = func() { c.retract(seq, gen, p) }
 	} else {
 		c.mu.Lock()
 		seq = c.nextSeqLocked()
@@ -486,7 +557,7 @@ func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout t
 	m := &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)}
 	c.send(thing, m)
 	if p != nil && c.retry.enabled() {
-		c.armRetransmit(seq, p, thing, m, 1)
+		c.armRetransmit(seq, gen, p, thing, m, 1)
 	}
 	return retract
 }
@@ -497,7 +568,7 @@ func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout t
 // number, so a late reply to any transmission completes the request — and
 // arms the next attempt. Completion and expiry retract the pending
 // retransmission through pending.cancelRetx.
-func (c *Client) armRetransmit(seq uint16, p *pending, dst netip.Addr, m *proto.Message, attempt int) {
+func (c *Client) armRetransmit(seq uint16, gen uint64, p *pending, dst netip.Addr, m *proto.Message, attempt int) {
 	if p == nil || !c.retry.enabled() || attempt > c.retry.Attempts {
 		return
 	}
@@ -513,16 +584,16 @@ func (c *Client) armRetransmit(seq uint16, p *pending, dst netip.Addr, m *proto.
 	cancel := c.net.ScheduleCancelable(delay, func() {
 		c.mu.Lock()
 		cur, ok := c.pending[seq]
-		if !ok || cur != p {
+		if !ok || cur != p || p.gen != gen {
 			c.mu.Unlock()
 			return
 		}
 		c.mu.Unlock()
 		c.send(dst, m)
-		c.armRetransmit(seq, p, dst, m, attempt+1)
+		c.armRetransmit(seq, gen, p, dst, m, attempt+1)
 	})
 	c.mu.Lock()
-	if cur, ok := c.pending[seq]; ok && cur == p {
+	if cur, ok := c.pending[seq]; ok && cur == p && p.gen == gen {
 		p.cancelRetx = cancel
 		c.mu.Unlock()
 		return
@@ -714,15 +785,14 @@ func (c *Client) handle(msg netsim.Message) {
 		if p, ok := c.pending[m.Seq]; ok && p.kind == pendingRead &&
 			!msg.Dst.IsMulticast() && msg.Src == p.thing && m.DeviceID == p.id {
 			delete(c.pending, m.Seq)
-			cancel, cancelRetx := p.cancel, p.cancelRetx
+			ref, cancelRetx := p.expiry, p.cancelRetx
 			c.mu.Unlock()
-			if cancel != nil {
-				cancel()
-			}
+			ref.Cancel()
 			if cancelRetx != nil {
 				cancelRetx()
 			}
 			c.completeRead(p, m)
+			c.release(p)
 			return
 		}
 		c.mu.Unlock()
@@ -736,16 +806,15 @@ func (c *Client) handle(msg netsim.Message) {
 	case proto.MsgWriteAck:
 		c.mu.Lock()
 		p, ok := c.pending[m.Seq]
-		var cancel, cancelRetx func()
+		var ref netsim.ExpiryRef
+		var cancelRetx func()
 		if ok && p.kind == pendingWrite {
 			delete(c.pending, m.Seq)
-			cancel, cancelRetx = p.cancel, p.cancelRetx
+			ref, cancelRetx = p.expiry, p.cancelRetx
 		}
 		c.mu.Unlock()
 		if ok && p.kind == pendingWrite {
-			if cancel != nil {
-				cancel()
-			}
+			ref.Cancel()
 			if cancelRetx != nil {
 				cancelRetx()
 			}
@@ -756,6 +825,7 @@ func (c *Client) handle(msg netsim.Message) {
 					p.onWrite(ErrWriteRejected)
 				}
 			}
+			c.release(p)
 		}
 
 	case proto.MsgEstablished:
@@ -870,6 +940,7 @@ func (c *Client) handleAdvert(msg netsim.Message, m *proto.Message) {
 	solicited := m.Type == proto.MsgSolicitedAdvert
 	c.mu.Lock()
 	cb := c.onAdvert
+	hooks := c.advertHooks
 	var fired []Advert
 	for _, p := range m.Peripherals {
 		// Clone: the decoded TLVs alias the datagram buffer, which the
@@ -888,9 +959,12 @@ func (c *Client) handleAdvert(msg netsim.Message, m *proto.Message) {
 		fired = append(fired, a)
 	}
 	c.mu.Unlock()
-	if cb != nil {
-		for _, a := range fired {
+	for _, a := range fired {
+		if cb != nil {
 			cb(a)
+		}
+		for _, hook := range hooks {
+			hook(a)
 		}
 	}
 }

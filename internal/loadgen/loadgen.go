@@ -100,6 +100,9 @@ type runner struct {
 // realtime runs keep the op schedule deterministic but measure real
 // latencies.
 func Run(cfg Config) (*Result, error) {
+	if cfg.Target != "" {
+		return runHTTP(cfg)
+	}
 	_, res, err := run(cfg)
 	return res, err
 }

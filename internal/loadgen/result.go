@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 )
@@ -87,7 +88,11 @@ type Result struct {
 	Ops map[string]*OpResult `json:"ops"`
 }
 
-// WriteJSON writes the result, indented, to path ("-" for stdout).
+// WriteJSON writes the result, indented, to path ("-" for stdout). The
+// parent directory is created if missing, and the file lands via a
+// same-directory temp file renamed into place, so a reader (the CI gate) can
+// never observe a torn half-written result and a crashed run leaves any
+// previous result intact.
 func (r *Result) WriteJSON(path string) error {
 	out, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -98,7 +103,32 @@ func (r *Result) WriteJSON(path string) error {
 		_, err = os.Stdout.Write(out)
 		return err
 	}
-	return os.WriteFile(path, out, 0o644)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".load-result-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Summarize prints a human-readable table of the result.

@@ -210,6 +210,15 @@ type Config struct {
 	// realtime mode; arrivals past the bound are counted as shed instead of
 	// spawning unboundedly under overload.
 	MaxInFlight int
+
+	// Target switches Run to the HTTP client mode: operations are issued as
+	// REST calls against a running gateway (cmd/upnp-gateway) at this base
+	// URL instead of in-process SDK calls. Only the read, write and discover
+	// weights of the mix apply; HTTPOps is the total operation count, split
+	// across Workers lanes (HTTP mode is count-based — the gateway owns the
+	// clock). Latency is the gateway's X-Upnp-Virtual-Ns span.
+	Target  string
+	HTTPOps int
 }
 
 // Scenarios returns the preset names, sorted.
@@ -246,6 +255,14 @@ var presets = map[string]Config{
 		Duration: 200 * time.Second, Cooldown: 60 * time.Second,
 		StreamPeriod: 5 * time.Second, RequestTimeout: time.Second,
 		Mix: mixOf(45, 5, 10, 5, 30, 5),
+	},
+	// http-smoke: the HTTP client mode's CI scenario — a single lane of
+	// reads, writes and discoveries against a running gateway (set Target
+	// or pass -target). Single-lane so a quiet virtual-mode gateway yields
+	// a bit-deterministic percentile report.
+	"http-smoke": {
+		HTTPOps: 200, Workers: 1,
+		Mix: mixOf(70, 20, 10, 0, 0, 0),
 	},
 	// fanout: discovery- and subscription-heavy on a wide topology — the
 	// multicast fan-out stress.
@@ -329,6 +346,14 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4096
+	}
+	if cfg.Target != "" {
+		if cfg.HTTPOps <= 0 {
+			cfg.HTTPOps = 200
+		}
+		if cfg.Workers <= 0 {
+			cfg.Workers = 1
+		}
 	}
 	return nil
 }

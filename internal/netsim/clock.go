@@ -36,6 +36,39 @@ type Clock interface {
 	Stop()
 }
 
+// Expirer receives typed expiry events: a deadline scheduled through
+// ScheduleExpiry fires as ExpireEvent(seq, tok) instead of a closure call.
+// Like pooled deliveries, this keeps the request hot path from allocating a
+// closure (and its captures) per scheduled timeout. seq is an opaque caller
+// cookie (callers pack sequence numbers and generation counters into it);
+// tok is the caller's per-request state.
+type Expirer interface {
+	ExpireEvent(seq uint64, tok any)
+}
+
+// expiryCanceler is the clock-side half of ExpiryRef; both clock
+// implementations satisfy it.
+type expiryCanceler interface {
+	cancelExpiry(ev *scheduled, gen uint64)
+}
+
+// ExpiryRef is the cancel handle for a typed expiry event. It is a plain
+// value (no allocation); the zero value is inert. Cancelling after the event
+// fired, or cancelling twice, is a no-op — exactly like the closures returned
+// by ScheduleCancelable.
+type ExpiryRef struct {
+	c   expiryCanceler
+	ev  *scheduled
+	gen uint64
+}
+
+// Cancel revokes the expiry if it has not fired. Safe on the zero value.
+func (r ExpiryRef) Cancel() {
+	if r.c != nil {
+		r.c.cancelExpiry(r.ev, r.gen)
+	}
+}
+
 type eventState uint8
 
 const (
@@ -56,11 +89,18 @@ const (
 // and reuse is guarded by the generation counter — a recycled event's gen no
 // longer matches the one the stale cancel captured, making it a no-op.
 type scheduled struct {
-	at    time.Duration
-	seq   int
-	fn    func()
-	del   *delivery
-	state eventState
+	at  time.Duration
+	seq int
+	fn  func()
+	del *delivery
+	// exp/expSeq/expTok carry a typed expiry event (ScheduleExpiry); like
+	// del, the typed form exists so the request hot path schedules a
+	// deadline without a closure allocation. Exactly one of fn/del/exp is
+	// set on a pending event.
+	exp    Expirer
+	expSeq uint64
+	expTok any
+	state  eventState
 	// poolable marks plain events (global pool); cancelable events carry
 	// gen/next for the per-heap freelist instead.
 	poolable bool
@@ -158,6 +198,24 @@ func (h *eventHeap) pushCancelableAt(at time.Duration, fn func()) (*scheduled, u
 	return ev, ev.gen
 }
 
+// pushExpiryAt inserts a typed expiry event (cancelable, per-heap freelist —
+// same lifecycle as pushCancelableAt, without the per-call closure).
+func (h *eventHeap) pushExpiryAt(at time.Duration, e Expirer, seq uint64, tok any) (*scheduled, uint64) {
+	ev := h.free
+	if ev != nil {
+		h.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &scheduled{}
+	}
+	h.seq++
+	ev.at, ev.seq, ev.fn, ev.del = at, h.seq, nil, nil
+	ev.exp, ev.expSeq, ev.expTok = e, seq, tok
+	ev.state, ev.poolable = evPending, false
+	heap.Push(&h.queue, ev)
+	return ev, ev.gen
+}
+
 // retire recycles an event that left the queue (fired or discarded while
 // cancelled). Cancelable events return to the freelist with their generation
 // bumped; plain events are left for the caller to hand to the global pool
@@ -168,6 +226,7 @@ func (h *eventHeap) retire(ev *scheduled) {
 	}
 	ev.gen++
 	ev.fn = nil
+	ev.exp, ev.expTok = nil, nil
 	ev.next = h.free
 	h.free = ev
 }
@@ -181,6 +240,7 @@ func (h *eventHeap) cancel(ev *scheduled, gen uint64) bool {
 	}
 	ev.state = evCancelled
 	ev.fn = nil // release the closure right away
+	ev.exp, ev.expTok = nil, nil
 	h.dead++
 	h.compact()
 	return true
@@ -243,6 +303,38 @@ func (h *eventHeap) peek() *scheduled {
 // live returns the number of pending (not cancelled) events.
 func (h *eventHeap) live() int { return len(h.queue) - h.dead }
 
+// firing is an event payload lifted out of the heap, runnable outside the
+// clock lock. Exactly one of fn/del/exp is set.
+type firing struct {
+	fn     func()
+	del    *delivery
+	exp    Expirer
+	expSeq uint64
+	expTok any
+}
+
+func (f firing) run() {
+	switch {
+	case f.del != nil:
+		f.del.run()
+	case f.exp != nil:
+		f.exp.ExpireEvent(f.expSeq, f.expTok)
+	default:
+		f.fn()
+	}
+}
+
+// extractFiring empties a popped event's payload into a firing and retires
+// the event on its heap (clock lock held). It reports whether the caller must
+// hand the event to the global pool once outside the lock.
+func extractFiring(h *eventHeap, ev *scheduled) (firing, bool) {
+	f := firing{fn: ev.fn, del: ev.del, exp: ev.exp, expSeq: ev.expSeq, expTok: ev.expTok}
+	ev.fn, ev.del = nil, nil
+	pool := ev.poolable
+	h.retire(ev)
+	return f, pool
+}
+
 // VirtualClock is the deterministic discrete-event clock: time advances only
 // while a caller drives it, handlers run inline on the driving goroutine,
 // and event order is total (timestamp, then schedule order), so runs are
@@ -295,6 +387,23 @@ func (c *VirtualClock) ScheduleCancelable(delay time.Duration, fn func()) (cance
 	}
 }
 
+// scheduleExpiry queues a typed expiry event at Now()+delay: cancellation
+// semantics match ScheduleCancelable, but neither the schedule nor the cancel
+// handle allocates.
+func (c *VirtualClock) scheduleExpiry(delay time.Duration, e Expirer, seq uint64, tok any) ExpiryRef {
+	c.mu.Lock()
+	ev, gen := c.eh.pushExpiryAt(c.now+delay, e, seq, tok)
+	c.mu.Unlock()
+	return ExpiryRef{c: c, ev: ev, gen: gen}
+}
+
+// cancelExpiry implements expiryCanceler.
+func (c *VirtualClock) cancelExpiry(ev *scheduled, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eh.cancel(ev, gen)
+}
+
 // Stop implements Clock; the virtual clock owns no resources.
 func (c *VirtualClock) Stop() {}
 
@@ -310,19 +419,12 @@ func (c *VirtualClock) Step() bool {
 	if ev.at > c.now {
 		c.now = ev.at
 	}
-	fn, del := ev.fn, ev.del
-	ev.fn, ev.del = nil, nil
-	pool := ev.poolable
-	c.eh.retire(ev)
+	f, pool := extractFiring(&c.eh, ev)
 	c.mu.Unlock()
 	if pool {
 		recycleEvent(ev)
 	}
-	if del != nil {
-		del.run()
-	} else {
-		fn()
-	}
+	f.run()
 	return true
 }
 
@@ -358,19 +460,12 @@ func (c *VirtualClock) RunUntil(deadline time.Duration) int {
 		if ev.at > c.now {
 			c.now = ev.at
 		}
-		fn, del := ev.fn, ev.del
-		ev.fn, ev.del = nil, nil
-		pool := ev.poolable
-		c.eh.retire(ev)
+		f, pool := extractFiring(&c.eh, ev)
 		c.mu.Unlock()
 		if pool {
 			recycleEvent(ev)
 		}
-		if del != nil {
-			del.run()
-		} else {
-			fn()
-		}
+		f.run()
 		steps++
 	}
 }
@@ -400,19 +495,12 @@ func (c *VirtualClock) RunUntilQuiesced(deadline time.Duration) bool {
 		if ev.at > c.now {
 			c.now = ev.at
 		}
-		fn, del := ev.fn, ev.del
-		ev.fn, ev.del = nil, nil
-		pool := ev.poolable
-		c.eh.retire(ev)
+		f, pool := extractFiring(&c.eh, ev)
 		c.mu.Unlock()
 		if pool {
 			recycleEvent(ev)
 		}
-		if del != nil {
-			del.run()
-		} else {
-			fn()
-		}
+		f.run()
 	}
 }
 

@@ -777,6 +777,19 @@ func (n *Network) ScheduleCancelable(delay time.Duration, fn func()) (cancel fun
 	return n.clock.ScheduleCancelable(delay, fn)
 }
 
+// ScheduleExpiry queues a typed expiry event at Now()+delay: the clock calls
+// e.ExpireEvent(seq, tok) instead of a closure, so request deadlines on the
+// hot path cost no allocation to arm and none to cancel. Routed to the
+// concrete clock like scheduleDelivery (the Clock interface stays
+// closure-only). On a stopped realtime clock the returned ref is inert and
+// the event never fires.
+func (n *Network) ScheduleExpiry(delay time.Duration, e Expirer, seq uint64, tok any) ExpiryRef {
+	if n.vclock != nil {
+		return n.vclock.scheduleExpiry(delay, e, seq, tok)
+	}
+	return n.rclock.scheduleExpiry(delay, e, seq, tok)
+}
+
 // queueCap exposes the event queue's backing capacity; leak tests assert it
 // stays bounded across long schedule/cancel/step runs.
 func (n *Network) queueCap() int {

@@ -6,20 +6,8 @@ import (
 	"time"
 )
 
-// runnable is one due event awaiting a pool worker: a closure or a pooled
-// packet delivery.
-type runnable struct {
-	fn  func()
-	del *delivery
-}
-
-func (r runnable) run() {
-	if r.del != nil {
-		r.del.run()
-		return
-	}
-	r.fn()
-}
+// Due events awaiting a pool worker are firing values (closure, pooled
+// packet delivery, or typed expiry), extracted from the heap by the loop.
 
 // RealtimeConfig tunes the wall-clock runtime.
 type RealtimeConfig struct {
@@ -53,7 +41,12 @@ type RealtimeClock struct {
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on any state change: runq, running, queue
 	eh   eventHeap
-	runq []runnable // due events awaiting a worker, in pop order
+	// runq holds due events awaiting a worker, in pop order. head indexes
+	// the next entry; popping advances head instead of reslicing so the
+	// backing array is reused once drained (a q=q[1:] pop would force a
+	// fresh allocation per queue refill on the hot path).
+	runq []firing
+	head int
 	// running counts handlers currently executing in the pool.
 	running int
 	stopped bool
@@ -160,6 +153,34 @@ func (c *RealtimeClock) ScheduleCancelable(delay time.Duration, fn func()) (canc
 	}
 }
 
+// scheduleExpiry queues a typed expiry event at Now()+delay; on a stopped
+// clock it returns the inert zero ExpiryRef and the event never fires
+// (callers unblock through the deployment's close channel, as with
+// ScheduleCancelable's no-op cancel).
+func (c *RealtimeClock) scheduleExpiry(delay time.Duration, e Expirer, seq uint64, tok any) ExpiryRef {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return ExpiryRef{}
+	}
+	ev, gen := c.eh.pushExpiryAt(c.nowLocked()+delay, e, seq, tok)
+	c.mu.Unlock()
+	c.kick()
+	return ExpiryRef{c: c, ev: ev, gen: gen}
+}
+
+// cancelExpiry implements expiryCanceler.
+func (c *RealtimeClock) cancelExpiry(ev *scheduled, gen uint64) {
+	c.mu.Lock()
+	if c.eh.cancel(ev, gen) {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// runqLen returns the number of due events awaiting a worker (c.mu held).
+func (c *RealtimeClock) runqLen() int { return len(c.runq) - c.head }
+
 // kick nudges the loop to re-examine the queue head (non-blocking).
 func (c *RealtimeClock) kick() {
 	select {
@@ -197,11 +218,8 @@ func (c *RealtimeClock) loop() {
 		nowV := c.nowLocked()
 		if ev.at <= nowV {
 			ev = c.eh.pop()
-			r := runnable{fn: ev.fn, del: ev.del}
-			ev.fn, ev.del = nil, nil
-			pool := ev.poolable
-			c.eh.retire(ev)
-			c.runq = append(c.runq, r)
+			f, pool := extractFiring(&c.eh, ev)
+			c.runq = append(c.runq, f)
 			c.cond.Broadcast()
 			c.mu.Unlock()
 			if pool {
@@ -228,18 +246,25 @@ func (c *RealtimeClock) worker() {
 	defer c.wg.Done()
 	for {
 		c.mu.Lock()
-		for len(c.runq) == 0 && !c.stopped {
+		for c.runqLen() == 0 && !c.stopped {
 			c.cond.Wait()
 		}
 		if c.stopped {
 			c.mu.Unlock()
 			return
 		}
-		r := c.runq[0]
-		c.runq[0] = runnable{}
-		c.runq = c.runq[1:]
-		if len(c.runq) == 0 {
-			c.runq = nil // release the drained backing array
+		r := c.runq[c.head]
+		c.runq[c.head] = firing{}
+		c.head++
+		if c.head == len(c.runq) {
+			// Drained: rewind onto the same backing array. Cap the reused
+			// array so one burst does not pin a large buffer forever.
+			c.head = 0
+			if cap(c.runq) > 1024 {
+				c.runq = nil
+			} else {
+				c.runq = c.runq[:0]
+			}
 		}
 		c.running++
 		c.mu.Unlock()
@@ -258,8 +283,8 @@ func (c *RealtimeClock) worker() {
 // streams) never go idle; bound those waits with RunUntil instead.
 func (c *RealtimeClock) WaitIdle() {
 	c.mu.Lock()
-	for !c.stopped && !(c.eh.live() == 0 && len(c.runq) == 0 && c.running == 0) {
-		if c.eh.live() > 0 && len(c.runq) == 0 && c.running == 0 {
+	for !c.stopped && !(c.eh.live() == 0 && c.runqLen() == 0 && c.running == 0) {
+		if c.eh.live() > 0 && c.runqLen() == 0 && c.running == 0 {
 			// Only future events remain; the loop is asleep on its timer and
 			// nothing will broadcast until it fires. Poll on a wall tick
 			// scaled to the next event so WaitIdle neither spins nor sleeps
@@ -310,14 +335,14 @@ func (c *RealtimeClock) WaitIdleUntil(deadline time.Duration) bool {
 		if c.stopped {
 			return false
 		}
-		if c.eh.live() == 0 && len(c.runq) == 0 && c.running == 0 {
+		if c.eh.live() == 0 && c.runqLen() == 0 && c.running == 0 {
 			return true
 		}
 		nowV = c.nowLocked()
 		if nowV >= deadline {
 			return false
 		}
-		if c.eh.live() > 0 && len(c.runq) == 0 && c.running == 0 {
+		if c.eh.live() > 0 && c.runqLen() == 0 && c.running == 0 {
 			// Only future events remain; the loop is asleep on its timer and
 			// nothing will broadcast until it fires. Poll on a wall tick
 			// bounded by both the next event and the deadline (see WaitIdle).
@@ -361,7 +386,7 @@ func (c *RealtimeClock) Stop() {
 	c.stopOnce.Do(func() {
 		c.mu.Lock()
 		c.stopped = true
-		c.runq = nil
+		c.runq, c.head = nil, 0
 		c.cond.Broadcast()
 		c.mu.Unlock()
 		close(c.done)

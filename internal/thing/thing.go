@@ -173,11 +173,31 @@ type slotState struct {
 	rt     *vm.Runtime
 }
 
+// pendingRead is one read awaiting a driver return value. Entries are
+// pooled; gen is bumped on every release (under Thing.opsMu) so a stale
+// expiry event whose entry was answered and recycled into a newer read fails
+// its generation check (pointer identity alone cannot catch that ABA).
 type pendingRead struct {
 	seq    uint16
 	client netip.Addr
-	// cancel retracts the expiry event once the read was answered.
-	cancel func()
+	// expiry retracts the typed deadline once the read was answered.
+	expiry netsim.ExpiryRef
+	// gen guards pooled reuse. Written only under Thing.opsMu.
+	gen uint64
+}
+
+var pendingReadPool = sync.Pool{New: func() any { return new(pendingRead) }}
+
+// releasePendingRead recycles an entry after it left the pending table; the
+// caller must hold the only live reference.
+func (t *Thing) releasePendingRead(pr *pendingRead) {
+	t.opsMu.Lock()
+	pr.gen++
+	t.opsMu.Unlock()
+	pr.seq = 0
+	pr.client = netip.Addr{}
+	pr.expiry = netsim.ExpiryRef{}
+	pendingReadPool.Put(pr)
 }
 
 type streamState struct {
@@ -624,14 +644,16 @@ func (t *Thing) driverReturned(id hw.DeviceID, vals []int32) {
 	if q := t.pending[id]; len(q) > 0 {
 		pr := q[0]
 		t.pending[id] = q[1:]
-		// Capture cancel while opsMu is held: handleRead assigns it under
-		// opsMu after arming the expiry, possibly after this pop.
-		cancel := pr.cancel
+		// Capture everything while opsMu is held: handleRead assigns the
+		// expiry ref under opsMu after arming it, possibly after this pop
+		// (it then reaps the orphaned event itself), and the release below
+		// recycles the entry.
+		ref := pr.expiry
+		seq, dst := pr.seq, pr.client
 		t.opsMu.Unlock()
-		if cancel != nil {
-			cancel()
-		}
-		t.send(pr.client, &proto.Message{Type: proto.MsgData, Seq: pr.seq, DeviceID: id, Data: data})
+		ref.Cancel()
+		t.send(dst, &proto.Message{Type: proto.MsgData, Seq: seq, DeviceID: id, Data: data})
+		t.releasePendingRead(pr)
 		return
 	}
 	st, ok := t.streams[id]
@@ -816,34 +838,67 @@ func (t *Thing) handleRead(msg netsim.Message, m *proto.Message) {
 		t.send(msg.Src, &proto.Message{Type: proto.MsgData, Seq: m.Seq, DeviceID: m.DeviceID})
 		return
 	}
-	// id is copied out: the expiry closure outlives the borrowed decode.
+	// id is copied out: the expiry event outlives the borrowed decode.
 	id := m.DeviceID
-	pr := &pendingRead{seq: m.Seq, client: msg.Src}
+	pr := pendingReadPool.Get().(*pendingRead)
+	pr.seq, pr.client = m.Seq, msg.Src
 	t.opsMu.Lock()
+	gen := pr.gen
 	t.pending[id] = append(t.pending[id], pr)
 	t.opsMu.Unlock()
-	cancel := t.cfg.Network.ScheduleCancelable(t.cfg.PendingReadTimeout, func() { t.expirePendingRead(id, pr) })
+	ref := t.cfg.Network.ScheduleExpiry(t.cfg.PendingReadTimeout, t, uint64(uint32(id))|gen<<32, pr)
 	t.opsMu.Lock()
-	pr.cancel = cancel
-	t.opsMu.Unlock()
+	if pr.gen == gen && queuedLocked(t.pending[id], pr) {
+		pr.expiry = ref
+		t.opsMu.Unlock()
+	} else {
+		t.opsMu.Unlock()
+		// The driver already answered (realtime clock: the pop raced the
+		// arming): the entry is gone or recycled, so reap the orphan event.
+		ref.Cancel()
+	}
 	t.vmMu.Lock()
 	rt.Post("read")
 	rt.RunUntilIdle(0)
 	t.vmMu.Unlock()
 }
 
-// expirePendingRead drops a pending read the driver never answered (e.g. an
-// RFID read with no card presented within the window).
-func (t *Thing) expirePendingRead(id hw.DeviceID, pr *pendingRead) {
+// queuedLocked reports whether pr is still in the queue (opsMu held).
+func queuedLocked(q []*pendingRead, pr *pendingRead) bool {
+	for _, e := range q {
+		if e == pr {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpireEvent implements netsim.Expirer: it drops a pending read the driver
+// never answered (e.g. an RFID read with no card presented within the
+// window). seqgen packs the peripheral type (low 32 bits) and the pooled
+// entry's generation (upper bits).
+func (t *Thing) ExpireEvent(seqgen uint64, tok any) {
+	pr := tok.(*pendingRead)
+	id := hw.DeviceID(uint32(seqgen))
+	gen := seqgen >> 32
 	t.opsMu.Lock()
+	if pr.gen != gen {
+		t.opsMu.Unlock()
+		return
+	}
 	q := t.pending[id]
+	found := false
 	for i, e := range q {
-		if e == pr { // pointer identity: a recycled (seq, client) pair is a different entry
+		if e == pr {
 			t.pending[id] = append(q[:i:i], q[i+1:]...)
+			found = true
 			break
 		}
 	}
 	t.opsMu.Unlock()
+	if found {
+		t.releasePendingRead(pr)
+	}
 }
 
 func (t *Thing) handleStream(msg netsim.Message, m *proto.Message) {

@@ -386,13 +386,13 @@ func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID
 		ids  []DeviceID
 		derr error
 	)
-	err := d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return d.core.Manager.DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
 			derr = err
 			for _, id := range got {
 				ids = append(ids, DeviceID(id))
 			}
-			complete()
+			cpl.complete()
 		})
 	})
 	if err != nil {
@@ -405,10 +405,10 @@ func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID
 // messages 8/9), stopping any runtime serving it.
 func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) error {
 	var rerr error
-	err := d.await(ctx, func(timeout time.Duration, complete func()) (retract func()) {
+	err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return d.core.Manager.RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
 			rerr = err
-			complete()
+			cpl.complete()
 		})
 	})
 	if err != nil {
@@ -419,7 +419,7 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 
 // await is the synchronous-call harness every SDK request goes through: it
 // translates the context into a virtual-time budget, lets start register
-// the request (whose completion callback must invoke complete, exactly
+// the request (whose completion callback must invoke cpl.complete, exactly
 // once, from whichever goroutine the network delivers on), then blocks
 // until completion or context cancellation. start returns a retract
 // function (possibly nil) that withdraws the registered request without
@@ -436,20 +436,20 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 // own completion. Every request arms a virtual-time expiry event at
 // registration, so a drained queue without completion cannot happen in
 // practice; it is reported as a timeout defensively.
-func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, complete func()) (retract func())) error {
+func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, cpl *completion) (retract func())) error {
 	timeout, err := d.timeoutFrom(ctx)
 	if err != nil {
 		return err
 	}
-	cpl := &completion{done: make(chan struct{})}
-	done := cpl.done
-	retract := start(timeout, cpl.complete)
+	cpl := completionPool.Get().(*completion)
+	retract := start(timeout, cpl)
 	if retract == nil {
-		retract = func() {} // avoids nil checks at every abandonment site
+		retract = noRetract // avoids nil checks at every abandonment site
 	}
 	if d.realtime {
 		select {
-		case <-done:
+		case <-cpl.ch:
+			cpl.recycle()
 			return nil
 		case <-ctx.Done():
 			retract()
@@ -469,7 +469,8 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 	self := gid()
 	for {
 		select {
-		case <-done:
+		case <-cpl.ch:
+			cpl.recycle()
 			return nil
 		default:
 		}
@@ -493,7 +494,8 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			d.broadcastStep()
 			if !stepped {
 				select {
-				case <-done:
+				case <-cpl.ch:
+					cpl.recycle()
 					return nil
 				default:
 					retract()
@@ -508,7 +510,8 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			// ourselves.
 			if !d.core.Network.Step() {
 				select {
-				case <-done:
+				case <-cpl.ch:
+					cpl.recycle()
 					return nil
 				default:
 					retract()
@@ -517,7 +520,8 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			}
 		} else {
 			select {
-			case <-done:
+			case <-cpl.ch:
+				cpl.recycle()
 				return nil
 			case <-ctx.Done():
 				retract()
@@ -528,20 +532,40 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 	}
 }
 
-// completion is the once-only done signal of one await: complete is handed
-// to the request registration as its callback and closes done exactly once,
-// from whichever goroutine the network delivers on. (A struct with a CAS
-// rather than chan+sync.Once+closures: await is on the hot path of every SDK
-// call, and this shape is two heap objects instead of four.)
+// noRetract is the shared no-op for registrations with nothing to withdraw.
+func noRetract() {}
+
+// completion is the once-only done signal of one await, drawn from a pool:
+// the registered callback invokes complete(), which wins the CAS and sends
+// the single token into the cap-1 channel; the await consumes the token and
+// recycles the completion. Passing the *completion itself into start (rather
+// than the bound method value cpl.complete) keeps the hot path free of the
+// method-value closure allocation.
 type completion struct {
-	done  chan struct{}
+	ch    chan struct{} // cap 1; carries the single completion token
 	fired atomic.Bool
 }
 
+var completionPool = sync.Pool{New: func() any {
+	return &completion{ch: make(chan struct{}, 1)}
+}}
+
 func (c *completion) complete() {
 	if c.fired.CompareAndSwap(false, true) {
-		close(c.done)
+		c.ch <- struct{}{}
 	}
+}
+
+// recycle returns a completion whose token has been consumed to the pool.
+// Abandoned completions (context cancellation, deployment close, the
+// defensive drained-queue timeout) are deliberately NOT recycled: the
+// registered callback may already be mid-dispatch and fire complete() after
+// the caller gave up — retract only prevents callbacks that have not started
+// — and a recycled completion would deliver that stale token to an unrelated
+// call. Those rare abandonments are left to the GC.
+func (c *completion) recycle() {
+	c.fired.Store(false)
+	completionPool.Put(c)
 }
 
 // gid returns the current goroutine's id (parsed from runtime.Stack; there
