@@ -22,6 +22,21 @@
 //	go test -run '^$' -bench <pattern> -benchtime 1x -count 6 ./... | tee bench.txt
 //	go run ./cmd/benchgate -baseline BENCH_baseline.json -input bench.txt
 //
+// With -speedup the gate instead pairs `/clock=sharded` benchmarks with
+// their `/clock=single` twins and gates the single/sharded ns/op ratio —
+// the zone-sharded simulator's parallel speedup — against an absolute floor
+// (-min-speedup) and the committed SPEEDUP_baseline.json (same >20%
+// regression rule, applied to the ratio):
+//
+//	go test -run '^$' -bench BenchmarkScaleMulticast/zoned -benchtime 1x -count 6 ./internal/netsim | tee speedup.txt
+//	go run ./cmd/benchgate -speedup -input speedup.txt -min-speedup 2.0
+//
+// With -slo the gate asserts absolute per-op p99 ceilings from a committed
+// SLO file against a cmd/upnp-load result — no relative baseline involved,
+// which is what makes wall-clock (realtime) legs gateable at all:
+//
+//	go run ./cmd/benchgate -slo LOAD_steady_SLO.json -input LOAD_steady_realtime.json
+//
 // Refresh the baseline after an intentional performance change:
 //
 //	go run ./cmd/benchgate -input bench.txt -update -baseline BENCH_baseline.json
@@ -42,6 +57,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Baseline is the committed benchmark reference.
@@ -270,6 +286,198 @@ func latencyGate(baselinePath, inputPath string, threshold float64, update bool)
 	fmt.Println("benchgate: OK")
 }
 
+// SpeedupBaseline is the committed parallel-speedup reference: the
+// single-loop/sharded ns/op ratio per benchmark stem from one paired run.
+type SpeedupBaseline struct {
+	Note string `json:"note"`
+	// Speedup maps benchmark stem (the name with the /clock=... component
+	// removed) to the median-ns/op ratio single/sharded.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// speedupRatios pairs every `/clock=sharded` benchmark in a parsed run with
+// its `/clock=single` twin and returns the single/sharded median-ns/op ratio
+// per stem. A sharded benchmark without a twin is an error: a lone half
+// would silently un-gate the speedup.
+func speedupRatios(ns map[string]float64) (map[string]float64, error) {
+	const tag = "/clock=sharded"
+	ratios := map[string]float64{}
+	for name, sharded := range ns {
+		if !strings.Contains(name, tag) {
+			continue
+		}
+		twin := strings.Replace(name, tag, "/clock=single", 1)
+		single, ok := ns[twin]
+		if !ok {
+			return nil, fmt.Errorf("%s has no %s twin in the run", name, "/clock=single")
+		}
+		if sharded <= 0 {
+			return nil, fmt.Errorf("%s: non-positive ns/op", name)
+		}
+		ratios[strings.Replace(name, tag, "", 1)] = single / sharded
+	}
+	return ratios, nil
+}
+
+// speedupGate implements -speedup: gate (or -update) the parallel speedup
+// ratios of a paired `/clock=sharded` vs `/clock=single` benchmark run. Two
+// rules apply: every ratio must reach the absolute -min-speedup floor
+// (parallelism must actually pay), and no ratio may fall more than the
+// threshold factor below the committed baseline ratio (the >20% regression
+// rule on the ratio itself).
+func speedupGate(baselinePath, inputPath string, minSpeedup, threshold float64, update bool) {
+	ns, _, err := parseBench(inputPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	ratios, err := speedupRatios(ns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %v\n", err)
+		os.Exit(1)
+	}
+	if len(ratios) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no /clock=sharded benchmarks found in %s\n", inputPath)
+		os.Exit(2)
+	}
+
+	if update {
+		out, err := json.MarshalIndent(SpeedupBaseline{
+			Note:    "single-loop/sharded ns/op ratios from the paired speedup benchmarks; refresh from the scale-100k job's bench output with: go run ./cmd/benchgate -speedup -input bench.txt -update",
+			Speedup: ratios,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d speedup ratio(s) to %s\n", len(ratios), baselinePath)
+		return
+	}
+
+	var base SpeedupBaseline
+	if braw, err := os.ReadFile(baselinePath); err == nil {
+		if err := json.Unmarshal(braw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", baselinePath, err)
+			os.Exit(2)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fail := false
+	fmt.Printf("%-55s %10s %10s\n", "parallel speedup (single/sharded ns/op)", "baseline", "new")
+	for _, name := range names {
+		baseStr := "-"
+		if b, ok := base.Speedup[name]; ok {
+			baseStr = fmt.Sprintf("%.2fx", b)
+		}
+		fmt.Printf("%-55s %10s %9.2fx\n", name, baseStr, ratios[name])
+		if ratios[name] < minSpeedup {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s speedup %.2fx is below the %.2fx floor\n", name, ratios[name], minSpeedup)
+			fail = true
+		}
+		if b, ok := base.Speedup[name]; ok && ratios[name] < b/threshold {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — %s speedup %.2fx regressed more than %.0f%% from the %.2fx baseline\n",
+				name, ratios[name], (threshold-1)*100, b)
+			fail = true
+		}
+	}
+	for name := range base.Speedup {
+		if _, ok := ratios[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — baseline speedup pair %s missing from the run; update %s if it was renamed\n", name, baselinePath)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+// SLOFile is a committed set of absolute per-op p99 ceilings (wall or
+// virtual nanoseconds, matching the run's mode) for one load scenario.
+type SLOFile struct {
+	Note string `json:"note"`
+	// Scenario pins the run the ceilings apply to.
+	Scenario string `json:"scenario"`
+	// Mode guards against gating a virtual run with wall-clock ceilings.
+	Mode string `json:"mode,omitempty"`
+	// P99MaxNs maps operation name to its absolute p99 ceiling.
+	P99MaxNs map[string]float64 `json:"p99_max_ns"`
+}
+
+// sloGate implements -slo: assert a cmd/upnp-load result against absolute
+// per-op p99 ceilings. Unlike the relative -latency rule this needs no
+// baseline run to compare against, so it can gate wall-clock (realtime)
+// legs where a committed relative baseline would be all noise — the
+// ceilings just have to clear the characterized runner jitter.
+func sloGate(sloPath, inputPath string) {
+	raw, err := os.ReadFile(inputPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var res loadResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", inputPath, err)
+		os.Exit(2)
+	}
+	sraw, err := os.ReadFile(sloPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var slo SLOFile
+	if err := json.Unmarshal(sraw, &slo); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", sloPath, err)
+		os.Exit(2)
+	}
+	if len(slo.P99MaxNs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no p99_max_ns ceilings in %s\n", sloPath)
+		os.Exit(2)
+	}
+	if slo.Scenario != res.Scenario || (slo.Mode != "" && slo.Mode != res.Mode) {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — SLO file is for scenario %q mode %q but the run is scenario %q mode %q\n",
+			slo.Scenario, slo.Mode, res.Scenario, res.Mode)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(slo.P99MaxNs))
+	for name := range slo.P99MaxNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fail := false
+	fmt.Printf("%-30s %14s %14s\n", "op p99 SLO (ns)", "ceiling", "measured")
+	for _, name := range names {
+		op, ok := res.Ops[name]
+		if !ok {
+			fmt.Printf("%-30s %14.0f %14s\n", name, slo.P99MaxNs[name], "MISSING")
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — op %s has an SLO but is missing from the run\n", name)
+			fail = true
+			continue
+		}
+		fmt.Printf("%-30s %14.0f %14.0f\n", name, slo.P99MaxNs[name], op.P99Ns)
+		if op.P99Ns > slo.P99MaxNs[name] {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL — op %s p99 %.0fns exceeds the %.0fns SLO\n", name, op.P99Ns, slo.P99MaxNs[name])
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
@@ -278,10 +486,15 @@ func main() {
 		update       = flag.Bool("update", false, "write the baseline from -input instead of comparing")
 		profile      = flag.Bool("profile", false, "on regression, print go test -cpuprofile/-memprofile commands for the worst benchmarks")
 		latency      = flag.Bool("latency", false, "gate cmd/upnp-load latency percentiles (p99 geomean) instead of go test -bench output")
+		speedup      = flag.Bool("speedup", false, "gate the parallel speedup of paired /clock=sharded vs /clock=single benchmarks")
+		minSpeedup   = flag.Float64("min-speedup", 1.0, "with -speedup: fail when any single/sharded ratio is below this floor")
+		sloPath      = flag.String("slo", "", "gate a LOAD_result.json against absolute per-op p99 ceilings from this SLO file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: go run ./cmd/benchgate -input bench.txt [-baseline BENCH_baseline.json] [-threshold 1.20] [-update] [-profile]\n"+
-			"       go run ./cmd/benchgate -latency -input LOAD_result.json [-baseline LOAD_baseline.json] [-threshold 1.20] [-update]\n\n"+
+			"       go run ./cmd/benchgate -latency -input LOAD_result.json [-baseline LOAD_baseline.json] [-threshold 1.20] [-update]\n"+
+			"       go run ./cmd/benchgate -speedup -input bench.txt [-baseline SPEEDUP_baseline.json] [-min-speedup 2.0] [-update]\n"+
+			"       go run ./cmd/benchgate -slo LOAD_steady_SLO.json -input LOAD_steady_realtime.json\n\n"+
 			"Gates both ns/op and allocs/op medians against the committed baseline;\n"+
 			"-latency gates a cmd/upnp-load run's per-op p99s instead.\n"+
 			"Diagnose a flagged regression without any Makefile:\n"+
@@ -294,6 +507,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -input is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *sloPath != "" {
+		sloGate(*sloPath, *inputPath)
+		return
+	}
+	if *speedup {
+		baselineSet := false
+		flag.Visit(func(f *flag.Flag) { baselineSet = baselineSet || f.Name == "baseline" })
+		if !baselineSet {
+			*baselinePath = "SPEEDUP_baseline.json"
+		}
+		speedupGate(*baselinePath, *inputPath, *minSpeedup, *threshold, *update)
+		return
 	}
 	if *latency {
 		baselineSet := false

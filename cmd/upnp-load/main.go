@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	upnp-load [-scenario smoke|steady|churn|fanout|http-smoke] [-things N] [-shape wide|deep|branches]
+//	upnp-load [-scenario smoke|steady|churn|zoned|fanout|http-smoke] [-things N] [-shape wide|deep|branches|zones]
 //	          [-rate R | -workers W -think D] [-mix read=60,write=10,...]
 //	          [-warmup D] [-duration D] [-cooldown D] [-seed S] [-loss P]
 //	          [-realtime] [-timescale X] [-clients N] [-out FILE]
@@ -46,26 +46,28 @@ import (
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "smoke", "preset: "+strings.Join(loadgen.Scenarios(), "|"))
-		things    = flag.Int("things", 0, "override deployment size")
-		shape     = flag.String("shape", "", "override topology: wide|deep|branches")
-		clients   = flag.Int("clients", 0, "override client count")
-		rate      = flag.Float64("rate", 0, "override open-loop arrival rate (ops per virtual second)")
-		process   = flag.String("process", "", "open-loop inter-arrival process: poisson|fixed")
-		workers   = flag.Int("workers", 0, "run closed-loop with this worker population instead of open-loop")
-		think     = flag.Duration("think", 0, "closed-loop think time between a completion and the next issue (virtual)")
-		mix       = flag.String("mix", "", "override op mix, e.g. read=60,write=10,discover=5,subscribe=10,hotswap=10,discover_drivers=5")
-		warmup    = flag.Duration("warmup", -1, "override warmup span (virtual; ops run unrecorded)")
-		duration  = flag.Duration("duration", 0, "override measure window (virtual)")
-		cooldown  = flag.Duration("cooldown", 0, "override drain horizon after the window (virtual)")
-		seed      = flag.Int64("seed", 0, "override workload seed (0 keeps the preset's)")
-		loss      = flag.Float64("loss", 0, "per-hop frame loss probability")
-		realtime  = flag.Bool("realtime", false, "run on the wall clock (concurrent runtime) instead of the deterministic virtual clock")
-		timescale = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode (preset default 50)")
-		target    = flag.String("target", "", "HTTP client mode: drive a running cmd/upnp-gateway at this base URL instead of an in-process deployment")
-		ops       = flag.Int("ops", 0, "HTTP mode: total operations to issue (default 200)")
-		out       = flag.String("out", "LOAD_result.json", "write the JSON result here (\"-\" for stdout, \"\" to skip)")
-		quiet     = flag.Bool("q", false, "suppress the human-readable summary")
+		scenario     = flag.String("scenario", "smoke", "preset: "+strings.Join(loadgen.Scenarios(), "|"))
+		things       = flag.Int("things", 0, "override deployment size")
+		shape        = flag.String("shape", "", "override topology: wide|deep|branches|zones")
+		clients      = flag.Int("clients", 0, "override client count")
+		rate         = flag.Float64("rate", 0, "override open-loop arrival rate (ops per virtual second)")
+		process      = flag.String("process", "", "open-loop inter-arrival process: poisson|fixed")
+		workers      = flag.Int("workers", 0, "run closed-loop with this worker population instead of open-loop")
+		think        = flag.Duration("think", 0, "closed-loop think time between a completion and the next issue (virtual)")
+		mix          = flag.String("mix", "", "override op mix, e.g. read=60,write=10,discover=5,subscribe=10,hotswap=10,discover_drivers=5")
+		warmup       = flag.Duration("warmup", -1, "override warmup span (virtual; ops run unrecorded)")
+		duration     = flag.Duration("duration", 0, "override measure window (virtual)")
+		cooldown     = flag.Duration("cooldown", 0, "override drain horizon after the window (virtual)")
+		seed         = flag.Int64("seed", 0, "override workload seed (0 keeps the preset's)")
+		loss         = flag.Float64("loss", 0, "per-hop frame loss probability")
+		zones        = flag.Int("zones", 0, "override zone-sharded lane count (>1 runs the parallel clock; virtual mode only)")
+		shardWorkers = flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = the sequential single-loop schedule (determinism cross-check mode)")
+		realtime     = flag.Bool("realtime", false, "run on the wall clock (concurrent runtime) instead of the deterministic virtual clock")
+		timescale    = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode (preset default 50)")
+		target       = flag.String("target", "", "HTTP client mode: drive a running cmd/upnp-gateway at this base URL instead of an in-process deployment")
+		ops          = flag.Int("ops", 0, "HTTP mode: total operations to issue (default 200)")
+		out          = flag.String("out", "LOAD_result.json", "write the JSON result here (\"-\" for stdout, \"\" to skip)")
+		quiet        = flag.Bool("q", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
 
@@ -123,6 +125,12 @@ func main() {
 	}
 	if *loss > 0 {
 		cfg.LossRate = *loss
+	}
+	if *zones > 0 {
+		cfg.Zones = *zones
+	}
+	if *shardWorkers > 0 {
+		cfg.ShardWorkers = *shardWorkers
 	}
 	cfg.Realtime = *realtime
 	if *timescale > 0 {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	upnp-sim [-things N] [-hops H] [-loss P] [-churn K] [-seed S] [-realtime] [-timescale X]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-zones Z] [-shard-workers W] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Flags:
 //
@@ -21,6 +21,13 @@
 //	           deterministic virtual clock)
 //	-timescale virtual seconds per wall second in -realtime mode
 //	           (default 60; 1 = true real time)
+//	-zones     run on the zone-sharded parallel clock with this many
+//	           address zones (virtual mode only); Things spread round
+//	           robin across per-zone subtrees. Results are bit-identical
+//	           to the single-loop schedule of the same seed.
+//	-shard-workers
+//	           sharded round parallelism: 0 = GOMAXPROCS (default),
+//	           1 = the sequential single-loop schedule
 //	-cpuprofile / -memprofile
 //	           write pprof profiles of the scenario — the quickest way to
 //	           diagnose a regression the benchgate CI gate flagged:
@@ -47,6 +54,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for loss/jitter sampling")
 	realtime := flag.Bool("realtime", false, "run on the wall clock (concurrent runtime)")
 	timescale := flag.Float64("timescale", 60, "virtual seconds per wall second in -realtime mode")
+	zones := flag.Int("zones", 0, "zone-sharded lane count (>1 enables the parallel clock; virtual mode only)")
+	shardWorkers := flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = sequential single-loop schedule")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the scenario to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the scenario) to this file")
 	flag.Parse()
@@ -65,7 +74,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale); err != nil {
+	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale, *zones, *shardWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
 		os.Exit(1)
 	}
@@ -85,10 +94,17 @@ func main() {
 	}
 }
 
-func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64) error {
+func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64, zones, shardWorkers int) error {
 	opts := []micropnp.Option{micropnp.WithLossRate(loss), micropnp.WithSeed(seed)}
 	if realtime {
 		opts = append(opts, micropnp.WithRealTime(), micropnp.WithTimeScale(timescale))
+		zones = 0 // the sharded clock is a virtual-mode construct
+	}
+	if zones > 1 {
+		opts = append(opts, micropnp.WithZones(zones))
+		if shardWorkers > 0 {
+			opts = append(opts, micropnp.WithShardWorkers(shardWorkers))
+		}
 	}
 	d, err := micropnp.NewDeployment(opts...)
 	if err != nil {
@@ -98,6 +114,8 @@ func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, 
 	mode := "virtual clock"
 	if realtime {
 		mode = fmt.Sprintf("wall clock, %gx accelerated", timescale)
+	} else if zones > 1 {
+		mode = fmt.Sprintf("virtual clock, zone-sharded across %d lanes", zones)
 	}
 	fmt.Printf("deployment: loss=%.2f seed=%d runtime=%s\n", loss, seed, mode)
 	ctx := context.Background()
@@ -115,8 +133,28 @@ func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, 
 
 	things := make([]*micropnp.Thing, 0, nThings)
 	kinds := []string{"TMP36", "HIH-4030", "BMP180", "ID-20LA"}
+	// Under -zones, Things spread round robin across per-zone subtrees
+	// hanging off the relay chain. Location zones are 1-based: zone 0 is
+	// the control lane (manager, clients, relays).
+	var zoneRoots []*micropnp.Thing
+	if zones > 1 {
+		zoneRoots = make([]*micropnp.Thing, zones+1)
+	}
 	for i := 0; i < nThings; i++ {
-		th, err := addThing(d, fmt.Sprintf("thing-%d", i), parent)
+		name := fmt.Sprintf("thing-%d", i)
+		var th *micropnp.Thing
+		var err error
+		if zoneRoots != nil {
+			z := uint16(1 + i%zones)
+			if zoneRoots[z] == nil {
+				th, err = addThingInZone(d, name, z, parent)
+				zoneRoots[z] = th
+			} else {
+				th, err = d.AddThingInZoneUnder(name, z, zoneRoots[z])
+			}
+		} else {
+			th, err = addThing(d, name, parent)
+		}
 		if err != nil {
 			return err
 		}
@@ -205,4 +243,11 @@ func addThing(d *micropnp.Deployment, name string, parent *micropnp.Thing) (*mic
 		return d.AddThing(name)
 	}
 	return d.AddThingUnder(name, parent)
+}
+
+func addThingInZone(d *micropnp.Deployment, name string, zone uint16, parent *micropnp.Thing) (*micropnp.Thing, error) {
+	if parent == nil {
+		return d.AddThingInZone(name, zone)
+	}
+	return d.AddThingInZoneUnder(name, zone, parent)
 }

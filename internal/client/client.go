@@ -334,7 +334,7 @@ func (c *Client) register(p *pending, timeout time.Duration) (uint16, uint64) {
 	gen := p.gen
 	c.pending[seq] = p
 	c.mu.Unlock()
-	ref := c.net.ScheduleExpiry(c.timeoutOr(timeout), c, uint64(seq)|gen<<16, p)
+	ref := c.node.ScheduleExpiry(c.timeoutOr(timeout), c, uint64(seq)|gen<<16, p)
 	c.mu.Lock()
 	if cur, ok := c.pending[seq]; ok && cur == p && p.gen == gen {
 		p.expiry = ref
@@ -520,13 +520,17 @@ func (c *Client) read(thing netip.Addr, id hw.DeviceID, scratch []int32, hasScra
 		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
-	m := &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id}
-	c.send(thing, m)
-	// Guarded here, not inside armRetransmit: without retries the message
-	// then never escapes into a retransmission closure, keeping the hot
-	// request path free of that allocation.
+	// Two message paths, two variables: the retransmit arm retains its
+	// message, so sharing one variable across both branches would force the
+	// no-retry message onto the heap too. Kept separate, the hot no-retry
+	// send stack-allocates.
 	if p != nil && c.retry.enabled() {
+		m := &proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id}
+		c.send(thing, m)
 		c.armRetransmit(seq, gen, p, thing, m, 1)
+	} else {
+		m := proto.Message{Type: proto.MsgRead, Seq: seq, DeviceID: id}
+		c.send(thing, &m)
 	}
 	return retract
 }
@@ -554,10 +558,13 @@ func (c *Client) Write(thing netip.Addr, id hw.DeviceID, vals []int32, timeout t
 		seq = c.nextSeqLocked()
 		c.mu.Unlock()
 	}
-	m := &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)}
-	c.send(thing, m)
 	if p != nil && c.retry.enabled() {
+		m := &proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)}
+		c.send(thing, m)
 		c.armRetransmit(seq, gen, p, thing, m, 1)
+	} else {
+		m := proto.Message{Type: proto.MsgWrite, Seq: seq, DeviceID: id, Data: proto.Values32(vals)}
+		c.send(thing, &m)
 	}
 	return retract
 }
@@ -581,7 +588,7 @@ func (c *Client) armRetransmit(seq uint16, gen uint64, p *pending, dst netip.Add
 	jitter := 0.5 + c.retryRng.Float64()
 	c.mu.Unlock()
 	delay := time.Duration(float64(base) * jitter)
-	cancel := c.net.ScheduleCancelable(delay, func() {
+	cancel := c.node.ScheduleCancelable(delay, func() {
 		c.mu.Lock()
 		cur, ok := c.pending[seq]
 		if !ok || cur != p || p.gen != gen {
@@ -680,7 +687,7 @@ func (c *Client) Subscribe(thing netip.Addr, id hw.DeviceID, opts SubscribeOptio
 	c.pendingStreams[seq] = s
 	c.mu.Unlock()
 	onEst := opts.OnEstablished
-	cancel := c.net.ScheduleCancelable(c.timeoutOr(opts.Timeout), func() {
+	cancel := c.node.ScheduleCancelable(c.timeoutOr(opts.Timeout), func() {
 		c.mu.Lock()
 		cur, ok := c.pendingStreams[seq]
 		if !ok || cur != s {
@@ -946,7 +953,7 @@ func (c *Client) handleAdvert(msg netsim.Message, m *proto.Message) {
 		// Clone: the decoded TLVs alias the datagram buffer, which the
 		// network recycles after this handler returns, while adverts are
 		// retained indefinitely.
-		a := Advert{Thing: msg.Src, Peripheral: p.Clone(), Solicited: solicited, At: c.net.Now()}
+		a := Advert{Thing: msg.Src, Peripheral: p.Clone(), Solicited: solicited, At: c.node.Now()}
 		c.adverts = append(c.adverts, a)
 		if u, ok := p.TLVString(proto.TLVUnits); ok {
 			c.units[p.ID] = u

@@ -58,8 +58,15 @@ type DeploymentConfig struct {
 	// TimeScale compresses virtual time relative to wall time in realtime
 	// mode (1 or 0 = real time; 100 = 100x accelerated).
 	TimeScale float64
-	// Workers bounds the realtime handler pool (0 = min(GOMAXPROCS, 8)).
+	// Workers bounds the realtime handler pool (0 = min(GOMAXPROCS, 8)) and,
+	// with Zones > 1, the sharded clock's per-round parallelism (1 forces
+	// the sequential single-loop schedule; 0 = GOMAXPROCS).
 	Workers int
+	// Zones partitions the network into that many address zones run by the
+	// zone-sharded conservative-PDES clock (see netsim.ShardedClock); 0 or 1
+	// keeps the single-loop virtual clock. Place Things in zones with
+	// AddThingInZone. Ignored in realtime mode.
+	Zones int
 	// Retry enables automatic retransmission of unanswered unicast client
 	// reads and writes (zero value disables).
 	Retry client.RetryPolicy
@@ -105,6 +112,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Realtime:   cfg.Realtime,
 		TimeScale:  cfg.TimeScale,
 		Workers:    cfg.Workers,
+		Zones:      cfg.Zones,
+		Seed:       cfg.Seed,
 	})
 	mgrAddr := netip.MustParseAddr("2001:db8::1")
 	mgr, err := manager.New(manager.Config{
@@ -127,11 +136,19 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 }
 
 func (d *Deployment) nextAddr() netip.Addr {
+	return d.nextAddrInZone(0)
+}
+
+// nextAddrInZone allocates the next host address carrying the given address
+// zone (netsim.UnicastAddr); zone 0 reproduces the classic 2001:db8::1xx
+// layout, and the byte form lifts the 16-bit host ceiling string formatting
+// imposed, so 100k-Thing deployments address cleanly.
+func (d *Deployment) nextAddrInZone(zone uint16) netip.Addr {
 	d.addrMu.Lock()
 	d.hostSeq++
 	seq := d.hostSeq
 	d.addrMu.Unlock()
-	return netip.MustParseAddr(fmt.Sprintf("2001:db8::%x", 0x100+seq))
+	return netsim.UnicastAddr(d.prefix, zone, uint32(0x100+seq))
 }
 
 // Close stops the network's clock: in realtime mode it terminates the event
@@ -159,13 +176,36 @@ func (d *Deployment) AddThingAt(name string, parent *netsim.Node) (*thing.Thing,
 	})
 }
 
+// AddThingInZone creates a Thing whose unicast address carries the given
+// address zone, attached under parent (nil = the manager/border router).
+// On a zone-sharded deployment (DeploymentConfig.Zones > 1) the Thing's
+// deliveries and timers then run on that zone's event lane; keeping a zone's
+// Things in a common subtree keeps intra-zone traffic intra-lane.
+func (d *Deployment) AddThingInZone(name string, zone uint16, parent *netsim.Node) (*thing.Thing, error) {
+	if parent == nil {
+		parent = d.Manager.Node()
+	}
+	return thing.New(thing.Config{
+		Network:            d.Network,
+		Addr:               d.nextAddrInZone(zone),
+		Parent:             parent,
+		Manager:            d.managerA,
+		Name:               name,
+		StreamPeriod:       d.cfg.StreamPeriod,
+		Units:              driver.UnitsTable(),
+		PendingReadTimeout: d.cfg.RequestTimeout,
+	})
+}
+
 // AddZonedThing creates a Thing placed in a location zone with the
 // structured namespace enabled (the Section 9 extensions): it joins
-// zone-scoped and class-wildcard multicast groups for its peripherals.
+// zone-scoped and class-wildcard multicast groups for its peripherals, and
+// its unicast address carries the zone, so zone-sharded deployments place it
+// on the zone's event lane.
 func (d *Deployment) AddZonedThing(name string, zone uint16) (*thing.Thing, error) {
 	return thing.New(thing.Config{
 		Network:             d.Network,
-		Addr:                d.nextAddr(),
+		Addr:                d.nextAddrInZone(zone),
 		Parent:              d.Manager.Node(),
 		Manager:             d.managerA,
 		Name:                name,
@@ -193,6 +233,24 @@ func (d *Deployment) AddClientAt(parent *netsim.Node) (*client.Client, error) {
 	return client.New(client.Config{
 		Network:        d.Network,
 		Addr:           d.nextAddr(),
+		Parent:         parent,
+		DefaultTimeout: d.cfg.RequestTimeout,
+		Retry:          d.cfg.Retry,
+	})
+}
+
+// AddClientInZone creates a client whose unicast address carries the given
+// address zone, attached under parent (nil = the manager/border router). On a
+// zone-sharded deployment the client's protocol machinery — reply handling,
+// request timers, retransmissions — runs on that zone's event lane, so a
+// client serving a zone keeps its traffic intra-lane.
+func (d *Deployment) AddClientInZone(zone uint16, parent *netsim.Node) (*client.Client, error) {
+	if parent == nil {
+		parent = d.Manager.Node()
+	}
+	return client.New(client.Config{
+		Network:        d.Network,
+		Addr:           d.nextAddrInZone(zone),
 		Parent:         parent,
 		DefaultTimeout: d.cfg.RequestTimeout,
 		Retry:          d.cfg.Retry,

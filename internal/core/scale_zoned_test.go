@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"micropnp/internal/client"
+	"micropnp/internal/driver"
+	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
+	"micropnp/internal/thing"
+)
+
+// Zone-sharded scale tiers. -short keeps a quick sanity size for every PR
+// leg; the default suite climbs to 10,000 Things; the CI scale-100k job
+// (push to main) sets MICROPNP_SCALE_100K=1 to unlock the 50,000- and
+// 100,000-Thing tiers that the single-loop clock never reached.
+func zonedScaleSizes() []int {
+	if testing.Short() {
+		return []int{200}
+	}
+	sizes := []int{2000, 10000}
+	if os.Getenv("MICROPNP_SCALE_100K") != "" {
+		sizes = append(sizes, 50000, 100000)
+	}
+	return sizes
+}
+
+// zonesFor picks a lane count that keeps thousands of Things per zone at the
+// big tiers (barrier overhead amortizes over lane work).
+func zonesFor(n int) int {
+	switch {
+	case n >= 50000:
+		return 16
+	case n >= 2000:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// buildZonedScale assembles a zoned deployment: one zone-root Thing per zone
+// directly under the manager, all other Things under their zone root, round-
+// robin across zones and sensor kinds.
+func buildZonedScale(t testing.TB, d *Deployment, n, zones int) []*thingRef {
+	t.Helper()
+	zoneRoots := make([]*netsim.Node, zones)
+	things := make([]*thingRef, 0, n)
+	for i := 0; i < n; i++ {
+		zone := i % zones
+		parent := zoneRoots[zone]
+		th, err := d.AddThingInZone(fmt.Sprintf("z%dn%d", zone, i), uint16(zone), parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zoneRoots[zone] == nil {
+			zoneRoots[zone] = th.Node()
+		}
+		if err := d.plugKind(th, i%3); err != nil {
+			t.Fatal(err)
+		}
+		things = append(things, &thingRef{th: th, kind: i % 3})
+	}
+	return things
+}
+
+// TestScaleZoned is the zone-sharded scale tier: the full plug-in protocol,
+// discovery and reads across every zone, run on the parallel sharded clock.
+func TestScaleZoned(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, n := range zonedScaleSizes() {
+		n := n
+		t.Run(fmt.Sprintf("things=%d", n), func(t *testing.T) {
+			zones := zonesFor(n)
+			d, err := NewDeployment(DeploymentConfig{Zones: zones})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+			if z, _, ok := d.Network.Sharded(); !ok || z != zones {
+				t.Fatalf("Sharded() = (%d, _, %v), want (%d, _, true)", z, ok, zones)
+			}
+			cl, err := d.AddClient()
+			if err != nil {
+				t.Fatal(err)
+			}
+			things := buildZonedScale(t, d, n, zones)
+			d.Run()
+			assertScaleDeployment(t, d, cl, things, time.Hour, true)
+		})
+	}
+}
+
+// zonedChurnRun executes the cross-zone hot-swap churn scenario — plug
+// everywhere, unplug and re-plug a spread of Things across all zones, then
+// discover — under a given worker bound, with loss and jitter enabled so the
+// per-zone RNG streams are load-bearing. It returns the deployment's final
+// observable state for cross-mode comparison.
+func zonedChurnRun(t *testing.T, n, zones, workers int) (stats netsim.Stats, uploads, gotTMP, gotBMP int) {
+	t.Helper()
+	d, err := NewDeployment(DeploymentConfig{
+		Zones:      zones,
+		Workers:    workers,
+		LossRate:   0.02,
+		ProcJitter: 0.05,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cl, err := d.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoneRoots := make([]*netsim.Node, zones)
+	things := make([]*thing.Thing, 0, n)
+	for i := 0; i < n; i++ {
+		zone := i % zones
+		th, err := d.AddThingInZone(fmt.Sprintf("z%dn%d", zone, i), uint16(zone), zoneRoots[zone])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zoneRoots[zone] == nil {
+			zoneRoots[zone] = th.Node()
+		}
+		if err := d.PlugTMP36(th, 0); err != nil {
+			t.Fatal(err)
+		}
+		things = append(things, th)
+	}
+	d.Run()
+
+	// Hot-swap churn across every zone: unplug the TMP36, plug a BMP180.
+	for i := 0; i < n; i += 5 {
+		if err := things[i].Unplug(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Run()
+	for i := 0; i < n; i += 5 {
+		if err := d.PlugBMP180(things[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Run()
+
+	return d.Network.Stats(), d.Manager.Uploads(), discoverCount(t, d, cl, driver.IDTMP36), discoverCount(t, d, cl, driver.IDBMP180)
+}
+
+// discoverCount runs a discovery to completion and returns the advert count.
+func discoverCount(t *testing.T, d *Deployment, cl *client.Client, id hw.DeviceID) int {
+	t.Helper()
+	got := -1
+	cl.Discover(id, time.Hour, func(ads []client.Advert) { got = len(ads) })
+	d.Run()
+	return got
+}
+
+// TestScaleZonedChurnBothModes runs the same churn scenario under the
+// parallel sharded schedule and the sequential single-loop schedule and
+// asserts the end states are identical — the application-level face of the
+// bit-determinism guarantee, with hot-swap membership churn crossing zone
+// boundaries while loss/jitter RNG draws ride the zone streams.
+func TestScaleZonedChurnBothModes(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	n := 1200
+	if testing.Short() {
+		n = 120
+	}
+	const zones = 4
+	seqStats, seqUploads, seqTMP, seqBMP := zonedChurnRun(t, n, zones, 1)
+	parStats, parUploads, parTMP, parBMP := zonedChurnRun(t, n, zones, 0)
+	if parStats != seqStats {
+		t.Errorf("stats diverged across clock modes:\n  single-loop %+v\n  parallel    %+v", seqStats, parStats)
+	}
+	if parUploads != seqUploads {
+		t.Errorf("uploads diverged: single-loop %d, parallel %d", seqUploads, parUploads)
+	}
+	if parTMP != seqTMP || parBMP != seqBMP {
+		t.Errorf("discovery diverged: single-loop TMP=%d BMP=%d, parallel TMP=%d BMP=%d",
+			seqTMP, seqBMP, parTMP, parBMP)
+	}
+	if seqBMP == 0 {
+		t.Fatal("churn scenario discovered no BMP180s; the swap did not happen")
+	}
+}

@@ -124,6 +124,12 @@ func run(cfg Config) (*runner, *Result, error) {
 	if cfg.LossRate > 0 {
 		opts = append(opts, micropnp.WithLossRate(cfg.LossRate))
 	}
+	if cfg.Zones > 1 && !cfg.Realtime {
+		opts = append(opts, micropnp.WithZones(cfg.Zones))
+		if cfg.ShardWorkers > 0 {
+			opts = append(opts, micropnp.WithShardWorkers(cfg.ShardWorkers))
+		}
+	}
 	if cfg.Realtime {
 		opts = append(opts, micropnp.WithRealTime(), micropnp.WithTimeScale(cfg.TimeScale))
 		if cfg.PoolWorkers > 0 {
@@ -682,6 +688,8 @@ func (r *runner) result() *Result {
 	if r.cfg.Realtime {
 		res.Mode = "realtime"
 		res.TimeScale = r.cfg.TimeScale
+	} else {
+		res.Zones = r.cfg.Zones
 	}
 	if r.cfg.Arrival == ArrivalOpen {
 		res.Process = r.cfg.Process.String()

@@ -49,7 +49,12 @@ type Result struct {
 	Workers    int     `json:"workers,omitempty"`
 	ThinkNs    int64   `json:"think_ns,omitempty"`
 	TimeScale  float64 `json:"time_scale,omitempty"`
-	Mix        string  `json:"mix"`
+	// Zones is the zone-sharded lane count of a virtual run (0 = the
+	// single-loop clock). Only the zone count is recorded, never the
+	// worker bound: the parallel and sequential schedules of one config
+	// are bit-identical, so their result JSON must be too.
+	Zones int    `json:"zones,omitempty"`
+	Mix   string `json:"mix"`
 
 	// WarmupNs/MeasureNs/CooldownNs are the phase spans in virtual time.
 	WarmupNs   int64 `json:"warmup_ns"`

@@ -155,6 +155,12 @@ const (
 	// ShapeBranches grows three subtrees, one sensor kind per branch,
 	// deepening every 20 (several concurrent multicast groups).
 	ShapeBranches Shape = "branches"
+	// ShapeZones builds one flat subtree per address zone (zone roots one
+	// hop from the manager), Things round-robin across zones — the
+	// topology for zone-sharded (Config.Zones) runs: intra-zone traffic
+	// stays on one event lane. Location zones are 1-based; zone 0 is the
+	// manager/client (control) zone.
+	ShapeZones Shape = "zones"
 )
 
 // Config parameterizes one load run. Zero values take the documented
@@ -211,6 +217,16 @@ type Config struct {
 	// spawning unboundedly under overload.
 	MaxInFlight int
 
+	// Zones > 1 runs the deployment on the zone-sharded parallel clock
+	// with that many address zones (virtual mode only; ignored with
+	// Realtime). Use with ShapeZones so Things actually spread across the
+	// zone lanes. ShardWorkers bounds the sharded clock's round
+	// parallelism: 0 = GOMAXPROCS, 1 = the sequential single-loop schedule
+	// — the determinism cross-check mode, bit-identical to any parallel
+	// run of the same config.
+	Zones        int
+	ShardWorkers int
+
 	// Target switches Run to the HTTP client mode: operations are issued as
 	// REST calls against a running gateway (cmd/upnp-gateway) at this base
 	// URL instead of in-process SDK calls. Only the read, write and discover
@@ -264,6 +280,18 @@ var presets = map[string]Config{
 		HTTPOps: 200, Workers: 1,
 		Mix: mixOf(70, 20, 10, 0, 0, 0),
 	},
+	// zoned: the zone-sharded scenario — per-zone subtrees driven on the
+	// parallel sharded clock, with loss riding the per-zone RNG streams and
+	// hot-swaps churning group membership across zone boundaries. The CI
+	// determinism job runs it under the parallel and the single-loop
+	// schedule and byte-diffs the result JSON.
+	"zoned": {
+		Things: 240, Shape: ShapeZones, Zones: 8, Rate: 6,
+		Warmup: 10 * time.Second, Duration: 180 * time.Second, Cooldown: 45 * time.Second,
+		StreamPeriod: 5 * time.Second, RequestTimeout: time.Second,
+		LossRate: 0.02,
+		Mix:      mixOf(55, 10, 5, 10, 15, 5),
+	},
 	// fanout: discovery- and subscription-heavy on a wide topology — the
 	// multicast fan-out stress.
 	"fanout": {
@@ -303,6 +331,10 @@ func (cfg *Config) normalize() error {
 	case "":
 		cfg.Shape = ShapeWide
 	case ShapeWide, ShapeDeep, ShapeBranches:
+	case ShapeZones:
+		if cfg.Zones <= 1 {
+			cfg.Zones = 4
+		}
 	default:
 		return fmt.Errorf("loadgen: unknown shape %q", cfg.Shape)
 	}

@@ -48,9 +48,24 @@ func buildTopology(d *micropnp.Deployment, cfg Config) (targets []*target, writa
 	targets = make([]*target, 0, n)
 	var prev, parent *micropnp.Thing
 	branchParents := make([]*micropnp.Thing, 3)
+	// zoneRoots[z] is zone z's subtree root (location zones are 1-based).
+	var zoneRoots []*micropnp.Thing
+	if cfg.Shape == ShapeZones {
+		zoneRoots = make([]*micropnp.Thing, cfg.Zones+1)
+	}
 	for i := 0; i < n; i++ {
 		var th *micropnp.Thing
 		switch cfg.Shape {
+		case ShapeZones:
+			zone := 1 + i%cfg.Zones
+			if zoneRoots[zone] == nil {
+				th, err = d.AddThingInZone(fmt.Sprintf("z%dn%d", zone, i), uint16(zone))
+				if err == nil {
+					zoneRoots[zone] = th
+				}
+			} else {
+				th, err = d.AddThingInZoneUnder(fmt.Sprintf("z%dn%d", zone, i), uint16(zone), zoneRoots[zone])
+			}
 		case ShapeDeep:
 			if i > 0 && i%10 == 0 {
 				parent = prev

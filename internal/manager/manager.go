@@ -144,7 +144,7 @@ func (m *Manager) register(req *mgmtReq, timeout time.Duration) uint16 {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	cancel := m.net.ScheduleCancelable(timeout, func() { m.expire(seq, req) })
+	cancel := m.node.ScheduleCancelable(timeout, func() { m.expire(seq, req) })
 	m.mu.Lock()
 	req.cancel = cancel
 	m.mu.Unlock()
@@ -261,7 +261,7 @@ func (m *Manager) handle(msg netsim.Message) {
 		// The decoded message is borrowed scratch — copy the scalars the
 		// deferred closure needs.
 		id, seq, src := pm.DeviceID, pm.Seq, msg.Src
-		m.net.Schedule(CostLookup, func() {
+		m.node.Schedule(CostLookup, func() {
 			entry, ok := m.repo.Lookup(id)
 			if !ok {
 				return

@@ -96,6 +96,31 @@ func ParseMulticastZone(a netip.Addr) (NetworkPrefix, uint16, hw.DeviceID, error
 	return p, zone, id, nil
 }
 
+// UnicastAddr builds a unicast host address inside a network prefix, with
+// the same 16-bit field the multicast schema uses (bytes 10..11) carrying the
+// host's address zone. Zone 0 with a small host number reproduces the classic
+// 2001:db8::1xx layout; non-zero zones place the host in a zone partition the
+// sharded simulator can run on its own event heap and worker.
+func UnicastAddr(prefix NetworkPrefix, zone uint16, host uint32) netip.Addr {
+	var b [16]byte
+	copy(b[0:6], prefix[:])
+	b[10] = byte(zone >> 8)
+	b[11] = byte(zone)
+	b[12] = byte(host >> 24)
+	b[13] = byte(host >> 16)
+	b[14] = byte(host >> 8)
+	b[15] = byte(host)
+	return netip.AddrFrom16(b)
+}
+
+// ZoneFromAddr extracts the 16-bit address zone of a unicast host address
+// (bytes 10..11, mirroring the multicast schema's zone field). Classic
+// 2001:db8::1xx addresses carry zone 0.
+func ZoneFromAddr(a netip.Addr) uint16 {
+	b := a.As16()
+	return uint16(b[10])<<8 | uint16(b[11])
+}
+
 // ClassGroup returns the class-wildcard group address (the Section 9
 // hierarchical-typing extension): Things serving a peripheral whose
 // structured identifier carries this class join it alongside the exact

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"net/netip"
+	"os"
 	"testing"
 	"time"
 )
@@ -163,6 +164,90 @@ func BenchmarkScaleMulticast(b *testing.B) {
 			}
 			b.ReportMetric(float64(count-1), "members")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/send")
+		})
+	}
+
+	// The parallel-speedup pair: the identical zone-partitioned fan-out —
+	// every zone root disseminating to its own zone-scoped group — run on the
+	// parallel sharded schedule (clock=sharded) and the sequential single-loop
+	// schedule (clock=single) of the same topology and seed. Bit-determinism
+	// makes the two runs execute the same events, so the single/sharded ns/op
+	// ratio is pure parallel speedup; `benchgate -speedup` gates it. The CI
+	// scale-100k job sets MICROPNP_SCALE_100K=1 for the gated 50,000-node
+	// tier; the default size keeps local runs quick.
+	count := 2000
+	if os.Getenv("MICROPNP_SCALE_100K") != "" {
+		count = 50000
+	}
+	const zones = 16
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"sharded", 0},
+		{"single", 1},
+	} {
+		b.Run(fmt.Sprintf("zoned=%d/clock=%s", count, mode.name), func(b *testing.B) {
+			n := New(Config{Zones: zones, Workers: mode.workers})
+			defer n.Close()
+			prefix := PrefixFromAddr(addr("2001:db8::1"))
+			root, err := n.AddNode(UnicastAddr(prefix, 0, 1), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Location zones are 1-based (zone 0 is the unscoped group form).
+			zoneRoots := make([]*Node, zones+1)
+			groups := make([]netip.Addr, zones+1)
+			delivered := make([]int, zones+1)
+			members := 0
+			for z := 1; z <= zones; z++ {
+				z := z
+				zr, err := n.AddNode(UnicastAddr(prefix, uint16(z), 1), root)
+				if err != nil {
+					b.Fatal(err)
+				}
+				zoneRoots[z] = zr
+				groups[z] = MulticastAddrZone(prefix, uint16(z), 0xad1cbe01)
+				for i := 0; i < count/zones; i++ {
+					nd, err := n.AddNode(UnicastAddr(prefix, uint16(z), uint32(2+i)), zr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nd.JoinGroup(groups[z])
+					// Handlers for one zone only run on that zone's lane, so
+					// the per-zone counter needs no lock.
+					nd.Bind(Port6030, func(Message) { delivered[z]++ })
+					members++
+				}
+			}
+			// Prime every zone's plan cache; steady-state sends are what scale.
+			for z := 1; z <= zones; z++ {
+				zoneRoots[z].Send(groups[z], Port6030, []byte("warm"))
+			}
+			n.RunUntilIdle(0)
+			for z := range delivered {
+				delivered[z] = 0
+			}
+			const batch = 4
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					for z := 1; z <= zones; z++ {
+						zoneRoots[z].Send(groups[z], Port6030, []byte("adv"))
+					}
+					n.RunUntilIdle(0)
+				}
+			}
+			b.StopTimer()
+			total := 0
+			for _, d := range delivered {
+				total += d
+			}
+			if total != b.N*batch*members {
+				b.Fatalf("delivered %d, want %d", total, b.N*batch*members)
+			}
+			b.ReportMetric(float64(members), "members")
 		})
 	}
 }

@@ -116,9 +116,20 @@ type Config struct {
 	// mode (1 or 0 = real time; 100 = 100x accelerated). Ignored by the
 	// virtual clock.
 	TimeScale float64
-	// Workers bounds the realtime handler pool (0 = min(GOMAXPROCS, 8)).
-	// Ignored by the virtual clock.
+	// Workers bounds the realtime handler pool (0 = min(GOMAXPROCS, 8)) and,
+	// with Zones > 1, the sharded clock's per-round parallelism: 1 forces the
+	// sequential single-loop schedule (bit-identical to any parallel run),
+	// 0 means GOMAXPROCS. Ignored by the single-zone virtual clock.
 	Workers int
+	// Zones partitions the network into that many address zones, each with
+	// its own event heap, RNG stream and lock domain, run by the sharded
+	// conservative-PDES clock (see ShardedClock). Node zone = the address's
+	// zone field (bytes 10..11) modulo Zones. 0 or 1 keeps the single-loop
+	// VirtualClock; ignored in realtime mode.
+	Zones int
+	// Seed derives the per-zone RNG streams when Zones > 1 (0 = the fixed
+	// default). The single-zone clock uses Rng as before.
+	Seed int64
 }
 
 // Stats counts network activity.
@@ -160,14 +171,23 @@ func (c *counters) snapshot() Stats {
 type Network struct {
 	cfg   Config
 	clock Clock
-	// Exactly one of vclock/rclock is set, aliasing clock.
+	// Exactly one of vclock/sclock/rclock is set, aliasing clock.
 	vclock *VirtualClock
+	sclock *ShardedClock
 	rclock *RealtimeClock
 
 	// rngMu guards the loss/jitter stream; draws stay ordered and
 	// reproducible in virtual mode (single driving goroutine).
 	rngMu sync.Mutex
 	rng   *rand.Rand
+	// zoneRngs are the per-zone loss/jitter streams of a sharded network
+	// (draws key on the SENDER's zone, so each stream is consumed in the
+	// sender lane's deterministic execution order). nil when Zones <= 1.
+	zoneRngs []zoneRng
+	// zoneMuts queues group-membership mutations issued mid-round; the
+	// sharded clock's barrier applies them in (lane, emission) order so
+	// membership is identical under parallel and sequential execution.
+	zoneMuts []zoneMutQueue
 
 	// topoMu guards the topology: the node table, anycast and multicast
 	// membership, per-node handler bindings and group sets. Read-mostly
@@ -205,6 +225,27 @@ type groupPlans struct {
 	bySrc map[*Node]*mcastPlan
 }
 
+// zoneRng is one zone's loss/jitter stream. The mutex matters only for
+// concurrent external senders; during sharded rounds each stream is drawn
+// solely by its own lane's worker.
+type zoneRng struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// zoneMutQueue buffers one zone's deferred membership mutations.
+type zoneMutQueue struct {
+	mu   sync.Mutex
+	muts []memberMut
+}
+
+// memberMut is one deferred JoinGroup/LeaveGroup.
+type memberMut struct {
+	nd   *Node
+	g    netip.Addr
+	join bool
+}
+
 // New creates an empty network running on the clock Config selects: the
 // deterministic virtual clock by default, the wall-clock runtime when
 // cfg.Realtime is set.
@@ -222,14 +263,40 @@ func New(cfg Config) *Network {
 		dists:   map[nodePair]int{},
 		plans:   map[netip.Addr]*groupPlans{},
 	}
-	if cfg.Realtime {
+	switch {
+	case cfg.Realtime:
 		n.rclock = NewRealtimeClock(RealtimeConfig{TimeScale: cfg.TimeScale, Workers: cfg.Workers})
 		n.clock = n.rclock
-	} else {
+	case cfg.Zones > 1:
+		n.sclock = NewShardedClock(cfg.Zones, cfg.Workers, ShardQuantum(cfg.ProcJitter))
+		n.sclock.postRound = n.flushDeferredMembership
+		n.clock = n.sclock
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 0x6030
+		}
+		n.zoneRngs = make([]zoneRng, cfg.Zones)
+		for z := range n.zoneRngs {
+			// Distinct deterministic streams per zone, derived from the seed
+			// with a golden-ratio mix so adjacent zones do not correlate.
+			n.zoneRngs[z].r = rand.New(rand.NewSource(seed ^ int64(uint64(z+1)*0x9e3779b97f4a7c15)))
+		}
+		n.zoneMuts = make([]zoneMutQueue, cfg.Zones)
+	default:
 		n.vclock = NewVirtualClock()
 		n.clock = n.vclock
 	}
 	return n
+}
+
+// Sharded reports whether the network runs on the zone-sharded clock, and if
+// so with how many zone lanes and whether rounds execute sequentially (the
+// single-loop schedule).
+func (n *Network) Sharded() (zones int, sequential bool, ok bool) {
+	if n.sclock == nil {
+		return 0, false, false
+	}
+	return n.sclock.Lanes(), n.sclock.Sequential(), true
 }
 
 // Clock returns the network's time-advancement engine.
@@ -262,10 +329,14 @@ func (n *Network) Stats() Stats { return n.stats.snapshot() }
 // Node is one IPv6 host: a µPnP Thing, client or manager.
 type Node struct {
 	net *Network
-	// addr, parent and depth are immutable after AddNode.
-	addr     netip.Addr
-	parent   *Node
-	depth    int
+	// addr, parent, depth and lane are immutable after AddNode.
+	addr   netip.Addr
+	parent *Node
+	depth  int
+	// lane is the node's zone lane on the sharded clock (0 otherwise):
+	// the address's zone field modulo the zone count. Deliveries to the node
+	// and timers the node arms execute on this lane.
+	lane     int32
 	handlers map[uint16]Handler
 	groups   map[netip.Addr]bool
 }
@@ -281,6 +352,9 @@ func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
 	node := &Node{net: n, addr: addr, parent: parent, handlers: map[uint16]Handler{}, groups: map[netip.Addr]bool{}}
 	if parent != nil {
 		node.depth = parent.depth + 1
+	}
+	if n.sclock != nil {
+		node.lane = int32(int(ZoneFromAddr(addr)) % n.sclock.Lanes())
 	}
 	n.nodes[addr] = node
 	n.invalidateRoutes()
@@ -307,6 +381,52 @@ func (nd *Node) Addr() netip.Addr { return nd.addr }
 // Depth returns the node's depth in the DODAG (root = 0).
 func (nd *Node) Depth() int { return nd.depth }
 
+// Zone returns the node's address zone (the 16-bit field at bytes 10..11).
+func (nd *Node) Zone() uint16 { return ZoneFromAddr(nd.addr) }
+
+// Now returns the node's view of virtual time: on the sharded clock this is
+// the node's lane-local time (deterministic inside a round — the global clock
+// only advances at barriers), elsewhere the network clock. Node-side code
+// (Things, clients, the manager) should timestamp and schedule through these
+// node-affine methods so sharded runs stay bit-identical.
+func (nd *Node) Now() time.Duration {
+	if sc := nd.net.sclock; sc != nil {
+		return sc.laneNow(nd.lane)
+	}
+	return nd.net.clock.Now()
+}
+
+// Schedule runs fn at the node's Now()+delay, on the node's zone lane.
+func (nd *Node) Schedule(delay time.Duration, fn func()) {
+	if sc := nd.net.sclock; sc != nil {
+		sc.scheduleLane(nd.lane, delay, fn)
+		return
+	}
+	nd.net.clock.Schedule(delay, fn)
+}
+
+// ScheduleCancelable runs fn at the node's Now()+delay on the node's zone
+// lane and returns a cancel function (see Clock.ScheduleCancelable).
+func (nd *Node) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
+	if sc := nd.net.sclock; sc != nil {
+		return sc.scheduleCancelableLane(nd.lane, delay, fn)
+	}
+	return nd.net.clock.ScheduleCancelable(delay, fn)
+}
+
+// ScheduleExpiry queues a typed expiry event on the node's zone lane (see
+// Network.ScheduleExpiry for semantics).
+func (nd *Node) ScheduleExpiry(delay time.Duration, e Expirer, seq uint64, tok any) ExpiryRef {
+	n := nd.net
+	if n.sclock != nil {
+		return n.sclock.scheduleExpiryLane(nd.lane, delay, e, seq, tok)
+	}
+	if n.vclock != nil {
+		return n.vclock.scheduleExpiry(delay, e, seq, tok)
+	}
+	return n.rclock.scheduleExpiry(delay, e, seq, tok)
+}
+
 // Bind registers the datagram handler for a UDP port.
 func (nd *Node) Bind(port uint16, h Handler) {
 	nd.net.topoMu.Lock()
@@ -318,10 +438,24 @@ func (nd *Node) Bind(port uint16, h Handler) {
 // the group are maintained incrementally: the new member's tree path is
 // spliced into every cached per-source plan (O(depth) each) instead of
 // invalidating and rebuilding them from all members.
+// Membership changes issued from inside a sharded round (a handler joining
+// during a driver install, say) are deferred to the round's barrier and
+// applied there in (zone lane, emission) order: mid-window the change would
+// race concurrently executing lanes' plan lookups, making the delivered set
+// depend on worker interleaving. The deferral makes the semantics uniform —
+// on the sharded clock, membership changes take effect at the next window
+// boundary (at most one lookahead quantum later) in every execution mode.
 func (nd *Node) JoinGroup(g netip.Addr) {
 	n := nd.net
+	if n.deferMembership(nd, g, true) {
+		return
+	}
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
+	n.joinLocked(nd, g)
+}
+
+func (n *Network) joinLocked(nd *Node, g netip.Addr) {
 	if nd.groups[g] {
 		return
 	}
@@ -339,8 +473,15 @@ func (nd *Node) JoinGroup(g netip.Addr) {
 // plan of the group.
 func (nd *Node) LeaveGroup(g netip.Addr) {
 	n := nd.net
+	if n.deferMembership(nd, g, false) {
+		return
+	}
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
+	n.leaveLocked(nd, g)
+}
+
+func (n *Network) leaveLocked(nd *Node, g netip.Addr) {
 	if !nd.groups[g] {
 		return
 	}
@@ -352,6 +493,50 @@ func (nd *Node) LeaveGroup(g netip.Addr) {
 		}
 	}
 	n.spliceMember(g, nd, false)
+}
+
+// deferMembership queues a membership change when issued mid-round on the
+// sharded clock, reporting whether it was deferred. Outside rounds (setup
+// code, the driving goroutine between windows) changes apply immediately.
+func (n *Network) deferMembership(nd *Node, g netip.Addr, join bool) bool {
+	sc := n.sclock
+	if sc == nil || !sc.inRound.Load() {
+		return false
+	}
+	q := &n.zoneMuts[nd.lane]
+	q.mu.Lock()
+	q.muts = append(q.muts, memberMut{nd: nd, g: g, join: join})
+	q.mu.Unlock()
+	return true
+}
+
+// flushDeferredMembership applies the queued membership mutations at a
+// sharded barrier, in (zone lane, emission) order, under the topology lock.
+// Lane workers are parked, so this is the serial phase of the round.
+func (n *Network) flushDeferredMembership() {
+	locked := false
+	for z := range n.zoneMuts {
+		q := &n.zoneMuts[z]
+		q.mu.Lock()
+		muts := q.muts
+		q.muts = nil
+		q.mu.Unlock()
+		if len(muts) == 0 {
+			continue
+		}
+		if !locked {
+			n.topoMu.Lock()
+			defer n.topoMu.Unlock()
+			locked = true
+		}
+		for _, m := range muts {
+			if m.join {
+				n.joinLocked(m.nd, m.g)
+			} else {
+				n.leaveLocked(m.nd, m.g)
+			}
+		}
+	}
 }
 
 // spliceMember applies one membership change to every cached plan of the
@@ -728,10 +913,21 @@ func (n *Network) deliver(src, dst *Node, msg Message, pb *Buf, hops int, multic
 	if !multicast {
 		n.stats.transmissions.Add(int64(hops))
 	}
-	n.rngMu.Lock()
+	// Loss/jitter draws key on the SENDER: on the sharded clock each zone has
+	// its own stream, consumed in the sender lane's deterministic execution
+	// order, so parallel and sequential rounds draw identically.
+	var mu *sync.Mutex
+	var rng *rand.Rand
+	if n.zoneRngs != nil {
+		zr := &n.zoneRngs[src.lane]
+		mu, rng = &zr.mu, zr.r
+	} else {
+		mu, rng = &n.rngMu, n.rng
+	}
+	mu.Lock()
 	lost := false
 	for h := 0; h < hops; h++ {
-		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		if n.cfg.LossRate > 0 && rng.Float64() < n.cfg.LossRate {
 			lost = true
 			break
 		}
@@ -739,10 +935,10 @@ func (n *Network) deliver(src, dst *Node, msg Message, pb *Buf, hops int, multic
 	msg.Hops = hops
 	delay := time.Duration(hops) * PacketDelay(len(msg.Payload), multicast)
 	if !lost && n.cfg.ProcJitter > 0 {
-		dev := (n.rng.Float64()*2 - 1) * n.cfg.ProcJitter
+		dev := (rng.Float64()*2 - 1) * n.cfg.ProcJitter
 		delay = time.Duration(float64(delay) * (1 + dev))
 	}
-	n.rngMu.Unlock()
+	mu.Unlock()
 	if lost {
 		n.stats.lost.Add(1)
 		pb.Release()
@@ -750,17 +946,22 @@ func (n *Network) deliver(src, dst *Node, msg Message, pb *Buf, hops int, multic
 	}
 	d := deliveryPool.Get().(*delivery)
 	d.net, d.dst, d.msg, d.buf = n, dst, msg, pb
-	n.scheduleDelivery(delay, d)
+	n.scheduleDelivery(src, delay, d)
 }
 
 // scheduleDelivery routes a pooled delivery to the concrete clock (the Clock
 // interface stays closure-only; deliveries are a package-internal fast path).
-func (n *Network) scheduleDelivery(delay time.Duration, d *delivery) {
-	if n.vclock != nil {
+// On the sharded clock the event lands on the DESTINATION's lane, timed from
+// the SOURCE's lane-local clock.
+func (n *Network) scheduleDelivery(src *Node, delay time.Duration, d *delivery) {
+	switch {
+	case n.vclock != nil:
 		n.vclock.scheduleDelivery(delay, d)
-		return
+	case n.sclock != nil:
+		n.sclock.scheduleDelivery(src.lane, d.dst.lane, delay, d)
+	default:
+		n.rclock.scheduleDelivery(delay, d)
 	}
-	n.rclock.scheduleDelivery(delay, d)
 }
 
 // Schedule runs fn at Now()+delay (virtual).
@@ -787,6 +988,9 @@ func (n *Network) ScheduleExpiry(delay time.Duration, e Expirer, seq uint64, tok
 	if n.vclock != nil {
 		return n.vclock.scheduleExpiry(delay, e, seq, tok)
 	}
+	if n.sclock != nil {
+		return n.sclock.scheduleExpiryLane(0, delay, e, seq, tok)
+	}
 	return n.rclock.scheduleExpiry(delay, e, seq, tok)
 }
 
@@ -796,16 +1000,23 @@ func (n *Network) queueCap() int {
 	if n.vclock != nil {
 		return n.vclock.queueCap()
 	}
+	if n.sclock != nil {
+		return n.sclock.queueCap()
+	}
 	return n.rclock.queueCap()
 }
 
-// Step executes the next scheduled event, advancing the virtual clock. It
-// reports whether an event ran. On the realtime clock there is nothing for
-// the caller to drive — the loop goroutine fires events — so Step always
-// reports false.
+// Step executes the next scheduled event, advancing the virtual clock; on
+// the sharded clock one Step is one barrier round (up to a lookahead quantum
+// of virtual time). It reports whether an event ran. On the realtime clock
+// there is nothing for the caller to drive — the loop goroutine fires
+// events — so Step always reports false.
 func (n *Network) Step() bool {
 	if n.vclock != nil {
 		return n.vclock.Step()
+	}
+	if n.sclock != nil {
+		return n.sclock.Step()
 	}
 	return false
 }
@@ -819,6 +1030,9 @@ func (n *Network) Step() bool {
 func (n *Network) RunUntilIdle(maxSteps int) int {
 	if n.vclock != nil {
 		return n.vclock.RunUntilIdle(maxSteps)
+	}
+	if n.sclock != nil {
+		return n.sclock.RunUntilIdle(maxSteps)
 	}
 	n.rclock.WaitIdle()
 	return 0
@@ -835,6 +1049,9 @@ func (n *Network) RunUntilQuiesced(deadline time.Duration) bool {
 	if n.vclock != nil {
 		return n.vclock.RunUntilQuiesced(deadline)
 	}
+	if n.sclock != nil {
+		return n.sclock.RunUntilQuiesced(deadline)
+	}
 	return n.rclock.WaitIdleUntil(deadline)
 }
 
@@ -846,6 +1063,9 @@ func (n *Network) RunUntilQuiesced(deadline time.Duration) bool {
 func (n *Network) RunUntil(deadline time.Duration) int {
 	if n.vclock != nil {
 		return n.vclock.RunUntil(deadline)
+	}
+	if n.sclock != nil {
+		return n.sclock.RunUntil(deadline)
 	}
 	for {
 		now := n.rclock.Now()

@@ -1,0 +1,442 @@
+package netsim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedClock is the zone-parallel virtual clock: a conservative
+// parallel discrete-event simulator (PDES) over the network's address zones.
+// Every zone (lane) owns its own event heap, lane-local virtual time and lock
+// domain; lanes advance together through barrier-synchronized windows of at
+// most one lookahead quantum, inside which each lane's events execute
+// independently — in parallel on a worker per active lane, or sequentially in
+// lane order when Workers is 1 (or GOMAXPROCS is 1).
+//
+// The lookahead argument: every cross-zone interaction is a packet delivery,
+// and one hop costs at least PacketDelay of the smallest datagram, which even
+// after the worst downward jitter excursion exceeds
+// Quantum = ProcPerPacket × (1 − jitter). An event executing at t inside the
+// window [W0, W1), W1 ≤ W0+Quantum, can therefore only produce cross-lane
+// events at t + delay ≥ W0 + Quantum ≥ W1 — strictly after the window — so
+// merging cross-lane traffic only at barriers loses nothing. Within a lane,
+// arbitrary (even zero-delay) self-scheduling is unrestricted.
+//
+// Determinism: lane execution order is fixed by each lane's own (timestamp,
+// sequence) heap order; cross-lane events buffer in per-source-lane outboxes
+// during the round and merge at the barrier in (source lane, emission order),
+// so the sequence numbers they receive — and hence all tie-breaks — are
+// independent of worker interleaving. Combined with per-zone RNG streams and
+// barrier-applied group membership (see Network), a parallel run is
+// bit-identical to the sequential (Workers=1) run of the same program: same
+// delivery order per lane, same stats, same payload bytes.
+type ShardedClock struct {
+	lanes   []*shardLane
+	quantum time.Duration
+	workers int
+	// now is the barrier-synchronized global virtual time: the maximum
+	// lane-local time after the last completed round. Between rounds every
+	// lane has executed all events below it.
+	now atomic.Int64
+	// inRound is set while lane workers execute a window; Network consults it
+	// to defer group-membership mutations to the barrier.
+	inRound atomic.Bool
+	// postRound, when set, runs at each barrier after cross-lane merge (the
+	// Network applies deferred membership mutations here).
+	postRound func()
+	// laneSteps collects per-lane executed-event counts for a round; workers
+	// write disjoint indices.
+	laneSteps []int
+	// active is the scratch list of lanes with work in the current window.
+	active []*shardLane
+}
+
+// shardLane is one zone's event domain. All fields are guarded by mu except
+// now (atomic: read by the lane's handlers mid-round and by external
+// goroutines between rounds).
+type shardLane struct {
+	mu sync.Mutex
+	eh eventHeap
+	// now is the lane-local virtual time: the timestamp of the lane's last
+	// executed event (monotone), barrier-aligned between rounds.
+	now atomic.Int64
+	// outbox buffers cross-lane events generated during the current round, in
+	// emission order; the barrier merges them into the destination heaps.
+	outbox []crossEvent
+}
+
+// crossEvent is one buffered cross-lane event (a packet delivery or a plain
+// closure; expiries and cancelables are always lane-local).
+type crossEvent struct {
+	at   time.Duration
+	lane int32
+	fn   func()
+	del  *delivery
+}
+
+// ShardQuantum returns the conservative lookahead window for a network with
+// the given jitter fraction: the minimum cross-zone one-hop latency floor.
+func ShardQuantum(procJitter float64) time.Duration {
+	q := time.Duration(float64(ProcPerPacket) * (1 - procJitter))
+	if q < time.Millisecond {
+		q = time.Millisecond
+	}
+	return q
+}
+
+// NewShardedClock builds a sharded clock with the given number of zone lanes.
+// workers bounds round parallelism: 0 means GOMAXPROCS, 1 forces the
+// sequential single-loop schedule (bit-identical to any parallel run).
+func NewShardedClock(lanes int, workers int, quantum time.Duration) *ShardedClock {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if quantum <= 0 {
+		quantum = ShardQuantum(0)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := &ShardedClock{
+		lanes:     make([]*shardLane, lanes),
+		quantum:   quantum,
+		workers:   workers,
+		laneSteps: make([]int, lanes),
+		active:    make([]*shardLane, 0, lanes),
+	}
+	for i := range c.lanes {
+		c.lanes[i] = &shardLane{}
+	}
+	return c
+}
+
+// Lanes returns the number of zone lanes.
+func (c *ShardedClock) Lanes() int { return len(c.lanes) }
+
+// Sequential reports whether rounds execute lanes in order on the driving
+// goroutine (the single-loop schedule) rather than on a worker per lane.
+func (c *ShardedClock) Sequential() bool { return c.workers == 1 }
+
+// Now returns the barrier-synchronized global virtual time. During a round,
+// handlers should consult their node's lane-local Now (Node.Now) instead.
+func (c *ShardedClock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// laneNow returns a lane's local virtual time.
+func (c *ShardedClock) laneNow(lane int32) time.Duration {
+	return time.Duration(c.lanes[lane].now.Load())
+}
+
+// base is the scheduling origin for a lane: its local time mid-round, never
+// behind the global barrier time (an external caller between rounds schedules
+// relative to the global clock even on a lane that has been idle).
+func (c *ShardedClock) base(sl *shardLane) time.Duration {
+	b := sl.now.Load()
+	if g := c.now.Load(); g > b {
+		b = g
+	}
+	return time.Duration(b)
+}
+
+// Schedule runs fn at Now()+delay. Events scheduled without a node land on
+// lane 0, the control lane (the border-router zone, where manager and
+// clients live); their callbacks run serially with lane 0's own events.
+func (c *ShardedClock) Schedule(delay time.Duration, fn func()) {
+	c.scheduleLane(0, delay, fn)
+}
+
+// scheduleLane runs fn on a lane at that lane's base time + delay.
+func (c *ShardedClock) scheduleLane(lane int32, delay time.Duration, fn func()) {
+	sl := c.lanes[lane]
+	at := c.base(sl) + delay
+	sl.mu.Lock()
+	sl.eh.pushAt(at, fn)
+	sl.mu.Unlock()
+}
+
+// ScheduleCancelable runs fn at Now()+delay on the control lane and returns a
+// cancel function (semantics match VirtualClock.ScheduleCancelable).
+func (c *ShardedClock) ScheduleCancelable(delay time.Duration, fn func()) (cancel func()) {
+	return c.scheduleCancelableLane(0, delay, fn)
+}
+
+// scheduleCancelableLane is the lane-affine cancelable variant; timers a node
+// arms always live on the node's own lane, so cancels stay lane-local.
+func (c *ShardedClock) scheduleCancelableLane(lane int32, delay time.Duration, fn func()) (cancel func()) {
+	sl := c.lanes[lane]
+	at := c.base(sl) + delay
+	sl.mu.Lock()
+	ev, gen := sl.eh.pushCancelableAt(at, fn)
+	sl.mu.Unlock()
+	return func() {
+		sl.mu.Lock()
+		sl.eh.cancel(ev, gen)
+		sl.mu.Unlock()
+	}
+}
+
+// scheduleExpiryLane queues a typed expiry event on a lane; the returned ref
+// cancels through the lane, which implements expiryCanceler.
+func (c *ShardedClock) scheduleExpiryLane(lane int32, delay time.Duration, e Expirer, seq uint64, tok any) ExpiryRef {
+	sl := c.lanes[lane]
+	at := c.base(sl) + delay
+	sl.mu.Lock()
+	ev, gen := sl.eh.pushExpiryAt(at, e, seq, tok)
+	sl.mu.Unlock()
+	return ExpiryRef{c: sl, ev: ev, gen: gen}
+}
+
+// cancelExpiry implements expiryCanceler for ExpiryRefs minted on this lane.
+func (sl *shardLane) cancelExpiry(ev *scheduled, gen uint64) {
+	sl.mu.Lock()
+	sl.eh.cancel(ev, gen)
+	sl.mu.Unlock()
+}
+
+// scheduleDelivery routes a packet delivery. Same-lane deliveries (and any
+// delivery scheduled between rounds) go straight into the destination heap;
+// cross-lane deliveries emitted mid-round buffer in the source lane's outbox
+// until the barrier, which is what keeps destination-heap sequence numbers —
+// and with them all tie-breaks — independent of worker interleaving.
+func (c *ShardedClock) scheduleDelivery(srcLane, dstLane int32, delay time.Duration, del *delivery) {
+	sl := c.lanes[srcLane]
+	at := c.base(sl) + delay
+	if srcLane == dstLane || !c.inRound.Load() {
+		dl := c.lanes[dstLane]
+		dl.mu.Lock()
+		dl.eh.pushDeliveryAt(at, del)
+		dl.mu.Unlock()
+		return
+	}
+	sl.mu.Lock()
+	sl.outbox = append(sl.outbox, crossEvent{at: at, lane: dstLane, del: del})
+	sl.mu.Unlock()
+}
+
+// Stop implements Clock; the sharded clock holds no resources (round workers
+// are per-round and already parked between rounds).
+func (c *ShardedClock) Stop() {}
+
+// merge drains every lane's outbox into the destination heaps, in (source
+// lane, emission order) — the deterministic part of the barrier.
+func (c *ShardedClock) merge() {
+	for _, sl := range c.lanes {
+		sl.mu.Lock()
+		if len(sl.outbox) == 0 {
+			sl.mu.Unlock()
+			continue
+		}
+		box := sl.outbox
+		sl.outbox = nil
+		sl.mu.Unlock()
+		for i := range box {
+			ev := &box[i]
+			dl := c.lanes[ev.lane]
+			dl.mu.Lock()
+			if ev.del != nil {
+				dl.eh.pushDeliveryAt(ev.at, ev.del)
+			} else {
+				dl.eh.pushAt(ev.at, ev.fn)
+			}
+			dl.mu.Unlock()
+			*ev = crossEvent{}
+		}
+		sl.mu.Lock()
+		if sl.outbox == nil {
+			sl.outbox = box[:0]
+		}
+		sl.mu.Unlock()
+	}
+}
+
+// nextAt returns the earliest pending event time across all lanes. It first
+// merges any stranded outbox entries (an external sender racing a round's end
+// can leave one behind) so no event is ever invisible to the schedule.
+func (c *ShardedClock) nextAt() (time.Duration, bool) {
+	c.merge()
+	var (
+		best time.Duration
+		ok   bool
+	)
+	for _, sl := range c.lanes {
+		sl.mu.Lock()
+		ev := sl.eh.peek()
+		sl.mu.Unlock()
+		if ev != nil && (!ok || ev.at < best) {
+			best, ok = ev.at, true
+		}
+	}
+	return best, ok
+}
+
+// runWindow executes events with timestamps in [*, w1) on one lane, in heap
+// order, advancing the lane-local clock. Returns the number executed.
+func (sl *shardLane) runWindow(w1 time.Duration) int {
+	steps := 0
+	for {
+		sl.mu.Lock()
+		ev := sl.eh.peek()
+		if ev == nil || ev.at >= w1 {
+			sl.mu.Unlock()
+			return steps
+		}
+		ev = sl.eh.pop()
+		if at := int64(ev.at); at > sl.now.Load() {
+			sl.now.Store(at)
+		}
+		f, pool := extractFiring(&sl.eh, ev)
+		sl.mu.Unlock()
+		if pool {
+			recycleEvent(ev)
+		}
+		f.run()
+		steps++
+	}
+}
+
+// round executes one window [w0, w1) across all lanes and runs the barrier:
+// merge outboxes, apply deferred network mutations, advance the global clock.
+// Returns the number of events executed.
+func (c *ShardedClock) round(w1 time.Duration) int {
+	// Dispatch only lanes that actually have work below w1: sparse phases
+	// (everything queued on the control lane) then run inline with no
+	// goroutine or barrier overhead.
+	active := c.active[:0]
+	for _, sl := range c.lanes {
+		sl.mu.Lock()
+		ev := sl.eh.peek()
+		sl.mu.Unlock()
+		if ev != nil && ev.at < w1 {
+			active = append(active, sl)
+		}
+	}
+	c.active = active
+	total := 0
+	c.inRound.Store(true)
+	if len(active) == 1 || c.workers == 1 {
+		for _, sl := range active {
+			total += sl.runWindow(w1)
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(active))
+		for i, sl := range active {
+			go func(i int, sl *shardLane) {
+				defer wg.Done()
+				c.laneSteps[i] = sl.runWindow(w1)
+			}(i, sl)
+		}
+		wg.Wait()
+		for i := range active {
+			total += c.laneSteps[i]
+		}
+	}
+	c.inRound.Store(false)
+	c.merge()
+	if c.postRound != nil {
+		c.postRound()
+	}
+	g := c.now.Load()
+	for _, sl := range c.lanes {
+		if t := sl.now.Load(); t > g {
+			g = t
+		}
+	}
+	c.now.Store(g)
+	return total
+}
+
+// Step executes the next window of scheduled events (one barrier round),
+// advancing the clock. It reports whether any event ran. One sharded Step
+// covers up to a quantum of virtual time, not a single event — drivers that
+// step until a condition holds (the SDK's await loop) are unaffected.
+func (c *ShardedClock) Step() bool {
+	w0, ok := c.nextAt()
+	if !ok {
+		return false
+	}
+	return c.round(w0+c.quantum) > 0
+}
+
+// RunUntilIdle runs rounds until no events remain (bounded by maxSteps
+// executed events; 0 means the 1e6 default). Returns the number of events.
+func (c *ShardedClock) RunUntilIdle(maxSteps int) int {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	total := 0
+	for total < maxSteps {
+		w0, ok := c.nextAt()
+		if !ok {
+			break
+		}
+		total += c.round(w0 + c.quantum)
+	}
+	return total
+}
+
+// advanceTo lifts every lane (and the global clock) to the deadline.
+func (c *ShardedClock) advanceTo(deadline time.Duration) {
+	d := int64(deadline)
+	for _, sl := range c.lanes {
+		if sl.now.Load() < d {
+			sl.now.Store(d)
+		}
+	}
+	if c.now.Load() < d {
+		c.now.Store(d)
+	}
+}
+
+// RunUntil processes events up to (and including) the virtual deadline, then
+// advances the clock to the deadline.
+func (c *ShardedClock) RunUntil(deadline time.Duration) int {
+	steps := 0
+	for {
+		w0, ok := c.nextAt()
+		if !ok || w0 > deadline {
+			c.advanceTo(deadline)
+			return steps
+		}
+		w1 := w0 + c.quantum
+		if w1 > deadline+1 {
+			w1 = deadline + 1 // the window bound is exclusive; include events at the deadline
+		}
+		steps += c.round(w1)
+	}
+}
+
+// RunUntilQuiesced processes events up to (and including) the deadline,
+// reporting whether every lane drained before reaching it. On a drain the
+// clock stays at the last event's time (like RunUntilIdle); otherwise it
+// advances exactly to the deadline with the remaining events still queued.
+func (c *ShardedClock) RunUntilQuiesced(deadline time.Duration) bool {
+	for {
+		w0, ok := c.nextAt()
+		if !ok {
+			return true
+		}
+		if w0 > deadline {
+			c.advanceTo(deadline)
+			return false
+		}
+		w1 := w0 + c.quantum
+		if w1 > deadline+1 {
+			w1 = deadline + 1
+		}
+		c.round(w1)
+	}
+}
+
+// queueCap exposes the summed backing capacity of the lane heaps; leak tests
+// assert it stays bounded.
+func (c *ShardedClock) queueCap() int {
+	total := 0
+	for _, sl := range c.lanes {
+		sl.mu.Lock()
+		total += cap(sl.eh.queue)
+		sl.mu.Unlock()
+	}
+	return total
+}

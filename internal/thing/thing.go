@@ -156,9 +156,9 @@ type Config struct {
 // Thing serializes through that one lock.
 type netScheduler struct{ t *Thing }
 
-func (s netScheduler) Now() time.Duration { return s.t.cfg.Network.Now() }
+func (s netScheduler) Now() time.Duration { return s.t.node.Now() }
 func (s netScheduler) Schedule(d time.Duration, fn func()) {
-	s.t.cfg.Network.Schedule(d, func() {
+	s.t.node.Schedule(d, func() {
 		s.t.vmMu.Lock()
 		defer s.t.vmMu.Unlock()
 		fn()
@@ -400,10 +400,9 @@ func (t *Thing) interrupt(irq hw.Interrupt) {
 // clock: generate address, join group, fetch driver if needed, activate,
 // advertise.
 func (t *Thing) setup(channel int, trace *PluginTrace) {
-	net := t.cfg.Network
 	trace.GenerateAddr = CostGenerateAddr
 	trace.JoinGroup = CostJoinGroup
-	net.Schedule(CostGenerateAddr+CostJoinGroup, func() {
+	t.node.Schedule(CostGenerateAddr+CostJoinGroup, func() {
 		t.mu.Lock()
 		slot := t.slots[channel]
 		id := slot.id
@@ -414,7 +413,7 @@ func (t *Thing) setup(channel int, trace *PluginTrace) {
 		t.joinPeripheralGroupsLocked(id)
 		code, have := t.installed[id]
 		if !have {
-			trace.requestSentAt = net.Now()
+			trace.requestSentAt = t.node.Now()
 			t.awaiting[id] = trace
 			t.mu.Unlock()
 			t.requestDriver(id, 1)
@@ -468,7 +467,7 @@ func (t *Thing) requestDriver(id hw.DeviceID, attempt int) {
 	if attempt >= MaxDriverRequests {
 		return
 	}
-	t.cfg.Network.Schedule(DriverRequestTimeout, func() {
+	t.node.Schedule(DriverRequestTimeout, func() {
 		t.mu.Lock()
 		_, stillWaiting := t.awaiting[id]
 		t.mu.Unlock()
@@ -481,13 +480,12 @@ func (t *Thing) requestDriver(id hw.DeviceID, attempt int) {
 // activate verifies, installs and starts the driver after the install CPU
 // cost, then advertises.
 func (t *Thing) activate(channel int, code []byte, trace *PluginTrace) {
-	net := t.cfg.Network
 	prog, err := bytecode.Decode(code)
 	if err != nil || prog.Verify() != nil {
 		return
 	}
-	installStart := net.Now()
-	net.Schedule(CostInstallDriver, func() {
+	installStart := t.node.Now()
+	t.node.Schedule(CostInstallDriver, func() {
 		t.mu.Lock()
 		slot := t.slots[channel]
 		if slot.id == 0 || slot.rt != nil {
@@ -513,7 +511,7 @@ func (t *Thing) activate(channel int, code []byte, trace *PluginTrace) {
 		t.vmMu.Unlock()
 
 		if trace != nil {
-			trace.InstallDriver += net.Now() - installStart
+			trace.InstallDriver += t.node.Now() - installStart
 		}
 		adv, pb := t.advertisement(proto.MsgUnsolicitedAdvert, t.nextSeq())
 		if adv != nil {
@@ -643,7 +641,12 @@ func (t *Thing) driverReturned(id hw.DeviceID, vals []int32) {
 	t.opsMu.Lock()
 	if q := t.pending[id]; len(q) > 0 {
 		pr := q[0]
-		t.pending[id] = q[1:]
+		// Shift down instead of re-slicing: q[1:] would strand the backing
+		// array's front, so every enqueue after a drain re-allocated it.
+		// Queues are short (normally one entry), so the copy is cheap and
+		// the steady-state read path reuses one array forever.
+		copy(q, q[1:])
+		t.pending[id] = q[:len(q)-1]
 		// Capture everything while opsMu is held: handleRead assigns the
 		// expiry ref under opsMu after arming it, possibly after this pop
 		// (it then reaps the orphaned event itself), and the release below
@@ -781,7 +784,7 @@ func (t *Thing) handleDriverUpload(msg netsim.Message, m *proto.Message) {
 	if trace != nil {
 		// Request phase = send-to-upload-arrival minus the upload's own
 		// transit (i.e. request transit + manager lookup).
-		trace.RequestDriver = t.cfg.Network.Now() - trace.requestSentAt - uploadTransit
+		trace.RequestDriver = t.node.Now() - trace.requestSentAt - uploadTransit
 		// The upload transit belongs to the install phase.
 		trace.InstallDriver = uploadTransit
 	}
@@ -846,7 +849,7 @@ func (t *Thing) handleRead(msg netsim.Message, m *proto.Message) {
 	gen := pr.gen
 	t.pending[id] = append(t.pending[id], pr)
 	t.opsMu.Unlock()
-	ref := t.cfg.Network.ScheduleExpiry(t.cfg.PendingReadTimeout, t, uint64(uint32(id))|gen<<32, pr)
+	ref := t.node.ScheduleExpiry(t.cfg.PendingReadTimeout, t, uint64(uint32(id))|gen<<32, pr)
 	t.opsMu.Lock()
 	if pr.gen == gen && queuedLocked(t.pending[id], pr) {
 		pr.expiry = ref
@@ -930,7 +933,7 @@ func (t *Thing) handleStream(msg netsim.Message, m *proto.Message) {
 
 // scheduleStreamTick produces stream data periodically while active.
 func (t *Thing) scheduleStreamTick(id hw.DeviceID) {
-	t.cfg.Network.Schedule(t.cfg.StreamPeriod, func() {
+	t.node.Schedule(t.cfg.StreamPeriod, func() {
 		t.opsMu.Lock()
 		st, ok := t.streams[id]
 		active := ok && st.active

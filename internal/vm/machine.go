@@ -47,7 +47,10 @@ type RunResult struct {
 	// slot for array returns.
 	HasReturn bool
 	Returned  []int32
-	// Signals emitted, in program order.
+	// Signals emitted, in program order. Signals and Returned are backed
+	// by per-Machine scratch: they are valid until the next Run on the
+	// same Machine and must be copied to be retained (Signal.Args are
+	// freshly allocated and safe to keep).
 	Signals []Signal
 	// Instructions executed.
 	Instructions int
@@ -76,6 +79,10 @@ type Machine struct {
 	// Run (native libraries post events instead of calling back), so one
 	// scratch stack per machine suffices and keeps Run allocation-free.
 	scratch []int32
+	// sigScratch and retScratch back RunResult.Signals and .Returned the
+	// same way: the result's slices are valid until the next Run.
+	sigScratch []Signal
+	retScratch []int32
 }
 
 // NewMachine verifies and loads a driver program.
@@ -120,8 +127,8 @@ func (m *Machine) Run(name string, args []int32) (RunResult, error) {
 		}
 		locals[i] = a
 	}
-
 	var res RunResult
+	res.Signals = m.sigScratch[:0]
 	if cap(m.scratch) < m.MaxStack {
 		m.scratch = make([]int32, 0, m.MaxStack)
 	}
@@ -245,16 +252,19 @@ func (m *Machine) Run(name string, args []int32) (RunResult, error) {
 				Event: m.prog.Consts[operand[1]],
 				Args:  args,
 			})
+			m.sigScratch = res.Signals
 
 		case bytecode.OpReturnVoid:
 			return res, nil
 		case bytecode.OpReturnTop:
 			res.HasReturn = true
-			res.Returned = []int32{pop()}
+			m.retScratch = append(m.retScratch[:0], pop())
+			res.Returned = m.retScratch
 			return res, nil
 		case bytecode.OpReturnStatic:
 			res.HasReturn = true
-			res.Returned = append([]int32(nil), m.statics[operand[0]]...)
+			m.retScratch = append(m.retScratch[:0], m.statics[operand[0]]...)
+			res.Returned = m.retScratch
 			return res, nil
 		case bytecode.OpHalt:
 			return res, nil

@@ -17,11 +17,41 @@ type Event struct {
 	Name string
 	// Args are the event payload values.
 	Args []int32
+	// argv/argn hold small payloads (≤2 values) inline: Runtime.Post packs
+	// values here instead of allocating an Args slice, and the queue's
+	// by-value copies carry the array along. payload() resolves whichever
+	// form is set — always call it on the dequeued copy, never retain the
+	// result past the dispatch.
+	argv [2]int32
+	argn int8
 	// IsError routes the event through the priority queue and dispatches it
 	// to an error handler.
 	IsError bool
 	// Source identifies the originator (diagnostic).
 	Source string
+}
+
+// payload returns the event's argument values, whichever way they are
+// stored. The slice may alias the event's inline array: it is valid only for
+// the duration of the dispatch that dequeued the event.
+func (e *Event) payload() []int32 {
+	if e.Args != nil {
+		return e.Args
+	}
+	if e.argn == 0 {
+		return nil
+	}
+	return e.argv[:e.argn]
+}
+
+// packArgs stores args in the event: inline when they fit (keeping the
+// caller's variadic slice on its stack), as an owned copy otherwise.
+func (e *Event) packArgs(args []int32) {
+	if len(args) <= len(e.argv) {
+		e.argn = int8(copy(e.argv[:], args))
+		return
+	}
+	e.Args = append([]int32(nil), args...)
 }
 
 // evQueue is a FIFO over a reusable backing array: popping advances a head

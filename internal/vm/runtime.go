@@ -107,12 +107,16 @@ func (rt *Runtime) OnReturn(fn func([]int32)) { rt.onReturn = fn }
 
 // Post enqueues a regular event for the driver.
 func (rt *Runtime) Post(name string, args ...int32) {
-	rt.router.Post(Event{Name: name, Args: args})
+	e := Event{Name: name}
+	e.packArgs(args)
+	rt.router.Post(e)
 }
 
 // PostError enqueues a prioritised error event for the driver.
 func (rt *Runtime) PostError(name string, args ...int32) {
-	rt.router.Post(Event{Name: name, Args: args, IsError: true})
+	e := Event{Name: name, IsError: true}
+	e.packArgs(args)
+	rt.router.Post(e)
 }
 
 // Schedule runs fn at virtual time Now()+delay. With an external scheduler
@@ -198,7 +202,7 @@ func (rt *Runtime) dispatch(e Event) {
 	rt.EmulatedTime += rt.machine.Time.Dispatch
 	wasError := rt.inErrorDispatch
 	rt.inErrorDispatch = e.IsError
-	res, err := rt.machine.Run(e.Name, e.Args)
+	res, err := rt.machine.Run(e.Name, e.payload())
 	rt.EmulatedTime += res.EmulatedTime
 	rt.now += res.EmulatedTime + rt.machine.Time.Dispatch
 

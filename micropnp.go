@@ -120,6 +120,27 @@ func WithWorkers(n int) Option {
 	return func(c *config) { c.core.Workers = n }
 }
 
+// WithZones partitions the deployment into n address zones, each run on its
+// own event heap, RNG stream and lock domain by the zone-sharded
+// conservative-PDES virtual clock (classic conservative synchronization with
+// barrier rounds; see the README's "Zone-sharded simulation" section). Zones
+// parallelize across cores while runs stay bit-identical per (topology,
+// seed): same delivery order, same stats, same latency histograms as the
+// sequential single-loop schedule of the same program. 0 or 1 keeps the
+// classic single-loop virtual clock; ignored in real-time mode. Place Things
+// in zones with AddThingInZone; the manager and clients live in zone 0.
+func WithZones(n int) Option {
+	return func(c *config) { c.core.Zones = n }
+}
+
+// WithShardWorkers bounds the sharded clock's per-round parallelism: 1
+// forces the sequential single-loop schedule (bit-identical to any parallel
+// run — the determinism cross-check mode), 0 means GOMAXPROCS. In real-time
+// mode the same knob bounds the handler worker pool (see WithWorkers).
+func WithShardWorkers(n int) Option {
+	return func(c *config) { c.core.Workers = n }
+}
+
 // WithRetryPolicy enables automatic retransmission of unanswered unicast
 // reads and writes (the ARQ layer the paper defers): when no reply arrived
 // baseBackoff of virtual time after a transmission, the request is resent,
@@ -220,6 +241,28 @@ func (d *Deployment) AddThing(name string) (*Thing, error) {
 // routing tree, enabling multi-hop topologies.
 func (d *Deployment) AddThingUnder(name string, parent *Thing) (*Thing, error) {
 	th, err := d.core.AddThingAt(name, parent.th.Node())
+	if err != nil {
+		return nil, err
+	}
+	return &Thing{d: d, th: th}, nil
+}
+
+// AddThingInZone creates a Thing whose address carries the given zone, one
+// hop from the manager. On a sharded deployment (WithZones) its deliveries
+// and timers run on that zone's event lane.
+func (d *Deployment) AddThingInZone(name string, zone uint16) (*Thing, error) {
+	th, err := d.core.AddThingInZone(name, zone, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Thing{d: d, th: th}, nil
+}
+
+// AddThingInZoneUnder creates a Thing in a zone attached below an existing
+// Thing in the routing tree; keeping a zone's Things in a common subtree
+// keeps intra-zone traffic on one event lane.
+func (d *Deployment) AddThingInZoneUnder(name string, zone uint16, parent *Thing) (*Thing, error) {
+	th, err := d.core.AddThingInZone(name, zone, parent.th.Node())
 	if err != nil {
 		return nil, err
 	}
