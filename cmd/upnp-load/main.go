@@ -62,6 +62,7 @@ func main() {
 		loss         = flag.Float64("loss", 0, "per-hop frame loss probability")
 		zones        = flag.Int("zones", 0, "override zone-sharded lane count (>1 runs the parallel clock; virtual mode only)")
 		shardWorkers = flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = the sequential single-loop schedule (determinism cross-check mode)")
+		interp       = flag.Bool("interp", false, "pin driver execution to the reference bytecode interpreter instead of the compiled engine (transcript-identical; virtual-mode results stay byte-identical)")
 		realtime     = flag.Bool("realtime", false, "run on the wall clock (concurrent runtime) instead of the deterministic virtual clock")
 		timescale    = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode (preset default 50)")
 		target       = flag.String("target", "", "HTTP client mode: drive a running cmd/upnp-gateway at this base URL instead of an in-process deployment")
@@ -132,6 +133,7 @@ func main() {
 	if *shardWorkers > 0 {
 		cfg.ShardWorkers = *shardWorkers
 	}
+	cfg.InterpDrivers = *interp
 	cfg.Realtime = *realtime
 	if *timescale > 0 {
 		cfg.TimeScale = *timescale

@@ -56,6 +56,7 @@ func main() {
 	timescale := flag.Float64("timescale", 60, "virtual seconds per wall second in -realtime mode")
 	zones := flag.Int("zones", 0, "zone-sharded lane count (>1 enables the parallel clock; virtual mode only)")
 	shardWorkers := flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = sequential single-loop schedule")
+	interp := flag.Bool("interp", false, "pin driver execution to the reference bytecode interpreter instead of the compiled engine (transcript-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the scenario to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the scenario) to this file")
 	flag.Parse()
@@ -74,7 +75,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale, *zones, *shardWorkers); err != nil {
+	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale, *zones, *shardWorkers, *interp); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
 		os.Exit(1)
 	}
@@ -94,8 +95,11 @@ func main() {
 	}
 }
 
-func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64, zones, shardWorkers int) error {
+func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64, zones, shardWorkers int, interp bool) error {
 	opts := []micropnp.Option{micropnp.WithLossRate(loss), micropnp.WithSeed(seed)}
+	if interp {
+		opts = append(opts, micropnp.WithCompiledDrivers(false))
+	}
 	if realtime {
 		opts = append(opts, micropnp.WithRealTime(), micropnp.WithTimeScale(timescale))
 		zones = 0 // the sharded clock is a virtual-mode construct

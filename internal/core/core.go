@@ -70,6 +70,11 @@ type DeploymentConfig struct {
 	// Retry enables automatic retransmission of unanswered unicast client
 	// reads and writes (zero value disables).
 	Retry client.RetryPolicy
+	// InterpDrivers pins every Thing's installed drivers to the reference
+	// bytecode interpreter instead of the compiled engine (see
+	// thing.Config.InterpDrivers). Transcript-identical; the SDK exposes
+	// this as WithCompiledDrivers(false).
+	InterpDrivers bool
 }
 
 // Deployment is a complete simulated µPnP network.
@@ -173,6 +178,7 @@ func (d *Deployment) AddThingAt(name string, parent *netsim.Node) (*thing.Thing,
 		StreamPeriod:       d.cfg.StreamPeriod,
 		Units:              driver.UnitsTable(),
 		PendingReadTimeout: d.cfg.RequestTimeout,
+		InterpDrivers:      d.cfg.InterpDrivers,
 	})
 }
 
@@ -194,6 +200,7 @@ func (d *Deployment) AddThingInZone(name string, zone uint16, parent *netsim.Nod
 		StreamPeriod:       d.cfg.StreamPeriod,
 		Units:              driver.UnitsTable(),
 		PendingReadTimeout: d.cfg.RequestTimeout,
+		InterpDrivers:      d.cfg.InterpDrivers,
 	})
 }
 
@@ -214,6 +221,7 @@ func (d *Deployment) AddZonedThing(name string, zone uint16) (*thing.Thing, erro
 		StructuredNamespace: true,
 		Units:               driver.UnitsTable(),
 		PendingReadTimeout:  d.cfg.RequestTimeout,
+		InterpDrivers:       d.cfg.InterpDrivers,
 	})
 }
 

@@ -124,6 +124,9 @@ func run(cfg Config) (*runner, *Result, error) {
 	if cfg.LossRate > 0 {
 		opts = append(opts, micropnp.WithLossRate(cfg.LossRate))
 	}
+	if cfg.InterpDrivers {
+		opts = append(opts, micropnp.WithCompiledDrivers(false))
+	}
 	if cfg.Zones > 1 && !cfg.Realtime {
 		opts = append(opts, micropnp.WithZones(cfg.Zones))
 		if cfg.ShardWorkers > 0 {

@@ -227,6 +227,14 @@ type Config struct {
 	Zones        int
 	ShardWorkers int
 
+	// InterpDrivers pins driver execution to the reference bytecode
+	// interpreter instead of the compiled engine. The engines are
+	// transcript-identical, so with the same seed and config a virtual-mode
+	// run produces byte-identical results either way — the engine is
+	// deliberately not recorded in the result JSON so the cross-engine
+	// byte comparison can assert exactly that.
+	InterpDrivers bool
+
 	// Target switches Run to the HTTP client mode: operations are issued as
 	// REST calls against a running gateway (cmd/upnp-gateway) at this base
 	// URL instead of in-process SDK calls. Only the read, write and discover

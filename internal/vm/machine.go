@@ -47,10 +47,9 @@ type RunResult struct {
 	// slot for array returns.
 	HasReturn bool
 	Returned  []int32
-	// Signals emitted, in program order. Signals and Returned are backed
-	// by per-Machine scratch: they are valid until the next Run on the
-	// same Machine and must be copied to be retained (Signal.Args are
-	// freshly allocated and safe to keep).
+	// Signals emitted, in program order. Signals, Returned and each
+	// Signal.Args are backed by per-Machine scratch: they are valid until
+	// the next Run on the same Machine and must be copied to be retained.
 	Signals []Signal
 	// Instructions executed.
 	Instructions int
@@ -61,9 +60,29 @@ type RunResult struct {
 // Machine executes the handlers of one installed driver. It owns the
 // driver's static state. A Machine is not safe for concurrent use; the
 // event router serialises handler executions (handlers are atomic).
+//
+// Handlers are compiled to a pre-decoded direct-threaded form at load time
+// (see compile.go); the bytecode interpreter is kept as the reference
+// oracle and as the automatic fallback for programs the compiler does not
+// support. Both engines are bit-identical in every observable: trap
+// kind/PC, instruction count, emulated time, signal order and the
+// scratch-backed RunResult contract.
 type Machine struct {
 	prog    *bytecode.Program
 	statics [][]int32
+
+	// compiled holds the pre-decoded handlers in program order; nil when
+	// the program fell back to the interpreter. A linear scan beats a map
+	// for driver-sized handler sets (≤ ~10 names) and matches the
+	// interpreter's own prog.Handler lookup cost.
+	compiled []*compiledHandler
+	// costModel is the time model the compiled instruction costs were
+	// computed under; Run recosts when Time was reassigned.
+	costModel AVRTimeModel
+	// interp forces the reference interpreter even when compiled forms
+	// exist (the oracle side of differential tests, and the
+	// WithCompiledDrivers(false) escape hatch).
+	interp bool
 
 	// MaxStack bounds the operand stack (default 64 cells).
 	MaxStack int
@@ -83,9 +102,37 @@ type Machine struct {
 	// same way: the result's slices are valid until the next Run.
 	sigScratch []Signal
 	retScratch []int32
+	// argArena backs Signal.Args in the compiled engine (the interpreter
+	// allocates fresh slices, but that is an implementation detail — the
+	// contract for callers of either engine is the weaker one: Args, like
+	// Signals itself, are valid only until the next Run; copy what you
+	// keep). argOff is the bump-allocation watermark, reset per Run.
+	argArena []int32
+	argOff   int
 }
 
-// NewMachine verifies and loads a driver program.
+// argAlloc carves an n-cell Signal.Args slot out of the arena. When the
+// arena is exhausted it is replaced, not grown in place: slices already
+// handed out this run keep pointing into the old array, which still holds
+// their data. Slots are capacity-clamped so an appending caller cannot
+// clobber a neighbouring signal's args.
+func (m *Machine) argAlloc(n int) []int32 {
+	if len(m.argArena)-m.argOff < n {
+		sz := 256
+		if n > sz {
+			sz = n
+		}
+		m.argArena = make([]int32, sz)
+		m.argOff = 0
+	}
+	s := m.argArena[m.argOff : m.argOff+n : m.argOff+n]
+	m.argOff += n
+	return s
+}
+
+// NewMachine verifies and loads a driver program, compiling its handlers
+// to the direct-threaded form. Programs the compiler does not support fall
+// back to the interpreter silently — installation never fails for that.
 func NewMachine(prog *bytecode.Program) (*Machine, error) {
 	if err := prog.Verify(); err != nil {
 		return nil, err
@@ -95,7 +142,28 @@ func NewMachine(prog *bytecode.Program) (*Machine, error) {
 	for i, s := range prog.Statics {
 		m.statics[i] = make([]int32, s.Size)
 	}
+	if compiled, ok := compileProgram(prog); ok {
+		m.compiled = compiled
+		m.recost()
+	}
 	return m, nil
+}
+
+// SetInterp forces (or releases) the reference interpreter for all handler
+// runs. Differential tests pin one Machine of a pair to the oracle this
+// way; deployments reach it through WithCompiledDrivers(false).
+func (m *Machine) SetInterp(on bool) { m.interp = on }
+
+// Compiled reports whether the compiled engine serves Run: the program
+// compiled and the interpreter was not forced.
+func (m *Machine) Compiled() bool { return m.compiled != nil && !m.interp }
+
+// Engine names the engine serving Run ("compiled" or "interp").
+func (m *Machine) Engine() string {
+	if m.Compiled() {
+		return "compiled"
+	}
+	return "interp"
 }
 
 // Program returns the loaded driver.
@@ -109,13 +177,53 @@ func (m *Machine) Static(i int) []int32 {
 	return append([]int32(nil), m.statics[i]...)
 }
 
+// staticRef returns a static slot without copying. The differential
+// harness compares the full static state of two machines after every run;
+// going through Static's defensive copy there would perturb the alloc
+// counts the same tests assert on the zero-alloc Run contract.
+func (m *Machine) staticRef(i int) []int32 {
+	if i < 0 || i >= len(m.statics) {
+		return nil
+	}
+	return m.statics[i]
+}
+
+// NumStatics returns the number of static slots.
+func (m *Machine) NumStatics() int { return len(m.statics) }
+
 // HasHandler reports whether the driver defines the named handler.
 func (m *Machine) HasHandler(name string) bool { return m.prog.Handler(name) != nil }
 
 // Run executes the named handler to completion with the given arguments.
 // A missing handler is not an error: the event is silently dropped (drivers
 // handle only the events they care about) and an empty result returned.
+// Compiled programs run the direct-threaded form; everything else (and
+// machines pinned with SetInterp) runs the reference interpreter.
 func (m *Machine) Run(name string, args []int32) (RunResult, error) {
+	if m.compiled != nil && !m.interp {
+		var ch *compiledHandler
+		for _, c := range m.compiled {
+			if c.name == name {
+				ch = c
+				break
+			}
+		}
+		if ch == nil {
+			return RunResult{}, nil
+		}
+		if m.costModel != m.Time {
+			m.recost()
+		}
+		var res RunResult
+		err := m.runCompiled(ch, args, &res)
+		return res, err
+	}
+	return m.runInterp(name, args)
+}
+
+// runInterp is the reference bytecode interpreter — the behavioural oracle
+// the compiled engine is differentially tested against.
+func (m *Machine) runInterp(name string, args []int32) (RunResult, error) {
 	h := m.prog.Handler(name)
 	if h == nil {
 		return RunResult{}, nil
@@ -176,6 +284,12 @@ func (m *Machine) Run(name string, args []int32) (RunResult, error) {
 			v := uint32(operand[0])<<24 | uint32(operand[1])<<16 | uint32(operand[2])<<8 | uint32(operand[3])
 			stack = append(stack, int32(v))
 		case bytecode.OpDup:
+			// stackEffect models Dup as a pure push for the cost model, so
+			// the generic bounds check above does not cover the read of the
+			// current top; an empty stack must trap, not panic.
+			if len(stack) == 0 {
+				return trap(TrapStackOverflow, pc)
+			}
 			stack = append(stack, stack[len(stack)-1])
 		case bytecode.OpDrop:
 			pop()

@@ -238,7 +238,11 @@ func asTrap(err error, out **TrapError) bool {
 // queue, anything else to the named native library.
 func (rt *Runtime) routeSignal(s Signal) {
 	if s.Dest == "this" {
-		rt.router.Post(Event{Name: s.Event, Args: s.Args, Source: "this"})
+		// Signal.Args are scratch-backed and expire at the machine's next
+		// Run; the event queue outlives that, so the self-post takes a copy.
+		// Library.Invoke below needs none — invocation is synchronous and
+		// libraries read args before returning.
+		rt.router.Post(Event{Name: s.Event, Args: append([]int32(nil), s.Args...), Source: "this"})
 		return
 	}
 	lib, ok := rt.libs[s.Dest]

@@ -154,6 +154,17 @@ func WithRetryPolicy(attempts int, baseBackoff time.Duration) Option {
 	}
 }
 
+// WithCompiledDrivers selects the driver execution engine. Drivers compile
+// to a pre-decoded block-threaded form at install time (the default);
+// passing false pins the reference bytecode interpreter instead. The two
+// engines are transcript-identical — same results, traps, signal order and
+// emulated time — so this only trades execution speed, never behaviour;
+// false is the escape hatch and the differential-testing knob (the
+// upnp-sim/upnp-load -interp flag).
+func WithCompiledDrivers(enabled bool) Option {
+	return func(c *config) { c.core.InterpDrivers = !enabled }
+}
+
 // Deployment is a complete simulated µPnP network: one manager at the
 // border-router position serving the standard driver repository, plus the
 // Things and Clients added to it. A Deployment is safe for concurrent use:
