@@ -10,6 +10,7 @@
 //	upnp-load [-scenario smoke|steady|churn|zoned|fanout|http-smoke] [-things N] [-shape wide|deep|branches|zones]
 //	          [-rate R | -workers W -think D] [-mix read=60,write=10,...]
 //	          [-warmup D] [-duration D] [-cooldown D] [-seed S] [-loss P]
+//	          [-zones Z] [-shard-workers W] [-lookahead pair|global]
 //	          [-realtime] [-timescale X] [-clients N] [-out FILE]
 //	          [-target http://HOST:PORT [-ops N]]
 //
@@ -62,6 +63,7 @@ func main() {
 		loss         = flag.Float64("loss", 0, "per-hop frame loss probability")
 		zones        = flag.Int("zones", 0, "override zone-sharded lane count (>1 runs the parallel clock; virtual mode only)")
 		shardWorkers = flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = the sequential single-loop schedule (determinism cross-check mode)")
+		lookahead    = flag.String("lookahead", "pair", "sharded barrier window policy: pair (per-lane-pair topology matrix) | global (conservative one-hop quantum)")
 		interp       = flag.Bool("interp", false, "pin driver execution to the reference bytecode interpreter instead of the compiled engine (transcript-identical; virtual-mode results stay byte-identical)")
 		realtime     = flag.Bool("realtime", false, "run on the wall clock (concurrent runtime) instead of the deterministic virtual clock")
 		timescale    = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode (preset default 50)")
@@ -132,6 +134,14 @@ func main() {
 	}
 	if *shardWorkers > 0 {
 		cfg.ShardWorkers = *shardWorkers
+	}
+	switch *lookahead {
+	case "pair", "":
+	case "global":
+		cfg.GlobalLookahead = true
+	default:
+		fmt.Fprintf(os.Stderr, "upnp-load: unknown lookahead policy %q (want pair or global)\n", *lookahead)
+		os.Exit(2)
 	}
 	cfg.InterpDrivers = *interp
 	cfg.Realtime = *realtime

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	upnp-sim [-things N] [-hops H] [-loss P] [-churn K] [-seed S] [-realtime] [-timescale X]
-//	         [-zones Z] [-shard-workers W] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-zones Z] [-shard-workers W] [-lookahead pair|global]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Flags:
 //
@@ -28,6 +29,9 @@
 //	-shard-workers
 //	           sharded round parallelism: 0 = GOMAXPROCS (default),
 //	           1 = the sequential single-loop schedule
+//	-lookahead sharded barrier window policy: pair (default — per-lane-pair
+//	           topology lookahead matrix) or global (the conservative
+//	           one-hop quantum)
 //	-cpuprofile / -memprofile
 //	           write pprof profiles of the scenario — the quickest way to
 //	           diagnose a regression the benchgate CI gate flagged:
@@ -56,6 +60,7 @@ func main() {
 	timescale := flag.Float64("timescale", 60, "virtual seconds per wall second in -realtime mode")
 	zones := flag.Int("zones", 0, "zone-sharded lane count (>1 enables the parallel clock; virtual mode only)")
 	shardWorkers := flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = sequential single-loop schedule")
+	lookahead := flag.String("lookahead", "pair", "sharded barrier window policy: pair (per-lane-pair topology matrix) | global (conservative one-hop quantum)")
 	interp := flag.Bool("interp", false, "pin driver execution to the reference bytecode interpreter instead of the compiled engine (transcript-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the scenario to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the scenario) to this file")
@@ -75,7 +80,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale, *zones, *shardWorkers, *interp); err != nil {
+	globalLA := false
+	switch *lookahead {
+	case "pair", "":
+	case "global":
+		globalLA = true
+	default:
+		fmt.Fprintf(os.Stderr, "upnp-sim: unknown lookahead policy %q (want pair or global)\n", *lookahead)
+		os.Exit(2)
+	}
+
+	if err := run(*nThings, *hops, *loss, *churn, *seed, *realtime, *timescale, *zones, *shardWorkers, globalLA, *interp); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-sim:", err)
 		os.Exit(1)
 	}
@@ -95,7 +110,7 @@ func main() {
 	}
 }
 
-func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64, zones, shardWorkers int, interp bool) error {
+func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, timescale float64, zones, shardWorkers int, globalLA, interp bool) error {
 	opts := []micropnp.Option{micropnp.WithLossRate(loss), micropnp.WithSeed(seed)}
 	if interp {
 		opts = append(opts, micropnp.WithCompiledDrivers(false))
@@ -108,6 +123,9 @@ func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, 
 		opts = append(opts, micropnp.WithZones(zones))
 		if shardWorkers > 0 {
 			opts = append(opts, micropnp.WithShardWorkers(shardWorkers))
+		}
+		if globalLA {
+			opts = append(opts, micropnp.WithGlobalLookahead())
 		}
 	}
 	d, err := micropnp.NewDeployment(opts...)
@@ -238,6 +256,13 @@ func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, 
 	st := d.NetworkStats()
 	fmt.Printf("network: %d unicast, %d multicast, %d transmissions, %d delivered, %d lost, %d unhandled (virtual time %v)\n",
 		st.UnicastSent, st.MulticastSent, st.Transmissions, st.Delivered, st.Lost, st.NoHandler, d.Now().Round(0))
+	if st.ShardLanes > 0 && st.ShardRounds > 0 {
+		fmt.Printf("sharded clock: %d lanes, %d rounds, %d events (%.1f events/round, %.0f%% lane occupancy), %d cross-lane merges, %d causality violations\n",
+			st.ShardLanes, st.ShardRounds, st.ShardEvents,
+			float64(st.ShardEvents)/float64(st.ShardRounds),
+			100*float64(st.ShardLaneRounds)/(float64(st.ShardRounds)*float64(st.ShardLanes)),
+			st.ShardCrossMerged, st.ShardCausalityViolations)
+	}
 	return nil
 }
 

@@ -67,6 +67,11 @@ type DeploymentConfig struct {
 	// keeps the single-loop virtual clock. Place Things in zones with
 	// AddThingInZone. Ignored in realtime mode.
 	Zones int
+	// GlobalLookahead pins the sharded clock to the single global one-hop
+	// lookahead quantum instead of the per-lane-pair matrix derived from the
+	// cross-zone topology (see netsim.Lookahead). Comparison/escape knob;
+	// ignored off the sharded clock.
+	GlobalLookahead bool
 	// Retry enables automatic retransmission of unanswered unicast client
 	// reads and writes (zero value disables).
 	Retry client.RetryPolicy
@@ -111,14 +116,15 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	net := netsim.New(netsim.Config{
-		LossRate:   cfg.LossRate,
-		ProcJitter: cfg.ProcJitter,
-		Rng:        rng,
-		Realtime:   cfg.Realtime,
-		TimeScale:  cfg.TimeScale,
-		Workers:    cfg.Workers,
-		Zones:      cfg.Zones,
-		Seed:       cfg.Seed,
+		LossRate:        cfg.LossRate,
+		ProcJitter:      cfg.ProcJitter,
+		Rng:             rng,
+		Realtime:        cfg.Realtime,
+		TimeScale:       cfg.TimeScale,
+		Workers:         cfg.Workers,
+		Zones:           cfg.Zones,
+		Seed:            cfg.Seed,
+		GlobalLookahead: cfg.GlobalLookahead,
 	})
 	mgrAddr := netip.MustParseAddr("2001:db8::1")
 	mgr, err := manager.New(manager.Config{

@@ -35,6 +35,11 @@ type plan struct {
 	cl   *micropnp.Client
 	val  int32
 	disc micropnp.DeviceID
+	// sink, when set, receives the held subscription a successful OpSubscribe
+	// opens instead of the runner's shared list — the conducted zoned engine
+	// points it at the issuing strand's own hold list so each strand services
+	// its closes on its own timeline.
+	sink *[]heldSub
 }
 
 // swapPending is one hot-swap awaiting the new peripheral's advertisement.
@@ -131,6 +136,9 @@ func run(cfg Config) (*runner, *Result, error) {
 		opts = append(opts, micropnp.WithZones(cfg.Zones))
 		if cfg.ShardWorkers > 0 {
 			opts = append(opts, micropnp.WithShardWorkers(cfg.ShardWorkers))
+		}
+		if cfg.GlobalLookahead {
+			opts = append(opts, micropnp.WithGlobalLookahead())
 		}
 	}
 	if cfg.Realtime {
@@ -313,7 +321,11 @@ func (r *runner) exec(lane int, p plan, intended time.Duration, openLoop bool) {
 			r.pairMu.Lock()
 			r.pairs[pairKey{p.tgt.addr, sub.Device()}] = p.tgt.thing
 			r.pairMu.Unlock()
-			r.holdSub(sub)
+			if p.sink != nil {
+				*p.sink = append(*p.sink, heldSub{sub: sub, closeAt: r.d.Now() + r.cfg.SubHold})
+			} else {
+				r.holdSub(sub)
+			}
 		}
 	case OpDrivers:
 		_, err := r.d.DiscoverDrivers(ctx, p.tgt.thing)
@@ -467,11 +479,12 @@ func (r *runner) enterOp() {
 func (r *runner) leaveOp() { r.inflight.Add(-1) }
 
 // ---------------------------------------------------------------------------
-// Virtual mode: the whole run plays out sequentially on the simulated
-// timeline — operations execute one at a time (the discrete-event simulator
-// is single-threaded anyway), so latencies are exact virtual-time spans and
-// the run is bit-for-bit reproducible. Worker counts shape only the
-// schedule.
+// Virtual mode: the whole run plays out on the simulated timeline, so
+// latencies are exact virtual-time spans and the run is bit-for-bit
+// reproducible; worker counts shape only the schedule. Non-zoned runs
+// execute operations one at a time from a single loop; zoned open-loop runs
+// divert to the conducted engine below, which overlaps ops across lane
+// groups while staying deterministic.
 
 // advanceTo drives the simulation to virtual instant t, servicing
 // subscription closes that fall due on the way.
@@ -502,6 +515,10 @@ func (r *runner) advanceTo(t time.Duration) {
 
 func (r *runner) runVirtual() {
 	if r.cfg.Arrival == ArrivalOpen {
+		if r.cfg.Zones > 1 {
+			r.runConducted()
+			return
+		}
 		rng := r.laneRng(0)
 		next := r.start + r.interarrival(rng)
 		for next < r.measureEnd {
@@ -537,6 +554,104 @@ func (r *runner) runVirtual() {
 		r.exec(w, p, 0, false)
 		r.leaveOp()
 		nextFree[w] = r.d.Now() + r.cfg.Think
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Conducted zoned mode: open-loop arrivals on a sharded (zoned) simulator are
+// issued from one cooperative strand per lane group instead of a single
+// thread feeding all lanes, so ops bound for different zones overlap in
+// flight between barrier rounds. Determinism is preserved on two legs:
+//
+//   - The whole schedule is pre-drawn from the single open-loop rng in
+//     exactly the sequential engine's draw order (interarrival, plan,
+//     interarrival, ...), so the schedule hash and rng consumption are
+//     byte-identical to the non-zoned engine by construction.
+//   - Deployment.Conduct interleaves strands purely by strand index, virtual
+//     time, and completion state, so the run is bit-reproducible across
+//     worker counts and driver engines.
+
+// arrival is one pre-drawn open-loop operation and its intended instant.
+type arrival struct {
+	p  plan
+	at time.Duration
+}
+
+// strandGroup maps a drawn plan to its issuing strand: target-bearing ops
+// group by the target zone's clock lane (zone % Zones — mirroring the
+// simulator's zone-to-lane fold), client-side ops (discover) to group 0.
+func (r *runner) strandGroup(p plan) int {
+	switch {
+	case p.wr != nil:
+		return int(p.wr.zone) % r.cfg.Zones
+	case p.tgt != nil:
+		return int(p.tgt.zone) % r.cfg.Zones
+	}
+	return 0
+}
+
+func (r *runner) runConducted() {
+	// Pre-draw the full schedule; rng draw order matches the sequential
+	// open-loop engine exactly.
+	rng := r.laneRng(0)
+	groups := make([][]arrival, r.cfg.Zones)
+	next := r.start + r.interarrival(rng)
+	for next < r.measureEnd {
+		p := r.drawPlan(rng, 0, next, true)
+		g := r.strandGroup(p)
+		groups[g] = append(groups[g], arrival{p: p, at: next})
+		next += r.interarrival(rng)
+	}
+	fns := make([]func(*micropnp.Strand), 0, len(groups))
+	for _, arr := range groups {
+		if len(arr) == 0 {
+			continue
+		}
+		arr := arr
+		fns = append(fns, func(s *micropnp.Strand) { r.strandLoop(s, arr) })
+	}
+	r.d.Conduct(fns...)
+}
+
+// strandLoop plays one lane group's arrivals in time order, interleaving the
+// closes of the subscriptions this strand opened. Ops are charged to lane 0
+// like the sequential engine (the schedule is one open-loop lane; strands are
+// an execution detail), so LaneOps and the schedule hash are unchanged.
+func (r *runner) strandLoop(s *micropnp.Strand, arr []arrival) {
+	var subs []heldSub
+	for i := range arr {
+		a := &arr[i]
+		r.serviceStrandSubs(s, &subs, a.at)
+		s.Until(a.at)
+		a.p.sink = &subs
+		r.enterOp()
+		r.exec(0, a.p, a.at, true)
+		r.leaveOp()
+	}
+	// Hand leftover holds to the shared list for teardown; strands run one at
+	// a time under the Conduct baton, so the append is ordered.
+	r.openSubs = append(r.openSubs, subs...)
+}
+
+// serviceStrandSubs closes this strand's held subscriptions falling due at or
+// before limit, earliest first, parking until each close instant.
+func (r *runner) serviceStrandSubs(s *micropnp.Strand, subs *[]heldSub, limit time.Duration) {
+	for {
+		due := -1
+		for i, hs := range *subs {
+			if hs.closeAt <= limit && (due < 0 || hs.closeAt < (*subs)[due].closeAt) {
+				due = i
+			}
+		}
+		if due < 0 {
+			return
+		}
+		hs := (*subs)[due]
+		last := len(*subs) - 1
+		(*subs)[due] = (*subs)[last]
+		*subs = (*subs)[:last]
+		s.Until(hs.closeAt)
+		hs.sub.Close()
 	}
 }
 
@@ -724,6 +839,16 @@ func (r *runner) result() *Result {
 	}
 	res.StreamReadings = r.streams.Load()
 	res.MaxInFlight = r.maxInflight.Load()
+	if ns := r.d.NetworkStats(); ns.ShardLanes > 0 {
+		res.Shard = &ShardTelemetry{
+			Lanes:               ns.ShardLanes,
+			Rounds:              ns.ShardRounds,
+			Events:              ns.ShardEvents,
+			LaneRounds:          ns.ShardLaneRounds,
+			CrossMerged:         ns.ShardCrossMerged,
+			CausalityViolations: ns.ShardCausalityViolations,
+		}
+	}
 
 	secs := r.cfg.Duration.Seconds()
 	for op := range r.stats {

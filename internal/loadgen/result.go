@@ -81,7 +81,8 @@ type Result struct {
 	// subscriptions opened by the workload (any phase).
 	StreamReadings uint64 `json:"stream_readings"`
 	// MaxInFlight is the high-water mark of concurrently executing
-	// operations (1 in virtual mode, ≤ Workers in closed-loop realtime).
+	// operations (1 in single-loop virtual mode, up to one per zone lane
+	// group in conducted zoned runs, ≤ Workers in closed-loop realtime).
 	MaxInFlight int64 `json:"max_in_flight"`
 	// LaneOps is the per-lane issued count (one lane per closed-loop
 	// worker; one lane total in open loop).
@@ -91,6 +92,31 @@ type Result struct {
 	Drained bool `json:"drained"`
 
 	Ops map[string]*OpResult `json:"ops"`
+
+	// Shard carries the sharded clock's execution counters for a zoned
+	// virtual run (nil otherwise). It is a side channel excluded from the
+	// JSON — round telemetry is an execution detail, like wall time — and is
+	// printed by Summarize and the CLIs instead.
+	Shard *ShardTelemetry `json:"-"`
+}
+
+// ShardTelemetry mirrors micropnp.NetworkStats' sharded-clock counters over
+// one whole run (setup through teardown).
+type ShardTelemetry struct {
+	// Lanes is the zone-lane count; Rounds the barrier rounds executed.
+	Lanes  int
+	Rounds int64
+	// Events counts events executed inside rounds; Events/Rounds is the mean
+	// round batch size the lookahead policy achieved.
+	Events int64
+	// LaneRounds sums each round's active-lane count — LaneRounds/(Rounds ×
+	// Lanes) is mean lane occupancy.
+	LaneRounds int64
+	// CrossMerged counts cross-lane events merged at barriers;
+	// CausalityViolations counts merged events timestamped before their
+	// destination lane's clock (always 0 unless the lookahead is unsound).
+	CrossMerged         int64
+	CausalityViolations int64
 }
 
 // WriteJSON writes the result, indented, to path ("-" for stdout). The
@@ -143,6 +169,13 @@ func (r *Result) Summarize(w io.Writer) {
 	fmt.Fprintf(w, "measure window %s (+%s warmup): %d issued, %d ok, %d errors, %d timeouts, %d shed; max in-flight %d; %d stream readings\n",
 		time.Duration(r.MeasureNs), time.Duration(r.WarmupNs),
 		r.Issued, r.Completed, r.Errors, r.Timeouts, r.Shed, r.MaxInFlight, r.StreamReadings)
+	if s := r.Shard; s != nil && s.Rounds > 0 {
+		fmt.Fprintf(w, "sharded clock: %d lanes, %d rounds, %d events (%.1f events/round, %.0f%% lane occupancy), %d cross-lane merges, %d causality violations\n",
+			s.Lanes, s.Rounds, s.Events,
+			float64(s.Events)/float64(s.Rounds),
+			100*float64(s.LaneRounds)/(float64(s.Rounds)*float64(s.Lanes)),
+			s.CrossMerged, s.CausalityViolations)
+	}
 	names := make([]string, 0, len(r.Ops))
 	for name := range r.Ops {
 		names = append(names, name)

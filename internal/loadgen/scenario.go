@@ -227,6 +227,13 @@ type Config struct {
 	Zones        int
 	ShardWorkers int
 
+	// GlobalLookahead pins the sharded clock's barrier windows to the
+	// conservative global quantum instead of the per-lane-pair topology
+	// matrix (the default). A window-policy knob only: it reshapes rounds,
+	// not the op schedule, so it is deliberately not recorded in the result
+	// JSON.
+	GlobalLookahead bool
+
 	// InterpDrivers pins driver execution to the reference bytecode
 	// interpreter instead of the compiled engine. The engines are
 	// transcript-identical, so with the same seed and config a virtual-mode

@@ -14,6 +14,7 @@ type target struct {
 	idx   int
 	thing *micropnp.Thing
 	addr  netip.Addr
+	zone  uint16 // location zone (0 outside ShapeZones); keys strand grouping
 
 	mu       sync.Mutex
 	dev      micropnp.DeviceID
@@ -90,6 +91,9 @@ func buildTopology(d *micropnp.Deployment, cfg Config) (targets []*target, writa
 			return nil, nil, err
 		}
 		t := &target{idx: i, thing: th, addr: th.Addr(), dev: dev}
+		if cfg.Shape == ShapeZones {
+			t.zone = uint16(1 + i%cfg.Zones)
+		}
 		targets = append(targets, t)
 		if i%5 == 4 {
 			if _, err := th.PlugRelay(1); err != nil {

@@ -1,0 +1,234 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// bruteLookahead computes the all-pairs minimum cross-lane tree distance by
+// exhaustive enumeration — the specification the incremental matrix must
+// match exactly.
+func bruteLookahead(nodes []*Node, lanes int) []int32 {
+	min := make([]int32, lanes*lanes)
+	for i := range min {
+		min[i] = -1
+	}
+	for x, a := range nodes {
+		for _, b := range nodes[x+1:] {
+			i, j := int(a.lane), int(b.lane)
+			if i == j {
+				continue
+			}
+			d := int32(treeDistance(a, b))
+			if cur := min[i*lanes+j]; cur < 0 || d < cur {
+				min[i*lanes+j] = d
+				min[j*lanes+i] = d
+			}
+		}
+	}
+	return min
+}
+
+// TestLookaheadMatrixMatchesBruteForce grows randomized multi-root
+// topologies — random parents, random zones folding onto a smaller lane
+// count — and after every single AddNode checks the incrementally maintained
+// matrix against brute force, so both the LCA walk (same-tree pairs) and the
+// two-best distinct-root tracking (cross-tree backbone pairs) are validated
+// under every insertion order the generator produces.
+func TestLookaheadMatrixMatchesBruteForce(t *testing.T) {
+	const (
+		trials   = 12
+		nodesPer = 40
+		lanes    = 5
+	)
+	prefix := PrefixFromAddr(addr("2001:db8::1"))
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		n := New(Config{Zones: lanes, Workers: 1, Seed: int64(trial)})
+		var nodes []*Node
+		for i := 0; i < nodesPer; i++ {
+			var parent *Node
+			if len(nodes) > 0 && rng.Float64() > 0.2 {
+				parent = nodes[rng.Intn(len(nodes))]
+			}
+			zone := uint16(rng.Intn(2 * lanes)) // exercise zone→lane folding
+			nd, err := n.AddNode(UnicastAddr(prefix, zone, uint32(0x100+i)), parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes = append(nodes, nd)
+			want := bruteLookahead(nodes, lanes)
+			for li := 0; li < lanes; li++ {
+				for lj := 0; lj < lanes; lj++ {
+					if li == lj {
+						continue
+					}
+					if got := int32(n.lookahead.pairHops(li, lj)); got != want[li*lanes+lj] {
+						t.Fatalf("trial %d after node %d: minHops(%d,%d) = %d, brute force %d",
+							trial, i, li, lj, got, want[li*lanes+lj])
+					}
+				}
+			}
+		}
+		n.Close()
+	}
+}
+
+// TestLookaheadCausalityRandomTraffic runs random cross-lane unicast traffic
+// over randomized topologies with loss and jitter under full parallelism and
+// asserts the barrier-time causality checker never fires: no lane ever
+// executed past an inbound cross-lane event's timestamp.
+func TestLookaheadCausalityRandomTraffic(t *testing.T) {
+	const (
+		trials   = 6
+		nodesPer = 24
+		lanes    = 4
+		sends    = 120
+	)
+	prefix := PrefixFromAddr(addr("2001:db8::1"))
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		n := New(Config{Zones: lanes, Workers: 0, LossRate: 0.05, ProcJitter: 0.15, Seed: int64(trial)})
+		var nodes []*Node
+		for i := 0; i < nodesPer; i++ {
+			var parent *Node
+			if len(nodes) > 0 && rng.Float64() > 0.15 {
+				parent = nodes[rng.Intn(len(nodes))]
+			}
+			nd, err := n.AddNode(UnicastAddr(prefix, uint16(rng.Intn(2*lanes)), uint32(0x100+i)), parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every node echoes once per distinct payload family, so cross-lane
+			// deliveries spawn further cross-lane work mid-round.
+			nd.Bind(Port6030, func(m Message) {
+				if len(m.Payload) > 0 && m.Payload[0] == 'p' {
+					peer := nodes[int(m.Payload[1])%len(nodes)]
+					nd.Send(peer.Addr(), Port6030, []byte{'q', m.Payload[1]})
+				}
+			})
+			nodes = append(nodes, nd)
+		}
+		for k := 0; k < sends; k++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			at := time.Duration(rng.Intn(500)) * time.Millisecond
+			payload := []byte{'p', byte(rng.Intn(256))}
+			src.Schedule(at, func() { src.Send(dst.Addr(), Port6030, payload) })
+		}
+		if n.RunUntilIdle(10_000_000) == 0 {
+			t.Fatal("no events executed")
+		}
+		ss, ok := n.ShardStats()
+		if !ok {
+			t.Fatal("network not sharded")
+		}
+		if ss.CausalityViolations != 0 {
+			t.Fatalf("trial %d: %d causality violations (stats %+v)", trial, ss.CausalityViolations, ss)
+		}
+		n.Close()
+	}
+}
+
+// deepChainRounds runs four deep per-zone cascades (one ping-pong message
+// walking a 30-node chain, per lane) under the given window policy and
+// returns the shard telemetry.
+func deepChainRounds(tb testing.TB, global bool) ShardStats {
+	tb.Helper()
+	const (
+		lanes   = 5 // lane 0 holds only the idle root
+		depth   = 30
+		bounces = 8
+	)
+	n := New(Config{Zones: lanes, Workers: 1, Seed: 7, GlobalLookahead: global})
+	defer n.Close()
+	prefix := PrefixFromAddr(addr("2001:db8::1"))
+	root, err := n.AddNode(UnicastAddr(prefix, 0, 0x100), nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for z := 1; z < lanes; z++ {
+		chain := make([]*Node, depth)
+		parent := root
+		for i := range chain {
+			nd, err := n.AddNode(UnicastAddr(prefix, uint16(z), uint32(0x200+i)), parent)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			chain[i] = nd
+			parent = nd
+		}
+		left := bounces
+		for i, nd := range chain {
+			i, nd := i, nd
+			nd.Bind(Port6030, func(m Message) {
+				switch {
+				case string(m.Payload) == "down" && i < depth-1:
+					nd.Send(chain[i+1].Addr(), Port6030, m.Payload)
+				case string(m.Payload) == "down":
+					nd.Send(chain[i-1].Addr(), Port6030, []byte("up"))
+				case i > 0:
+					nd.Send(chain[i-1].Addr(), Port6030, m.Payload)
+				default:
+					if left--; left > 0 {
+						nd.Send(chain[i+1].Addr(), Port6030, []byte("down"))
+					}
+				}
+			})
+		}
+		head := chain[0]
+		head.Schedule(time.Duration(z)*time.Millisecond, func() {
+			head.Send(chain[1].Addr(), Port6030, []byte("down"))
+		})
+	}
+	if n.RunUntilIdle(10_000_000) == 0 {
+		tb.Fatal("cascade executed no events")
+	}
+	ss, ok := n.ShardStats()
+	if !ok {
+		tb.Fatal("network not sharded")
+	}
+	return ss
+}
+
+// TestLookaheadRoundCountDeepChains: on sparse deep-chain topologies the
+// per-pair matrix must at least halve the barrier round count against the
+// global-quantum policy. The min-plus closure bounds any lane's window at
+// two lane-graph hops (an idle adjacent lane can always relay causality at
+// one quantum each way), so 2x is both the achievable steady state and the
+// ceiling: net of the single shared timer-prologue round, the cascade must
+// hit it exactly or better.
+func TestLookaheadRoundCountDeepChains(t *testing.T) {
+	g := deepChainRounds(t, true)
+	p := deepChainRounds(t, false)
+	t.Logf("global: %+v", g)
+	t.Logf("pair:   %+v", p)
+	if g.Events != p.Events {
+		t.Fatalf("window policy changed the executed event count: global %d, pair %d", g.Events, p.Events)
+	}
+	if p.CausalityViolations != 0 {
+		t.Fatalf("pair-lookahead cascade recorded %d causality violations", p.CausalityViolations)
+	}
+	if g.Rounds-1 < 2*(p.Rounds-1) {
+		t.Fatalf("per-pair lookahead did not halve the round count: global %d rounds, pair %d (want ≥2x net of the prologue round)",
+			g.Rounds, p.Rounds)
+	}
+	if p.LaneRounds >= g.LaneRounds {
+		t.Fatalf("lane occupancy did not improve: global %d lane-rounds, pair %d", g.LaneRounds, p.LaneRounds)
+	}
+}
+
+// TestLookaheadSnapshotFallback: pairs the matrix has no node pair for yet
+// snapshot to the conservative one-hop global quantum.
+func TestLookaheadSnapshotFallback(t *testing.T) {
+	la := newLookahead(3)
+	q := 10 * time.Millisecond
+	dst := make([]int64, 9)
+	la.snapshotNs(q, dst)
+	for i, v := range dst {
+		if i/3 != i%3 && v != int64(q) {
+			t.Fatalf("unknown pair %d,%d snapshot %d, want the global quantum %d", i/3, i%3, v, q)
+		}
+	}
+}

@@ -130,6 +130,11 @@ type Config struct {
 	// Seed derives the per-zone RNG streams when Zones > 1 (0 = the fixed
 	// default). The single-zone clock uses Rng as before.
 	Seed int64
+	// GlobalLookahead pins the sharded clock to the single global one-hop
+	// lookahead quantum instead of the per-lane-pair matrix derived from the
+	// cross-zone topology (see Lookahead). The global quantum is the
+	// conservative pre-matrix behaviour; this is the comparison/escape knob.
+	GlobalLookahead bool
 }
 
 // Stats counts network activity.
@@ -198,6 +203,11 @@ type Network struct {
 	// members indexes multicast group membership so sends visit only
 	// members, never the full node table.
 	members map[netip.Addr]map[*Node]struct{}
+	// lookahead is the per-lane-pair lookahead matrix feeding the sharded
+	// clock's barrier windows; nil on single-zone/realtime networks and when
+	// Config.GlobalLookahead pins the global quantum. Maintained under topoMu
+	// (AddNode only; topology never shrinks).
+	lookahead *Lookahead
 
 	// Route caches. Parent links are immutable after AddNode; both caches
 	// are flushed on AddNode (new backbone roots change the disjoint-tree
@@ -270,6 +280,10 @@ func New(cfg Config) *Network {
 	case cfg.Zones > 1:
 		n.sclock = NewShardedClock(cfg.Zones, cfg.Workers, ShardQuantum(cfg.ProcJitter))
 		n.sclock.postRound = n.flushDeferredMembership
+		if !cfg.GlobalLookahead {
+			n.lookahead = newLookahead(n.sclock.Lanes())
+			n.sclock.setLookahead(n.lookahead)
+		}
 		n.clock = n.sclock
 		seed := cfg.Seed
 		if seed == 0 {
@@ -339,6 +353,11 @@ type Node struct {
 	lane     int32
 	handlers map[uint16]Handler
 	groups   map[netip.Addr]bool
+	// minDown[j] is the minimum depth offset of any lane-j node in this
+	// node's subtree (-1 = none), the per-node ingredient of the incremental
+	// lookahead matrix (see Lookahead). nil unless the matrix is maintained;
+	// guarded by the Lookahead mutex.
+	minDown []int32
 }
 
 // AddNode registers a host. parent nil makes it a DODAG root (or a node on
@@ -357,6 +376,9 @@ func (n *Network) AddNode(addr netip.Addr, parent *Node) (*Node, error) {
 		node.lane = int32(int(ZoneFromAddr(addr)) % n.sclock.Lanes())
 	}
 	n.nodes[addr] = node
+	if n.lookahead != nil {
+		n.lookahead.addNode(node)
+	}
 	n.invalidateRoutes()
 	return node, nil
 }
@@ -1019,6 +1041,34 @@ func (n *Network) Step() bool {
 		return n.sclock.Step()
 	}
 	return false
+}
+
+// StepUntil advances the network by one bounded slice of work: on the sharded
+// clock it executes at most one barrier round whose windows are clamped to
+// the deadline (inclusive), on the virtual clock it runs events up to the
+// deadline, and on the realtime clock it is a no-op (the loop goroutine
+// advances on its own). It reports whether any event ran; when no pending
+// event is due by the deadline the clock simply advances to it. Cooperative
+// drivers (the SDK's conducted strands) use the round granularity to re-check
+// wake conditions between rounds without overshooting their next deadline.
+func (n *Network) StepUntil(deadline time.Duration) bool {
+	switch {
+	case n.sclock != nil:
+		return n.sclock.StepUntil(deadline)
+	case n.vclock != nil:
+		return n.vclock.RunUntil(deadline) > 0
+	default:
+		return false
+	}
+}
+
+// ShardStats returns the sharded clock's barrier telemetry, reporting ok
+// false on non-sharded networks.
+func (n *Network) ShardStats() (ShardStats, bool) {
+	if n.sclock == nil {
+		return ShardStats{}, false
+	}
+	return n.sclock.Stats(), true
 }
 
 // RunUntilIdle drives the network until no events remain. On the virtual

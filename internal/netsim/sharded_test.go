@@ -83,6 +83,9 @@ func runShardedStorm(tb testing.TB, workers int) stormRun {
 	if n.RunUntilIdle(1_000_000) == 0 {
 		tb.Fatal("storm executed no events")
 	}
+	if ss, ok := n.ShardStats(); !ok || ss.CausalityViolations != 0 {
+		tb.Fatalf("storm recorded causality violations: %+v (sharded=%v)", ss, ok)
+	}
 
 	var transcript []string
 	for i, log := range logs {

@@ -141,6 +141,18 @@ func WithShardWorkers(n int) Option {
 	return func(c *config) { c.core.Workers = n }
 }
 
+// WithGlobalLookahead pins the zone-sharded clock to the single global
+// one-hop lookahead quantum instead of the per-lane-pair lookahead matrix it
+// derives from the cross-zone topology by default. The matrix lets zones far
+// apart in the routing tree run many quanta ahead of each other per barrier
+// round (fewer rounds, better scaling) while runs stay bit-identical across
+// worker counts; the global quantum is the conservative pre-matrix behaviour
+// and the comparison knob (the upnp-load/upnp-sim -lookahead flag). Ignored
+// off the sharded clock.
+func WithGlobalLookahead() Option {
+	return func(c *config) { c.core.GlobalLookahead = true }
+}
+
 // WithRetryPolicy enables automatic retransmission of unanswered unicast
 // reads and writes (the ARQ layer the paper defers): when no reply arrived
 // baseBackoff of virtual time after a transmission, the request is resent,
@@ -190,6 +202,11 @@ type Deployment struct {
 	stepCh    chan struct{}
 	waiters   atomic.Int32
 	driverGid atomic.Int64
+
+	// conduct publishes the active Conduct call's strand registry; SDK calls
+	// made on a strand goroutine divert into the baton protocol instead of
+	// the driver election (see conduct.go).
+	conduct atomic.Pointer[conductor]
 
 	// closeCh unblocks realtime calls parked in await when the deployment
 	// is closed (their expiry events die with the clock).
@@ -418,12 +435,32 @@ type NetworkStats struct {
 	// NoHandler counts datagrams dropped at a node because no handler was
 	// bound to the destination port.
 	NoHandler int
+
+	// Sharded-clock barrier telemetry; zero on non-sharded deployments.
+	// All counts are deterministic per schedule, identical across worker
+	// counts.
+	ShardLanes int // zone lanes (0 = not sharded)
+	// ShardRounds counts barrier rounds; ShardEvents the events executed in
+	// them, so ShardEvents/ShardRounds is the mean round batch size the
+	// lookahead windows achieved.
+	ShardRounds int64
+	ShardEvents int64
+	// ShardLaneRounds sums each round's active-lane count;
+	// ShardLaneRounds/(ShardRounds×ShardLanes) is the mean lane occupancy.
+	ShardLaneRounds int64
+	// ShardCrossMerged counts cross-lane events merged at barriers (summed
+	// outbox merge sizes).
+	ShardCrossMerged int64
+	// ShardCausalityViolations counts merged cross-lane events timestamped
+	// before their destination lane's clock — zero when the lookahead bounds
+	// are sound.
+	ShardCausalityViolations int64
 }
 
 // NetworkStats returns a snapshot of the network counters.
 func (d *Deployment) NetworkStats() NetworkStats {
 	s := d.core.Network.Stats()
-	return NetworkStats{
+	ns := NetworkStats{
 		UnicastSent:   s.UnicastSent,
 		MulticastSent: s.MulticastSent,
 		Transmissions: s.Transmissions,
@@ -431,6 +468,16 @@ func (d *Deployment) NetworkStats() NetworkStats {
 		Lost:          s.Lost,
 		NoHandler:     s.NoHandler,
 	}
+	if ss, ok := d.core.Network.ShardStats(); ok {
+		lanes, _, _ := d.core.Network.Sharded()
+		ns.ShardLanes = lanes
+		ns.ShardRounds = ss.Rounds
+		ns.ShardEvents = ss.Events
+		ns.ShardLaneRounds = ss.LaneRounds
+		ns.ShardCrossMerged = ss.CrossMerged
+		ns.ShardCausalityViolations = ss.CausalityViolations
+	}
+	return ns
 }
 
 // DiscoverDrivers asks a Thing for its installed drivers through the
@@ -515,12 +562,18 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			return ErrClosed
 		}
 	}
+	self := gid()
+	// A conducted strand never joins the driver election: the Conduct
+	// orchestrator owns the simulator and resumes the strand when its
+	// completion has fired.
+	if s := d.conductedStrand(self); s != nil {
+		return s.parkAwait(cpl)
+	}
 	// Count ourselves as a potential parker BEFORE sampling the progress
 	// channel: drivers check the count after releasing pumpMu, so a failed
 	// TryLock guarantees the holder will observe us and broadcast.
 	d.waiters.Add(1)
 	defer d.waiters.Add(-1)
-	self := gid()
 	for {
 		select {
 		case <-cpl.ch:
