@@ -81,35 +81,37 @@ func (c *Client) units(id DeviceID) string {
 // ErrNoPeripheral when the Thing serves no such device, and the context's
 // error on cancellation.
 func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Reading, error) {
-	// One result struct, not separate captured variables: each variable a
-	// closure captures by reference becomes its own heap cell, and Read is
-	// the hottest SDK call.
-	var res struct {
-		r   Reading
-		err error
-	}
-	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+	// The reply callback writes into the pooled completion's result slots —
+	// no per-call result cell on the heap, and the callback closure captures
+	// only the deployment alongside the completion it is handed. The Reading
+	// itself is assembled here after await hands the completion back; only
+	// the reply timestamp must be sampled inside the callback, while the
+	// simulator still stands at the delivery instant.
+	d := c.d
+	cpl, err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return c.cl.Read(thing, hw.DeviceID(id), timeout, func(vals []int32, err error) {
 			// Write the results before signalling completion: the awaiting
-			// goroutine reads them the moment complete() closes the channel.
-			if err != nil {
-				res.err = err
-			} else {
-				res.r = Reading{
-					Thing:  thing,
-					Device: id,
-					Values: vals,
-					Units:  c.units(id),
-					At:     c.d.Now(),
-				}
-			}
+			// goroutine reads them the moment complete() delivers the token.
+			cpl.vals, cpl.err = vals, err
+			cpl.at = d.Now()
 			cpl.complete()
 		})
 	})
 	if err != nil {
 		return Reading{}, err
 	}
-	return res.r, res.err
+	vals, rerr, at := cpl.vals, cpl.err, cpl.at
+	cpl.recycle()
+	if rerr != nil {
+		return Reading{}, rerr
+	}
+	return Reading{
+		Thing:  thing,
+		Device: id,
+		Values: vals,
+		Units:  c.units(id),
+		At:     at,
+	}, nil
 }
 
 // ReadInto is Read with a caller-provided value buffer: the reply's values
@@ -130,46 +132,46 @@ func (c *Client) Read(ctx context.Context, thing netip.Addr, id DeviceID) (Readi
 // copy Values to retain them. Do not issue a second ReadInto with the same
 // scratch while one is still in flight.
 func (c *Client) ReadInto(ctx context.Context, thing netip.Addr, id DeviceID, scratch []int32) (Reading, error) {
-	var res struct {
-		r   Reading
-		err error
-	}
-	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+	d := c.d
+	cpl, err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return c.cl.ReadInto(thing, hw.DeviceID(id), scratch, timeout, func(vals []int32, err error) {
-			if err != nil {
-				res.err = err
-			} else {
-				res.r = Reading{
-					Thing:  thing,
-					Device: id,
-					Values: vals,
-					Units:  c.units(id),
-					At:     c.d.Now(),
-				}
-			}
+			cpl.vals, cpl.err = vals, err
+			cpl.at = d.Now()
 			cpl.complete()
 		})
 	})
 	if err != nil {
 		return Reading{}, err
 	}
-	return res.r, res.err
+	vals, rerr, at := cpl.vals, cpl.err, cpl.at
+	cpl.recycle()
+	if rerr != nil {
+		return Reading{}, rerr
+	}
+	return Reading{
+		Thing:  thing,
+		Device: id,
+		Values: vals,
+		Units:  c.units(id),
+		At:     at,
+	}, nil
 }
 
 // Write sends values to a peripheral (e.g. an actuator) and blocks until
 // the acknowledgement. It returns ErrWriteRejected when the Thing serves no
 // such peripheral or rejects the payload, ErrTimeout on loss.
 func (c *Client) Write(ctx context.Context, thing netip.Addr, id DeviceID, vals []int32) error {
-	var werr error
-	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+	cpl, err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		return c.cl.Write(thing, hw.DeviceID(id), vals, timeout, func(err error) {
-			werr = err
+			cpl.err = err
 			cpl.complete()
 		})
 	})
 	if err != nil {
 		return err
 	}
+	werr := cpl.err
+	cpl.recycle()
 	return werr
 }
 
@@ -191,7 +193,7 @@ const (
 
 func (c *Client) runDiscovery(ctx context.Context, kind int, id DeviceID, class uint8, zone uint16) ([]Advert, error) {
 	var got []Advert
-	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+	cpl, err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		collect := func(adverts []client.Advert) {
 			got = advertsFrom(adverts)
 			cpl.complete()
@@ -208,6 +210,7 @@ func (c *Client) runDiscovery(ctx context.Context, kind int, id DeviceID, class 
 	if err != nil {
 		return nil, err
 	}
+	cpl.recycle()
 	return got, nil
 }
 
@@ -299,8 +302,7 @@ func (s *Subscription) Close() {
 //	for _, r := range sub.Readings() { ... }
 func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, onReading func(Reading)) (*Subscription, error) {
 	sub := &Subscription{c: c, thing: thing, id: id, onRead: onReading}
-	var serr error
-	err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+	cpl, err := c.d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
 		sub.stream = c.cl.Subscribe(thing, hw.DeviceID(id), client.SubscribeOptions{
 			Timeout: timeout,
 			OnData: func(vals []int32) {
@@ -331,7 +333,7 @@ func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, o
 				sub.mu.Unlock()
 			},
 			OnEstablished: func(err error) {
-				serr = err
+				cpl.err = err
 				cpl.complete()
 			},
 		})
@@ -345,6 +347,8 @@ func (c *Client) Subscribe(ctx context.Context, thing netip.Addr, id DeviceID, o
 		sub.Close()
 		return nil, err
 	}
+	serr := cpl.err
+	cpl.recycle()
 	if serr != nil {
 		return nil, serr
 	}

@@ -5,16 +5,25 @@
 // paged catalog listings, unicast reads and writes, multicast discovery and
 // SSE subscription streams.
 //
+// -deployments N federates N virtual deployments (distinct site prefixes,
+// -things split across them) behind one micropnp.Fleet, fronted by the same
+// REST surface: requests route to the owning member by Thing address prefix,
+// the shared catalog leases each member's peripherals on that member's own
+// clock (one catalog feed per member), and -managers M gives every member M
+// redundant anycast manager instances. POST /admin/fail-manager crashes one
+// of them for failover drills.
+//
 // A refresher goroutine issues a wildcard discovery every -refresh interval.
 // The discovery replies renew the catalog's TTL leases (so hot-unplugged
 // peripherals age out within one TTL + sweep), and in virtual mode the
 // blocked discovery call doubles as the simulator pump: virtual time
 // advances one discovery window per round even when no external request is
-// driving it.
+// driving it (the fleet fan-out pumps every member in federation order).
 //
 // Usage:
 //
 //	upnp-gateway [-addr :8080] [-things N] [-relays N] [-seed S]
+//	             [-deployments N] [-managers M]
 //	             [-ttl D] [-sweep D] [-refresh D]
 //	             [-request-timeout D] [-stream-period D]
 //	             [-realtime] [-timescale X]
@@ -22,9 +31,11 @@
 // Examples:
 //
 //	go run ./cmd/upnp-gateway -things 100
+//	go run ./cmd/upnp-gateway -deployments 3 -managers 2 -things 24
 //	curl -s localhost:8080/things?limit=5
 //	curl -s "localhost:8080/things/$ADDR/read?peripheral=tmp36"
 //	curl -N "localhost:8080/things/$ADDR/stream?peripheral=tmp36"
+//	curl -s -X POST "localhost:8080/admin/fail-manager?deployment=0&manager=0"
 package main
 
 import (
@@ -46,9 +57,11 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		things     = flag.Int("things", 24, "deployment size")
+		things     = flag.Int("things", 24, "deployment size (split across -deployments members)")
 		relays     = flag.Int("relays", 0, "Things that also carry a relay bank (0 = every 8th)")
 		seed       = flag.Int64("seed", 1, "deployment randomness seed")
+		depCount   = flag.Int("deployments", 1, "federate this many deployments behind one fleet (distinct site prefixes)")
+		managers   = flag.Int("managers", 1, "anycast manager instances per deployment")
 		ttl        = flag.Duration("ttl", 30*time.Second, "catalog lease TTL (virtual time)")
 		sweep      = flag.Duration("sweep", time.Second, "catalog sweep interval (wall time)")
 		refresh    = flag.Duration("refresh", 2*time.Second, "lease-refresh discovery interval (wall time)")
@@ -58,48 +71,124 @@ func main() {
 		timescale  = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode")
 	)
 	flag.Parse()
-	if err := run(*addr, *things, *relays, *seed, *ttl, *sweep, *refresh, *reqTimeout, *streamPer, *realtime, *timescale); err != nil {
+	if err := run(*addr, *things, *relays, *seed, *depCount, *managers, *ttl, *sweep, *refresh, *reqTimeout, *streamPer, *realtime, *timescale); err != nil {
 		fmt.Fprintln(os.Stderr, "upnp-gateway:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, things, relays int, seed int64, ttl, sweepIv, refreshIv, reqTimeout, streamPer time.Duration, realtime bool, timescale float64) error {
-	opts := []micropnp.Option{micropnp.WithSeed(seed), micropnp.WithStreamPeriod(streamPer)}
-	if reqTimeout > 0 {
-		opts = append(opts, micropnp.WithRequestTimeout(reqTimeout))
+func run(addr string, things, relays int, seed int64, depCount, managers int, ttl, sweepIv, refreshIv, reqTimeout, streamPer time.Duration, realtime bool, timescale float64) error {
+	if depCount < 1 {
+		return fmt.Errorf("-deployments must be >= 1 (got %d)", depCount)
 	}
-	if realtime {
-		opts = append(opts, micropnp.WithRealTime())
-		if timescale > 0 {
-			opts = append(opts, micropnp.WithTimeScale(timescale))
+	baseOpts := func(memberSeed int64, site int) []micropnp.Option {
+		opts := []micropnp.Option{micropnp.WithSeed(memberSeed), micropnp.WithStreamPeriod(streamPer)}
+		if site > 0 {
+			opts = append(opts, micropnp.WithSite(site))
 		}
+		if managers > 1 {
+			opts = append(opts, micropnp.WithManagers(managers))
+		}
+		if reqTimeout > 0 {
+			opts = append(opts, micropnp.WithRequestTimeout(reqTimeout))
+		}
+		if realtime {
+			opts = append(opts, micropnp.WithRealTime())
+			if timescale > 0 {
+				opts = append(opts, micropnp.WithTimeScale(timescale))
+			}
+		}
+		return opts
 	}
-	d, err := micropnp.NewDeployment(opts...)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
 
-	cl, err := d.AddClient()
-	if err != nil {
-		return err
+	// Boot the members: site i gets the 2001:db8:i::/48 prefix, a salted
+	// seed, and its share of the Thing population.
+	deps := make([]*micropnp.Deployment, depCount)
+	for i := range deps {
+		d, err := micropnp.NewDeployment(baseOpts(seed+int64(i)*104729, i)...)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		deps[i] = d
 	}
-	cat, err := catalog.New(catalog.Config{TTL: ttl, Now: d.Now})
-	if err != nil {
-		return err
+
+	var (
+		cat     *catalog.Catalog
+		gwCfg   gateway.Config
+		refresh func(ctx context.Context) error
+		quiesce func(horizon time.Duration)
+		err     error
+	)
+	if depCount == 1 {
+		d := deps[0]
+		cl, err2 := d.AddClient()
+		if err2 != nil {
+			return err2
+		}
+		if cat, err = catalog.New(catalog.Config{TTL: ttl, Now: d.Now}); err != nil {
+			return err
+		}
+		cl.AddAdvertHook(cat.Observe)
+		gwCfg = gateway.Config{Deployment: d, Client: cl, Catalog: cat}
+		refresh = func(ctx context.Context) error {
+			_, err := cl.Discover(ctx, micropnp.AllPeripherals)
+			return err
+		}
+		quiesce = func(h time.Duration) { d.Quiesce(h) }
+	} else {
+		fleet, err2 := micropnp.NewFleet(deps...)
+		if err2 != nil {
+			return err2
+		}
+		// One catalog over the fleet: feed 0 rides member 0's clock, AddFeed
+		// registers the rest, and the fleet-wide advert hook attributes each
+		// sighting to its owning member by address prefix.
+		if cat, err = catalog.New(catalog.Config{TTL: ttl, Now: deps[0].Now}); err != nil {
+			return err
+		}
+		observers := map[*micropnp.Deployment]func(micropnp.Advert){deps[0]: cat.Observe}
+		for _, d := range deps[1:] {
+			feed, err2 := cat.AddFeed(d.Now)
+			if err2 != nil {
+				return err2
+			}
+			observers[d] = feed.Observe
+		}
+		fleet.AddAdvertHook(func(a micropnp.Advert) {
+			if d := fleet.DeploymentFor(a.Thing); d != nil {
+				observers[d](a)
+			}
+		})
+		gwCfg = gateway.Config{Fleet: fleet, Catalog: cat}
+		refresh = func(ctx context.Context) error {
+			_, err := fleet.Discover(ctx, micropnp.AllPeripherals)
+			return err
+		}
+		quiesce = func(h time.Duration) { fleet.Quiesce(h) }
 	}
-	cl.AddAdvertHook(cat.Observe)
 
 	if relays <= 0 {
 		relays = (things + 7) / 8
 	}
-	if err := buildPopulation(d, things, relays); err != nil {
-		return err
+	for i, d := range deps {
+		// Member i gets an even share of the population (earlier members
+		// absorb the remainder), with its slice of the relay banks.
+		share := things / depCount
+		if i < things%depCount {
+			share++
+		}
+		relayShare := relays / depCount
+		if i < relays%depCount {
+			relayShare++
+		}
+		if err := buildPopulation(d, i, share, relayShare); err != nil {
+			return err
+		}
+		d.Run() // let every plug-in sequence (and its advert) play out
 	}
-	d.Run() // let every plug-in sequence (and its advert) play out
-	fmt.Printf("upnp-gateway: %d things, %d catalogued peripherals, mode %s\n",
-		things, cat.Size(), mode(d))
+	fmt.Printf("upnp-gateway: %d things across %d deployment(s) (%d manager(s) each), %d catalogued peripherals, mode %s\n",
+		things, depCount, max(managers, 1), cat.Size(), mode(deps[0]))
 
 	stopSweep := cat.Start(sweepIv)
 	defer stopSweep()
@@ -117,7 +206,7 @@ func run(addr string, things, relays int, seed int64, ttl, sweepIv, refreshIv, r
 			case <-refreshCtx.Done():
 				return
 			case <-t.C:
-				if _, err := cl.Discover(refreshCtx, micropnp.AllPeripherals); err != nil &&
+				if err := refresh(refreshCtx); err != nil &&
 					!errors.Is(err, context.Canceled) && !errors.Is(err, micropnp.ErrClosed) {
 					fmt.Fprintln(os.Stderr, "upnp-gateway: refresh discovery:", err)
 				}
@@ -125,7 +214,7 @@ func run(addr string, things, relays int, seed int64, ttl, sweepIv, refreshIv, r
 		}
 	}()
 
-	gw, err := gateway.New(gateway.Config{Deployment: d, Client: cl, Catalog: cat})
+	gw, err := gateway.New(gwCfg)
 	if err != nil {
 		return err
 	}
@@ -160,7 +249,7 @@ func run(addr string, things, relays int, seed int64, ttl, sweepIv, refreshIv, r
 	stopRefresh()
 	<-refreshDone
 	stopSweep()
-	d.Quiesce(30 * time.Second)
+	quiesce(30 * time.Second)
 	return nil
 }
 
@@ -172,11 +261,11 @@ func mode(d *micropnp.Deployment) string {
 }
 
 // buildPopulation plugs a deterministic sensor cycle (TMP36, HIH4030,
-// BMP180, ADXL345) into n Things, the first nRelay of them also carrying a
-// relay bank on channel 1.
-func buildPopulation(d *micropnp.Deployment, n, nRelay int) error {
+// BMP180, ADXL345) into n Things of one fleet member, the first nRelay of
+// them also carrying a relay bank on channel 1.
+func buildPopulation(d *micropnp.Deployment, member, n, nRelay int) error {
 	for i := 0; i < n; i++ {
-		th, err := d.AddThing(fmt.Sprintf("thing-%03d", i))
+		th, err := d.AddThing(fmt.Sprintf("d%d-thing-%03d", member, i))
 		if err != nil {
 			return err
 		}

@@ -7,12 +7,22 @@
 //
 // Usage:
 //
-//	upnp-load [-scenario smoke|steady|churn|zoned|fanout|http-smoke] [-things N] [-shape wide|deep|branches|zones]
+//	upnp-load [-scenario smoke|steady|churn|zoned|fleet|fanout|http-smoke] [-things N] [-shape wide|deep|branches|zones]
 //	          [-rate R | -workers W -think D] [-mix read=60,write=10,...]
 //	          [-warmup D] [-duration D] [-cooldown D] [-seed S] [-loss P]
 //	          [-zones Z] [-shard-workers W] [-lookahead pair|global]
+//	          [-deployments N] [-managers M] [-fail-at D]
 //	          [-realtime] [-timescale X] [-clients N] [-out FILE]
 //	          [-target http://HOST:PORT [-ops N]]
+//
+// -deployments > 1 federates that many virtual deployments (distinct sites)
+// behind one micropnp.Fleet and routes the whole workload through the fleet
+// surface, member clocks stepped round-robin by the conductor — still
+// bit-deterministic per (scenario, seed), at any -shard-workers value.
+// -managers sets per-deployment anycast manager redundancy, and -fail-at
+// crashes manager 0 of deployment 0 that far into the workload (the
+// deterministic failover-under-load scenario; the "fleet" preset does all
+// three).
 //
 // -target switches to the HTTP client mode: instead of building an
 // in-process deployment, the reads, writes and discoveries of the mix are
@@ -64,6 +74,9 @@ func main() {
 		zones        = flag.Int("zones", 0, "override zone-sharded lane count (>1 runs the parallel clock; virtual mode only)")
 		shardWorkers = flag.Int("shard-workers", 0, "sharded round parallelism: 0 = GOMAXPROCS, 1 = the sequential single-loop schedule (determinism cross-check mode)")
 		lookahead    = flag.String("lookahead", "pair", "sharded barrier window policy: pair (per-lane-pair topology matrix) | global (conservative one-hop quantum)")
+		deployments  = flag.Int("deployments", 0, "federate this many virtual deployments behind one Fleet (>1; virtual open-loop only)")
+		managers     = flag.Int("managers", 0, "per-deployment anycast manager redundancy (default 1)")
+		failAt       = flag.Duration("fail-at", 0, "crash manager 0 of deployment 0 this far into the workload (virtual; needs -managers >= 2)")
 		interp       = flag.Bool("interp", false, "pin driver execution to the reference bytecode interpreter instead of the compiled engine (transcript-identical; virtual-mode results stay byte-identical)")
 		realtime     = flag.Bool("realtime", false, "run on the wall clock (concurrent runtime) instead of the deterministic virtual clock")
 		timescale    = flag.Float64("timescale", 0, "virtual seconds per wall second in -realtime mode (preset default 50)")
@@ -142,6 +155,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "upnp-load: unknown lookahead policy %q (want pair or global)\n", *lookahead)
 		os.Exit(2)
+	}
+	if *deployments > 0 {
+		cfg.Deployments = *deployments
+	}
+	if *managers > 0 {
+		cfg.Managers = *managers
+	}
+	if *failAt > 0 {
+		cfg.ManagerFailAt = *failAt
 	}
 	cfg.InterpDrivers = *interp
 	cfg.Realtime = *realtime

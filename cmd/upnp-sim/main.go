@@ -172,7 +172,7 @@ func run(nThings, hops int, loss float64, churn int, seed int64, realtime bool, 
 				th, err = addThingInZone(d, name, z, parent)
 				zoneRoots[z] = th
 			} else {
-				th, err = d.AddThingInZoneUnder(name, z, zoneRoots[z])
+				th, err = d.AddThing(name, micropnp.InZone(z), micropnp.Under(zoneRoots[z]))
 			}
 		} else {
 			th, err = addThing(d, name, parent)
@@ -271,12 +271,12 @@ func addThing(d *micropnp.Deployment, name string, parent *micropnp.Thing) (*mic
 	if parent == nil {
 		return d.AddThing(name)
 	}
-	return d.AddThingUnder(name, parent)
+	return d.AddThing(name, micropnp.Under(parent))
 }
 
 func addThingInZone(d *micropnp.Deployment, name string, zone uint16, parent *micropnp.Thing) (*micropnp.Thing, error) {
 	if parent == nil {
-		return d.AddThingInZone(name, zone)
+		return d.AddThing(name, micropnp.InZone(zone))
 	}
-	return d.AddThingInZoneUnder(name, zone, parent)
+	return d.AddThing(name, micropnp.InZone(zone), micropnp.Under(parent))
 }

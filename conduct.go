@@ -202,6 +202,7 @@ func (s *Strand) parkAwait(cpl *completion) error {
 	<-s.resume
 	s.cpl = nil
 	<-cpl.ch
-	cpl.recycle()
+	// Not recycled here: await hands the fired completion back to the SDK
+	// call, which harvests its result slots and recycles it.
 	return nil
 }

@@ -1,0 +1,226 @@
+// Manager-redundancy failover tests: the Section 5 anycast redundancy
+// reachable through the public SDK. Everything here uses only the root
+// package — the same constraint external consumers live under.
+package micropnp_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"micropnp"
+)
+
+// installVictim builds a two-manager deployment, completes one reference
+// plug-in (to learn the deterministic identification duration), then plugs
+// a second "victim" Thing, optionally crashing the nearest manager failAfter
+// into the victim's plug-in sequence. It returns the victim's installed
+// driver bytes (nil when the install never completed) and the uploads total.
+func installVictim(t *testing.T, fail bool, failAfter func(identify time.Duration) time.Duration) ([]byte, int) {
+	t.Helper()
+	d := newSDKDeployment(t, micropnp.WithManagers(2))
+	probe, err := d.AddThing("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.PlugTMP36(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	traces := probe.Traces()
+	if len(traces) != 1 || !traces[0].Done {
+		t.Fatal("reference plug-in did not complete")
+	}
+	identify := traces[0].Identification
+
+	victim, err := d.AddThing("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail {
+		d.ScheduleAfter(failAfter(identify), func() {
+			if err := d.FailManager(0); err != nil {
+				t.Errorf("FailManager: %v", err)
+			}
+		})
+	}
+	if err := victim.PlugTMP36(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	return victim.InstalledDriverBytes(micropnp.TMP36), d.ManagerUploads()
+}
+
+// TestDriverInstallThroughFailover pins the acceptance contract: a driver
+// install completed through a manager crash is byte-identical to the
+// no-failure run's installed driver state. The crash lands after the
+// victim's install request reached the nearest manager and before the
+// upload left it (identification + ~27 ms arrival, + 26 ms lookup), so the
+// upload is suppressed and the Thing's ARQ retransmission to the anycast
+// must finish the job on the survivor.
+func TestDriverInstallThroughFailover(t *testing.T) {
+	want, wantUploads := installVictim(t, false, nil)
+	if len(want) == 0 {
+		t.Fatal("no-failure run installed no driver")
+	}
+	got, uploads := installVictim(t, true, func(identify time.Duration) time.Duration {
+		return identify + 40*time.Millisecond
+	})
+	if len(got) == 0 {
+		t.Fatal("victim never got its driver through failover")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("failover-installed driver differs from no-failure run: %d vs %d bytes", len(got), len(want))
+	}
+	if uploads != wantUploads {
+		t.Fatalf("failover run served %d uploads, no-failure run %d", uploads, wantUploads)
+	}
+}
+
+// TestDriverInstallRequestInFlight crashes the manager while the victim's
+// very first install request is still on the wire (2 ms after it was sent,
+// one hop takes ≥26 ms): the datagram lands on the dead instance's unbound
+// port and is dropped, and only the ARQ retransmission — routed to the
+// surviving anycast member — installs the driver.
+func TestDriverInstallRequestInFlight(t *testing.T) {
+	want, _ := installVictim(t, false, nil)
+	got, _ := installVictim(t, true, func(identify time.Duration) time.Duration {
+		return identify + 2*time.Millisecond
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("in-flight-failure install differs from no-failure run: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// TestHotPlugDuringFailover pins the tentpole scenario: a Thing plugged in
+// AFTER the nearest manager already crashed still gets its driver — the
+// install request routes to the surviving anycast member directly.
+func TestHotPlugDuringFailover(t *testing.T) {
+	d := newSDKDeployment(t, micropnp.WithManagers(2))
+	if n := d.ManagerCount(); n != 2 {
+		t.Fatalf("ManagerCount = %d, want 2", n)
+	}
+	if err := d.FailManager(0); err != nil {
+		t.Fatal(err)
+	}
+	th, err := d.AddThing("hotplug", micropnp.WithPeripherals(micropnp.TMP36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if len(th.InstalledDriverBytes(micropnp.TMP36)) == 0 {
+		t.Fatal("Thing hot-plugged during failover never got its driver")
+	}
+	if got := d.ManagerUploads(); got != 1 {
+		t.Fatalf("uploads = %d, want 1 (served by the survivor)", got)
+	}
+	// A read through the freshly installed driver works end to end.
+	cl, err := d.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetEnvironment(21.0, 40, 101_325)
+	if _, err := cl.Read(context.Background(), th.Addr(), micropnp.TMP36); err != nil {
+		t.Fatalf("read after failover install: %v", err)
+	}
+}
+
+// TestAllManagersDown is the negative control: with every manager crashed
+// the install request has no live anycast member at all, the ARQ gives up
+// after MaxDriverRequests, and no driver appears.
+func TestAllManagersDown(t *testing.T) {
+	d := newSDKDeployment(t, micropnp.WithManagers(2))
+	if err := d.FailManager(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailManager(1); err != nil {
+		t.Fatal(err)
+	}
+	th, err := d.AddThing("orphan", micropnp.WithPeripherals(micropnp.TMP36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if got := th.InstalledDriverBytes(micropnp.TMP36); got != nil {
+		t.Fatalf("driver installed with every manager down (%d bytes)", len(got))
+	}
+}
+
+// TestManagerLossMidDiscoverDrivers crashes the serving manager while a
+// DiscoverDrivers request is in flight: the drained pending entry migrates
+// to the survivor (re-issued with a fresh sequence number and full
+// timeout), so the blocked SDK call still returns the driver list.
+func TestManagerLossMidDiscoverDrivers(t *testing.T) {
+	d := newSDKDeployment(t, micropnp.WithManagers(2))
+	th, err := d.AddThing("lab", micropnp.WithPeripherals(micropnp.TMP36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	// The request datagram needs ≥26 ms for its first hop: a crash 2 ms in
+	// catches it mid-flight with the pending entry still on manager 0.
+	d.ScheduleAfter(2*time.Millisecond, func() {
+		if err := d.FailManager(0); err != nil {
+			t.Errorf("FailManager: %v", err)
+		}
+	})
+	ids, err := d.DiscoverDrivers(context.Background(), th)
+	if err != nil {
+		t.Fatalf("DiscoverDrivers through failover: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != micropnp.TMP36 {
+		t.Fatalf("DiscoverDrivers = %v, want [TMP36]", ids)
+	}
+}
+
+// TestManagerLossMidDiscoverNoSurvivor: with the last manager crashing
+// mid-request there is nothing to migrate to — the call fails with
+// ErrTimeout immediately instead of hanging until the deadline.
+func TestManagerLossMidDiscoverNoSurvivor(t *testing.T) {
+	d := newSDKDeployment(t)
+	th, err := d.AddThing("lab", micropnp.WithPeripherals(micropnp.TMP36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	d.ScheduleAfter(2*time.Millisecond, func() {
+		if err := d.FailManager(0); err != nil {
+			t.Errorf("FailManager: %v", err)
+		}
+	})
+	if _, err := d.DiscoverDrivers(context.Background(), th); !errors.Is(err, micropnp.ErrTimeout) {
+		t.Fatalf("DiscoverDrivers with no survivor = %v, want ErrTimeout", err)
+	}
+}
+
+// TestAddManagerAfterCreation grows the redundancy set at runtime and pins
+// the index contract FailManager names instances by.
+func TestAddManagerAfterCreation(t *testing.T) {
+	d := newSDKDeployment(t)
+	if n := d.ManagerCount(); n != 1 {
+		t.Fatalf("ManagerCount = %d, want 1", n)
+	}
+	idx, err := d.AddManager()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || d.ManagerCount() != 2 {
+		t.Fatalf("AddManager = %d (count %d), want index 1 of 2", idx, d.ManagerCount())
+	}
+	if err := d.FailManager(2); err == nil {
+		t.Fatal("FailManager(2) on a 2-manager deployment must fail")
+	}
+	if err := d.FailManager(0); err != nil {
+		t.Fatal(err)
+	}
+	th, err := d.AddThing("late", micropnp.WithPeripherals(micropnp.TMP36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if len(th.InstalledDrivers()) != 1 {
+		t.Fatal("install through the runtime-added manager failed")
+	}
+}

@@ -18,6 +18,11 @@
 // goroutine ticks on the wall clock but evaluates leases against the
 // virtual clock.
 //
+// One catalog can front a whole fleet: AddFeed registers one advert source
+// per member deployment, each with its own virtual clock, and every entry's
+// lease lives and expires on its owning feed's clock (Entry.Feed) — the
+// members' independent timelines never cross-contaminate TTLs.
+//
 // The catalog is safe for concurrent use: reads take an RWMutex snapshot,
 // listings are paged and deterministically ordered, and hit/miss/expiry
 // counters are atomic.
@@ -63,6 +68,12 @@ type Entry struct {
 	// Solicited reports whether the most recent advert was a discovery
 	// reply (false: an unsolicited plug-in advertisement).
 	Solicited bool
+	// Feed is the advert source that owns this entry's lease clock: 0 is
+	// the catalog's own Config.Now, higher indices are AddFeed registrations
+	// (one per fleet member when the catalog fronts a federation). All the
+	// entry's virtual times — FirstSeen, LastSeen, Expires — are instants on
+	// that feed's clock.
+	Feed int
 }
 
 // Key identifies an entry.
@@ -100,7 +111,12 @@ type Config struct {
 // Catalog is the lease-based registry. Create with New.
 type Catalog struct {
 	ttl time.Duration
-	now func() time.Duration
+
+	// feeds holds one virtual clock per advert source; feed 0 is Config.Now
+	// and AddFeed appends the rest. Append-only under feedMu, so feedNow
+	// takes only a read lock on the hot observe path.
+	feedMu sync.RWMutex
+	feeds  []func() time.Duration
 
 	mu      sync.RWMutex
 	entries map[Key]Entry
@@ -123,7 +139,7 @@ func New(cfg Config) (*Catalog, error) {
 	}
 	return &Catalog{
 		ttl:     ttl,
-		now:     cfg.Now,
+		feeds:   []func() time.Duration{cfg.Now},
 		entries: map[Key]Entry{},
 	}, nil
 }
@@ -131,13 +147,52 @@ func New(cfg Config) (*Catalog, error) {
 // TTL returns the configured lease duration.
 func (c *Catalog) TTL() time.Duration { return c.ttl }
 
+// Feed is one registered advert source with its own virtual clock; its
+// Observe leases entries on that clock. Obtain with Catalog.AddFeed.
+type Feed struct {
+	c   *Catalog
+	idx int
+}
+
+// Index returns the feed's index (the Entry.Feed value its entries carry).
+func (f *Feed) Index() int { return f.idx }
+
+// Observe absorbs one advert from this feed; the lease rides the feed's own
+// clock. Same contract as Catalog.Observe otherwise.
+func (f *Feed) Observe(a micropnp.Advert) { f.c.observe(f.idx, a) }
+
+// AddFeed registers an additional advert source whose leases expire on its
+// own virtual clock — one feed per member deployment when the catalog fronts
+// a fleet, since federated deployments do not share a timeline. Feed indices
+// are assigned in registration order starting at 1 (0 is Config.Now).
+func (c *Catalog) AddFeed(now func() time.Duration) (*Feed, error) {
+	if now == nil {
+		return nil, fmt.Errorf("catalog: AddFeed needs a virtual clock source")
+	}
+	c.feedMu.Lock()
+	c.feeds = append(c.feeds, now)
+	idx := len(c.feeds) - 1
+	c.feedMu.Unlock()
+	return &Feed{c: c, idx: idx}, nil
+}
+
+// feedNow reads one feed's clock.
+func (c *Catalog) feedNow(feed int) time.Duration {
+	c.feedMu.RLock()
+	now := c.feeds[feed]
+	c.feedMu.RUnlock()
+	return now()
+}
+
 // Observe absorbs one advert: it upserts the {Thing, peripheral} entry and
-// refreshes its lease. Wire it to the advert flow with
-// client.AddAdvertHook(cat.Observe). Safe for concurrent use; must not
-// block (it runs on the delivering goroutine).
-func (c *Catalog) Observe(a micropnp.Advert) {
+// refreshes its lease on the catalog's own clock (feed 0). Wire it to the
+// advert flow with client.AddAdvertHook(cat.Observe). Safe for concurrent
+// use; must not block (it runs on the delivering goroutine).
+func (c *Catalog) Observe(a micropnp.Advert) { c.observe(0, a) }
+
+func (c *Catalog) observe(feed int, a micropnp.Advert) {
 	k := Key{Thing: a.Thing, Device: a.Device}
-	now := c.now()
+	now := c.feedNow(feed)
 	c.observed.Add(1)
 	c.mu.Lock()
 	e, ok := c.entries[k]
@@ -158,6 +213,7 @@ func (c *Catalog) Observe(a micropnp.Advert) {
 	e.LastSeen = a.At
 	e.Expires = now + c.ttl
 	e.Solicited = a.Solicited
+	e.Feed = feed
 	c.entries[k] = e
 	c.mu.Unlock()
 }
@@ -272,15 +328,22 @@ func (c *Catalog) Size() int {
 }
 
 // Sweep removes every entry whose lease ran out, returning how many were
-// dropped. Called periodically by the Start goroutine; tests may call it
-// directly for deterministic expiry.
+// dropped. Each entry's deadline is evaluated against its own feed's clock —
+// federated members advance independently, so there is no one "now". Called
+// periodically by the Start goroutine; tests may call it directly for
+// deterministic expiry.
 func (c *Catalog) Sweep() int {
-	now := c.now()
+	c.feedMu.RLock()
+	nows := make([]time.Duration, len(c.feeds))
+	for i, now := range c.feeds {
+		nows[i] = now()
+	}
+	c.feedMu.RUnlock()
 	c.sweeps.Add(1)
 	c.mu.Lock()
 	dropped := 0
 	for k, e := range c.entries {
-		if e.Expires <= now {
+		if e.Expires <= nows[e.Feed] {
 			delete(c.entries, k)
 			dropped++
 		}

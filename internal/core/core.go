@@ -32,6 +32,7 @@ import (
 	"micropnp/internal/hw"
 	"micropnp/internal/manager"
 	"micropnp/internal/netsim"
+	"micropnp/internal/reqerr"
 	"micropnp/internal/thing"
 )
 
@@ -80,11 +81,24 @@ type DeploymentConfig struct {
 	// thing.Config.InterpDrivers). Transcript-identical; the SDK exposes
 	// this as WithCompiledDrivers(false).
 	InterpDrivers bool
+	// Managers is the number of manager instances stood up behind the
+	// deployment's anycast address (Section 5 redundancy); 0 or 1 keeps the
+	// single border-router manager.
+	Managers int
+	// Site selects the deployment's 48-bit network prefix: site 0 is the
+	// classic 2001:db8::/48, site k occupies 2001:db8:k::/48. Deployments
+	// federated behind one Fleet need distinct sites so Thing addresses
+	// route unambiguously by prefix.
+	Site int
 }
 
 // Deployment is a complete simulated µPnP network.
 type Deployment struct {
 	Network *netsim.Network
+	// Manager is the first (border-router) manager instance; additional
+	// instances behind the same anycast live in the managers slice. The
+	// field stays valid after a FailManager — the crashed process's router
+	// node keeps relaying, so topology attachment through it still works.
 	Manager *manager.Manager
 	// Env is the shared physical environment observed by all sensors.
 	Env *bus.Environment
@@ -94,14 +108,31 @@ type Deployment struct {
 	addrMu   sync.Mutex
 	hostSeq  int
 	managerA netip.Addr
+
+	mgrMu    sync.Mutex
+	managers []*manager.Manager
+	repo     *driver.Repository
 }
 
-// ManagerAnycast is the well-known manager anycast address of simulated
-// deployments.
+// ManagerAnycast is the well-known manager anycast address of site-0
+// simulated deployments; site k deployments use the same ::aaaa host under
+// their own 48-bit prefix (see AnycastForSite).
 var ManagerAnycast = netip.MustParseAddr("2001:db8::aaaa")
 
+// SitePrefix returns the 48-bit network prefix of a site: site 0 is the
+// classic 2001:db8::/48, site k occupies 2001:db8:k::/48.
+func SitePrefix(site int) netsim.NetworkPrefix {
+	return netsim.NetworkPrefix{0x20, 0x01, 0x0d, 0xb8, byte(site >> 8), byte(site)}
+}
+
+// AnycastForSite returns a site's manager anycast address (<prefix>::aaaa).
+func AnycastForSite(site int) netip.Addr {
+	return netsim.UnicastAddr(SitePrefix(site), 0, 0xaaaa)
+}
+
 // NewDeployment builds a network with one manager (serving the standard
-// drivers) at the border-router position.
+// drivers) at the border-router position, plus cfg.Managers-1 redundant
+// instances behind the same anycast address.
 func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	repo := cfg.Repository
 	if repo == nil {
@@ -126,24 +157,134 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Seed:            cfg.Seed,
 		GlobalLookahead: cfg.GlobalLookahead,
 	})
-	mgrAddr := netip.MustParseAddr("2001:db8::1")
+	prefix := SitePrefix(cfg.Site)
+	mgrAddr := netsim.UnicastAddr(prefix, 0, 1) // site 0: the classic 2001:db8::1
+	anycast := AnycastForSite(cfg.Site)
 	mgr, err := manager.New(manager.Config{
 		Network:    net,
 		Addr:       mgrAddr,
-		Anycast:    ManagerAnycast,
+		Anycast:    anycast,
 		Repository: repo,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{
+	d := &Deployment{
 		Network:  net,
 		Manager:  mgr,
 		Env:      bus.NewEnvironment(),
 		cfg:      cfg,
-		prefix:   netsim.PrefixFromAddr(mgrAddr),
-		managerA: ManagerAnycast,
-	}, nil
+		prefix:   prefix,
+		managerA: anycast,
+		managers: []*manager.Manager{mgr},
+		repo:     repo,
+	}
+	for i := 1; i < cfg.Managers; i++ {
+		if _, err := d.AddManager(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// AddManager stands up an additional manager instance behind the
+// deployment's anycast address, attached below the border router and
+// serving the same driver repository. Requests to the anycast land on the
+// nearest live instance, so adding managers is transparent to Things and
+// clients; failing one (FailManager) re-routes traffic to the survivors.
+func (d *Deployment) AddManager() (*manager.Manager, error) {
+	mgr, err := manager.New(manager.Config{
+		Network:    d.Network,
+		Addr:       d.nextAddr(),
+		Anycast:    d.managerA,
+		Parent:     d.Manager.Node(),
+		Repository: d.repo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.mgrMu.Lock()
+	d.managers = append(d.managers, mgr)
+	d.mgrMu.Unlock()
+	return mgr, nil
+}
+
+// Managers returns the manager instances in creation order, failed ones
+// included (index i is stable — FailManager(i) names the same instance for
+// the deployment's lifetime).
+func (d *Deployment) Managers() []*manager.Manager {
+	d.mgrMu.Lock()
+	defer d.mgrMu.Unlock()
+	return append([]*manager.Manager(nil), d.managers...)
+}
+
+// Mgmt returns the instance management requests should be issued through:
+// the first live manager, falling back to the first instance when every one
+// has failed (its requests then expire like any unreachable peer's).
+func (d *Deployment) Mgmt() *manager.Manager {
+	d.mgrMu.Lock()
+	defer d.mgrMu.Unlock()
+	for _, m := range d.managers {
+		if !m.Failed() {
+			return m
+		}
+	}
+	return d.managers[0]
+}
+
+// FailManager crashes manager instance i (creation order) for fault
+// injection: the instance leaves the anycast, stops serving, and its pending
+// management requests migrate to the nearest surviving instance — re-issued
+// with fresh sequence numbers and full timeouts, so callers see at most a
+// delayed reply, not a lost one. With no survivor the drained requests fail
+// over to their callers as timeouts. In-flight driver installs need no
+// migration at all: the requesting Thing's ARQ retransmissions to the
+// anycast reach a survivor by themselves.
+func (d *Deployment) FailManager(i int) error {
+	d.mgrMu.Lock()
+	if i < 0 || i >= len(d.managers) {
+		n := len(d.managers)
+		d.mgrMu.Unlock()
+		return fmt.Errorf("core: no manager %d (deployment has %d)", i, n)
+	}
+	mgr := d.managers[i]
+	d.mgrMu.Unlock()
+	drained := mgr.Fail()
+	if len(drained) == 0 {
+		return nil
+	}
+	survivor := d.Mgmt()
+	if survivor.Failed() {
+		survivor = nil
+	}
+	for _, req := range drained {
+		switch {
+		case survivor == nil:
+			if req.OnDiscover != nil {
+				req.OnDiscover(nil, reqerr.ErrTimeout)
+			}
+			if req.OnRemoval != nil {
+				req.OnRemoval(reqerr.ErrTimeout)
+			}
+		case req.OnDiscover != nil:
+			survivor.DiscoverDrivers(req.Thing, 0, req.OnDiscover)
+		case req.OnRemoval != nil:
+			survivor.RemoveDriver(req.Thing, req.Device, 0, req.OnRemoval)
+		}
+	}
+	return nil
+}
+
+// Uploads sums the driver uploads served across all manager instances.
+func (d *Deployment) Uploads() int {
+	d.mgrMu.Lock()
+	managers := d.managers
+	d.mgrMu.Unlock()
+	total := 0
+	for _, m := range managers {
+		total += m.Uploads()
+	}
+	return total
 }
 
 func (d *Deployment) nextAddr() netip.Addr {

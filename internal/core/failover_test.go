@@ -1,0 +1,99 @@
+// Multi-manager deployment tests: instance bookkeeping and the anycast
+// re-route the SDK-level failover tests build on.
+package core
+
+import (
+	"testing"
+
+	"micropnp/internal/driver"
+)
+
+// TestAnycastReroutesAfterNearestDies pins which instance serves: the
+// nearest manager takes the install uploads until it crashes, then the
+// anycast routes new installs to the survivor — observable here through the
+// per-instance upload counters the public SDK only exposes summed.
+func TestAnycastReroutesAfterNearestDies(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Managers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	managers := d.Managers()
+	if len(managers) != 2 {
+		t.Fatalf("Managers() = %d instances, want 2", len(managers))
+	}
+
+	// Things attach under the border manager: instance 0 is one hop away,
+	// instance 1 (a sibling subtree) two — the anycast must pick 0.
+	th1, err := d.AddThing("near")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlugTMP36(th1, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Network.RunUntilIdle(0)
+	if u0, u1 := managers[0].Uploads(), managers[1].Uploads(); u0 != 1 || u1 != 0 {
+		t.Fatalf("pre-failure uploads = (%d, %d), want (1, 0): nearest instance must serve", u0, u1)
+	}
+
+	if err := d.FailManager(0); err != nil {
+		t.Fatal(err)
+	}
+	if !managers[0].Failed() || managers[1].Failed() {
+		t.Fatal("Failed() flags wrong after FailManager(0)")
+	}
+	if d.Mgmt() != managers[1] {
+		t.Fatal("Mgmt() must return the survivor")
+	}
+
+	th2, err := d.AddThing("post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PlugTMP36(th2, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Network.RunUntilIdle(0)
+	if u0, u1 := managers[0].Uploads(), managers[1].Uploads(); u0 != 1 || u1 != 1 {
+		t.Fatalf("post-failure uploads = (%d, %d), want (1, 1): anycast must re-route to the survivor", u0, u1)
+	}
+	if got := d.Uploads(); got != 2 {
+		t.Fatalf("Uploads() = %d, want 2", got)
+	}
+}
+
+// TestSitePrefixes pins the address plan federation routes by: site 0 keeps
+// the legacy addresses bit-for-bit, site k gets its own /48.
+func TestSitePrefixes(t *testing.T) {
+	d0, err := NewDeployment(DeploymentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Manager.Node().Addr().String() != "2001:db8::1" {
+		t.Fatalf("site-0 manager at %v, want 2001:db8::1", d0.Manager.Node().Addr())
+	}
+	d1, err := NewDeployment(DeploymentConfig{Site: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Manager.Node().Addr().String() != "2001:db8:1::1" {
+		t.Fatalf("site-1 manager at %v, want 2001:db8:1::1", d1.Manager.Node().Addr())
+	}
+	if d0.Prefix() == d1.Prefix() {
+		t.Fatal("sites 0 and 1 share a network prefix")
+	}
+	th, err := d1.AddThing("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.PlugTMP36(th, 0); err != nil {
+		t.Fatal(err)
+	}
+	d1.Network.RunUntilIdle(0)
+	if len(th.InstalledDrivers()) != 1 {
+		t.Fatal("plug-in sequence broken on a non-zero site")
+	}
+	if th.InstalledDrivers()[0] != driver.IDTMP36 {
+		t.Fatalf("installed %v, want TMP36", th.InstalledDrivers()[0])
+	}
+}

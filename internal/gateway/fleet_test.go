@@ -1,0 +1,294 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"micropnp"
+	"micropnp/internal/catalog"
+)
+
+// fleetRig is a federation of virtual deployments behind one gateway: each
+// member gets its own site prefix, two anycast managers, nThings TMP36
+// Things, and a per-member catalog feed so leases expire on the owning
+// member's clock.
+type fleetRig struct {
+	fleet  *micropnp.Fleet
+	deps   []*micropnp.Deployment
+	cat    *catalog.Catalog
+	srv    *Server
+	ts     *httptest.Server
+	things [][]*micropnp.Thing // [member][thing]
+}
+
+func newFleetRig(t *testing.T, members, nThings int, ttl time.Duration) *fleetRig {
+	t.Helper()
+	r := &fleetRig{}
+	for i := 0; i < members; i++ {
+		d, err := micropnp.NewDeployment(micropnp.WithSite(i), micropnp.WithManagers(2))
+		if err != nil {
+			t.Fatalf("NewDeployment(site %d): %v", i, err)
+		}
+		t.Cleanup(d.Close)
+		var ths []*micropnp.Thing
+		for j := 0; j < nThings; j++ {
+			th, err := d.AddThing(fmt.Sprintf("m%d-thing-%d", i, j))
+			if err != nil {
+				t.Fatalf("AddThing: %v", err)
+			}
+			if err := th.PlugTMP36(0); err != nil {
+				t.Fatalf("PlugTMP36: %v", err)
+			}
+			ths = append(ths, th)
+		}
+		r.deps = append(r.deps, d)
+		r.things = append(r.things, ths)
+	}
+	fleet, err := micropnp.NewFleet(r.deps...)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	r.fleet = fleet
+
+	// One catalog over the whole fleet: feed 0 is member 0's clock (the
+	// catalog's own Now), AddFeed registers the rest, and the fleet-wide
+	// advert hook attributes each sighting to its owner by address prefix.
+	cat, err := catalog.New(catalog.Config{TTL: ttl, Now: r.deps[0].Now})
+	if err != nil {
+		t.Fatalf("catalog.New: %v", err)
+	}
+	observers := map[*micropnp.Deployment]func(micropnp.Advert){r.deps[0]: cat.Observe}
+	for _, d := range r.deps[1:] {
+		feed, err := cat.AddFeed(d.Now)
+		if err != nil {
+			t.Fatalf("AddFeed: %v", err)
+		}
+		observers[d] = feed.Observe
+	}
+	fleet.AddAdvertHook(func(a micropnp.Advert) {
+		if d := fleet.DeploymentFor(a.Thing); d != nil {
+			observers[d](a)
+		}
+	})
+	r.cat = cat
+
+	for _, d := range r.deps {
+		d.Run()
+	}
+	srv, err := New(Config{Fleet: fleet, Catalog: cat})
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	r.srv = srv
+	r.ts = httptest.NewServer(srv)
+	t.Cleanup(r.ts.Close)
+	return r
+}
+
+func (r *fleetRig) get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(r.ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s body: %v", path, err)
+	}
+	return resp, body
+}
+
+func (r *fleetRig) post(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(r.ts.URL+path, "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("POST %s body: %v", path, err)
+	}
+	return resp, body
+}
+
+func TestFleetGatewayConfigExclusive(t *testing.T) {
+	d, err := micropnp.NewDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cl, err := d.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := micropnp.NewFleet(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.New(catalog.Config{TTL: time.Minute, Now: d.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Fleet: fleet, Deployment: d, Client: cl, Catalog: cat}); err == nil {
+		t.Fatal("New accepted Fleet alongside Deployment/Client")
+	}
+	if _, err := New(Config{Fleet: fleet, Catalog: cat}); err != nil {
+		t.Fatalf("New rejected a fleet-only config: %v", err)
+	}
+}
+
+// TestFleetGatewayRoutesAcrossMembers reads one Thing from every member
+// through the same gateway and checks the response is attributed (via the
+// X-Upnp-Deployment header) to the owning member, with the virtual-time
+// span measured on that member's clock.
+func TestFleetGatewayRoutesAcrossMembers(t *testing.T) {
+	r := newFleetRig(t, 3, 2, time.Hour)
+
+	// Populate the catalog across the whole federation first.
+	resp, body := r.post(t, "/discover?device=all")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /discover: status %d, body %s", resp.StatusCode, body)
+	}
+	var disc struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &disc); err != nil {
+		t.Fatal(err)
+	}
+	if disc.Count != 6 {
+		t.Fatalf("fleet-wide discovery found %d peripherals, want 6", disc.Count)
+	}
+	if got := r.cat.Size(); got != 6 {
+		t.Fatalf("catalog holds %d entries after fleet discovery, want 6", got)
+	}
+
+	for i, ths := range r.things {
+		before := r.deps[i].Now()
+		resp, body := r.get(t, "/things/"+ths[0].Addr().String()+"/read?peripheral=tmp36")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read member %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Upnp-Deployment"); got != strconv.Itoa(i) {
+			t.Fatalf("read member %d attributed to deployment %q", i, got)
+		}
+		span, err := strconv.ParseInt(resp.Header.Get("X-Upnp-Virtual-Ns"), 10, 64)
+		if err != nil || span <= 0 {
+			t.Fatalf("read member %d: bad virtual span %q (%v)", i, resp.Header.Get("X-Upnp-Virtual-Ns"), err)
+		}
+		if advanced := int64(r.deps[i].Now() - before); span > advanced {
+			t.Fatalf("read member %d: span %d ns exceeds the member clock advance %d ns", i, span, advanced)
+		}
+	}
+
+	// An address no member's prefix owns is a routing error, not a panic.
+	resp, _ = r.get(t, "/things/2001:db8:ffff::99/read?peripheral=tmp36")
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("read of an unroutable address succeeded")
+	}
+}
+
+// TestFleetGatewayPerFeedExpiry pins the per-feed lease clocks: advancing
+// only member 0's virtual clock past the TTL must expire member 0's
+// catalog entries and no one else's.
+func TestFleetGatewayPerFeedExpiry(t *testing.T) {
+	const ttl = 10 * time.Second
+	r := newFleetRig(t, 3, 1, ttl)
+
+	if resp, body := r.post(t, "/discover?device=all"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /discover: status %d, body %s", resp.StatusCode, body)
+	}
+	if got := r.cat.Size(); got != 3 {
+		t.Fatalf("catalog holds %d entries, want 3", got)
+	}
+
+	// Drive member 0's clock past its entry's lease with unicast reads
+	// (reads refresh no leases); members 1 and 2 stay parked, so their
+	// leases — expiring on their own feeds' clocks — must survive the sweep.
+	e0, ok := r.cat.Get(r.things[0][0].Addr(), micropnp.TMP36)
+	if !ok {
+		t.Fatal("member 0's peripheral missing from the catalog")
+	}
+	deadline := e0.Expires + time.Second
+	addr := r.things[0][0].Addr().String()
+	for r.deps[0].Now() < deadline {
+		if resp, body := r.get(t, "/things/"+addr+"/read?peripheral=tmp36"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pump read: status %d, body %s", resp.StatusCode, body)
+		}
+	}
+	if expired := r.cat.Sweep(); expired != 1 {
+		t.Fatalf("sweep expired %d entries, want exactly member 0's 1", expired)
+	}
+	for i, ths := range r.things {
+		_, ok := r.cat.Get(ths[0].Addr(), micropnp.TMP36)
+		if want := i != 0; ok != want {
+			t.Fatalf("member %d catalogued=%v after sweep, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestFleetGatewayFailManager drives the HTTP fault injection: crash one
+// manager of one member and verify the data path stays green via the
+// surviving anycast instance.
+func TestFleetGatewayFailManager(t *testing.T) {
+	r := newFleetRig(t, 2, 1, time.Hour)
+
+	resp, body := r.post(t, "/admin/fail-manager?deployment=1&manager=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail-manager: status %d, body %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Deployment int `json:"deployment"`
+		Manager    int `json:"manager"`
+		Managers   int `json:"managers"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Deployment != 1 || out.Manager != 0 || out.Managers != 2 {
+		t.Fatalf("fail-manager reported %+v", out)
+	}
+
+	// The member still serves reads through its surviving manager.
+	resp, body = r.get(t, "/things/"+r.things[1][0].Addr().String()+"/read?peripheral=tmp36")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-crash read: status %d, body %s", resp.StatusCode, body)
+	}
+
+	for _, bad := range []string{
+		"/admin/fail-manager?deployment=7",
+		"/admin/fail-manager?deployment=-1",
+		"/admin/fail-manager?manager=x",
+	} {
+		if resp, _ := r.post(t, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestFleetGatewayHealthz pins the federation shape in the liveness report.
+func TestFleetGatewayHealthz(t *testing.T) {
+	r := newFleetRig(t, 3, 1, time.Hour)
+	resp, body := r.get(t, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	var h struct {
+		OK          bool    `json:"ok"`
+		Deployments int     `json:"deployments"`
+		DepNowNs    []int64 `json:"deployment_now_ns"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Deployments != 3 || len(h.DepNowNs) != 3 {
+		t.Fatalf("healthz reported %+v", h)
+	}
+}

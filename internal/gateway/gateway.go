@@ -28,6 +28,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,14 +50,31 @@ import (
 // Config.StreamBuffer is zero.
 const DefaultStreamBuffer = 16
 
-// Config wires a Server to a deployment.
+// Backend is the SDK data-path surface the gateway fronts. Both
+// *micropnp.Client (one deployment) and *micropnp.Fleet (a federation,
+// routing by address prefix) satisfy it with identical semantics — the
+// handlers never know which they talk to.
+type Backend interface {
+	ReadInto(ctx context.Context, thing netip.Addr, id micropnp.DeviceID, scratch []int32) (micropnp.Reading, error)
+	Write(ctx context.Context, thing netip.Addr, id micropnp.DeviceID, vals []int32) error
+	Discover(ctx context.Context, id micropnp.DeviceID) ([]micropnp.Advert, error)
+	Subscribe(ctx context.Context, thing netip.Addr, id micropnp.DeviceID, onReading func(micropnp.Reading)) (*micropnp.Subscription, error)
+}
+
+// Config wires a Server to a deployment or a whole fleet.
 type Config struct {
-	// Deployment and Client are the SDK handles the gateway fronts.
+	// Deployment and Client front a single deployment. Mutually exclusive
+	// with Fleet.
 	Deployment *micropnp.Deployment
 	Client     *micropnp.Client
+	// Fleet fronts a federation: requests route by Thing address prefix,
+	// and each data-path response's X-Upnp-Virtual-Ns span is measured on
+	// the owning member's clock (members keep independent timelines).
+	Fleet *micropnp.Fleet
 	// Catalog is the lease registry backing the listing endpoints. The
-	// caller owns wiring (Client.AddAdvertHook(Catalog.Observe)) and the
-	// sweep goroutine; the gateway only reads it.
+	// caller owns wiring (Client.AddAdvertHook(Catalog.Observe), or one
+	// catalog.AddFeed per fleet member) and the sweep goroutine; the
+	// gateway only reads it.
 	Catalog *catalog.Catalog
 	// StreamBuffer is the per-client SSE queue depth (0 = DefaultStreamBuffer).
 	// A reading arriving at a full queue is shed.
@@ -65,8 +83,9 @@ type Config struct {
 
 // Server is the gateway's http.Handler. Create with New.
 type Server struct {
-	d         *micropnp.Deployment
-	cl        *micropnp.Client
+	deps      []*micropnp.Deployment // fleet members, or the one deployment
+	be        Backend
+	fleet     *micropnp.Fleet // nil when fronting a single deployment
 	cat       *catalog.Catalog
 	mux       *http.ServeMux
 	streamBuf int
@@ -89,21 +108,33 @@ type Server struct {
 	scratch sync.Pool
 }
 
-// New builds the gateway server.
+// New builds the gateway server over one deployment (Deployment+Client) or a
+// federation (Fleet).
 func New(cfg Config) (*Server, error) {
-	if cfg.Deployment == nil || cfg.Client == nil || cfg.Catalog == nil {
-		return nil, fmt.Errorf("gateway: Config.Deployment, Client and Catalog are all required")
-	}
-	buf := cfg.StreamBuffer
-	if buf <= 0 {
-		buf = DefaultStreamBuffer
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("gateway: Config.Catalog is required")
 	}
 	s := &Server{
-		d:         cfg.Deployment,
-		cl:        cfg.Client,
 		cat:       cfg.Catalog,
 		mux:       http.NewServeMux(),
-		streamBuf: buf,
+		streamBuf: cfg.StreamBuffer,
+	}
+	if s.streamBuf <= 0 {
+		s.streamBuf = DefaultStreamBuffer
+	}
+	switch {
+	case cfg.Fleet != nil:
+		if cfg.Deployment != nil || cfg.Client != nil {
+			return nil, fmt.Errorf("gateway: Config.Fleet is mutually exclusive with Deployment/Client")
+		}
+		s.fleet = cfg.Fleet
+		s.deps = cfg.Fleet.Deployments()
+		s.be = cfg.Fleet
+	case cfg.Deployment != nil && cfg.Client != nil:
+		s.deps = []*micropnp.Deployment{cfg.Deployment}
+		s.be = cfg.Client
+	default:
+		return nil, fmt.Errorf("gateway: need Config.Fleet, or Config.Deployment and Config.Client")
 	}
 	s.scratch.New = func() any { b := make([]int32, 0, 16); return &b }
 	s.mux.HandleFunc("GET /things", s.handleList)
@@ -112,9 +143,23 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("PUT /things/{addr}/write", s.handleWrite)
 	s.mux.HandleFunc("POST /discover", s.handleDiscover)
 	s.mux.HandleFunc("GET /things/{addr}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /admin/fail-manager", s.handleFailManager)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// clockFor resolves the deployment whose virtual clock times a request on a
+// Thing address: the owning fleet member, or the single fronted deployment.
+// Unroutable addresses fall back to member 0 — the SDK call will fail with
+// its own routing error, and the span is still well-defined.
+func (s *Server) clockFor(thing netip.Addr) *micropnp.Deployment {
+	if s.fleet != nil {
+		if d := s.fleet.DeploymentFor(thing); d != nil {
+			return d
+		}
+	}
+	return s.deps[0]
 }
 
 // ServeHTTP dispatches with request/in-flight accounting.
@@ -353,16 +398,17 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	buf := s.scratch.Get().(*[]int32)
 	defer s.scratch.Put(buf)
-	start := s.d.Now()
-	reading, err := s.cl.ReadInto(r.Context(), a, dev, (*buf)[:0])
-	span := s.d.Now() - start
+	d := s.clockFor(a)
+	start := d.Now()
+	reading, err := s.be.ReadInto(r.Context(), a, dev, (*buf)[:0])
+	span := d.Now() - start
 	if err != nil {
 		s.failSDK(w, err)
 		return
 	}
 	*buf = reading.Values // keep the (possibly grown) buffer for the pool
 	s.readLat.Record(int64(span))
-	w.Header().Set("X-Upnp-Virtual-Ns", strconv.FormatInt(int64(span), 10))
+	s.setSpan(w, a, span)
 	// The reading's values alias the pooled scratch: the JSON encoder reads
 	// them before this handler returns the buffer, so no copy is needed.
 	s.writeJSON(w, http.StatusOK, ReadingJSON{
@@ -394,15 +440,16 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "body must carry a non-empty values array")
 		return
 	}
-	start := s.d.Now()
-	err := s.cl.Write(r.Context(), a, dev, body.Values)
-	span := s.d.Now() - start
+	d := s.clockFor(a)
+	start := d.Now()
+	err := s.be.Write(r.Context(), a, dev, body.Values)
+	span := d.Now() - start
 	if err != nil {
 		s.failSDK(w, err)
 		return
 	}
 	s.writeLat.Record(int64(span))
-	w.Header().Set("X-Upnp-Virtual-Ns", strconv.FormatInt(int64(span), 10))
+	s.setSpan(w, a, span)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -411,9 +458,18 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	start := s.d.Now()
-	adverts, err := s.cl.Discover(r.Context(), dev)
-	span := s.d.Now() - start
+	// Discovery fans out across every member; members keep independent
+	// clocks, so the span is the sum of per-member advances (a single
+	// deployment reduces to the plain before/after difference).
+	starts := make([]time.Duration, len(s.deps))
+	for i, d := range s.deps {
+		starts[i] = d.Now()
+	}
+	adverts, err := s.be.Discover(r.Context(), dev)
+	var span time.Duration
+	for i, d := range s.deps {
+		span += d.Now() - starts[i]
+	}
 	if err != nil {
 		s.failSDK(w, err)
 		return
@@ -456,7 +512,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// Private buffered queue per client: the stream delivery goroutine
 	// must never block, so a full queue sheds the reading instead.
 	queue := make(chan micropnp.Reading, s.streamBuf)
-	sub, err := s.cl.Subscribe(r.Context(), a, dev, func(rd micropnp.Reading) {
+	sub, err := s.be.Subscribe(r.Context(), a, dev, func(rd micropnp.Reading) {
 		// Readings alias stream-delivery buffers; copy values before they
 		// cross into the writer goroutine.
 		rd.Values = append([]int32(nil), rd.Values...)
@@ -512,17 +568,79 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	mode := "virtual"
-	if s.d.Realtime() {
-		mode = "realtime"
+// setSpan stamps a data-path response with the SDK call's virtual-time span
+// and, when fronting a fleet, the index of the member that served it.
+func (s *Server) setSpan(w http.ResponseWriter, thing netip.Addr, span time.Duration) {
+	w.Header().Set("X-Upnp-Virtual-Ns", strconv.FormatInt(int64(span), 10))
+	if s.fleet != nil {
+		if d := s.fleet.DeploymentFor(thing); d != nil {
+			for i, member := range s.deps {
+				if member == d {
+					w.Header().Set("X-Upnp-Deployment", strconv.Itoa(i))
+					break
+				}
+			}
+		}
+	}
+}
+
+// handleFailManager crashes one anycast manager instance — the fault
+// injection the failover smoke drives over HTTP: POST
+// /admin/fail-manager?deployment=I&manager=J (both default 0). The fleet's
+// in-flight installs must then finish via the surviving instances, which the
+// caller can observe through the data-path endpoints staying green.
+func (s *Server) handleFailManager(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	depIdx, mgrIdx := 0, 0
+	if v := q.Get("deployment"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n >= len(s.deps) {
+			s.fail(w, http.StatusBadRequest, "bad deployment %q (have %d)", v, len(s.deps))
+			return
+		}
+		depIdx = n
+	}
+	if v := q.Get("manager"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, "bad manager %q", v)
+			return
+		}
+		mgrIdx = n
+	}
+	d := s.deps[depIdx]
+	if err := d.FailManager(mgrIdx); err != nil {
+		s.fail(w, http.StatusConflict, "%v", err)
+		return
 	}
 	s.writeJSON(w, http.StatusOK, struct {
-		OK      bool   `json:"ok"`
-		Mode    string `json:"mode"`
-		NowNs   int64  `json:"now_ns"`
-		Catalog int    `json:"catalog_size"`
-	}{OK: true, Mode: mode, NowNs: int64(s.d.Now()), Catalog: s.cat.Size()})
+		Deployment int `json:"deployment"`
+		Manager    int `json:"manager"`
+		Managers   int `json:"managers"`
+	}{Deployment: depIdx, Manager: mgrIdx, Managers: d.ManagerCount()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mode := "virtual"
+	if s.deps[0].Realtime() {
+		mode = "realtime"
+	}
+	out := struct {
+		OK          bool    `json:"ok"`
+		Mode        string  `json:"mode"`
+		NowNs       int64   `json:"now_ns"`
+		Deployments int     `json:"deployments,omitempty"`
+		DepNowNs    []int64 `json:"deployment_now_ns,omitempty"`
+		Catalog     int     `json:"catalog_size"`
+	}{OK: true, Mode: mode, NowNs: int64(s.deps[0].Now()), Catalog: s.cat.Size()}
+	if s.fleet != nil {
+		out.Deployments = len(s.deps)
+		out.DepNowNs = make([]int64, len(s.deps))
+		for i, d := range s.deps {
+			out.DepNowNs[i] = int64(d.Now())
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -51,10 +51,12 @@ type swapPending struct {
 	st     *opStats
 }
 
-// heldSub is an open subscription the virtual loop closes at closeAt.
+// heldSub is an open subscription the virtual loop closes at closeAt; dep is
+// the fleet member whose clock the close rides on (0 outside fleet runs).
 type heldSub struct {
 	sub     *micropnp.Subscription
 	closeAt time.Duration
+	dep     int
 }
 
 type pairKey struct {
@@ -63,11 +65,18 @@ type pairKey struct {
 }
 
 type runner struct {
-	cfg       Config
+	cfg Config
+	// Single-deployment runs drive d directly; fleet runs (cfg.Deployments
+	// > 1) drive deps through fleet instead and leave d nil — depClock
+	// resolves the right clock either way.
 	d         *micropnp.Deployment
+	deps      []*micropnp.Deployment
+	fleet     *micropnp.Fleet
 	clients   []*micropnp.Client
 	targets   []*target
 	writables []*target
+
+	failedMgr bool // ManagerFailAt already injected
 
 	start        time.Duration // virtual time the workload begins
 	measureStart time.Duration
@@ -121,10 +130,102 @@ func run(cfg Config) (*runner, *Result, error) {
 	if cfg.Arrival == ArrivalOpen && cfg.Rate <= 0 {
 		return nil, nil, fmt.Errorf("loadgen: open-loop runs need a positive rate")
 	}
+	r := &runner{
+		cfg:    cfg,
+		swaps:  map[netip.Addr]*swapPending{},
+		pairs:  map[pairKey]*micropnp.Thing{},
+		stopCh: make(chan struct{}),
+	}
+	r.bufs.New = func() any { b := make([]int32, 0, 8); return &b }
+	lanes := 1
+	if cfg.Arrival == ArrivalClosed {
+		lanes = cfg.Workers
+	}
+	r.laneHash = make([]uint64, lanes)
+	for i := range r.laneHash {
+		r.laneHash[i] = fnvOffset
+	}
+	r.laneOps = make([]atomic.Uint64, lanes)
+
+	var err error
+	if cfg.Deployments > 1 {
+		// Fleet mode: one deployment per site, federated behind a Fleet; the
+		// fleet's own per-member clients carry the workload, so the runner
+		// adds none of its own.
+		r.deps = make([]*micropnp.Deployment, cfg.Deployments)
+		for i := range r.deps {
+			if r.deps[i], err = micropnp.NewDeployment(deployOpts(cfg, cfg.Seed+int64(i)*104729, i)...); err != nil {
+				return nil, nil, err
+			}
+		}
+		if r.fleet, err = micropnp.NewFleet(r.deps...); err != nil {
+			return nil, nil, err
+		}
+		if r.targets, r.writables, err = buildFleetTopology(r.deps, cfg); err != nil {
+			return nil, nil, err
+		}
+		for _, d := range r.deps {
+			d.Run() // drain every member's plug-in sequences
+		}
+		r.fleet.AddAdvertHook(r.onAdvert)
+		// The workload origin is the slowest member's settle instant; the
+		// conductor pulls the others level on the first arrival.
+		for _, d := range r.deps {
+			if now := d.Now(); now > r.start {
+				r.start = now
+			}
+		}
+	} else {
+		d, derr := micropnp.NewDeployment(deployOpts(cfg, cfg.Seed, 0)...)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		if cfg.Realtime {
+			defer d.Close()
+		}
+		r.d = d
+		if r.targets, r.writables, err = buildTopology(d, cfg); err != nil {
+			return nil, nil, err
+		}
+		r.clients = make([]*micropnp.Client, cfg.Clients)
+		for i := range r.clients {
+			if r.clients[i], err = d.AddClient(); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Let every plug-in sequence (identify, OTA driver install, advertise)
+		// drain before the workload starts; no streams are active yet, so Run
+		// terminates in both modes.
+		d.Run()
+		r.clients[0].OnAdvert(r.onAdvert)
+		r.start = d.Now()
+	}
+	r.measureStart = r.start + cfg.Warmup
+	r.measureEnd = r.measureStart + cfg.Duration
+	if cfg.Realtime {
+		r.runRealtime()
+	} else {
+		r.runVirtual()
+	}
+	r.teardown()
+	return r, r.result(), nil
+}
+
+// deployOpts assembles one deployment's option list. Fleet members get their
+// own site (hence a distinct /48 prefix for the fleet's routing) and a
+// site-salted seed, so each member's loss/jitter streams differ while the
+// whole fleet stays a deterministic function of cfg.Seed.
+func deployOpts(cfg Config, seed int64, site int) []micropnp.Option {
 	opts := []micropnp.Option{
-		micropnp.WithSeed(cfg.Seed),
+		micropnp.WithSeed(seed),
 		micropnp.WithStreamPeriod(cfg.StreamPeriod),
 		micropnp.WithRequestTimeout(cfg.RequestTimeout),
+	}
+	if site > 0 {
+		opts = append(opts, micropnp.WithSite(site))
+	}
+	if cfg.Managers > 1 {
+		opts = append(opts, micropnp.WithManagers(cfg.Managers))
 	}
 	if cfg.LossRate > 0 {
 		opts = append(opts, micropnp.WithLossRate(cfg.LossRate))
@@ -147,57 +248,28 @@ func run(cfg Config) (*runner, *Result, error) {
 			opts = append(opts, micropnp.WithWorkers(cfg.PoolWorkers))
 		}
 	}
-	d, err := micropnp.NewDeployment(opts...)
-	if err != nil {
-		return nil, nil, err
-	}
-	if cfg.Realtime {
-		defer d.Close()
-	}
-	r := &runner{
-		cfg:    cfg,
-		d:      d,
-		swaps:  map[netip.Addr]*swapPending{},
-		pairs:  map[pairKey]*micropnp.Thing{},
-		stopCh: make(chan struct{}),
-	}
-	r.bufs.New = func() any { b := make([]int32, 0, 8); return &b }
-	lanes := 1
-	if cfg.Arrival == ArrivalClosed {
-		lanes = cfg.Workers
-	}
-	r.laneHash = make([]uint64, lanes)
-	for i := range r.laneHash {
-		r.laneHash[i] = fnvOffset
-	}
-	r.laneOps = make([]atomic.Uint64, lanes)
+	return opts
+}
 
-	r.targets, r.writables, err = buildTopology(d, cfg)
-	if err != nil {
-		return nil, nil, err
+// depClock resolves the deployment whose virtual clock an event on fleet
+// member dep rides on; single-deployment runs always answer r.d.
+func (r *runner) depClock(dep int) *micropnp.Deployment {
+	if r.fleet == nil {
+		return r.d
 	}
-	r.clients = make([]*micropnp.Client, cfg.Clients)
-	for i := range r.clients {
-		if r.clients[i], err = d.AddClient(); err != nil {
-			return nil, nil, err
-		}
-	}
-	// Let every plug-in sequence (identify, OTA driver install, advertise)
-	// drain before the workload starts; no streams are active yet, so Run
-	// terminates in both modes.
-	d.Run()
-	r.clients[0].OnAdvert(r.onAdvert)
+	return r.deps[dep]
+}
 
-	r.start = d.Now()
-	r.measureStart = r.start + cfg.Warmup
-	r.measureEnd = r.measureStart + cfg.Duration
-	if cfg.Realtime {
-		r.runRealtime()
-	} else {
-		r.runVirtual()
+// planDep names the fleet member a drawn plan executes against: the target's
+// (or write target's) owner, or member 0 for client-side fan-outs (discover).
+func (r *runner) planDep(p plan) int {
+	switch {
+	case p.tgt != nil:
+		return p.tgt.dep
+	case p.wr != nil:
+		return p.wr.dep
 	}
-	r.teardown()
-	return r, r.result(), nil
+	return 0
 }
 
 // ---------------------------------------------------------------------------
@@ -241,16 +313,21 @@ func (r *runner) drawPlan(rng *rand.Rand, lane int, intended time.Duration, open
 		wrIdx = rng.Intn(len(r.writables))
 		p.wr = r.writables[wrIdx]
 		p.val = int32(rng.Intn(256))
-		clIdx = p.wr.idx % len(r.clients)
+		clIdx = p.wr.idx % r.cfg.Clients
 	case OpDiscover:
 		p.disc = sensorCycle[rng.Intn(len(sensorCycle))]
-		clIdx = rng.Intn(len(r.clients))
+		clIdx = rng.Intn(r.cfg.Clients)
 	default:
 		tgtIdx = rng.Intn(len(r.targets))
 		p.tgt = r.targets[tgtIdx]
-		clIdx = tgtIdx % len(r.clients)
+		clIdx = tgtIdx % r.cfg.Clients
 	}
-	p.cl = r.clients[clIdx]
+	// Fleet runs carry every op through the fleet's own per-member clients;
+	// the drawn client index still folds into the schedule hash so single-
+	// and fleet-mode schedules stay comparable draw for draw.
+	if r.fleet == nil {
+		p.cl = r.clients[clIdx]
+	}
 	h := fnvMix(r.laneHash[lane], uint64(p.op), uint64(tgtIdx+1), uint64(wrIdx+1), uint64(clIdx))
 	if openLane {
 		// Hash the offset from the workload start: the absolute instant the
@@ -286,9 +363,12 @@ func (r *runner) recordable(t time.Duration) bool {
 
 // exec performs one drawn operation. Open-loop latency is charged from the
 // intended arrival instant (counting backlog delay — the coordinated
-// omission correction); closed-loop latency from the actual issue time.
+// omission correction); closed-loop latency from the actual issue time. The
+// op's clock is its target's deployment — in fleet runs each member keeps its
+// own virtual timeline and ops route through the fleet surface.
 func (r *runner) exec(lane int, p plan, intended time.Duration, openLoop bool) {
-	from := r.d.Now()
+	d := r.depClock(r.planDep(p))
+	from := d.Now()
 	if openLoop {
 		from = intended
 	}
@@ -302,48 +382,71 @@ func (r *runner) exec(lane int, p plan, intended time.Duration, openLoop bool) {
 	switch p.op {
 	case OpRead:
 		buf := r.bufs.Get().(*[]int32)
-		rd, err := p.cl.ReadInto(ctx, p.tgt.addr, p.tgt.device(), *buf)
+		var rd micropnp.Reading
+		var err error
+		if r.fleet != nil {
+			rd, err = r.fleet.ReadInto(ctx, p.tgt.addr, p.tgt.device(), *buf)
+		} else {
+			rd, err = p.cl.ReadInto(ctx, p.tgt.addr, p.tgt.device(), *buf)
+		}
 		if err == nil && rd.Values != nil {
 			*buf = rd.Values[:0] // recycle the (possibly grown) scratch
 		}
 		r.bufs.Put(buf)
-		r.finish(st, rec, from, err)
+		r.finish(d, st, rec, from, err)
 	case OpWrite:
-		err := p.cl.Write(ctx, p.wr.addr, micropnp.Relay, []int32{p.val})
-		r.finish(st, rec, from, err)
+		var err error
+		if r.fleet != nil {
+			err = r.fleet.Write(ctx, p.wr.addr, micropnp.Relay, []int32{p.val})
+		} else {
+			err = p.cl.Write(ctx, p.wr.addr, micropnp.Relay, []int32{p.val})
+		}
+		r.finish(d, st, rec, from, err)
 	case OpDiscover:
-		_, err := p.cl.Discover(ctx, p.disc)
-		r.finish(st, rec, from, err)
+		var err error
+		if r.fleet != nil {
+			_, err = r.fleet.Discover(ctx, p.disc)
+		} else {
+			_, err = p.cl.Discover(ctx, p.disc)
+		}
+		r.finish(d, st, rec, from, err)
 	case OpSubscribe:
-		sub, err := p.cl.Subscribe(ctx, p.tgt.addr, p.tgt.device(), r.onReading)
-		r.finish(st, rec, from, err)
+		var sub *micropnp.Subscription
+		var err error
+		if r.fleet != nil {
+			sub, err = r.fleet.Subscribe(ctx, p.tgt.addr, p.tgt.device(), r.onReading)
+		} else {
+			sub, err = p.cl.Subscribe(ctx, p.tgt.addr, p.tgt.device(), r.onReading)
+		}
+		r.finish(d, st, rec, from, err)
 		if err == nil {
 			r.pairMu.Lock()
 			r.pairs[pairKey{p.tgt.addr, sub.Device()}] = p.tgt.thing
 			r.pairMu.Unlock()
 			if p.sink != nil {
-				*p.sink = append(*p.sink, heldSub{sub: sub, closeAt: r.d.Now() + r.cfg.SubHold})
+				*p.sink = append(*p.sink, heldSub{sub: sub, closeAt: d.Now() + r.cfg.SubHold})
 			} else {
-				r.holdSub(sub)
+				r.holdSub(sub, p.tgt.dep)
 			}
 		}
 	case OpDrivers:
-		_, err := r.d.DiscoverDrivers(ctx, p.tgt.thing)
-		r.finish(st, rec, from, err)
+		_, err := d.DiscoverDrivers(ctx, p.tgt.thing)
+		r.finish(d, st, rec, from, err)
 	case OpHotSwap:
 		r.execHotSwap(st, p, rec, from)
 	}
 }
 
-// finish records one synchronous operation outcome.
-func (r *runner) finish(st *opStats, rec bool, from time.Duration, err error) {
+// finish records one synchronous operation outcome; d is the deployment clock
+// the op completed on.
+func (r *runner) finish(d *micropnp.Deployment, st *opStats, rec bool, from time.Duration, err error) {
 	if !rec {
 		return
 	}
 	switch {
 	case err == nil:
 		st.completed.Add(1)
-		st.hist.Record(int64(r.d.Now() - from))
+		st.hist.Record(int64(d.Now() - from))
 	case errors.Is(err, micropnp.ErrTimeout):
 		st.timeouts.Add(1)
 	default:
@@ -442,16 +545,17 @@ func (r *runner) onAdvert(ad micropnp.Advert) {
 	sp.target.mu.Unlock()
 	if sp.rec {
 		sp.st.completed.Add(1)
-		sp.st.hist.Record(int64(r.d.Now() - sp.from))
+		sp.st.hist.Record(int64(r.depClock(sp.target.dep).Now() - sp.from))
 	}
 }
 
 // holdSub keeps a freshly established subscription open for SubHold of
-// virtual time: the virtual loop services the close inline on its timeline,
-// realtime mode parks a goroutine (cancelled at teardown via stopCh).
-func (r *runner) holdSub(sub *micropnp.Subscription) {
+// virtual time: the virtual loop services the close inline on its timeline
+// (dep names the owning fleet member's clock), realtime mode parks a
+// goroutine (cancelled at teardown via stopCh).
+func (r *runner) holdSub(sub *micropnp.Subscription, dep int) {
 	if !r.cfg.Realtime {
-		r.openSubs = append(r.openSubs, heldSub{sub: sub, closeAt: r.d.Now() + r.cfg.SubHold})
+		r.openSubs = append(r.openSubs, heldSub{sub: sub, closeAt: r.depClock(dep).Now() + r.cfg.SubHold, dep: dep})
 		return
 	}
 	r.subWG.Add(1)
@@ -487,7 +591,9 @@ func (r *runner) leaveOp() { r.inflight.Add(-1) }
 // groups while staying deterministic.
 
 // advanceTo drives the simulation to virtual instant t, servicing
-// subscription closes that fall due on the way.
+// subscription closes that fall due on the way. Each close rides its own
+// deployment's clock; fleet runs then pull every member level via the
+// conductor.
 func (r *runner) advanceTo(t time.Duration) {
 	for {
 		due := -1
@@ -503,25 +609,66 @@ func (r *runner) advanceTo(t time.Duration) {
 		last := len(r.openSubs) - 1
 		r.openSubs[due] = r.openSubs[last]
 		r.openSubs = r.openSubs[:last]
-		if now := r.d.Now(); now < hs.closeAt {
-			r.d.RunFor(hs.closeAt - now)
+		dd := r.depClock(hs.dep)
+		if now := dd.Now(); now < hs.closeAt {
+			dd.RunFor(hs.closeAt - now)
 		}
 		hs.sub.Close()
+	}
+	if r.fleet != nil {
+		r.conductTo(t)
+		return
 	}
 	if now := r.d.Now(); now < t {
 		r.d.RunFor(t - now)
 	}
 }
 
+// conductorQuantum bounds one conductor step: no member clock runs more than
+// this far ahead of the laggard while the fleet advances to a common instant.
+const conductorQuantum = 250 * time.Millisecond
+
+// conductTo is the fleet conductor: it steps every member deployment's
+// virtual clock to instant t round-robin in bounded quanta (member 0 a
+// quantum, member 1 a quantum, ... until all reach t). The deployments share
+// no simulated links, so the interleave cannot change any member's event
+// order — it only keeps the clocks from drifting apart between workload
+// arrivals, and the fixed member order keeps the walk deterministic.
+func (r *runner) conductTo(t time.Duration) {
+	for {
+		behind := false
+		for _, d := range r.deps {
+			now := d.Now()
+			if now >= t {
+				continue
+			}
+			step := t - now
+			if step > conductorQuantum {
+				step = conductorQuantum
+				behind = true
+			}
+			d.RunFor(step)
+		}
+		if !behind {
+			return
+		}
+	}
+}
+
 func (r *runner) runVirtual() {
 	if r.cfg.Arrival == ArrivalOpen {
-		if r.cfg.Zones > 1 {
+		// Fleet runs always use the sequential arrival loop below — each
+		// member may still shard internally (Zones > 1), but the conductor
+		// stays one goroutine; only the single-deployment zoned run diverts
+		// to the conducted strand engine.
+		if r.cfg.Zones > 1 && r.fleet == nil {
 			r.runConducted()
 			return
 		}
 		rng := r.laneRng(0)
 		next := r.start + r.interarrival(rng)
 		for next < r.measureEnd {
+			r.maybeFailManager(next)
 			r.advanceTo(next)
 			p := r.drawPlan(rng, 0, next, true)
 			r.enterOp()
@@ -555,6 +702,26 @@ func (r *runner) runVirtual() {
 		r.leaveOp()
 		nextFree[w] = r.d.Now() + r.cfg.Think
 	}
+}
+
+// maybeFailManager injects the configured manager crash: once the next
+// arrival passes the ManagerFailAt offset, the clocks are conducted to
+// exactly that instant and manager 0 of deployment 0 is crashed. Pinning the
+// crash to a virtual instant (not an arrival index) makes the failover's
+// latency effects land identically in every run of the config.
+func (r *runner) maybeFailManager(next time.Duration) {
+	if r.cfg.ManagerFailAt <= 0 || r.failedMgr {
+		return
+	}
+	failAt := r.start + r.cfg.ManagerFailAt
+	if next < failAt {
+		return
+	}
+	r.failedMgr = true
+	r.advanceTo(failAt)
+	// normalize guarantees Managers >= 2, so instance 0 exists and a
+	// survivor remains; FailManager cannot fail here.
+	_ = r.depClock(0).FailManager(0)
 }
 
 // ---------------------------------------------------------------------------
@@ -783,7 +950,11 @@ func (r *runner) teardown() {
 	for i, k := range keys {
 		things[i].StopStream(k.dev)
 	}
-	r.drained = r.d.Quiesce(r.cfg.Cooldown)
+	if r.fleet != nil {
+		r.drained = r.fleet.Quiesce(r.cfg.Cooldown)
+	} else {
+		r.drained = r.d.Quiesce(r.cfg.Cooldown)
+	}
 }
 
 func (r *runner) result() *Result {
@@ -809,6 +980,13 @@ func (r *runner) result() *Result {
 	} else {
 		res.Zones = r.cfg.Zones
 	}
+	if r.cfg.Deployments > 1 {
+		res.Deployments = r.cfg.Deployments
+	}
+	if r.cfg.Managers > 1 {
+		res.Managers = r.cfg.Managers
+	}
+	res.ManagerFailNs = int64(r.cfg.ManagerFailAt)
 	if r.cfg.Arrival == ArrivalOpen {
 		res.Process = r.cfg.Process.String()
 		res.RatePerSec = r.cfg.Rate
@@ -839,7 +1017,13 @@ func (r *runner) result() *Result {
 	}
 	res.StreamReadings = r.streams.Load()
 	res.MaxInFlight = r.maxInflight.Load()
-	if ns := r.d.NetworkStats(); ns.ShardLanes > 0 {
+	var ns micropnp.NetworkStats
+	if r.fleet != nil {
+		ns = r.fleet.Stats()
+	} else {
+		ns = r.d.NetworkStats()
+	}
+	if ns.ShardLanes > 0 {
 		res.Shard = &ShardTelemetry{
 			Lanes:               ns.ShardLanes,
 			Rounds:              ns.ShardRounds,

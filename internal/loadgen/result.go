@@ -55,6 +55,14 @@ type Result struct {
 	// are bit-identical, so their result JSON must be too.
 	Zones int    `json:"zones,omitempty"`
 	Mix   string `json:"mix"`
+	// Deployments is the fleet size of a federated run (0/absent = one
+	// deployment); Managers the per-deployment anycast redundancy when > 1.
+	// ManagerFailNs records the injected manager-crash offset into the
+	// workload (0 = no crash): the crash is part of the scenario, so two
+	// runs only compare when it matches.
+	Deployments   int   `json:"deployments,omitempty"`
+	Managers      int   `json:"managers,omitempty"`
+	ManagerFailNs int64 `json:"manager_fail_ns,omitempty"`
 
 	// WarmupNs/MeasureNs/CooldownNs are the phase spans in virtual time.
 	WarmupNs   int64 `json:"warmup_ns"`
@@ -166,6 +174,13 @@ func (r *Result) WriteJSON(path string) error {
 func (r *Result) Summarize(w io.Writer) {
 	fmt.Fprintf(w, "scenario %s (%s, %s arrival, seed %d): %d things, mix %s\n",
 		r.Scenario, r.Mode, r.Arrival, r.Seed, r.Things, r.Mix)
+	if r.Deployments > 1 {
+		fmt.Fprintf(w, "fleet: %d deployments, %d managers each", r.Deployments, r.Managers)
+		if r.ManagerFailNs > 0 {
+			fmt.Fprintf(w, ", manager 0/0 crashed %s into the workload", time.Duration(r.ManagerFailNs))
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "measure window %s (+%s warmup): %d issued, %d ok, %d errors, %d timeouts, %d shed; max in-flight %d; %d stream readings\n",
 		time.Duration(r.MeasureNs), time.Duration(r.WarmupNs),
 		r.Issued, r.Completed, r.Errors, r.Timeouts, r.Shed, r.MaxInFlight, r.StreamReadings)

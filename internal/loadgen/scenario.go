@@ -234,6 +234,21 @@ type Config struct {
 	// JSON.
 	GlobalLookahead bool
 
+	// Deployments > 1 federates that many virtual deployments (sites
+	// 0..N-1, distinct /48 prefixes) behind one micropnp.Fleet and routes
+	// every workload operation through the fleet surface. Things spread
+	// round-robin across the members, and a fleet conductor steps the
+	// per-deployment virtual clocks round-robin in bounded quanta, so the
+	// run stays a pure function of the config (virtual, open-loop only).
+	// Managers sets the per-deployment manager redundancy (anycast
+	// instances; default 1). ManagerFailAt, when positive, crashes manager
+	// 0 of deployment 0 at exactly that offset into the workload — the
+	// deterministic failover-under-load scenario (requires Managers >= 2
+	// so the anycast has a survivor).
+	Deployments   int
+	Managers      int
+	ManagerFailAt time.Duration
+
 	// InterpDrivers pins driver execution to the reference bytecode
 	// interpreter instead of the compiled engine. The engines are
 	// transcript-identical, so with the same seed and config a virtual-mode
@@ -303,6 +318,20 @@ var presets = map[string]Config{
 	"zoned": {
 		Things: 240, Shape: ShapeZones, Zones: 8, Rate: 6,
 		Warmup: 10 * time.Second, Duration: 180 * time.Second, Cooldown: 45 * time.Second,
+		StreamPeriod: 5 * time.Second, RequestTimeout: time.Second,
+		LossRate: 0.02,
+		Mix:      mixOf(55, 10, 5, 10, 15, 5),
+	},
+	// fleet: the federation scenario — three virtual deployments (sites
+	// 0..2, two anycast manager instances each) behind one Fleet, zoned
+	// topologies inside every member, and a manager crash a third of the
+	// way into the measure window. The CI fleet job gates its latency
+	// percentiles (LOAD_fleet_baseline.json) and byte-diffs the result
+	// JSON across sharded-clock worker counts.
+	"fleet": {
+		Deployments: 3, Managers: 2, ManagerFailAt: 60 * time.Second,
+		Things: 90, Shape: ShapeZones, Zones: 4, Rate: 3,
+		Warmup: 10 * time.Second, Duration: 150 * time.Second, Cooldown: 45 * time.Second,
 		StreamPeriod: 5 * time.Second, RequestTimeout: time.Second,
 		LossRate: 0.02,
 		Mix:      mixOf(55, 10, 5, 10, 15, 5),
@@ -393,6 +422,37 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4096
+	}
+	if cfg.Deployments <= 0 {
+		cfg.Deployments = 1
+	}
+	if cfg.Managers <= 0 {
+		cfg.Managers = 1
+	}
+	if cfg.Deployments > 1 {
+		if cfg.Realtime {
+			return fmt.Errorf("loadgen: fleet runs (Deployments > 1) are virtual-mode only")
+		}
+		if cfg.Arrival != ArrivalOpen {
+			return fmt.Errorf("loadgen: fleet runs (Deployments > 1) need open-loop arrivals")
+		}
+		if cfg.Target != "" {
+			return fmt.Errorf("loadgen: fleet runs cannot use the HTTP client mode")
+		}
+	}
+	if cfg.ManagerFailAt > 0 {
+		if cfg.Managers < 2 {
+			return fmt.Errorf("loadgen: ManagerFailAt needs Managers >= 2, so the anycast keeps a survivor")
+		}
+		if cfg.Realtime {
+			return fmt.Errorf("loadgen: ManagerFailAt is virtual-mode only")
+		}
+		if cfg.Arrival != ArrivalOpen {
+			return fmt.Errorf("loadgen: ManagerFailAt needs open-loop arrivals")
+		}
+		if cfg.Deployments == 1 && cfg.Zones > 1 {
+			return fmt.Errorf("loadgen: ManagerFailAt is not supported on the single-deployment conducted zoned engine")
+		}
 	}
 	if cfg.Target != "" {
 		if cfg.HTTPOps <= 0 {

@@ -15,6 +15,7 @@ type target struct {
 	thing *micropnp.Thing
 	addr  netip.Addr
 	zone  uint16 // location zone (0 outside ShapeZones); keys strand grouping
+	dep   int    // owning fleet member index (0 outside fleet runs)
 
 	mu       sync.Mutex
 	dev      micropnp.DeviceID
@@ -60,12 +61,13 @@ func buildTopology(d *micropnp.Deployment, cfg Config) (targets []*target, writa
 		case ShapeZones:
 			zone := 1 + i%cfg.Zones
 			if zoneRoots[zone] == nil {
-				th, err = d.AddThingInZone(fmt.Sprintf("z%dn%d", zone, i), uint16(zone))
+				th, err = d.AddThing(fmt.Sprintf("z%dn%d", zone, i), micropnp.InZone(uint16(zone)))
 				if err == nil {
 					zoneRoots[zone] = th
 				}
 			} else {
-				th, err = d.AddThingInZoneUnder(fmt.Sprintf("z%dn%d", zone, i), uint16(zone), zoneRoots[zone])
+				th, err = d.AddThing(fmt.Sprintf("z%dn%d", zone, i),
+					micropnp.InZone(uint16(zone)), micropnp.Under(zoneRoots[zone]))
 			}
 		case ShapeDeep:
 			if i > 0 && i%10 == 0 {
@@ -112,11 +114,62 @@ func buildTopology(d *micropnp.Deployment, cfg Config) (targets []*target, writa
 	return targets, writables, nil
 }
 
+// buildFleetTopology splits cfg.Things across the fleet members — Thing i
+// lands in deployment i % len(deps), so every member grows the configured
+// shape at 1/N scale — and interleaves the per-member target lists round-robin
+// into one global list. Global indices are reassigned after the interleave, so
+// target draws spread across deployments exactly as they spread across Things
+// in a single-deployment run.
+func buildFleetTopology(deps []*micropnp.Deployment, cfg Config) (targets []*target, writables []*target, err error) {
+	n := len(deps)
+	perTargets := make([][]*target, n)
+	perWritables := make([][]*target, n)
+	for di, d := range deps {
+		c := cfg
+		c.Things = cfg.Things / n
+		if di < cfg.Things%n {
+			c.Things++
+		}
+		tg, wr, err := buildTopology(d, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, t := range tg {
+			t.dep = di
+		}
+		perTargets[di], perWritables[di] = tg, wr
+	}
+	targets = interleave(perTargets)
+	for i, t := range targets {
+		t.idx = i
+	}
+	writables = interleave(perWritables)
+	return targets, writables, nil
+}
+
+// interleave merges per-deployment target lists round-robin (member 0's k-th,
+// member 1's k-th, ...), preserving a deterministic global order.
+func interleave(per [][]*target) []*target {
+	var out []*target
+	for k := 0; ; k++ {
+		added := false
+		for _, lst := range per {
+			if k < len(lst) {
+				out = append(out, lst[k])
+				added = true
+			}
+		}
+		if !added {
+			return out
+		}
+	}
+}
+
 // addUnder adds a Thing under parent, or one hop from the manager when
 // parent is nil.
 func addUnder(d *micropnp.Deployment, name string, parent *micropnp.Thing) (*micropnp.Thing, error) {
 	if parent == nil {
 		return d.AddThing(name)
 	}
-	return d.AddThingUnder(name, parent)
+	return d.AddThing(name, micropnp.Under(parent))
 }

@@ -7,6 +7,7 @@ package manager
 
 import (
 	"net/netip"
+	"sort"
 	"sync"
 	"time"
 
@@ -27,12 +28,14 @@ const DefaultTimeout = reqerr.DefaultTimeout
 
 // Manager is one µPnP manager instance.
 type Manager struct {
-	net  *netsim.Network
-	node *netsim.Node
-	repo *driver.Repository
+	net     *netsim.Network
+	node    *netsim.Node
+	repo    *driver.Repository
+	anycast netip.Addr
 
 	mu      sync.Mutex
 	seq     uint16
+	failed  bool
 	uploads int
 	// advertisements from driver discovery, keyed by Thing address.
 	discovered map[netip.Addr][]hw.DeviceID
@@ -46,11 +49,26 @@ type mgmtReq struct {
 	// thing is the peer the request was addressed to; replies from any
 	// other address must not complete it (a recycled sequence number could
 	// otherwise let Thing A's stale advert answer a request aimed at B).
-	thing      netip.Addr
+	thing netip.Addr
+	// dev is the device a removal request targets, kept so a failed
+	// manager's pending removals can be re-issued through a survivor.
+	dev        hw.DeviceID
 	onDiscover func([]hw.DeviceID, error)
 	onRemoval  func(error)
 	// cancel retracts the expiry event once a reply completed the request.
 	cancel func()
+}
+
+// PendingRequest is one management request drained from a failed manager's
+// pending table, carrying everything a surviving instance needs to adopt it.
+type PendingRequest struct {
+	// Thing is the peer the request was addressed to.
+	Thing netip.Addr
+	// Device is the removal target (zero for discovery requests).
+	Device hw.DeviceID
+	// Exactly one callback is non-nil, matching the original request kind.
+	OnDiscover func([]hw.DeviceID, error)
+	OnRemoval  func(error)
 }
 
 // Config configures a manager instance.
@@ -81,6 +99,7 @@ func New(cfg Config) (*Manager, error) {
 		net:        cfg.Network,
 		node:       node,
 		repo:       repo,
+		anycast:    cfg.Anycast,
 		discovered: map[netip.Addr][]hw.DeviceID{},
 		pending:    map[uint16]*mgmtReq{},
 	}
@@ -169,8 +188,13 @@ func (m *Manager) expire(seq uint16, req *mgmtReq) {
 }
 
 // send is deliberately duplicated across client, manager and thing rather
-// than shared behind an interface — see the note in netsim/packet.go.
+// than shared behind an interface — see the note in netsim/packet.go. A
+// failed instance transmits nothing: scheduled work (a repository lookup in
+// flight when the crash hit) dies silently, like the process it models.
 func (m *Manager) send(dst netip.Addr, msg *proto.Message) {
+	if m.Failed() {
+		return
+	}
 	pb := netsim.AcquireBuf()
 	b, err := msg.AppendEncode(pb.B[:0])
 	if err != nil {
@@ -179,6 +203,59 @@ func (m *Manager) send(dst netip.Addr, msg *proto.Message) {
 	}
 	pb.B = b
 	m.node.SendBuf(dst, netsim.Port6030, pb)
+}
+
+// Failed reports whether Fail was called on this instance.
+func (m *Manager) Failed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
+}
+
+// Fail crashes the manager process while its router node keeps relaying:
+// the instance leaves the manager anycast (new requests route to the nearest
+// survivor), unbinds its management port (datagrams already in flight to it
+// drop as NoHandler), stops transmitting, and drains its pending management
+// table. The drained requests are returned in ascending sequence order —
+// deterministic, so virtual-mode failover migration replays identically —
+// for the caller to re-issue through a surviving instance or fail over to
+// the requester. Fail is idempotent; repeat calls return nil.
+func (m *Manager) Fail() []PendingRequest {
+	m.mu.Lock()
+	if m.failed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.failed = true
+	seqs := make([]uint16, 0, len(m.pending))
+	for seq := range m.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	drained := make([]PendingRequest, 0, len(seqs))
+	cancels := make([]func(), 0, len(seqs))
+	for _, seq := range seqs {
+		req := m.pending[seq]
+		delete(m.pending, seq)
+		drained = append(drained, PendingRequest{
+			Thing:      req.thing,
+			Device:     req.dev,
+			OnDiscover: req.onDiscover,
+			OnRemoval:  req.onRemoval,
+		})
+		if req.cancel != nil {
+			cancels = append(cancels, req.cancel)
+		}
+	}
+	m.mu.Unlock()
+	if m.anycast.IsValid() {
+		m.net.LeaveAnycast(m.anycast, m.node)
+	}
+	m.node.Unbind(netsim.Port6030)
+	for _, cancel := range cancels {
+		cancel()
+	}
+	return drained
 }
 
 // Pending returns the number of in-flight management requests.
@@ -235,7 +312,7 @@ func (m *Manager) RemoveDriver(thing netip.Addr, id hw.DeviceID, timeout time.Du
 	var seq uint16
 	retract = noRetract
 	if cb != nil {
-		req := &mgmtReq{thing: thing, onRemoval: cb}
+		req := &mgmtReq{thing: thing, dev: id, onRemoval: cb}
 		seq = m.register(req, timeout)
 		retract = func() { m.retract(seq, req) }
 	} else {
@@ -267,6 +344,13 @@ func (m *Manager) handle(msg netsim.Message) {
 				return
 			}
 			m.mu.Lock()
+			if m.failed {
+				// Crashed between accepting the request and finishing the
+				// lookup: the upload never leaves the box. The Thing's ARQ
+				// retransmission will reach a surviving instance.
+				m.mu.Unlock()
+				return
+			}
 			m.uploads++
 			m.mu.Unlock()
 			m.send(src, &proto.Message{

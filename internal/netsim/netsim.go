@@ -456,6 +456,16 @@ func (nd *Node) Bind(port uint16, h Handler) {
 	nd.handlers[port] = h
 }
 
+// Unbind removes the datagram handler for a UDP port; subsequent arrivals at
+// the port drop as NoHandler. With LeaveAnycast this models a process crash:
+// the node stays in the routing tree (its radio keeps relaying), but nothing
+// listens any more.
+func (nd *Node) Unbind(port uint16) {
+	nd.net.topoMu.Lock()
+	defer nd.net.topoMu.Unlock()
+	delete(nd.handlers, port)
+}
+
 // JoinGroup subscribes the node to a multicast group. Cached SMRF plans for
 // the group are maintained incrementally: the new member's tree path is
 // spliced into every cached per-source plan (O(depth) each) instead of
@@ -599,6 +609,27 @@ func (n *Network) JoinAnycast(a netip.Addr, nd *Node) {
 	n.topoMu.Lock()
 	defer n.topoMu.Unlock()
 	n.anycast[a] = append(n.anycast[a], nd)
+}
+
+// LeaveAnycast withdraws the node from an anycast address: subsequent
+// datagrams to the address route to the nearest remaining member (the
+// Section 5 failover — a crashed manager stops being a candidate while the
+// survivors keep serving). Member order among the survivors is preserved, so
+// nearest-member tie-breaks stay deterministic. Leaving an address the node
+// never joined is a no-op.
+func (n *Network) LeaveAnycast(a netip.Addr, nd *Node) {
+	n.topoMu.Lock()
+	defer n.topoMu.Unlock()
+	members := n.anycast[a]
+	for i, m := range members {
+		if m == nd {
+			n.anycast[a] = append(members[:i:i], members[i+1:]...)
+			if len(n.anycast[a]) == 0 {
+				delete(n.anycast, a)
+			}
+			return
+		}
+	}
 }
 
 // nodePair keys the per-pair route caches.

@@ -317,6 +317,19 @@ func (t *Thing) InstalledDrivers() []hw.DeviceID {
 	return out
 }
 
+// InstalledDriverBytes returns a copy of the installed driver artefact for
+// a device type, or nil when none is installed — the byte-level ground
+// truth failover tests compare against a no-failure run.
+func (t *Thing) InstalledDriverBytes(id hw.DeviceID) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	code, ok := t.installed[id]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), code...)
+}
+
 // InstallDriver pre-installs a driver artefact locally (factory image).
 func (t *Thing) InstallDriver(id hw.DeviceID, code []byte) error {
 	prog, err := bytecode.Decode(code)

@@ -44,6 +44,7 @@ package micropnp
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -54,6 +55,7 @@ import (
 	"micropnp/internal/core"
 	"micropnp/internal/energy"
 	"micropnp/internal/hw"
+	"micropnp/internal/netsim"
 	"micropnp/internal/thing"
 )
 
@@ -128,7 +130,8 @@ func WithWorkers(n int) Option {
 // seed): same delivery order, same stats, same latency histograms as the
 // sequential single-loop schedule of the same program. 0 or 1 keeps the
 // classic single-loop virtual clock; ignored in real-time mode. Place Things
-// in zones with AddThingInZone; the manager and clients live in zone 0.
+// in zones with AddThing(name, InZone(z)); the manager and clients live in
+// zone 0.
 func WithZones(n int) Option {
 	return func(c *config) { c.core.Zones = n }
 }
@@ -175,6 +178,26 @@ func WithRetryPolicy(attempts int, baseBackoff time.Duration) Option {
 // upnp-sim/upnp-load -interp flag).
 func WithCompiledDrivers(enabled bool) Option {
 	return func(c *config) { c.core.InterpDrivers = !enabled }
+}
+
+// WithManagers stands the deployment up with n manager instances behind the
+// well-known anycast address instead of one (Section 5 network-level
+// redundancy): every management request and OTA driver install routes to the
+// nearest live instance, and when one fails (FailManager) traffic re-routes
+// to the survivors — in-flight driver installs retry through the Things' ARQ
+// policy, pending management requests migrate. n < 2 keeps the single
+// border-router manager; more instances can be added later with AddManager.
+func WithManagers(n int) Option {
+	return func(c *config) { c.core.Managers = n }
+}
+
+// WithSite places the deployment on its own 48-bit network prefix: site 0
+// (the default) is the classic 2001:db8::/48, site k occupies
+// 2001:db8:k::/48 — manager, anycast, Things and multicast groups included.
+// Deployments federated behind one Fleet must use distinct sites so a
+// Thing's address identifies its deployment.
+func WithSite(site int) Option {
+	return func(c *config) { c.core.Site = site }
 }
 
 // Deployment is a complete simulated µPnP network: one manager at the
@@ -256,45 +279,100 @@ func (d *Deployment) Close() {
 // Realtime reports whether the deployment runs on the wall clock.
 func (d *Deployment) Realtime() bool { return d.realtime }
 
-// AddThing creates a Thing one hop from the manager.
-func (d *Deployment) AddThing(name string) (*Thing, error) {
-	th, err := d.core.AddThing(name)
+// ThingOption configures one AddThing call (functional options).
+type ThingOption func(*thingConfig)
+
+type thingConfig struct {
+	zone   uint16
+	parent *Thing
+	devs   []DeviceID
+}
+
+// InZone places the Thing's address in the given zone. On a sharded
+// deployment (WithZones) its deliveries and timers then run on that zone's
+// event lane.
+func InZone(zone uint16) ThingOption {
+	return func(c *thingConfig) { c.zone = zone }
+}
+
+// Under attaches the Thing below an existing Thing in the routing tree,
+// enabling multi-hop topologies; without it the Thing sits one hop from the
+// manager. Combining Under with InZone keeps a zone's Things in a common
+// subtree, so intra-zone traffic stays on one event lane.
+func Under(parent *Thing) ThingOption {
+	return func(c *thingConfig) { c.parent = parent }
+}
+
+// WithPeripherals plugs the given peripherals into successive channels
+// (device i on channel i) as part of AddThing. Remember to Run the
+// deployment afterwards so the plug-in sequences play out. Peripherals whose
+// device-side handle matters (the RFID reader's card presenter, the relay
+// bank's output observer) are better plugged explicitly via PlugRFID /
+// PlugRelay, which return the handle.
+func WithPeripherals(devs ...DeviceID) ThingOption {
+	return func(c *thingConfig) { c.devs = append(c.devs, devs...) }
+}
+
+// AddThing creates a Thing. With no options it sits one hop from the
+// manager with no peripherals — configure placement and initial peripherals
+// with InZone, Under and WithPeripherals:
+//
+//	th, _ := d.AddThing("kitchen", micropnp.InZone(3), micropnp.Under(root),
+//		micropnp.WithPeripherals(micropnp.TMP36, micropnp.Relay))
+func (d *Deployment) AddThing(name string, opts ...ThingOption) (*Thing, error) {
+	var cfg thingConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var parent *netsim.Node
+	if cfg.parent != nil {
+		parent = cfg.parent.th.Node()
+	}
+	var (
+		th  *thing.Thing
+		err error
+	)
+	if cfg.zone != 0 {
+		th, err = d.core.AddThingInZone(name, cfg.zone, parent)
+	} else if parent != nil {
+		th, err = d.core.AddThingAt(name, parent)
+	} else {
+		th, err = d.core.AddThing(name)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Thing{d: d, th: th}, nil
+	t := &Thing{d: d, th: th}
+	for ch, dev := range cfg.devs {
+		if err := t.plug(ch, dev); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // AddThingUnder creates a Thing attached below an existing Thing in the
-// routing tree, enabling multi-hop topologies.
+// routing tree.
+//
+// Deprecated: use AddThing(name, Under(parent)).
 func (d *Deployment) AddThingUnder(name string, parent *Thing) (*Thing, error) {
-	th, err := d.core.AddThingAt(name, parent.th.Node())
-	if err != nil {
-		return nil, err
-	}
-	return &Thing{d: d, th: th}, nil
+	return d.AddThing(name, Under(parent))
 }
 
 // AddThingInZone creates a Thing whose address carries the given zone, one
-// hop from the manager. On a sharded deployment (WithZones) its deliveries
-// and timers run on that zone's event lane.
+// hop from the manager.
+//
+// Deprecated: use AddThing(name, InZone(zone)).
 func (d *Deployment) AddThingInZone(name string, zone uint16) (*Thing, error) {
-	th, err := d.core.AddThingInZone(name, zone, nil)
-	if err != nil {
-		return nil, err
-	}
-	return &Thing{d: d, th: th}, nil
+	return d.AddThing(name, InZone(zone))
 }
 
 // AddThingInZoneUnder creates a Thing in a zone attached below an existing
-// Thing in the routing tree; keeping a zone's Things in a common subtree
-// keeps intra-zone traffic on one event lane.
+// Thing in the routing tree.
+//
+// Deprecated: use AddThing(name, InZone(zone), Under(parent)).
 func (d *Deployment) AddThingInZoneUnder(name string, zone uint16, parent *Thing) (*Thing, error) {
-	th, err := d.core.AddThingInZone(name, zone, parent.th.Node())
-	if err != nil {
-		return nil, err
-	}
-	return &Thing{d: d, th: th}, nil
+	return d.AddThing(name, InZone(zone), Under(parent))
 }
 
 // AddZonedThing creates a Thing placed in a location zone with the
@@ -419,9 +497,35 @@ func (d *Deployment) SetAcceleration(x, y, z float64) {
 	d.core.Env.SetAcceleration(x, y, z)
 }
 
-// ManagerUploads returns the number of driver uploads the manager served —
+// ManagerUploads returns the number of driver uploads the managers served —
 // a cached driver is uploaded at most once per Thing.
-func (d *Deployment) ManagerUploads() int { return d.core.Manager.Uploads() }
+func (d *Deployment) ManagerUploads() int { return d.core.Uploads() }
+
+// ManagerCount returns the number of manager instances in the deployment
+// (failed ones included — a crashed manager's node stays in the routing
+// tree).
+func (d *Deployment) ManagerCount() int { return len(d.core.Managers()) }
+
+// AddManager stands up an additional manager instance behind the
+// deployment's anycast address (the paper's Section 5 redundancy) and
+// returns its index for use with FailManager. Things keep addressing the
+// anycast; the network routes each request to the nearest live manager.
+func (d *Deployment) AddManager() (int, error) {
+	if _, err := d.core.AddManager(); err != nil {
+		return 0, err
+	}
+	return len(d.core.Managers()) - 1, nil
+}
+
+// FailManager crashes manager i for fault injection: it leaves the anycast
+// group, unbinds its management port (requests reaching it drop as
+// NoHandler) and stops sending, though its node keeps relaying frames for
+// the subtree beneath it. Pending manager-side requests migrate to a
+// surviving manager with a fresh deadline; if none survives they fail with
+// ErrTimeout. Things with driver installs in flight recover on their own:
+// the install request is retransmitted to the anycast on the ARQ schedule
+// and lands on the nearest survivor.
+func (d *Deployment) FailManager(i int) error { return d.core.FailManager(i) }
 
 // NetworkStats is a snapshot of network activity counters.
 type NetworkStats struct {
@@ -483,38 +587,38 @@ func (d *Deployment) NetworkStats() NetworkStats {
 // DiscoverDrivers asks a Thing for its installed drivers through the
 // manager (protocol messages 6/7).
 func (d *Deployment) DiscoverDrivers(ctx context.Context, th *Thing) ([]DeviceID, error) {
-	var (
-		ids  []DeviceID
-		derr error
-	)
-	err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
-		return d.core.Manager.DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
-			derr = err
+	var ids []DeviceID
+	cpl, err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+		return d.core.Mgmt().DiscoverDrivers(th.Addr(), timeout, func(got []hw.DeviceID, err error) {
 			for _, id := range got {
 				ids = append(ids, DeviceID(id))
 			}
+			cpl.err = err
 			cpl.complete()
 		})
 	})
 	if err != nil {
 		return nil, err
 	}
+	derr := cpl.err
+	cpl.recycle()
 	return ids, derr
 }
 
 // RemoveDriver removes a driver from a Thing through the manager (protocol
 // messages 8/9), stopping any runtime serving it.
 func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) error {
-	var rerr error
-	err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
-		return d.core.Manager.RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
-			rerr = err
+	cpl, err := d.await(ctx, func(timeout time.Duration, cpl *completion) (retract func()) {
+		return d.core.Mgmt().RemoveDriver(th.Addr(), hw.DeviceID(id), timeout, func(err error) {
+			cpl.err = err
 			cpl.complete()
 		})
 	})
 	if err != nil {
 		return err
 	}
+	rerr := cpl.err
+	cpl.recycle()
 	return rerr
 }
 
@@ -537,10 +641,14 @@ func (d *Deployment) RemoveDriver(ctx context.Context, th *Thing, id DeviceID) e
 // own completion. Every request arms a virtual-time expiry event at
 // registration, so a drained queue without completion cannot happen in
 // practice; it is reported as a timeout defensively.
-func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, cpl *completion) (retract func())) error {
+// On success await returns the fired completion WITHOUT recycling it: the
+// caller harvests the result slots (vals, err, at) the callback filled and
+// then calls recycle itself. On error the completion is abandoned to the GC
+// (see recycle's comment) and the returned completion is nil.
+func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration, cpl *completion) (retract func())) (*completion, error) {
 	timeout, err := d.timeoutFrom(ctx)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cpl := completionPool.Get().(*completion)
 	retract := start(timeout, cpl)
@@ -550,16 +658,15 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 	if d.realtime {
 		select {
 		case <-cpl.ch:
-			cpl.recycle()
-			return nil
+			return cpl, nil
 		case <-ctx.Done():
 			retract()
-			return ctx.Err()
+			return nil, ctx.Err()
 		case <-d.closeCh:
 			// The clock died with our expiry event still queued; nothing
 			// can complete this request anymore.
 			retract()
-			return ErrClosed
+			return nil, ErrClosed
 		}
 	}
 	self := gid()
@@ -567,7 +674,10 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 	// orchestrator owns the simulator and resumes the strand when its
 	// completion has fired.
 	if s := d.conductedStrand(self); s != nil {
-		return s.parkAwait(cpl)
+		if err := s.parkAwait(cpl); err != nil {
+			return nil, err
+		}
+		return cpl, nil
 	}
 	// Count ourselves as a potential parker BEFORE sampling the progress
 	// channel: drivers check the count after releasing pumpMu, so a failed
@@ -577,13 +687,12 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 	for {
 		select {
 		case <-cpl.ch:
-			cpl.recycle()
-			return nil
+			return cpl, nil
 		default:
 		}
 		if err := ctx.Err(); err != nil {
 			retract()
-			return err
+			return nil, err
 		}
 		// Sample the progress channel BEFORE trying to become the driver:
 		// every broadcast after this point closes the sampled channel, so a
@@ -602,11 +711,10 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			if !stepped {
 				select {
 				case <-cpl.ch:
-					cpl.recycle()
-					return nil
+					return cpl, nil
 				default:
 					retract()
-					return ErrTimeout
+					return nil, ErrTimeout
 				}
 			}
 		} else if d.driverGid.Load() == self {
@@ -618,21 +726,19 @@ func (d *Deployment) await(ctx context.Context, start func(timeout time.Duration
 			if !d.core.Network.Step() {
 				select {
 				case <-cpl.ch:
-					cpl.recycle()
-					return nil
+					return cpl, nil
 				default:
 					retract()
-					return ErrTimeout
+					return nil, ErrTimeout
 				}
 			}
 		} else {
 			select {
 			case <-cpl.ch:
-				cpl.recycle()
-				return nil
+				return cpl, nil
 			case <-ctx.Done():
 				retract()
-				return ctx.Err()
+				return nil, ctx.Err()
 			case <-progress:
 			}
 		}
@@ -651,6 +757,17 @@ func noRetract() {}
 type completion struct {
 	ch    chan struct{} // cap 1; carries the single completion token
 	fired atomic.Bool
+
+	// Result slots the registered callback fills before complete(): the
+	// request's reply values, its application-level error, and the virtual
+	// time the reply landed. Carrying results here instead of in variables
+	// captured by a per-call closure keeps the hot read path at the pooled
+	// completion's allocation instead of a fresh heap cell per call; the
+	// awaiting goroutine harvests them after await hands the completion back
+	// and then recycles it.
+	vals []int32
+	err  error
+	at   time.Duration
 }
 
 var completionPool = sync.Pool{New: func() any {
@@ -672,6 +789,9 @@ func (c *completion) complete() {
 // call. Those rare abandonments are left to the GC.
 func (c *completion) recycle() {
 	c.fired.Store(false)
+	c.vals = nil
+	c.err = nil
+	c.at = 0
 	completionPool.Put(c)
 }
 
@@ -799,6 +919,41 @@ func (t *Thing) Unplug(channel int) error { return t.th.Unplug(channel) }
 // StopStream terminates an active stream served by this Thing, notifying
 // subscribers.
 func (t *Thing) StopStream(id DeviceID) { t.th.StopStream(hw.DeviceID(id)) }
+
+// Deployment returns the deployment the Thing belongs to — handy when
+// Things from several deployments mingle behind one Fleet.
+func (t *Thing) Deployment() *Deployment { return t.d }
+
+// InstalledDriverBytes returns a copy of the driver artefact installed for
+// a device type, or nil when none is installed. Failover tests use it to
+// assert an install completed through a manager crash is byte-identical to
+// the no-failure run's.
+func (t *Thing) InstalledDriverBytes(id DeviceID) []byte {
+	return t.th.InstalledDriverBytes(hw.DeviceID(id))
+}
+
+// plug installs the peripheral for dev on a channel, discarding any
+// device-side handle (WithPeripherals path).
+func (t *Thing) plug(channel int, dev DeviceID) error {
+	switch dev {
+	case TMP36:
+		return t.PlugTMP36(channel)
+	case HIH4030:
+		return t.PlugHIH4030(channel)
+	case BMP180:
+		return t.PlugBMP180(channel)
+	case ADXL345:
+		return t.PlugADXL345(channel)
+	case ID20LA:
+		_, err := t.PlugRFID(channel)
+		return err
+	case Relay:
+		_, err := t.PlugRelay(channel)
+		return err
+	default:
+		return fmt.Errorf("micropnp: no peripheral model for device %v", dev)
+	}
+}
 
 // PlugTMP36 plugs a TMP36 temperature sensor (ADC) into a channel.
 func (t *Thing) PlugTMP36(channel int) error { return t.d.core.PlugTMP36(t.th, channel) }

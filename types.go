@@ -71,6 +71,10 @@ var (
 	// was in flight (real-time mode): the clock died with the request's
 	// expiry event, so it could never complete or time out.
 	ErrClosed = errors.New("micropnp: deployment closed")
+	// ErrNoDeployment reports a Fleet request whose Thing address matches no
+	// member deployment's network prefix — the wrapped error carries the
+	// address.
+	ErrNoDeployment = errors.New("micropnp: no deployment for address")
 )
 
 // Reading is one value set produced by a peripheral, with the metadata a
